@@ -1,0 +1,37 @@
+"""Ablation: the cost of nondeterminism (Section 6.2 discussion).
+
+XSQ-F and XSQ-NC run the *same* closure-free queries on the same data;
+the timing gap isolates what the nondeterministic machinery (context
+sets, chain bookkeeping, head-of-queue output marking) costs when it is
+not needed — the paper's explanation for XSQ-NC's edge in Figures 16/17.
+"""
+
+import pytest
+
+from repro.bench.figures import DATASET_QUERIES, ablation_determinism
+from repro.bench.systems import ADAPTERS
+
+CASES = [(name, DATASET_QUERIES[name]) for name in ("shake", "dblp")]
+
+
+@pytest.mark.parametrize("engine", ("XSQ-NC", "XSQ-F"))
+@pytest.mark.parametrize("dataset,query", CASES,
+                         ids=[name for name, _ in CASES])
+@pytest.mark.benchmark(group="ablation-determinism")
+def test_determinism_cost(benchmark, cache, dataset, query, engine):
+    path = cache.path(dataset)
+    adapter = ADAPTERS[engine]
+    results = benchmark(adapter.run, query, path)
+    assert results
+
+
+def test_engines_agree(cache):
+    for dataset, query in CASES:
+        path = cache.path(dataset)
+        assert ADAPTERS["XSQ-NC"].run(query, path) == \
+            ADAPTERS["XSQ-F"].run(query, path)
+
+
+def test_report_ablation_determinism(cache):
+    print()
+    print(ablation_determinism(cache=cache, repeat=2).report())

@@ -1,0 +1,78 @@
+"""Ablation: schema-aware optimization (the paper's future work).
+
+Measures the three wins of :mod:`repro.xsq.schema_opt` against the
+schema-unaware engine on the same data:
+
+* a closure query on a non-recursive schema runs deterministically
+  (closure elimination → XSQ-NC);
+* a statically-empty query costs nothing at all;
+* a guaranteed predicate disappears from the HPDT.
+"""
+
+import pytest
+
+from repro.streaming.dtd import parse_dtd
+from repro.xsq.engine import XSQEngine
+from repro.xsq.schema_opt import SchemaAwareEngine
+
+DBLP_DTD = parse_dtd("""
+    <!ELEMENT dblp (article | inproceedings)*>
+    <!ELEMENT article (author*, title, journal?, volume?, year, pages,
+                       url)>
+    <!ELEMENT inproceedings (author*, title, booktitle, year, pages,
+                             url)>
+    <!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)> <!ELEMENT volume (#PCDATA)>
+    <!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)>
+    <!ELEMENT url (#PCDATA)> <!ELEMENT booktitle (#PCDATA)>
+""", root="dblp")
+
+CLOSURE_QUERY = "//inproceedings//booktitle/text()"
+GUARANTEED_QUERY = "/dblp/article[title]/year/text()"
+EMPTY_QUERY = "//article//booktitle/text()"  # schema forbids this path
+
+
+@pytest.mark.parametrize("mode", ("schema-aware", "unaware"))
+@pytest.mark.benchmark(group="ablation-schema-closure")
+def test_closure_elimination(benchmark, cache, mode):
+    path = cache.path("dblp")
+    if mode == "schema-aware":
+        engine = SchemaAwareEngine(CLOSURE_QUERY, DBLP_DTD)
+        assert engine.plan.closure_free  # rewritten to child axes
+    else:
+        engine = XSQEngine(CLOSURE_QUERY)
+    results = benchmark(engine.run, path)
+    assert results
+
+
+@pytest.mark.parametrize("mode", ("schema-aware", "unaware"))
+@pytest.mark.benchmark(group="ablation-schema-guaranteed-pred")
+def test_guaranteed_predicate(benchmark, cache, mode):
+    path = cache.path("dblp")
+    if mode == "schema-aware":
+        engine = SchemaAwareEngine(GUARANTEED_QUERY, DBLP_DTD)
+        assert not engine.plan.queries[0].steps[1].predicates
+    else:
+        engine = XSQEngine(GUARANTEED_QUERY)
+    results = benchmark(engine.run, path)
+    assert results
+
+
+@pytest.mark.parametrize("mode", ("schema-aware", "unaware"))
+@pytest.mark.benchmark(group="ablation-schema-empty")
+def test_static_emptiness(benchmark, cache, mode):
+    path = cache.path("dblp")
+    if mode == "schema-aware":
+        engine = SchemaAwareEngine(EMPTY_QUERY, DBLP_DTD)
+        assert engine.plan.empty
+    else:
+        engine = XSQEngine(EMPTY_QUERY)
+    results = benchmark(engine.run, path)
+    assert results == []
+
+
+def test_all_rewrites_preserve_results(cache):
+    path = cache.path("dblp")
+    for query in (CLOSURE_QUERY, GUARANTEED_QUERY, EMPTY_QUERY):
+        assert SchemaAwareEngine(query, DBLP_DTD).run(path) == \
+            XSQEngine(query).run(path), query

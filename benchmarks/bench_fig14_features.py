@@ -1,0 +1,32 @@
+"""Figure 14: the system feature matrix.
+
+Not a timing figure — this regenerates the capability table and
+*verifies* each flag with a live probe query, so the printed matrix is
+evidence rather than documentation.
+"""
+
+import pytest
+
+from repro.bench.figures import fig14_features
+from repro.bench.systems import ADAPTERS
+
+PROBES = {
+    "closures": "//a/b/text()",
+    "multiple_predicates": "/a[x]/b[y]/text()",
+    "aggregation": "/a/b/count()",
+}
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_feature_matrix(benchmark):
+    result = benchmark(fig14_features)
+    rows = {row["name"]: row for row in result.rows}
+    # Verify every claimed flag against a live capability probe.
+    for name, adapter in ADAPTERS.items():
+        for flag, probe in PROBES.items():
+            assert rows[name][flag] == adapter.can_run(probe), (name, flag)
+
+
+def test_report_fig14():
+    print()
+    print(fig14_features().report())

@@ -1,0 +1,27 @@
+"""Figure 15: dataset descriptions.
+
+Benchmarks the statistics pass over each generated corpus and prints
+the size / text-size / element-count / depth / tag-length table in the
+paper's layout.
+"""
+
+import pytest
+
+from repro.bench.figures import fig15_datasets
+from repro.datagen import dataset_statistics
+
+DATASETS = ("shake", "nasa", "dblp", "psd")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.benchmark(group="fig15-statistics")
+def test_fig15_statistics_pass(benchmark, cache, name):
+    path = cache.path(name)
+    stats = benchmark(dataset_statistics, path)
+    assert stats.element_count > 0
+    assert stats.max_depth >= 2
+
+
+def test_report_fig15(cache):
+    print()
+    print(fig15_datasets(cache=cache).report())

@@ -1,0 +1,38 @@
+"""Figure 16: relative throughput of every system for Q1-Q3 on SHAKE.
+
+Each (query, system) pair is one pytest-benchmark case; the benchmark
+table's rows are the figure's bars (normalize by the PureParser rows to
+read off relative throughput).  ``test_report_fig16`` prints the
+assembled figure with the normalization already applied.
+"""
+
+import pytest
+
+from repro.bench.figures import SHAKE_QUERIES, fig16_shake_queries
+from repro.bench.systems import ADAPTERS, PureParserAdapter
+
+SYSTEMS = list(ADAPTERS) + ["PureParser"]
+
+
+def _adapter(name):
+    return PureParserAdapter() if name == "PureParser" else ADAPTERS[name]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("qname", sorted(SHAKE_QUERIES))
+@pytest.mark.benchmark(group="fig16-shake")
+def test_fig16_throughput(benchmark, cache, qname, system):
+    query = SHAKE_QUERIES[qname]
+    adapter = _adapter(system)
+    if not adapter.can_run(query):
+        pytest.skip("%s cannot run %s (Figure 14)" % (system, qname))
+    path = cache.path("shake")
+    benchmark.extra_info["query"] = query
+    results = benchmark(adapter.run, query, path)
+    if system not in ("PureParser", "Joost"):
+        assert results, "%s produced no results for %s" % (system, qname)
+
+
+def test_report_fig16(cache):
+    print()
+    print(fig16_shake_queries(cache=cache).report())

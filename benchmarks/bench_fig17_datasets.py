@@ -1,0 +1,33 @@
+"""Figure 17: relative throughput of every system across the four
+corpora (SHAKE, NASA, DBLP, PSD), one paper-listed query per dataset."""
+
+import pytest
+
+from repro.bench.figures import DATASET_QUERIES, fig17_datasets
+from repro.bench.systems import ADAPTERS, PureParserAdapter
+
+SYSTEMS = list(ADAPTERS) + ["PureParser"]
+
+
+def _adapter(name):
+    return PureParserAdapter() if name == "PureParser" else ADAPTERS[name]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("dataset", sorted(DATASET_QUERIES))
+@pytest.mark.benchmark(group="fig17-datasets")
+def test_fig17_throughput(benchmark, cache, dataset, system):
+    query = DATASET_QUERIES[dataset]
+    adapter = _adapter(system)
+    if not adapter.can_run(query):
+        pytest.skip("%s cannot run the %s query" % (system, dataset))
+    path = cache.path(dataset)
+    benchmark.extra_info["query"] = query
+    results = benchmark(adapter.run, query, path)
+    if system != "PureParser":
+        assert results, "%s produced no results on %s" % (system, dataset)
+
+
+def test_report_fig17(cache):
+    print()
+    print(fig17_datasets(cache=cache).report())

@@ -1,0 +1,53 @@
+"""Figure 18: compile / preprocess / query phase breakdown on SHAKE.
+
+The per-phase benchmarks isolate what the paper's stacked bars show:
+streaming systems pay nothing before the first event, DOM/index systems
+pay a preprocessing phase proportional to the data.
+"""
+
+import pytest
+
+from repro.bench.figures import DATASET_QUERIES, fig18_phases
+from repro.bench.systems import ADAPTERS
+
+QUERY = DATASET_QUERIES["shake"]
+SYSTEMS = [name for name, adapter in ADAPTERS.items()
+           if adapter.can_run(QUERY)]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.benchmark(group="fig18-compile")
+def test_fig18_compile_phase(benchmark, system):
+    adapter = ADAPTERS[system]
+    engine = benchmark(adapter.compile, QUERY)
+    assert engine is not None
+
+
+@pytest.mark.parametrize("system", ["Saxon", "XQEngine"])
+@pytest.mark.benchmark(group="fig18-preprocess")
+def test_fig18_preprocess_phase(benchmark, cache, system):
+    """Only the non-streaming systems have a preprocessing phase."""
+    adapter = ADAPTERS[system]
+    path = cache.path("shake")
+
+    def preprocess():
+        engine = adapter.compile(QUERY)
+        adapter.preprocess(engine, path)
+        return engine
+
+    engine = benchmark(preprocess)
+    assert engine is not None
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.benchmark(group="fig18-total")
+def test_fig18_total(benchmark, cache, system):
+    adapter = ADAPTERS[system]
+    path = cache.path("shake")
+    results = benchmark(adapter.run, QUERY, path)
+    assert results
+
+
+def test_report_fig18(cache):
+    print()
+    print(fig18_phases(cache=cache).report())

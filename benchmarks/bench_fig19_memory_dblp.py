@@ -1,0 +1,57 @@
+"""Figure 19: memory vs input size on DBLP excerpts.
+
+Query: /dblp/inproceedings[author]/title/text() (XMLTK runs the
+predicate-free variant per the paper's footnote).  The benchmark cases
+time the runs at each size; the report prints the measured peak-memory
+series whose *slopes* are the figure: DOM linear with a >1 constant,
+streaming flat.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    FIG19_QUERY,
+    FIG19_QUERY_XMLTK,
+    fig19_memory_dblp,
+)
+from repro.bench.metrics import measure_memory
+from repro.bench.systems import ADAPTERS
+
+SIZES = [2_000_000, 4_000_000, 8_000_000]
+SYSTEMS = ["XSQ-F", "XSQ-NC", "XMLTK", "Saxon", "XQEngine", "Joost"]
+
+
+def _query_for(system):
+    return FIG19_QUERY_XMLTK if system == "XMLTK" else FIG19_QUERY
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="fig19-memory", min_rounds=1, max_time=0.1)
+def test_fig19_memory(benchmark, cache, size, system):
+    path = cache.path("dblp", size_bytes=size)
+    adapter = ADAPTERS[system]
+
+    def run():
+        return measure_memory(adapter, _query_for(system), path)
+
+    memory = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["peak_mb"] = round(memory.peak_alloc_bytes / 1e6, 3)
+    benchmark.extra_info["input_mb"] = round(memory.input_bytes / 1e6, 3)
+    assert memory.peak_alloc_bytes > 0
+
+
+def test_fig19_shape(cache):
+    """The headline claim: DOM memory linear, streaming memory flat."""
+    sizes = [cache.path("dblp", size_bytes=s) for s in SIZES]
+    saxon = [measure_memory(ADAPTERS["Saxon"], FIG19_QUERY, p)
+             for p in sizes]
+    xsqf = [measure_memory(ADAPTERS["XSQ-F"], FIG19_QUERY, p)
+            for p in sizes]
+    assert saxon[-1].peak_alloc_bytes > 2.5 * saxon[0].peak_alloc_bytes
+    assert xsqf[-1].peak_alloc_bytes < 2 * xsqf[0].peak_alloc_bytes + 500_000
+
+
+def test_report_fig19(cache):
+    print()
+    print(fig19_memory_dblp(cache=cache).report())

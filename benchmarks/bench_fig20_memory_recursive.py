@@ -1,0 +1,59 @@
+"""Figure 20: memory vs size on recursive synthetic data.
+
+Query: //pub[year]//book[@id]/title/text().  The paper's footnotes
+apply: XSQ-NC and XMLTK cannot handle the query at all.  The shape to
+reproduce: even on highly recursive data with closures, XSQ-F's memory
+stays constant, bounded by the largest element, while DOM systems grow
+linearly.
+"""
+
+import pytest
+
+from repro.bench.figures import FIG20_QUERY, fig20_memory_recursive
+from repro.bench.metrics import measure_memory
+from repro.bench.systems import ADAPTERS
+from repro.errors import ReproError
+from repro.xsq.engine import XSQEngine
+
+SIZES = [1_000_000, 2_000_000, 4_000_000]
+SYSTEMS = ["XSQ-F", "Saxon", "XQEngine", "Joost"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="fig20-memory", min_rounds=1)
+def test_fig20_memory(benchmark, cache, size, system):
+    path = cache.path("recursive", size_bytes=size)
+    adapter = ADAPTERS[system]
+
+    def run():
+        return measure_memory(adapter, FIG20_QUERY, path)
+
+    memory = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["peak_mb"] = round(memory.peak_alloc_bytes / 1e6, 3)
+    assert memory.result_count > 0
+
+
+def test_fig20_footnote_systems_cannot_run():
+    """Paper footnote 1: 'The system cannot handle the query'."""
+    assert not ADAPTERS["XSQ-NC"].can_run(FIG20_QUERY)
+    assert not ADAPTERS["XMLTK"].can_run(FIG20_QUERY)
+    with pytest.raises(ReproError):
+        ADAPTERS["XSQ-NC"].compile(FIG20_QUERY)
+
+
+def test_fig20_xsqf_buffer_flat(cache):
+    """The engine-level memory metric: buffered items do not grow with
+    input size (bounded by the largest element)."""
+    peaks = []
+    for size in SIZES:
+        path = cache.path("recursive", size_bytes=size)
+        engine = XSQEngine(FIG20_QUERY)
+        engine.run(path)
+        peaks.append(engine.last_stats.peak_buffered_items)
+    assert peaks[-1] <= 2 * peaks[0] + 10, peaks
+
+
+def test_report_fig20(cache):
+    print()
+    print(fig20_memory_recursive(cache=cache).report())

@@ -1,0 +1,40 @@
+"""Figure 21: effect of data ordering on throughput.
+
+ToxGene template data (<a id><prior/><foo/>*N<posterior/></a>); the
+three queries all return empty results but differ in *when* an engine
+can decide that: at the begin event (@id), after the first child
+(prior), or only at the end event (posterior).  The shape: XSQ-NC is
+~30% faster on the @id query; Saxon is insensitive; XSQ-F sits between.
+"""
+
+import pytest
+
+from repro.bench.figures import FIG21_QUERIES, fig21_ordering
+from repro.bench.systems import ADAPTERS
+
+SYSTEMS = ("XSQ-NC", "XSQ-F", "Saxon")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query", FIG21_QUERIES)
+@pytest.mark.benchmark(group="fig21-ordering")
+def test_fig21_throughput(benchmark, cache, query, system):
+    path = cache.path("ordered", filler_repeats=2000)
+    adapter = ADAPTERS[system]
+    results = benchmark(adapter.run, query, path)
+    assert results == []  # every Figure 21 query has an empty answer
+
+
+def test_fig21_shape(cache):
+    path = cache.path("ordered", filler_repeats=2000)
+    from repro.bench.metrics import measure_throughput
+    nc = {query: measure_throughput(ADAPTERS["XSQ-NC"], query, path,
+                                    repeat=3).seconds
+          for query in FIG21_QUERIES}
+    # Deciding at the begin event beats buffering until the end event.
+    assert nc["/root/a[@id=0]"] < nc["/root/a[posterior=0]"]
+
+
+def test_report_fig21(cache):
+    print()
+    print(fig21_ordering(cache=cache, repeat=2).report())

@@ -1,0 +1,48 @@
+"""Figure 22: effect of the result size on throughput.
+
+The colors dataset is 10% red / 30% green / 60% blue elements; the
+three queries select increasing fractions of the data.  The shape:
+XSQ-NC degrades most as the result grows, XSQ-F less, Saxon least.
+"""
+
+import pytest
+
+from repro.bench.figures import FIG22_QUERIES, fig22_result_size
+from repro.bench.systems import ADAPTERS
+
+SYSTEMS = ("XSQ-NC", "XSQ-F", "XMLTK", "Saxon", "Joost")
+EXPECTED_FRACTION = {"Red": 0.10, "Green": 0.30, "Blue": 0.60}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("color", sorted(FIG22_QUERIES))
+@pytest.mark.benchmark(group="fig22-result-size")
+def test_fig22_throughput(benchmark, cache, color, system):
+    path = cache.path("colors")
+    adapter = ADAPTERS[system]
+    results = benchmark(adapter.run, FIG22_QUERIES[color], path)
+    assert results
+
+
+def test_fig22_fractions(cache):
+    """The dataset honours the 10/30/60 split the queries rely on."""
+    path = cache.path("colors")
+    counts = {color: len(ADAPTERS["XSQ-NC"].run(query, path))
+              for color, query in FIG22_QUERIES.items()}
+    total = sum(counts.values())
+    for color, fraction in EXPECTED_FRACTION.items():
+        assert abs(counts[color] / total - fraction) < 0.05, counts
+
+
+def test_fig22_shape(cache):
+    from repro.bench.metrics import measure_throughput
+    path = cache.path("colors")
+    seconds = {color: measure_throughput(ADAPTERS["XSQ-NC"], query, path,
+                                         repeat=3).seconds
+               for color, query in FIG22_QUERIES.items()}
+    assert seconds["Blue"] > seconds["Red"]
+
+
+def test_report_fig22(cache):
+    print()
+    print(fig22_result_size(cache=cache, repeat=2).report())

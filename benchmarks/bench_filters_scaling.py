@@ -1,0 +1,62 @@
+"""Filter-engine scaling: XFilter (per-query FSAs) vs YFilter (one
+shared NFA) as the registered workload grows.
+
+Not a figure in this paper — it is the comparison its Section 5
+narrates when crediting YFilter's shared automaton, regenerated here
+because both systems are part of the reproduction's baseline set.  The
+shape to expect: per-document match time grows linearly with the query
+count for XFilter and sublinearly for YFilter, and the shared NFA's
+node count stays well below the sum of the individual automata.
+"""
+
+import pytest
+
+from repro.baselines.xfilter import XFilterEngine
+from repro.baselines.yfilter import YFilterEngine
+from repro.datagen.queries import generate_filter_workload
+
+WORKLOAD_SIZES = (10, 50, 200)
+
+
+@pytest.fixture(scope="module")
+def workload_and_doc(cache):
+    from repro.datagen import generate_nasa
+    sample = generate_nasa(30_000)
+    queries = generate_filter_workload(
+        sample, max(WORKLOAD_SIZES), seed=5,
+        closure_probability=0.3, wildcard_probability=0.1)
+    document = generate_nasa(60_000, seed=99)
+    return queries, document
+
+
+@pytest.mark.parametrize("n_queries", WORKLOAD_SIZES)
+@pytest.mark.benchmark(group="filters-xfilter")
+def test_xfilter_scaling(benchmark, workload_and_doc, n_queries):
+    queries, document = workload_and_doc
+    engine = XFilterEngine(queries[:n_queries])
+    matches = benchmark(engine.matches, document)
+    assert isinstance(matches, set)
+
+
+@pytest.mark.parametrize("n_queries", WORKLOAD_SIZES)
+@pytest.mark.benchmark(group="filters-yfilter")
+def test_yfilter_scaling(benchmark, workload_and_doc, n_queries):
+    queries, document = workload_and_doc
+    engine = YFilterEngine(queries[:n_queries])
+    matches = benchmark(engine.matches, document)
+    assert isinstance(matches, set)
+
+
+def test_engines_agree_on_workload(workload_and_doc):
+    queries, document = workload_and_doc
+    subset = queries[:50]
+    assert XFilterEngine(subset).matches(document) == \
+        YFilterEngine(subset).matches(document)
+
+
+def test_shared_nfa_smaller_than_query_sum(workload_and_doc):
+    queries, _ = workload_and_doc
+    engine = YFilterEngine(queries)
+    total_steps = sum(query.count("/") - query.count("//")
+                      + query.count("//") for query in queries)
+    assert engine.node_count < total_steps

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only --xsq-scale 1.0   # full size
+
+Each ``bench_figNN`` file regenerates one table/figure of the paper:
+the pytest-benchmark timings are the figure's bars, and every file ends
+with a ``test_report_figNN`` case that prints the assembled
+paper-layout table (visible with ``-s`` and in the captured output).
+
+Datasets are generated once into ``.bench_data`` (or ``$XSQ_BENCH_DATA``)
+and reused across runs; ``--xsq-scale`` shrinks or grows everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import DatasetCache
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--xsq-scale", type=float, default=0.25,
+        help="dataset size multiplier for the XSQ benchmarks "
+             "(default 0.25 = quarter-size datasets)")
+
+
+@pytest.fixture(scope="session")
+def cache(request):
+    scale = request.config.getoption("--xsq-scale")
+    return DatasetCache(scale=scale)

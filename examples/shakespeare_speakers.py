@@ -1,0 +1,66 @@
+"""Who speaks about love? — the paper's SHAKE workload (Figure 16).
+
+Generates a Shakespeare-like play (the SHAKE stand-in from
+``repro.datagen``), then runs the three queries of Figure 16 through
+every system that can handle them, reporting result counts and
+relative throughput against a parse-only baseline.
+
+Run with::
+
+    python examples/shakespeare_speakers.py [target_bytes]
+"""
+
+import sys
+import time
+
+from repro.baselines import DomEngine, XmltkEngine
+from repro.datagen import generate_shake
+from repro.xsq import XSQEngine, XSQEngineNC
+
+QUERIES = {
+    "Q1 (speakers of lines about love)":
+        "/PLAY/ACT/SCENE/SPEECH[LINE contains 'love']/SPEAKER/text()",
+    "Q2 (all speakers)":
+        "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()",
+    "Q3 (speakers, any nesting)":
+        "//ACT//SPEAKER/text()",
+}
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print("  %-8s %6.3fs  %6d results" % (label, elapsed, len(result)))
+    return result
+
+
+def main() -> None:
+    target = int(sys.argv[1]) if len(sys.argv) > 1 else 500_000
+    print("generating ~%.1f MB play..." % (target / 1e6))
+    play = generate_shake(target)
+
+    for title, query in QUERIES.items():
+        print("\n%s\n  %s" % (title, query))
+        reference = timed("dom", lambda: DomEngine(query).run(play))
+        full = timed("xsq-f", lambda: XSQEngine(query).run(play))
+        assert full == reference, "XSQ-F must agree with the DOM oracle"
+        if "//" not in query:
+            nc = timed("xsq-nc", lambda: XSQEngineNC(query).run(play))
+            assert nc == reference
+        if "[" not in query:
+            tk = timed("xmltk", lambda: XmltkEngine(query).run(play))
+            assert tk == reference
+
+    # A taste of the streaming advantage: first result arrives long
+    # before the document ends.
+    query = QUERIES["Q2 (all speakers)"]
+    engine = XSQEngine(query)
+    start = time.perf_counter()
+    first = next(iter(engine.iter_results(play)))
+    print("\nfirst streamed result (%r) after %.4fs"
+          % (first, time.perf_counter() - start))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
+builds; on fully offline machines without it, ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation``) achieves the
+same editable install through this shim.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""XSQ — XPath queries on streaming XML data.
+
+A from-scratch Python reproduction of Peng & Chawathe, *XPath Queries on
+Streaming Data* (SIGMOD 2003): the XSQ-F and XSQ-NC streaming engines
+built from hierarchical pushdown transducers with buffers, plus every
+substrate and comparison system the paper's evaluation uses.
+
+Quickstart::
+
+    from repro import XSQEngine
+
+    engine = XSQEngine("//book[price<11]/author/text()")
+    for author in engine.iter_results("catalog.xml"):
+        print(author)
+
+Main entry points:
+
+* :class:`XSQEngine` (XSQ-F) and :class:`XSQEngineNC` (XSQ-NC)
+* :func:`repro.xpath.parse_query` — the XPath subset parser
+* :mod:`repro.streaming` — the SAX-with-depth event model and sources
+* :mod:`repro.baselines` — the paper's comparison systems
+* :mod:`repro.datagen` — SHAKE/NASA/DBLP/PSD-like dataset generators
+* :mod:`repro.bench` — throughput/memory measurement harness
+"""
+
+from repro.errors import (
+    ClosureNotSupportedError,
+    NotWellFormedError,
+    ReproError,
+    StreamError,
+    UnsupportedFeatureError,
+    XPathSyntaxError,
+)
+from repro.xpath import parse_query
+from repro.streaming.dtd import Dtd, StreamingValidator, parse_dtd
+from repro.xsq import (
+    Bpdt,
+    MultiQueryEngine,
+    SchemaAwareEngine,
+    BufferTrace,
+    DepthVector,
+    Hpdt,
+    StatBuffer,
+    XSQEngine,
+    XSQEngineNC,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XSQEngine",
+    "XSQEngineNC",
+    "MultiQueryEngine",
+    "SchemaAwareEngine",
+    "parse_dtd",
+    "Dtd",
+    "StreamingValidator",
+    "Hpdt",
+    "Bpdt",
+    "DepthVector",
+    "BufferTrace",
+    "StatBuffer",
+    "parse_query",
+    "ReproError",
+    "XPathSyntaxError",
+    "UnsupportedFeatureError",
+    "ClosureNotSupportedError",
+    "NotWellFormedError",
+    "StreamError",
+    "__version__",
+]

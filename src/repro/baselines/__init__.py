@@ -1,0 +1,43 @@
+"""Comparison systems from the paper's empirical study (Section 6).
+
+Each module reimplements the algorithmic core of one system in the
+paper's Figure 14 feature matrix so that the evaluation can be
+regenerated end-to-end:
+
+* :mod:`repro.baselines.dom` — in-memory tree evaluation (Saxon and
+  Galax build a DOM/materialized tree before evaluating).  Also the
+  correctness oracle for the streaming engines.
+* :mod:`repro.baselines.xmltk` — lazy-DFA streaming path engine without
+  predicates (XMLTK).
+* :mod:`repro.baselines.xfilter` — per-query FSA document filter
+  (XFilter).
+* :mod:`repro.baselines.yfilter` — one shared NFA for a whole workload
+  of filter queries (YFilter).
+* :mod:`repro.baselines.fulltext` — index-then-query engine (XQEngine).
+* :mod:`repro.baselines.stx` — streaming transformer with boolean
+  predicate variables that can only consult *preceding* data
+  (Joost/STX).
+* :mod:`repro.baselines.pureparser` — parse-and-discard, the throughput
+  upper bound every engine is normalized against (Section 6.2).
+"""
+
+from repro.baselines.dom import DomDocument, DomElement, DomEngine, build_dom
+from repro.baselines.pureparser import PureParser
+from repro.baselines.xmltk import XmltkEngine
+from repro.baselines.xfilter import XFilterEngine
+from repro.baselines.yfilter import YFilterEngine
+from repro.baselines.fulltext import FullTextEngine
+from repro.baselines.stx import StxEngine
+
+__all__ = [
+    "DomDocument",
+    "DomElement",
+    "DomEngine",
+    "build_dom",
+    "PureParser",
+    "XmltkEngine",
+    "XFilterEngine",
+    "YFilterEngine",
+    "FullTextEngine",
+    "StxEngine",
+]

@@ -1,0 +1,77 @@
+"""Shared NFA machinery for predicate-free location paths.
+
+XMLTK, XFilter and YFilter all reduce a predicate-free path (child and
+closure axes, wildcards) to a finite automaton over tag sequences; they
+differ in how they run it (lazily determinized vs. per-query NFAs vs.
+one shared NFA).  This module holds the common position-set construction
+they share.
+
+A *position* ``p`` means "steps 0..p-1 have matched along this root
+path; step ``p`` is the next to match".  Position ``n`` (``len(steps)``)
+is accepting.  The transition of a position set on a begin tag is:
+
+* every position whose next step uses the descendant axis survives (the
+  closure self-loop of Figure 4(b));
+* every position whose next step's node test matches the tag also
+  advances to ``p+1``.
+
+Because the document is a tree, the runtime keeps a stack of position
+sets: push the transition result at each begin event, pop at each end
+event.  That is exactly the paper's filter PDA.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.errors import UnsupportedFeatureError
+from repro.xpath.ast import Axis, LocationStep, Query
+
+PositionSet = FrozenSet[int]
+
+
+def require_predicate_free(query: Query, system: str) -> None:
+    """Raise when a path-only engine is handed predicates or aggregates."""
+    if query.predicate_count:
+        raise UnsupportedFeatureError(
+            "%s does not support predicates (query %r)"
+            % (system, query.text))
+    if query.output.is_aggregate:
+        raise UnsupportedFeatureError(
+            "%s does not support aggregation (query %r)"
+            % (system, query.text))
+
+
+class PathNfa:
+    """Position-set automaton for one predicate-free location path."""
+
+    def __init__(self, steps: Sequence[LocationStep]):
+        self.steps = tuple(steps)
+        self.n = len(self.steps)
+        self.initial: PositionSet = frozenset([0])
+
+    def advance(self, positions: PositionSet, tag: str) -> PositionSet:
+        """One begin-event transition of the position set."""
+        result = set()
+        steps = self.steps
+        n = self.n
+        for p in positions:
+            if p >= n:
+                continue
+            step = steps[p]
+            if step.axis is Axis.DESCENDANT:
+                result.add(p)
+            if step.matches_tag(tag):
+                result.add(p + 1)
+        return frozenset(result)
+
+    def accepts(self, positions: PositionSet) -> bool:
+        """Does the current element (whose set this is) match the path?"""
+        return self.n in positions
+
+    def alive(self, positions: PositionSet) -> bool:
+        """Can any extension of this root path still match?"""
+        return bool(positions)
+
+    def __repr__(self):
+        return "<PathNfa %s>" % "".join(repr(s) for s in self.steps)

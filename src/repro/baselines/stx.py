@@ -1,0 +1,272 @@
+"""Joost/STX analogue: streaming transforms with boolean predicate
+variables and a preceding-data-only restriction.
+
+STX [Becker et al.] is a procedural streaming transformation language:
+predicate results are stored in boolean program variables which are set
+as the stream reveals them and must be cleared explicitly.  The crucial
+semantic restriction, quoted from Section 5 of the paper:
+
+    "For any element in an XML stream, only the data that **precedes**
+    it can be used to determine the actions on the element.  This
+    restriction simplifies the implementation, since many of the
+    complexities illustrated by Examples 1 and 2 do not occur."
+
+Concretely: when this engine reaches a potential result element, it
+outputs the element only if every predicate on its path has *already*
+been witnessed true by earlier events.  Nothing is ever buffered, so a
+predicate witnessed after the element (Example 1's trailing
+``<year>2002</year>``) silently loses results — the exact trade-off the
+Figure 21 experiment probes with the ``prior``/``posterior`` datasets.
+Path matching itself is full (closures, wildcards, multiple
+predicates); only the evaluation-order restriction differs from XSQ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.streaming.events import Event
+from repro.streaming.sax_source import parse_events
+from repro.streaming.serialize import EventSerializer
+from repro.xpath.ast import (
+    AggregateOutput,
+    AttrOutput,
+    Axis,
+    ElementOutput,
+    Query,
+    TextOutput,
+)
+from repro.xpath.parser import parse_query
+from repro.xsq.aggregates import StatBuffer
+from repro.xsq.bpdt import Bpdt
+
+
+class _Var:
+    """One boolean predicate variable for one element activation.
+
+    ``True`` once witnessed; never goes false retroactively — STX
+    variables reflect only what has streamed past.
+    """
+
+    __slots__ = ("value", "pending")
+
+    def __init__(self, pending: Optional[set]):
+        self.pending = pending or set()
+        self.value = not self.pending
+
+    def witness(self, pred_index: int) -> None:
+        if not self.value:
+            self.pending.discard(pred_index)
+            if not self.pending:
+                self.value = True
+
+
+class _StxMatch:
+    """One embedding: a chain of predicate variables."""
+
+    __slots__ = ("var", "parent")
+
+    def __init__(self, var: _Var, parent: Optional["_StxMatch"]):
+        self.var = var
+        self.parent = parent
+
+    def all_true(self) -> bool:
+        node: Optional[_StxMatch] = self
+        while node is not None:
+            if not node.var.value:
+                return False
+            node = node.parent
+        return True
+
+
+class _StxFrame:
+    __slots__ = ("tag", "contexts", "vars", "text_watch",
+                 "child_begin_watch", "child_text_watch", "result_matches",
+                 "serializer", "serializer_counted")
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.contexts: List[Tuple[int, _StxMatch]] = []  # (step_index, match)
+        self.vars: dict = {}
+        self.text_watch: List[tuple] = []
+        self.child_begin_watch: List[tuple] = []
+        self.child_text_watch: List[tuple] = []
+        self.result_matches: List[_StxMatch] = []
+        self.serializer: Optional[EventSerializer] = None
+        self.serializer_counted = False
+
+
+class StxEngine:
+    """Streaming engine with the STX preceding-data-only semantics."""
+
+    name = "joost"
+    supports_predicates = True   # preceding-data semantics only
+    supports_closures = True
+    supports_aggregates = True
+    streaming = True
+
+    def __init__(self, query: Union[str, Query]):
+        self.query = parse_query(query) if isinstance(query, str) else query
+        from repro.errors import UnsupportedFeatureError
+        from repro.xpath.ast import NotPredicate, OrPredicate, \
+            PathPredicate
+        for step in self.query.steps:
+            for predicate in step.predicates:
+                if isinstance(predicate, (NotPredicate, OrPredicate,
+                                          PathPredicate)):
+                    raise UnsupportedFeatureError(
+                        "the STX baseline supports only the Figure 3 "
+                        "core predicates, not %r" % predicate)
+
+    def run(self, source, sink: Optional[List[str]] = None) -> List[str]:
+        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
+            events: Iterable[Event] = parse_events(source)
+        else:
+            events = source
+        steps = self.query.steps
+        last_step = len(steps) - 1
+        output = self.query.output
+        stat = (StatBuffer(output.name)
+                if isinstance(output, AggregateOutput) else None)
+        results: List[str] = [] if sink is None else sink
+        root = _StxFrame("")
+        root.contexts = [(-1, None)]
+        stack: List[_StxFrame] = [root]
+        serializing: List[_StxFrame] = []
+
+        for event in events:
+            kind = event.kind
+            if kind == "begin":
+                parent = stack[-1]
+                tag = event.tag
+                frame = _StxFrame(tag)
+                if parent.child_begin_watch:
+                    for var, pred_index, predicate in parent.child_begin_watch:
+                        if (not var.value and pred_index in var.pending
+                                and Bpdt.child_begin_verdict(
+                                    predicate, tag, event.attrs)):
+                            var.witness(pred_index)
+                for step_index, match in parent.contexts:
+                    next_index = step_index + 1
+                    step = steps[next_index]
+                    if step.axis is Axis.DESCENDANT:
+                        frame.contexts.append((step_index, match))
+                    if not step.matches_tag(tag):
+                        continue
+                    var = frame.vars.get(next_index)
+                    if var is None:
+                        var = self._new_var(frame, next_index, event.attrs)
+                    if var is False:
+                        continue
+                    new_match = _StxMatch(var, match)
+                    if next_index < last_step:
+                        frame.contexts.append((next_index, new_match))
+                    else:
+                        frame.result_matches.append(new_match)
+                stack.append(frame)
+                if frame.result_matches:
+                    self._on_result_begin(frame, event, results, stat)
+                for holder in serializing:
+                    holder.serializer.feed(event)
+                if frame.serializer is not None:
+                    serializing.append(frame)
+                    frame.serializer.feed(event)
+            elif kind == "end":
+                for holder in serializing:
+                    holder.serializer.feed(event)
+                frame = stack.pop()
+                if frame.serializer is not None:
+                    serializing.remove(frame)
+                    results.append(frame.serializer.getvalue())
+            else:
+                frame = stack[-1]
+                if frame.text_watch:
+                    for var, pred_index, predicate in frame.text_watch:
+                        if (not var.value and pred_index in var.pending
+                                and Bpdt.text_verdict(predicate, event.text)):
+                            var.witness(pred_index)
+                if len(stack) >= 2 and stack[-2].child_text_watch:
+                    for var, pred_index, predicate in stack[-2].child_text_watch:
+                        if (not var.value and pred_index in var.pending
+                                and Bpdt.child_text_verdict(
+                                    predicate, frame.tag, event.text)):
+                            var.witness(pred_index)
+                if frame.result_matches:
+                    self._on_result_text(frame, event, results, stat)
+                for holder in serializing:
+                    holder.serializer.feed(event)
+        if stat is not None:
+            return [stat.render()]
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _new_var(self, frame: _StxFrame, step_index: int, attrs):
+        step = self.query.steps[step_index]
+        pending = set()
+        for pred_index, predicate in enumerate(step.predicates):
+            if predicate.resolves_at_begin:
+                # Attribute predicates are decidable right now.
+                if not Bpdt.child_begin_verdict(
+                        _attr_as_child(predicate), frame.tag, attrs):
+                    frame.vars[step_index] = False
+                    return False
+            else:
+                pending.add(pred_index)
+        var = _Var(pending)
+        for pred_index, predicate in enumerate(step.predicates):
+            if predicate.resolves_at_begin:
+                continue
+            entry = (var, pred_index, predicate)
+            if predicate.category == 2:
+                frame.text_watch.append(entry)
+            elif predicate.category in (3, 4):
+                frame.child_begin_watch.append(entry)
+            else:
+                frame.child_text_watch.append(entry)
+        frame.vars[step_index] = var
+        return var
+
+    def _on_result_begin(self, frame: _StxFrame, event: Event,
+                         results: List[str],
+                         stat: Optional[StatBuffer]) -> None:
+        # The STX rule: act now using only already-known variables.
+        if not any(match.all_true() for match in frame.result_matches):
+            return
+        output = self.query.output
+        if isinstance(output, AttrOutput):
+            value = event.attrs.get(output.attr)
+            if value is not None:
+                results.append(value)
+        elif isinstance(output, ElementOutput):
+            frame.serializer = EventSerializer()
+        elif isinstance(output, AggregateOutput) and output.name == "count":
+            stat.update(1.0)
+
+    def _on_result_text(self, frame: _StxFrame, event: Event,
+                        results: List[str],
+                        stat: Optional[StatBuffer]) -> None:
+        if not any(match.all_true() for match in frame.result_matches):
+            return
+        output = self.query.output
+        if isinstance(output, TextOutput):
+            results.append(event.text)
+        elif isinstance(output, AggregateOutput) and output.name != "count":
+            stat.update_text(event.text)
+
+
+def _attr_as_child(predicate):
+    """View an attribute predicate as a child-begin test on the element.
+
+    :meth:`Bpdt.child_begin_verdict` checks (tag, attrs) pairs; reusing
+    it for the element's own begin event needs the child tag to be the
+    wildcard.
+    """
+    from repro.xpath.ast import (AttrCompare, AttrExists, ChildAttrCompare,
+                                 ChildAttrExists)
+    if isinstance(predicate, AttrExists):
+        return ChildAttrExists("*", predicate.attr)
+    if isinstance(predicate, AttrCompare):
+        return ChildAttrCompare("*", predicate.attr, predicate.op,
+                                predicate.value)
+    raise TypeError("not an attribute predicate: %r" % predicate)

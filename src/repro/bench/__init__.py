@@ -1,0 +1,42 @@
+"""Measurement harness for regenerating the paper's evaluation section.
+
+* :mod:`repro.bench.systems` — uniform adapters over every engine, with
+  the phase split (compile / preprocess / query) of Figure 18 and the
+  capability flags of Figure 14.
+* :mod:`repro.bench.metrics` — wall-clock throughput, relative
+  throughput (normalized by PureParser, Section 6.2), and peak-memory
+  measurement.
+* :mod:`repro.bench.datasets` — generated dataset files, cached on disk
+  so repeated bench runs reuse them.
+* :mod:`repro.bench.figures` — one experiment function per table/figure
+  (Fig 14–22 plus the two ablations), each returning structured rows
+  and a formatted report.
+* :mod:`repro.bench.report` — fixed-width tables and text bar charts.
+
+Run any experiment from the command line::
+
+    python -m repro.bench fig16
+    python -m repro.bench all --scale 0.25
+"""
+
+from repro.bench.metrics import (
+    MemoryMeasurement,
+    ThroughputMeasurement,
+    measure_memory,
+    measure_throughput,
+    relative_throughput,
+)
+from repro.bench.systems import ADAPTERS, SystemAdapter, adapters_for
+from repro.bench.datasets import DatasetCache
+
+__all__ = [
+    "MemoryMeasurement",
+    "ThroughputMeasurement",
+    "measure_memory",
+    "measure_throughput",
+    "relative_throughput",
+    "ADAPTERS",
+    "SystemAdapter",
+    "adapters_for",
+    "DatasetCache",
+]

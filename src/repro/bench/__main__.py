@@ -1,0 +1,58 @@
+"""Command-line experiment runner: ``python -m repro.bench fig16``.
+
+``all`` runs every experiment in order.  ``--scale`` shrinks dataset
+sizes (0.25 = quarter-size inputs), ``--repeat`` takes the best of N
+timed runs, ``--data-dir`` relocates the dataset cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.datasets import DatasetCache
+from repro.bench.figures import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier (default 1.0)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timed repetitions, best-of (default 1)")
+    parser.add_argument("--data-dir", default=None,
+                        help="dataset cache directory")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also dump structured rows to this file "
+                             "(for regenerating EXPERIMENTS.md)")
+    args = parser.parse_args(argv)
+
+    cache = DatasetCache(directory=args.data_dir, scale=args.scale)
+    names = (sorted(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    dump = {}
+    for name in names:
+        result = EXPERIMENTS[name](cache=cache, repeat=args.repeat)
+        print(result.report())
+        print()
+        dump[name] = {
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as out:
+            json.dump({"scale": args.scale, "repeat": args.repeat,
+                       "experiments": dump}, out, indent=2)
+        print("wrote %s" % args.json_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

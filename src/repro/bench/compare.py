@@ -1,0 +1,134 @@
+"""Compare two experiment JSON exports for performance regressions.
+
+A maintained reproduction needs to notice when a change breaks a
+*shape* the paper established — XSQ-NC slipping behind XSQ-F, memory
+going linear — not just absolute slowdowns.  Workflow::
+
+    python -m repro.bench all --json baseline.json
+    # ... hack on the engines ...
+    python -m repro.bench all --json current.json
+    python -m repro.bench.compare baseline.json current.json
+
+The comparator matches rows across the two exports by their identity
+columns (every column that is not a measurement), reports relative
+changes in the measurement columns, and exits non-zero when any change
+exceeds the threshold — suitable for CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Row keys treated as measurements (compared); all others are identity.
+MEASUREMENT_KEYS = frozenset((
+    "relative_throughput", "seconds", "compile_s", "preprocess_s",
+    "query_s", "total_s", "peak_mb", "ratio", "xsq_nc_s", "xsq_f_s",
+    "f_over_nc", "enqueued", "cleared", "emitted", "peak_buffered",
+    "peak_instances",
+))
+
+#: Identity-only keys that may legitimately differ run to run.
+IGNORED_KEYS = frozenset(("note",))
+
+
+class Delta:
+    """One measurement change between baseline and current."""
+
+    __slots__ = ("experiment", "row_key", "metric", "baseline", "current")
+
+    def __init__(self, experiment: str, row_key: Tuple, metric: str,
+                 baseline: float, current: float):
+        self.experiment = experiment
+        self.row_key = row_key
+        self.metric = metric
+        self.baseline = baseline
+        self.current = current
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        identity = ", ".join("%s=%s" % kv for kv in self.row_key)
+        return "%s [%s] %s: %.4g -> %.4g (x%.2f)" % (
+            self.experiment, identity, self.metric,
+            self.baseline, self.current, self.ratio)
+
+    def __repr__(self):
+        return "<Delta %s>" % self.describe()
+
+
+def _row_identity(row: dict) -> Tuple:
+    return tuple(sorted(
+        (key, value) for key, value in row.items()
+        if key not in MEASUREMENT_KEYS and key not in IGNORED_KEYS))
+
+
+def compare_exports(baseline: dict, current: dict) -> List[Delta]:
+    """All measurement deltas between two ``--json`` exports."""
+    deltas: List[Delta] = []
+    experiments = set(baseline.get("experiments", {})) \
+        & set(current.get("experiments", {}))
+    for name in sorted(experiments):
+        base_rows = {_row_identity(row): row
+                     for row in baseline["experiments"][name]["rows"]}
+        for row in current["experiments"][name]["rows"]:
+            identity = _row_identity(row)
+            base_row = base_rows.get(identity)
+            if base_row is None:
+                continue
+            for key in sorted(MEASUREMENT_KEYS & set(row)):
+                before, after = base_row.get(key), row.get(key)
+                if isinstance(before, (int, float)) \
+                        and isinstance(after, (int, float)):
+                    deltas.append(Delta(name, identity, key,
+                                        float(before), float(after)))
+    return deltas
+
+
+def regressions(deltas: List[Delta], threshold: float = 1.5) -> List[Delta]:
+    """Deltas whose change exceeds the threshold, either direction.
+
+    Timing metrics regress when they grow; ``relative_throughput``
+    regresses when it shrinks.
+    """
+    flagged = []
+    for delta in deltas:
+        ratio = delta.ratio
+        if delta.metric == "relative_throughput":
+            if ratio > 0 and 1 / max(ratio, 1e-9) > threshold:
+                flagged.append(delta)
+        elif ratio > threshold:
+            flagged.append(delta)
+    return flagged
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Diff two experiment JSON exports.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="flag changes beyond this factor "
+                             "(default 1.5x)")
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        base = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        cur = json.load(handle)
+    deltas = compare_exports(base, cur)
+    flagged = regressions(deltas, args.threshold)
+    print("%d comparable measurements, %d beyond %.2fx"
+          % (len(deltas), len(flagged), args.threshold))
+    for delta in flagged:
+        print("  REGRESSION " + delta.describe())
+    return 1 if flagged else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""On-disk cache of generated benchmark datasets.
+
+Benchmark runs need the same files repeatedly (and Figure 19 needs a
+whole series of DBLP excerpts); regenerating megabytes of XML per test
+would dominate the timings.  The cache generates each (dataset, size)
+pair once into a directory — default ``<repo>/.bench_data`` or
+``$XSQ_BENCH_DATA`` — keyed by generator name, size and seed, and hands
+out paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.datagen import (
+    generate_colors,
+    generate_dblp,
+    generate_nasa,
+    generate_ordered,
+    generate_psd,
+    generate_recursive,
+    generate_shake,
+)
+from repro.datagen.toxgene import generate_predicate_probe
+
+GENERATORS: Dict[str, Callable] = {
+    "shake": generate_shake,
+    "nasa": generate_nasa,
+    "dblp": generate_dblp,
+    "psd": generate_psd,
+    "recursive": generate_recursive,
+    "ordered": generate_ordered,
+    "colors": generate_colors,
+    "predicate_probe": generate_predicate_probe,
+}
+
+#: Default dataset sizes (bytes), scaled-down stand-ins for Figure 15's
+#: 7.89/25/119/716 MB corpora in the paper's proportions.
+DEFAULT_SIZES = {
+    "shake": 2_000_000,
+    "nasa": 4_000_000,
+    "dblp": 8_000_000,
+    "psd": 12_000_000,
+    "recursive": 2_000_000,
+    "ordered": 2_000_000,
+    "colors": 2_000_000,
+    "predicate_probe": 2_000_000,
+}
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("XSQ_BENCH_DATA")
+    if env:
+        return env
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), ".bench_data")
+
+
+class DatasetCache:
+    """Generate-once store of benchmark inputs."""
+
+    def __init__(self, directory: Optional[str] = None, scale: float = 1.0):
+        self.directory = directory or default_cache_dir()
+        self.scale = scale
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, name: str, size_bytes: Optional[int] = None,
+             **generator_kwargs) -> str:
+        """Path of the cached file, generating it on first use.
+
+        ``scale`` multiplies the requested (or default) size, so a whole
+        bench run can be shrunk with one knob (``--scale 0.25``).
+        """
+        generator = GENERATORS[name]
+        size = int((size_bytes or DEFAULT_SIZES[name]) * self.scale)
+        suffix = "".join(
+            "_%s%s" % (key, value)
+            for key, value in sorted(generator_kwargs.items()))
+        filename = "%s_%d%s.xml" % (name, size, suffix)
+        path = os.path.join(self.directory, filename)
+        if not os.path.exists(path):
+            tmp = path + ".tmp"
+            generator(size, path=tmp, **generator_kwargs)
+            os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete all cached files; returns how many were removed."""
+        removed = 0
+        for filename in os.listdir(self.directory):
+            if filename.endswith(".xml") or filename.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, filename))
+                removed += 1
+        return removed

@@ -1,0 +1,176 @@
+"""Throughput and memory measurement (Sections 6.2 and 6.3).
+
+Throughput is bytes of input per second of wall time.  Because Python
+engines cannot be compared meaningfully to C ones on raw numbers, the
+paper normalizes by a PureParser on the same input — *relative
+throughput* — and so do we: every engine in this repository parses with
+the same ``xml.sax`` machinery, so relative throughput isolates the
+query-processing overhead exactly as intended.
+
+Memory is measured two ways and both are reported:
+
+* ``tracemalloc`` peak — total Python allocation high-water mark during
+  the run (the analogue of the JVM heap numbers in Figures 19/20);
+* engine-reported peaks (buffered items / live instances) where the
+  engine exposes them, which track the paper's "only what must be
+  buffered" claim directly.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import tracemalloc
+from typing import Callable, List, Optional
+
+from repro.bench.systems import PureParserAdapter, SystemAdapter
+
+
+class ThroughputMeasurement:
+    """One timed engine run over one input file."""
+
+    __slots__ = ("system", "seconds", "input_bytes", "result_count",
+                 "compile_seconds", "preprocess_seconds", "query_seconds")
+
+    def __init__(self, system: str, seconds: float, input_bytes: int,
+                 result_count: int, compile_seconds: float = 0.0,
+                 preprocess_seconds: float = 0.0,
+                 query_seconds: float = 0.0):
+        self.system = system
+        self.seconds = seconds
+        self.input_bytes = input_bytes
+        self.result_count = result_count
+        self.compile_seconds = compile_seconds
+        self.preprocess_seconds = preprocess_seconds
+        self.query_seconds = query_seconds
+
+    @property
+    def mb_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.input_bytes / 1e6 / self.seconds
+
+    def __repr__(self):
+        return ("<%s: %.3fs, %.2f MB/s, %d results>"
+                % (self.system, self.seconds, self.mb_per_second,
+                   self.result_count))
+
+
+class MemoryMeasurement:
+    """Peak memory for one engine run over one input file."""
+
+    __slots__ = ("system", "input_bytes", "peak_alloc_bytes",
+                 "peak_buffered_items", "result_count")
+
+    def __init__(self, system: str, input_bytes: int, peak_alloc_bytes: int,
+                 peak_buffered_items: Optional[int], result_count: int):
+        self.system = system
+        self.input_bytes = input_bytes
+        self.peak_alloc_bytes = peak_alloc_bytes
+        self.peak_buffered_items = peak_buffered_items
+        self.result_count = result_count
+
+    @property
+    def alloc_ratio(self) -> float:
+        """Peak allocation as a multiple of the input size."""
+        return self.peak_alloc_bytes / max(1, self.input_bytes)
+
+    def __repr__(self):
+        return ("<%s: peak %.2f MB on %.2f MB input (x%.2f)>"
+                % (self.system, self.peak_alloc_bytes / 1e6,
+                   self.input_bytes / 1e6, self.alloc_ratio))
+
+
+def _input_size(path: str) -> int:
+    return os.path.getsize(path)
+
+
+def measure_throughput(adapter: SystemAdapter, query: str, path: str,
+                       repeat: int = 1) -> ThroughputMeasurement:
+    """Time a full run (compile + preprocess + query), best of ``repeat``.
+
+    Phases are timed separately so Figure 18 can split the stacked bar.
+    """
+    best: Optional[ThroughputMeasurement] = None
+    size = _input_size(path)
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        engine = adapter.compile(query)
+        t1 = time.perf_counter()
+        adapter.preprocess(engine, path)
+        t2 = time.perf_counter()
+        results = adapter.query(engine, path)
+        t3 = time.perf_counter()
+        run = ThroughputMeasurement(
+            system=adapter.name,
+            seconds=t3 - t0,
+            input_bytes=size,
+            result_count=len(results) if results is not None else 0,
+            compile_seconds=t1 - t0,
+            preprocess_seconds=t2 - t1,
+            query_seconds=t3 - t2,
+        )
+        if best is None or run.seconds < best.seconds:
+            best = run
+    return best
+
+
+def relative_throughput(measurement: ThroughputMeasurement,
+                        path: str,
+                        baseline_seconds: Optional[float] = None) -> float:
+    """Normalize against a PureParser pass over the same file.
+
+    Pass ``baseline_seconds`` to reuse one baseline across systems (the
+    harness measures it once per dataset).
+    """
+    if baseline_seconds is None:
+        baseline = measure_throughput(PureParserAdapter(), "/*", path)
+        baseline_seconds = baseline.seconds
+    if measurement.seconds <= 0:
+        return 1.0
+    return min(1.0, baseline_seconds / measurement.seconds)
+
+
+def pureparser_seconds(path: str, repeat: int = 1) -> float:
+    """Baseline parse time for ``path`` (best of ``repeat``)."""
+    return measure_throughput(PureParserAdapter(), "/*", path,
+                              repeat=repeat).seconds
+
+
+def measure_memory(adapter: SystemAdapter, query: str,
+                   path: str) -> MemoryMeasurement:
+    """tracemalloc peak across compile + preprocess + query.
+
+    Results are produced but not retained (a streaming system writes
+    them to its output), so the measurement charges the engine only for
+    what it actually buffers — the quantity Figures 19/20 compare.
+    """
+    size = _input_size(path)
+    gc.collect()  # transient garbage from earlier runs would skew peaks
+    tracemalloc.start()
+    try:
+        engine = adapter.compile(query)
+        adapter.preprocess(engine, path)
+        count = adapter.query_discarding(engine, path)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    buffered = None
+    stats = getattr(engine, "last_stats", None)
+    if stats is not None:
+        buffered = stats.peak_buffered_items
+    return MemoryMeasurement(
+        system=adapter.name,
+        input_bytes=size,
+        peak_alloc_bytes=peak,
+        peak_buffered_items=buffered,
+        result_count=count,
+    )
+
+
+def time_callable(fn: Callable[[], object]) -> float:
+    """Wall time of one call; tiny helper for ad-hoc phase timing."""
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,64 @@
+"""Fixed-width tables and text bar charts for experiment reports.
+
+The paper presents Figures 16–22 as bar charts and scatter plots; on a
+terminal the same information renders as tables plus proportional text
+bars, which is what every ``repro.bench.figures`` experiment returns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+BAR_WIDTH = 40
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width table with a header rule."""
+    columns = [list(map(_cell, column))
+               for column in zip(headers, *rows)] if rows else \
+        [[_cell(h)] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(map(_cell, headers),
+                                                      widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_cell(value).ljust(width)
+                               for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    if isinstance(value, bool):
+        return "X" if value else ""
+    return str(value)
+
+
+def bar(value: float, maximum: float = 1.0, width: int = BAR_WIDTH) -> str:
+    """A proportional text bar, e.g. for relative throughput in [0,1]."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(value, maximum) / maximum))
+    return "#" * filled
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: Optional[str] = None,
+              maximum: Optional[float] = None,
+              unit: str = "") -> str:
+    """Horizontal text bar chart with one row per label."""
+    peak = maximum if maximum is not None else (max(values) if values else 1.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        lines.append("%s  %s %.3f%s" % (label.ljust(label_width),
+                                        bar(value, peak).ljust(BAR_WIDTH),
+                                        value, unit))
+    return "\n".join(lines)

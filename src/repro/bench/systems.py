@@ -1,0 +1,285 @@
+"""Uniform adapters over every engine in the study (Figure 14's rows).
+
+Each adapter exposes:
+
+* capability flags — the columns of Figure 14 (streaming, buffered
+  predicate evaluation, multiple predicates, closure, aggregation);
+* ``compile(query)`` — query-to-engine build (Figure 18's dark bar);
+* ``preprocess(engine, source)`` — data loading/indexing for
+  non-streaming systems (Figure 18's gray bar; a no-op for streaming
+  engines);
+* ``query(engine, source)`` — result production;
+* ``run(query, source)`` — all three in sequence, returning the result
+  list (or document-match ids for pure filters).
+
+``can_run(query)`` mirrors the paper's "not all the systems can handle
+all XPath queries": XMLTK refuses predicates, XSQ-NC refuses closures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.baselines.dom import DomEngine
+from repro.baselines.fulltext import FullTextEngine
+from repro.baselines.pureparser import PureParser
+from repro.baselines.stx import StxEngine
+from repro.baselines.xmltk import XmltkEngine
+from repro.xpath.ast import Query
+from repro.xpath.parser import parse_query
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+
+class CountingSink:
+    """Result collector that counts without retaining.
+
+    Streaming systems write results to their output as they go; keeping
+    them in a Python list would charge the engine's memory measurement
+    for the caller's result set.  Engines accept any object with
+    ``append``.
+    """
+
+    def __init__(self):
+        self.count = 0
+
+    def append(self, _value) -> None:
+        self.count += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class SystemAdapter:
+    """Base adapter; subclasses bind one engine class."""
+
+    name = ""
+    language = ""
+    streaming = False
+    buffered_predicates = False
+    multiple_predicates = False
+    closures = False
+    aggregation = False
+
+    def can_run(self, query: Union[str, Query]) -> bool:
+        query = parse_query(query) if isinstance(query, str) else query
+        if query.has_closure and not self.closures:
+            return False
+        if query.predicate_count and not self.multiple_predicates:
+            return False
+        if query.output.is_aggregate and not self.aggregation:
+            return False
+        return True
+
+    def compile(self, query: Union[str, Query]):
+        raise NotImplementedError
+
+    def preprocess(self, engine, source) -> None:
+        """Data-loading phase; default is the streaming no-op."""
+
+    def query(self, engine, source) -> List[str]:
+        raise NotImplementedError
+
+    def run(self, query: Union[str, Query], source) -> List[str]:
+        engine = self.compile(query)
+        self.preprocess(engine, source)
+        return self.query(engine, source)
+
+    def query_discarding(self, engine, source) -> int:
+        """Produce results without retaining them; returns the count.
+
+        Non-streaming engines materialize the document anyway, so the
+        default simply drops the list; streaming adapters override this
+        with a counting sink so their memory stays genuinely flat.
+        """
+        return len(self.query(engine, source))
+
+    def __repr__(self):
+        return "<%s adapter>" % self.name
+
+
+class XsqFAdapter(SystemAdapter):
+    name = "XSQ-F"
+    language = "XPath"
+    streaming = True
+    buffered_predicates = True
+    multiple_predicates = True
+    closures = True
+    aggregation = True
+
+    def compile(self, query):
+        return XSQEngine(query)
+
+    def query(self, engine, source):
+        return engine.run(source)
+
+    def query_discarding(self, engine, source) -> int:
+        sink = CountingSink()
+        engine.run(source, sink=sink)
+        return sink.count
+
+
+class XsqNCAdapter(SystemAdapter):
+    name = "XSQ-NC"
+    language = "XPath"
+    streaming = True
+    buffered_predicates = True
+    multiple_predicates = True
+    closures = False
+    aggregation = True
+
+    def compile(self, query):
+        return XSQEngineNC(query)
+
+    def query(self, engine, source):
+        return engine.run(source)
+
+    def query_discarding(self, engine, source) -> int:
+        sink = CountingSink()
+        engine.run(source, sink=sink)
+        return sink.count
+
+
+class XmltkAdapter(SystemAdapter):
+    name = "XMLTK"
+    language = "XPath"
+    streaming = True
+    buffered_predicates = False
+    multiple_predicates = False
+    closures = True
+    aggregation = False
+
+    def compile(self, query):
+        return XmltkEngine(query)
+
+    def query(self, engine, source):
+        return engine.run(source)
+
+    def query_discarding(self, engine, source) -> int:
+        sink = CountingSink()
+        engine.run(source, sink=sink)
+        return sink.count
+
+
+class SaxonAdapter(SystemAdapter):
+    """DOM-based evaluation: the Saxon profile (load all, then query)."""
+
+    name = "Saxon"
+    language = "XSLT"
+    streaming = False
+    buffered_predicates = True
+    multiple_predicates = True
+    closures = True
+    aggregation = True
+
+    def compile(self, query):
+        return DomEngine(query)
+
+    def preprocess(self, engine, source):
+        engine.preprocess(source)
+
+    def query(self, engine, source):
+        return engine.run_query()
+
+
+class GalaxAdapter(SaxonAdapter):
+    """Galax materializes the document like Saxon; in this reproduction
+    both map to the DOM engine (the paper's distinction — OCaml runtime,
+    static typing — does not survive translation to Python)."""
+
+    name = "Galax"
+    language = "XQuery"
+
+
+class XQEngineAdapter(SystemAdapter):
+    name = "XQEngine"
+    language = "XQuery"
+    streaming = False
+    buffered_predicates = True
+    multiple_predicates = True
+    closures = True
+    aggregation = True
+
+    def compile(self, query):
+        return FullTextEngine(query)
+
+    def preprocess(self, engine, source):
+        engine.preprocess(source)
+
+    def query(self, engine, source):
+        return engine.run_query()
+
+
+class JoostAdapter(SystemAdapter):
+    """STX: streaming, predicates from preceding data only, no buffering."""
+
+    name = "Joost"
+    language = "STX"
+    streaming = True
+    buffered_predicates = False
+    multiple_predicates = True
+    closures = True
+    aggregation = True
+
+    def compile(self, query):
+        return StxEngine(query)
+
+    def query(self, engine, source):
+        return engine.run(source)
+
+    def query_discarding(self, engine, source) -> int:
+        sink = CountingSink()
+        engine.run(source, sink=sink)
+        return sink.count
+
+
+class PureParserAdapter(SystemAdapter):
+    """Parse-only; the normalization baseline, not a query system."""
+
+    name = "PureParser"
+    language = "-"
+    streaming = True
+
+    def can_run(self, query) -> bool:
+        return True
+
+    def compile(self, query):
+        return PureParser()
+
+    def query(self, engine, source):
+        engine.run(source)
+        return []
+
+
+#: The Figure 14 roster, in the paper's order.
+ADAPTERS: Dict[str, SystemAdapter] = {
+    adapter.name: adapter
+    for adapter in (XsqFAdapter(), XsqNCAdapter(), XmltkAdapter(),
+                    SaxonAdapter(), XQEngineAdapter(), GalaxAdapter(),
+                    JoostAdapter())
+}
+
+
+def adapters_for(query: Union[str, Query],
+                 names: Optional[Sequence[str]] = None) -> List[SystemAdapter]:
+    """Adapters (in roster order) able to run ``query``."""
+    parsed = parse_query(query) if isinstance(query, str) else query
+    pool = (ADAPTERS.values() if names is None
+            else [ADAPTERS[name] for name in names])
+    return [adapter for adapter in pool if adapter.can_run(parsed)]
+
+
+def feature_matrix() -> List[dict]:
+    """Rows of Figure 14: per-system capability flags."""
+    rows = []
+    for adapter in ADAPTERS.values():
+        rows.append({
+            "name": adapter.name,
+            "language": adapter.language,
+            "streaming": adapter.streaming,
+            "buffered_predicates": adapter.buffered_predicates,
+            "multiple_predicates": adapter.multiple_predicates,
+            "closures": adapter.closures,
+            "aggregation": adapter.aggregation,
+        })
+    return rows

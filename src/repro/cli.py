@@ -1,0 +1,201 @@
+"""Command-line interface: the reproduction's stand-in for the paper's
+GUI (Figure 13).
+
+Usage::
+
+    xsq QUERY [FILE]                 # evaluate; FILE defaults to stdin
+    xsq --engine nc QUERY FILE       # force the deterministic engine
+    xsq --explain QUERY              # print the compiled HPDT
+    xsq --dot QUERY                  # GraphViz rendering of the HPDT
+    xsq --stats QUERY FILE           # run and report buffer statistics
+    xsq --streaming QUERY FILE       # print results as they stream out
+
+Also available as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ClosureNotSupportedError, ReproError
+from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
+from repro.xsq.engine import XSQEngine
+from repro.xsq.hpdt import Hpdt
+from repro.xsq.nc import XSQEngineNC
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq",
+        description="Evaluate an XPath query over streaming XML (the XSQ "
+                    "system of Peng & Chawathe, SIGMOD 2003).")
+    parser.add_argument("query", nargs="?", default=None,
+                        help="XPath query in the supported subset")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML file to query (default: stdin)")
+    parser.add_argument("--queries-file", default=None, metavar="FILE",
+                        help="run every query in FILE (one per line, "
+                             "#-comments allowed) in a single pass over "
+                             "the input, printing results per query")
+    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+                        default="auto",
+                        help="f = XSQ-F (full), nc = XSQ-NC (no closures), "
+                             "auto = nc when possible, else f")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the compiled HPDT and exit")
+    parser.add_argument("--dot", action="store_true",
+                        help="print the HPDT as GraphViz dot and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print run statistics after the results")
+    parser.add_argument("--streaming", action="store_true",
+                        help="emit results as they are determined "
+                             "(incremental values for aggregates)")
+    parser.add_argument("--format", choices=("plain", "xml", "json"),
+                        default="plain",
+                        help="result envelope (default: plain lines)")
+    parser.add_argument("--dtd", default=None, metavar="DTD_FILE",
+                        help="validate the stream against this DTD while "
+                             "querying (same single pass)")
+    parser.add_argument("--check", action="store_true",
+                        help="run the well-formedness PDA alongside the "
+                             "query (Section 3.1)")
+    return parser
+
+
+class _EmptyEngine:
+    """Stand-in when a rewrite proves the query matches nothing."""
+
+    name = "empty"
+    last_stats = None
+
+    def run(self, _source):
+        return []
+
+    def iter_results(self, _source):
+        return iter(())
+
+
+class _UnionEngine:
+    """Top-level union: grouped one-pass evaluation, doc-order merge."""
+
+    name = "xsq-union"
+    last_stats = None
+
+    def __init__(self, branches):
+        from repro.xsq.multiquery import MultiQueryEngine
+        self._engine = MultiQueryEngine(branches)
+
+    def run(self, source):
+        return self._engine.run_merged(source)
+
+    def iter_results(self, source):
+        # Document-order merging needs the full pass; union queries
+        # therefore emit at end of stream.
+        return iter(self.run(source))
+
+
+def pick_engine(query: str, choice: str):
+    """Engine selection: NC when the query allows it and NC is eligible.
+
+    Reverse-axis syntax (``parent::``, ``..``, ``self::``) is rewritten
+    into forward-only form first (Section 5's cited technique); a
+    rewrite that proves the query empty short-circuits entirely.
+    """
+    if supports_reverse_axes(query):
+        rewritten = rewrite_reverse_axes(query)
+        if rewritten is None:
+            return _EmptyEngine()
+        query = rewritten
+    if isinstance(query, str):
+        from repro.xpath.parser import parse_query_set
+        branches = parse_query_set(query)
+        if len(branches) > 1:
+            return _UnionEngine(branches)
+    if choice == "f":
+        return XSQEngine(query)
+    if choice == "nc":
+        return XSQEngineNC(query)
+    try:
+        return XSQEngineNC(query)
+    except ClosureNotSupportedError:
+        return XSQEngine(query)
+
+
+def _run_queries_file(args) -> int:
+    """Batch mode: every query in the file, one pass over the input."""
+    from repro.xsq.multiquery import MultiQueryEngine
+    with open(args.queries_file, "r", encoding="utf-8") as handle:
+        queries = [line.strip() for line in handle
+                   if line.strip() and not line.lstrip().startswith("#")]
+    if not queries:
+        print("xsq: error: %s contains no queries" % args.queries_file,
+              file=sys.stderr)
+        return 2
+    # args.query, when present alongside --queries-file, is actually the
+    # input file (the positional slots shift).
+    source = args.query if args.query is not None else (
+        args.file if args.file is not None else sys.stdin)
+    engine = MultiQueryEngine(queries)
+    all_results = engine.run(source)
+    for query, results in zip(queries, all_results):
+        print("# %s (%d results)" % (query, len(results)))
+        for value in results:
+            print(value)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.queries_file is not None:
+            return _run_queries_file(args)
+        if args.query is None:
+            build_parser().error("a query (or --queries-file) is required")
+        if args.explain or args.dot:
+            hpdt = Hpdt(args.query)
+            print(hpdt.to_dot() if args.dot else hpdt.describe())
+            return 0
+        engine = pick_engine(args.query, args.engine)
+        source = args.file if args.file is not None else sys.stdin
+        if args.dtd or args.check:
+            # Compose validators into the same single pass the engine
+            # reads: events flow parser -> PDA -> DTD validator -> HPDT.
+            from repro.streaming.sax_source import parse_events
+            events = parse_events(source)
+            if args.check:
+                from repro.streaming.wellformed import WellFormednessPDA
+                events = WellFormednessPDA().checked(events)
+            if args.dtd:
+                from repro.streaming.dtd import StreamingValidator, parse_dtd
+                with open(args.dtd, "r", encoding="utf-8") as dtd_file:
+                    dtd = parse_dtd(dtd_file.read())
+                events = StreamingValidator(dtd).checked(events)
+            source = events
+        values = (engine.iter_results(source) if args.streaming
+                  else engine.run(source))
+        from repro.output import ResultWriter
+        from repro.xpath.ast import ElementOutput
+        query = getattr(engine, "query", None)
+        markup = query is not None and isinstance(query.output,
+                                                  ElementOutput)
+        with ResultWriter(sys.stdout, args.format,
+                          values_are_markup=markup) as writer:
+            writer.write_all(values)
+        if args.stats and engine.last_stats is not None:
+            print("# engine=%s %s" % (engine.name, engine.last_stats),
+                  file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print("xsq: error: %s" % exc, file=sys.stderr)
+        position = getattr(exc, "position", None)
+        query = getattr(exc, "query", None)
+        if query is not None and position is not None:
+            # Point at the offending character, grep-style.
+            print("  %s" % query, file=sys.stderr)
+            print("  %s^" % (" " * position), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

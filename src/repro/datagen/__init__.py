@@ -1,0 +1,65 @@
+"""Dataset generators for the paper's evaluation corpora (Section 6.1).
+
+The paper evaluates on four real datasets (Figure 15) and two families
+of synthetic data.  None of the real files ship with the paper, so this
+package regenerates statistically similar stand-ins (schema, nesting
+shape, tag lengths and the location of the queried elements match; see
+the substitutions table in DESIGN.md):
+
+* :func:`generate_shake` — Shakespeare play collection
+  (``PLAY/ACT/SCENE/SPEECH/SPEAKER+LINE``), for Figures 16 and 18.
+* :func:`generate_nasa` — NASA ADC repository
+  (``datasets/dataset/reference/source/other/name``), for Figure 17.
+* :func:`generate_dblp` — DBLP records
+  (``dblp/article|inproceedings/author,title,year``), for Figures 17
+  and 19.
+* :func:`generate_psd` — protein sequence database
+  (``ProteinDatabase/ProteinEntry/reference/refinfo/authors/author``),
+  for Figure 17.
+* :func:`generate_recursive` — IBM XML Generator analogue: recursive
+  ``pub/book`` data with controllable nesting, for Figure 20.
+* :func:`generate_ordered` / :func:`generate_colors` — ToxGene
+  analogue: the ``prior``/``posterior`` ordering dataset of Figure 21
+  and the red/green/blue result-size dataset of Figure 22.
+
+All generators are deterministic in their ``seed`` and can either
+return a string or stream to a file (``path=``) so benchmark datasets
+never need to fit in memory twice.
+"""
+
+from repro.datagen.base import XmlWriter, dataset_statistics, DatasetStats
+from repro.datagen.shake import generate_shake
+from repro.datagen.nasa import generate_nasa
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.psd import generate_psd
+from repro.datagen.xmlgen import generate_recursive
+from repro.datagen.toxgene import (
+    generate_colors,
+    generate_ordered,
+    generate_predicate_probe,
+)
+from repro.datagen.from_dtd import DtdDocumentGenerator, generate_valid_document
+from repro.datagen.queries import (
+    QueryWorkloadGenerator,
+    TagGraph,
+    generate_filter_workload,
+)
+
+__all__ = [
+    "XmlWriter",
+    "dataset_statistics",
+    "DatasetStats",
+    "generate_shake",
+    "generate_nasa",
+    "generate_dblp",
+    "generate_psd",
+    "generate_recursive",
+    "generate_ordered",
+    "generate_colors",
+    "generate_predicate_probe",
+    "DtdDocumentGenerator",
+    "generate_valid_document",
+    "QueryWorkloadGenerator",
+    "TagGraph",
+    "generate_filter_workload",
+]

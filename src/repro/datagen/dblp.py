@@ -1,0 +1,66 @@
+"""DBLP: bibliography-records stand-in (Figure 15 row 3).
+
+Flat and wide like the real DBLP: millions of shallow ``article`` /
+``inproceedings`` records under a single ``dblp`` root (the paper
+reports average depth 2.90, the shallowest of the four corpora).  The
+Figure 17/19 queries run against this shape::
+
+    /dblp/article/title/text()
+    /dblp/inproceedings[author]/title/text()
+
+A small fraction of ``inproceedings`` records carries no author, so the
+``[author]`` predicate does real work, and records are emitted in
+arrival order so size-limited excerpts ("the first 10MB of the
+dataset", Figure 19) are well-defined.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datagen.base import finish, open_target, sentence
+
+_FIRST = ("Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace",
+          "Henry", "Irene", "Jack", "Karen", "Louis", "Maria", "Niels",
+          "Olga", "Peter", "Qi", "Rosa", "Sam", "Tara", "Umberto",
+          "Vera", "Walter", "Xin", "Yuri", "Zoe")
+_LAST = ("Smith", "Chen", "Garcia", "Mueller", "Tanaka", "Kowalski",
+         "Johnson", "Ivanov", "Rossi", "Silva", "Kim", "Patel", "Nguyen",
+         "Andersson", "Dubois", "Haddad", "Okafor", "Peng", "Chawathe")
+_VENUES = ("SIGMOD", "VLDB", "ICDE", "EDBT", "PODS", "CIKM", "WWW",
+           "KDD", "ICDT", "WebDB")
+
+
+def _author(rng: random.Random) -> str:
+    return "%s %s" % (rng.choice(_FIRST), rng.choice(_LAST))
+
+
+def generate_dblp(target_bytes: int = 1_000_000, seed: int = 11,
+                  path: Optional[str] = None,
+                  authorless_fraction: float = 0.08) -> Optional[str]:
+    """Generate a DBLP-like file of roughly ``target_bytes`` bytes."""
+    rng = random.Random(seed)
+    writer, stream = open_target(path)
+    writer.begin("dblp")
+    key = 0
+    while writer.bytes_written < target_bytes:
+        key += 1
+        kind = "article" if rng.random() < 0.45 else "inproceedings"
+        writer.begin(kind, key="rec/%s/%d" % (kind, key))
+        if kind == "article" or rng.random() >= authorless_fraction:
+            for _ in range(rng.randint(1, 4)):
+                writer.element("author", _author(rng))
+        writer.element("title", sentence(rng, rng.randint(6, 12)).title())
+        if kind == "inproceedings":
+            writer.element("booktitle", rng.choice(_VENUES))
+        else:
+            writer.element("journal", "Journal of %s"
+                           % sentence(rng, 2).title())
+            writer.element("volume", str(rng.randint(1, 40)))
+        writer.element("year", str(rng.randint(1980, 2003)))
+        pages = rng.randint(1, 900)
+        writer.element("pages", "%d-%d" % (pages, pages + rng.randint(5, 25)))
+        writer.element("url", "db/%s/%d.html" % (kind, key))
+        writer.end()  # record
+    return finish(writer, stream, path)

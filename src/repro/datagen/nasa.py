@@ -1,0 +1,70 @@
+"""NASA: astronomical-data-repository stand-in (Figure 15 row 2).
+
+The real NASA ADC corpus is a catalog of datasets with deeply nested
+bibliographic references; the Figure 17 query runs six levels deep::
+
+    /datasets/dataset/reference/source/other/name/text()
+
+The generator reproduces that nesting (paper: avg depth 5.58, max 8)
+along with the sibling structure (title/altname/keywords/history) that
+gives real data its non-selected bulk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datagen.base import finish, open_target, sentence
+
+_JOURNALS = ("Astron. Astrophys. Suppl. Ser.", "Astrophys. J.",
+             "Mon. Not. R. Astron. Soc.", "Publ. Astron. Soc. Pac.",
+             "Astron. J.", "Bull. Inf. CDS")
+
+
+def generate_nasa(target_bytes: int = 1_000_000, seed: int = 13,
+                  path: Optional[str] = None) -> Optional[str]:
+    """Generate a NASA-ADC-like file of roughly ``target_bytes`` bytes."""
+    rng = random.Random(seed)
+    writer, stream = open_target(path)
+    writer.begin("datasets")
+    index = 0
+    while writer.bytes_written < target_bytes:
+        index += 1
+        writer.begin("dataset", subject="astronomy",
+                     xmlns="http://adc.gsfc.nasa.gov")
+        writer.element("title", sentence(rng, rng.randint(4, 9)).title())
+        writer.begin("altname", type="ADC")
+        writer.text("ADC %04d" % index)
+        writer.end()
+        writer.begin("reference")
+        writer.begin("source")
+        writer.begin("other")
+        writer.element("title", sentence(rng, rng.randint(3, 7)).title())
+        for _ in range(rng.randint(1, 3)):
+            writer.begin("author")
+            writer.element("name", "%s %s."
+                           % (sentence(rng, 1).title(),
+                              chr(ord("A") + rng.randrange(26))))
+            writer.end()
+        writer.element("name", rng.choice(_JOURNALS))
+        writer.element("publisher", "NASA Astronomical Data Center")
+        writer.element("city", "Greenbelt")
+        writer.element("date", str(rng.randint(1970, 2002)))
+        writer.end()  # other
+        writer.end()  # source
+        writer.end()  # reference
+        writer.begin("keywords", parentListURL="keywords.html")
+        for _ in range(rng.randint(2, 5)):
+            writer.element("keyword", sentence(rng, 1))
+        writer.end()
+        writer.begin("history")
+        writer.begin("ingest")
+        writer.element("creator", sentence(rng, 2).title())
+        writer.element("date", "%d-%02d" % (rng.randint(1990, 2002),
+                                            rng.randint(1, 12)))
+        writer.end()
+        writer.end()  # history
+        writer.element("identifier", "I_%d.xml" % index)
+        writer.end()  # dataset
+    return finish(writer, stream, path)

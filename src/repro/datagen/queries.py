@@ -1,0 +1,152 @@
+"""Random query-workload generation.
+
+The filtering systems the paper compares against (XFilter, YFilter) are
+designed for *workloads* of thousands of registered path expressions;
+their original evaluations generate those workloads randomly from a
+document's DTD.  This module does the same against our generated
+corpora: given a sample document (or a tag graph), it derives the
+parent→child structure and samples well-formed path queries from it —
+optionally with closures, wildcards, and (for the full engines)
+predicates.
+
+Used by the filter-scaling benchmark and the multi-query engine tests;
+deterministic in ``seed`` like every other generator here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.streaming.sax_source import parse_events
+
+
+class TagGraph:
+    """Parent→child tag structure extracted from a sample document."""
+
+    def __init__(self, root: str, edges: Dict[str, Set[str]],
+                 attributes: Dict[str, Set[str]]):
+        self.root = root
+        self.edges = edges
+        self.attributes = attributes
+
+    @classmethod
+    def from_document(cls, source) -> "TagGraph":
+        """Scan one document and record its element structure."""
+        root: Optional[str] = None
+        edges: Dict[str, Set[str]] = {}
+        attributes: Dict[str, Set[str]] = {}
+        stack: List[str] = []
+        for event in parse_events(source):
+            if event.kind == "begin":
+                if root is None:
+                    root = event.tag
+                if stack:
+                    edges.setdefault(stack[-1], set()).add(event.tag)
+                edges.setdefault(event.tag, set())
+                if event.attrs:
+                    attributes.setdefault(event.tag,
+                                          set()).update(event.attrs)
+                stack.append(event.tag)
+            elif event.kind == "end":
+                stack.pop()
+        if root is None:
+            raise ValueError("empty sample document")
+        return cls(root, edges, attributes)
+
+    def children(self, tag: str) -> FrozenSet[str]:
+        return frozenset(self.edges.get(tag, ()))
+
+    def all_tags(self) -> FrozenSet[str]:
+        return frozenset(self.edges)
+
+    def __repr__(self):
+        return "<TagGraph root=%r tags=%d>" % (self.root, len(self.edges))
+
+
+class QueryWorkloadGenerator:
+    """Sample random queries that are satisfiable on the tag graph.
+
+    Parameters mirror the knobs of the original XFilter/YFilter
+    workload generators: maximum path depth, probability of a ``//``
+    axis per step, probability of a ``*`` node test, and (optionally)
+    the probability of attaching an attribute-existence predicate —
+    predicates make a workload that only the full engines can run.
+    """
+
+    def __init__(self, graph: TagGraph, seed: int = 97,
+                 max_depth: int = 5, closure_probability: float = 0.2,
+                 wildcard_probability: float = 0.1,
+                 predicate_probability: float = 0.0):
+        self.graph = graph
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self.closure_probability = closure_probability
+        self.wildcard_probability = wildcard_probability
+        self.predicate_probability = predicate_probability
+
+    def query(self) -> str:
+        """One random query: a root-anchored walk down the tag graph."""
+        rng = self.rng
+        parts: List[str] = []
+        tag = self.graph.root
+        depth = rng.randint(1, self.max_depth)
+        parts.append(self._step("/", tag))
+        for _ in range(depth - 1):
+            children = sorted(self.graph.children(tag))
+            if not children:
+                break
+            tag = rng.choice(children)
+            axis = "//" if rng.random() < self.closure_probability else "/"
+            parts.append(self._step(axis, tag))
+        return "".join(parts)
+
+    def _step(self, axis: str, tag: str) -> str:
+        rng = self.rng
+        test = tag
+        if rng.random() < self.wildcard_probability:
+            test = "*"
+        predicate = ""
+        if rng.random() < self.predicate_probability:
+            attrs = sorted(self.graph.attributes.get(tag, ()))
+            children = sorted(self.graph.children(tag))
+            if attrs and (not children or rng.random() < 0.5):
+                predicate = "[@%s]" % rng.choice(attrs)
+            elif children:
+                predicate = "[%s]" % rng.choice(children)
+        return "%s%s%s" % (axis, test, predicate)
+
+    def workload(self, count: int, unique: bool = True) -> List[str]:
+        """``count`` queries; with ``unique`` duplicates are retried.
+
+        Distinct-query workloads measure automaton sharing fairly (a
+        duplicate query is free for YFilter by construction).
+        """
+        queries: List[str] = []
+        seen: Set[str] = set()
+        attempts = 0
+        while len(queries) < count and attempts < count * 50:
+            attempts += 1
+            query = self.query()
+            if unique and query in seen:
+                continue
+            seen.add(query)
+            queries.append(query)
+        if len(queries) < count:
+            raise ValueError(
+                "tag graph too small for %d unique queries (got %d)"
+                % (count, len(queries)))
+        return queries
+
+
+def generate_filter_workload(sample_source, count: int, seed: int = 97,
+                             **kwargs) -> List[str]:
+    """Convenience: scan a sample document, return ``count`` queries.
+
+    >>> xml = "<r><a><b/></a><c/></r>"
+    >>> queries = generate_filter_workload(xml, 4, seed=1)
+    >>> len(queries), all(q.startswith("/") for q in queries)
+    (4, True)
+    """
+    graph = TagGraph.from_document(sample_source)
+    return QueryWorkloadGenerator(graph, seed=seed, **kwargs).workload(count)

@@ -1,0 +1,66 @@
+"""SHAKE: a Shakespeare-play stand-in (Figure 15 row 1).
+
+Schema follows Jon Bosak's play markup, which the paper's SHAKE corpus
+uses: a ``PLAY`` document element containing ``TITLE`` and
+``ACT/SCENE/SPEECH/(SPEAKER, LINE+)`` with stage directions sprinkled
+in.  The document element is ``PLAY`` so the paper's queries
+(Figure 16) apply verbatim::
+
+    Q1: /PLAY/ACT/SCENE/SPEECH[LINE contains love]/SPEAKER/text()
+    Q2: /PLAY/ACT/SCENE/SPEECH/SPEAKER/text()
+    Q3: //ACT//SPEAKER/text()
+
+(The paper writes Q1's keyword test as ``[LINE%love]``; in this grammar
+it is spelled with the ``contains`` operator.)  The word pool includes
+"love" so Q1 selects a realistic fraction of speeches.  Size is scaled
+by adding acts, the way the real corpus concatenates plays.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datagen.base import finish, open_target, sentence
+
+_SPEAKERS = ("MACBETH", "LADY MACBETH", "BANQUO", "DUNCAN", "MALCOLM",
+             "MACDUFF", "ROSS", "LENNOX", "First Witch", "Second Witch",
+             "Third Witch", "HAMLET", "OPHELIA", "HORATIO", "CLAUDIUS",
+             "GERTRUDE", "POLONIUS", "ROMEO", "JULIET", "MERCUTIO")
+
+
+def generate_shake(target_bytes: int = 1_000_000, seed: int = 7,
+                   path: Optional[str] = None) -> Optional[str]:
+    """Generate a play of roughly ``target_bytes`` bytes.
+
+    Returns the XML text, or writes to ``path`` and returns None.
+    """
+    rng = random.Random(seed)
+    writer, stream = open_target(path)
+    writer.begin("PLAY")
+    writer.element("TITLE", "The Tragedy of %s" % rng.choice(_SPEAKERS).title())
+    writer.begin("FM")
+    writer.element("P", sentence(rng, 12))
+    writer.end()
+    act = 0
+    while writer.bytes_written < target_bytes:
+        act += 1
+        writer.begin("ACT")
+        writer.element("ACTTITLE", "ACT %d" % act)
+        for scene in range(1, rng.randint(2, 7) + 1):
+            writer.begin("SCENE")
+            writer.element("SCENETITLE",
+                           "SCENE %d. %s" % (scene, sentence(rng, 4)))
+            if rng.random() < 0.3:
+                writer.element("STAGEDIR", sentence(rng, 6))
+            for _ in range(rng.randint(5, 20)):
+                writer.begin("SPEECH")
+                writer.element("SPEAKER", rng.choice(_SPEAKERS))
+                for _ in range(rng.randint(1, 6)):
+                    writer.element("LINE", sentence(rng, rng.randint(5, 9)))
+                writer.end()  # SPEECH
+            writer.end()  # SCENE
+            if writer.bytes_written >= target_bytes:
+                break
+        writer.end()  # ACT
+    return finish(writer, stream, path)

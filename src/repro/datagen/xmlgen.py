@@ -1,0 +1,73 @@
+"""IBM XML Generator analogue: recursive synthetic data (Figure 20).
+
+The paper generates "datasets of varying size and recursiveness" with
+the IBM XML Generator, controlled by a *nested level* parameter and a
+*maximum repeats* parameter (the 13 MB dataset used level 15 and
+repeats 20).  The Figure 20 query is::
+
+    //pub[year]//book[@id]/title/text()
+
+so the generated trees nest ``pub`` elements inside ``book`` elements
+recursively — exactly the structure that forces XSQ-F's
+nondeterministic machinery (a ``pub`` begin event can extend many
+embeddings at once) while its memory must stay flat.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datagen.base import finish, open_target, sentence
+
+
+def generate_recursive(target_bytes: int = 1_000_000, seed: int = 23,
+                       nested_levels: int = 15, max_repeats: int = 20,
+                       record_bytes: int = 25_000,
+                       path: Optional[str] = None) -> Optional[str]:
+    """Generate recursive ``pub``/``book`` data.
+
+    ``nested_levels`` bounds how deep ``pub`` elements recurse;
+    ``max_repeats`` bounds the fan-out at each level; ``record_bytes``
+    caps each top-level ``pub``, so the maximum element size — and with
+    it a streaming processor's buffering requirement — is independent
+    of the total dataset size (the premise behind Figure 20's flat
+    memory curves).  Some books lack an ``id`` attribute and some pubs
+    lack a ``year`` child so both Figure 20 predicates are selective.
+    """
+    rng = random.Random(seed)
+    writer, stream = open_target(path)
+    writer.begin("root")
+    record_limit = 0
+
+    def emit_pub(level: int) -> None:
+        writer.begin("pub")
+        if rng.random() < 0.8:
+            writer.element("year", str(rng.randint(1960, 2003)))
+        writer.element("publisher", sentence(rng, 2).title())
+        repeats = rng.randint(1, max(1, max_repeats // max(1, level)))
+        for _ in range(repeats):
+            if writer.bytes_written >= record_limit:
+                break
+            emit_book(level)
+        writer.end()
+
+    def emit_book(level: int) -> None:
+        if rng.random() < 0.75:
+            writer.begin("book", id=str(rng.randint(1, 10 ** 6)))
+        else:
+            writer.begin("book")
+        writer.element("title", sentence(rng, rng.randint(3, 8)).title())
+        writer.element("price", "%d.%02d" % (rng.randint(5, 120),
+                                             rng.randint(0, 99)))
+        for _ in range(rng.randint(1, 3)):
+            writer.element("author", sentence(rng, 2).title())
+        # Recursive structure: books may contain nested pubs.
+        if level < nested_levels and rng.random() < 0.35:
+            emit_pub(level + 1)
+        writer.end()
+
+    while writer.bytes_written < target_bytes:
+        record_limit = writer.bytes_written + record_bytes
+        emit_pub(1)
+    return finish(writer, stream, path)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro (XSQ) package.
+
+Every error raised by the package derives from :class:`ReproError`, so a
+caller can catch a single exception type at the public-API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class XPathSyntaxError(ReproError):
+    """The XPath query text could not be parsed.
+
+    Attributes
+    ----------
+    query:
+        The offending query text.
+    position:
+        Character offset into the query where parsing failed, when known.
+    """
+
+    def __init__(self, message, query=None, position=None):
+        super().__init__(message)
+        self.query = query
+        self.position = position
+
+
+class UnsupportedFeatureError(ReproError):
+    """The query uses an XPath feature outside the supported subset.
+
+    The supported subset is the grammar of Figure 3 of the paper plus the
+    extensions documented in DESIGN.md (wildcards, multiple predicates,
+    extra aggregates).  Reverse axes and positional functions raise this
+    error, matching the paper's stated scope.
+    """
+
+
+class NotWellFormedError(ReproError):
+    """The XML stream violates well-formedness.
+
+    Raised by the simple PDA of Section 3.1 when an end tag does not
+    match the begin tag on top of the stack, when an end tag arrives with
+    an empty stack, or when the stream ends with open elements.
+    """
+
+
+class ClosureNotSupportedError(UnsupportedFeatureError):
+    """Raised by XSQ-NC when the query contains the closure axis ``//``.
+
+    The paper's XSQ-NC variant deliberately rejects closures; callers
+    should fall back to :class:`repro.xsq.engine.XSQEngine` (XSQ-F).
+    """
+
+
+class StreamError(ReproError):
+    """An event source produced an invalid or inconsistent event stream."""

@@ -1,0 +1,106 @@
+"""Result serialization: plain lines, wrapped XML, or JSON.
+
+Section 6.1 notes that different systems "enclose the results by
+different container elements but the contents are the same"; this
+module is the reproduction's uniform result envelope.  Writers are
+incremental so the CLI can emit results as the engine streams them —
+the whole point of a streaming processor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional
+
+from repro.streaming.serialize import escape_text
+
+FORMATS = ("plain", "xml", "json")
+
+
+class ResultWriter:
+    """Incremental writer for one result stream.
+
+    ``format``:
+
+    * ``plain`` — one result value per line (the default CLI output);
+    * ``xml`` — an ``<xsq:results>`` envelope with one ``<xsq:result>``
+      per value (element-output values are embedded as markup, scalar
+      values as escaped text);
+    * ``json`` — a JSON array, streamed element by element.
+
+    Use as a context manager or call :meth:`close` explicitly; the
+    envelope's closing syntax is emitted at close time.
+    """
+
+    def __init__(self, stream: IO, format: str = "plain",
+                 wrapper: str = "xsq:results", item: str = "xsq:result",
+                 values_are_markup: bool = False):
+        if format not in FORMATS:
+            raise ValueError("unknown format %r (expected one of %s)"
+                             % (format, ", ".join(FORMATS)))
+        self.stream = stream
+        self.format = format
+        self.wrapper = wrapper
+        self.item = item
+        self.values_are_markup = values_are_markup
+        self.count = 0
+        self._closed = False
+        if format == "xml":
+            stream.write("<%s>\n" % wrapper)
+        elif format == "json":
+            stream.write("[")
+
+    def write(self, value: str) -> None:
+        if self._closed:
+            raise ValueError("writer already closed")
+        if self.format == "plain":
+            self.stream.write(value + "\n")
+        elif self.format == "xml":
+            body = value if self.values_are_markup else escape_text(value)
+            self.stream.write("  <%s>%s</%s>\n" % (self.item, body,
+                                                   self.item))
+        else:
+            prefix = ",\n " if self.count else "\n "
+            self.stream.write(prefix + json.dumps(value))
+        self.count += 1
+
+    def write_all(self, values: Iterable[str]) -> int:
+        for value in values:
+            self.write(value)
+        return self.count
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.format == "xml":
+            self.stream.write("</%s>\n" % self.wrapper)
+        elif self.format == "json":
+            self.stream.write("\n]\n" if self.count else "]\n")
+
+    def __enter__(self) -> "ResultWriter":
+        return self
+
+    def __exit__(self, *_exc) -> Optional[bool]:
+        self.close()
+        return None
+
+
+def format_results(values: Iterable[str], format: str = "plain",
+                   values_are_markup: bool = False) -> str:
+    """One-shot convenience over :class:`ResultWriter`.
+
+    >>> print(format_results(["a", "b"], "xml"), end="")
+    <xsq:results>
+      <xsq:result>a</xsq:result>
+      <xsq:result>b</xsq:result>
+    </xsq:results>
+    >>> format_results(["x"], "json")
+    '[\\n "x"\\n]\\n'
+    """
+    import io
+    buffer = io.StringIO()
+    with ResultWriter(buffer, format,
+                      values_are_markup=values_are_markup) as writer:
+        writer.write_all(values)
+    return buffer.getvalue()

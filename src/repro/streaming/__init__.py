@@ -1,0 +1,60 @@
+"""Streaming XML substrate: the SAX-with-depth data model of Section 2.1.
+
+An XML stream is modelled as a sequence of events ``e_i`` drawn from
+``B ∪ T ∪ E``:
+
+* ``B`` — :class:`BeginEvent` ``(tag, attrs, depth)``
+* ``T`` — :class:`TextEvent` ``(tag, text, depth)``
+* ``E`` — :class:`EndEvent` ``(tag, depth)``
+
+Event *sources* turn XML text into such sequences incrementally:
+
+* :func:`parse_events` / :class:`SaxEventSource` — built on ``xml.sax``
+  (expat), the analogue of the paper's Xerces-based parser.
+* :class:`TextEventSource` — a self-contained pure-Python incremental
+  parser, the analogue of the paper's second (Expat/C) PureParser.
+
+:class:`WellFormednessPDA` is the simple pushdown automaton of
+Section 3.1 / Figure 4(a) that checks tag balance, and
+:mod:`repro.streaming.serialize` re-serializes event runs (used by the
+catchall ``*̄`` output mode).
+"""
+
+from repro.streaming.events import (
+    BeginEvent,
+    EndEvent,
+    TextEvent,
+    Event,
+    events_from_pairs,
+    iter_with_depth,
+)
+from repro.streaming.sax_source import SaxEventSource, parse_events
+from repro.streaming.textparser import TextEventSource, tokenize_xml
+from repro.streaming.wellformed import WellFormednessPDA, check_well_formed
+from repro.streaming.serialize import (
+    EventSerializer,
+    begin_tag_text,
+    escape_attr,
+    escape_text,
+    serialize_events,
+)
+
+__all__ = [
+    "BeginEvent",
+    "EndEvent",
+    "TextEvent",
+    "Event",
+    "events_from_pairs",
+    "iter_with_depth",
+    "SaxEventSource",
+    "parse_events",
+    "TextEventSource",
+    "tokenize_xml",
+    "WellFormednessPDA",
+    "check_well_formed",
+    "EventSerializer",
+    "begin_tag_text",
+    "escape_text",
+    "escape_attr",
+    "serialize_events",
+]

@@ -1,0 +1,695 @@
+"""DTD parsing, content models, and streaming validation.
+
+Section 5 of the paper cites streaming validation of XML against a
+schema by pushdown automata [Segoufin & Vianu 2002] and names
+schema-aware optimization of XSQ as future work.  This module supplies
+the schema substrate for both:
+
+* :func:`parse_dtd` — a parser for the classic DTD subset
+  (``<!ELEMENT>`` with sequence/choice/repetition content models,
+  ``EMPTY``/``ANY``/mixed content, and ``<!ATTLIST>`` declarations);
+* :class:`ContentModel` — incremental matching of a child sequence
+  against a content model using Brzozowski derivatives (state = the
+  residual expression; ``advance`` = derivative, ``accepting`` =
+  nullability), which is exactly the transition function a streaming
+  validator needs;
+* :class:`StreamingValidator` — a single-pass validator: one stack
+  frame per open element holding its content-model state, the
+  pushdown-automaton formulation of the cited work;
+* :meth:`Dtd.child_graph` / :meth:`Dtd.reachable_tags` — the structural
+  queries the schema-aware optimizer (:mod:`repro.xsq.schema_opt`)
+  asks of a schema.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.streaming.events import Event
+
+
+class DtdSyntaxError(ReproError):
+    """The DTD text could not be parsed."""
+
+
+class ValidationError(ReproError):
+    """The stream violates the DTD.
+
+    Carries ``element`` (the offending tag) and ``reason``.
+    """
+
+    def __init__(self, message, element=None):
+        super().__init__(message)
+        self.element = element
+
+
+# ---------------------------------------------------------------------------
+# Content-model expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for content-model regular expressions over tag names."""
+
+    def nullable(self) -> bool:
+        raise NotImplementedError
+
+    def derive(self, tag: str) -> "Expr":
+        raise NotImplementedError
+
+    def first_tags(self) -> Set[str]:
+        """Tags that may begin a match (used for diagnostics)."""
+        raise NotImplementedError
+
+    def all_tags(self) -> Set[str]:
+        """Every tag mentioned anywhere in the expression."""
+        raise NotImplementedError
+
+
+class Empty(Expr):
+    """Matches the empty sequence only (EMPTY content)."""
+
+    def nullable(self):
+        return True
+
+    def derive(self, tag):
+        return NOTHING
+
+    def first_tags(self):
+        return set()
+
+    def all_tags(self):
+        return set()
+
+    def __repr__(self):
+        return "EMPTY"
+
+
+class Nothing(Expr):
+    """Matches no sequence at all (the failure state)."""
+
+    def nullable(self):
+        return False
+
+    def derive(self, tag):
+        return self
+
+    def first_tags(self):
+        return set()
+
+    def all_tags(self):
+        return set()
+
+    def __repr__(self):
+        return "NOTHING"
+
+
+class AnyContent(Expr):
+    """Matches any child sequence (ANY content)."""
+
+    def nullable(self):
+        return True
+
+    def derive(self, tag):
+        return self
+
+    def first_tags(self):
+        return {"*"}
+
+    def all_tags(self):
+        return {"*"}
+
+    def __repr__(self):
+        return "ANY"
+
+
+class Name(Expr):
+    """A single child element."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def nullable(self):
+        return False
+
+    def derive(self, tag):
+        return EMPTY if tag == self.tag else NOTHING
+
+    def first_tags(self):
+        return {self.tag}
+
+    def all_tags(self):
+        return {self.tag}
+
+    def __repr__(self):
+        return self.tag
+
+
+class Seq(Expr):
+    """Concatenation: ``(a, b, ...)``."""
+
+    def __init__(self, parts: List[Expr]):
+        self.parts = parts
+
+    def nullable(self):
+        return all(part.nullable() for part in self.parts)
+
+    def derive(self, tag):
+        # d(ab) = d(a)b | [a nullable] d(b)
+        alternatives = []
+        for index, part in enumerate(self.parts):
+            rest = self.parts[index + 1:]
+            derived = part.derive(tag)
+            if not isinstance(derived, Nothing):
+                alternatives.append(_seq([derived] + rest))
+            if not part.nullable():
+                break
+        return _choice(alternatives)
+
+    def first_tags(self):
+        tags: Set[str] = set()
+        for part in self.parts:
+            tags |= part.first_tags()
+            if not part.nullable():
+                break
+        return tags
+
+    def all_tags(self):
+        tags: Set[str] = set()
+        for part in self.parts:
+            tags |= part.all_tags()
+        return tags
+
+    def __repr__(self):
+        return "(%s)" % ", ".join(repr(p) for p in self.parts)
+
+
+class Choice(Expr):
+    """Alternation: ``(a | b | ...)``."""
+
+    def __init__(self, parts: List[Expr]):
+        self.parts = parts
+
+    def nullable(self):
+        return any(part.nullable() for part in self.parts)
+
+    def derive(self, tag):
+        return _choice([part.derive(tag) for part in self.parts])
+
+    def first_tags(self):
+        tags: Set[str] = set()
+        for part in self.parts:
+            tags |= part.first_tags()
+        return tags
+
+    def all_tags(self):
+        tags: Set[str] = set()
+        for part in self.parts:
+            tags |= part.all_tags()
+        return tags
+
+    def __repr__(self):
+        return "(%s)" % " | ".join(repr(p) for p in self.parts)
+
+
+class Star(Expr):
+    """Kleene repetition ``a*`` (also the basis of ``+`` and ``?``)."""
+
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def nullable(self):
+        return True
+
+    def derive(self, tag):
+        derived = self.inner.derive(tag)
+        if isinstance(derived, Nothing):
+            return NOTHING
+        return _seq([derived, self])
+
+    def first_tags(self):
+        return self.inner.first_tags()
+
+    def all_tags(self):
+        return self.inner.all_tags()
+
+    def __repr__(self):
+        return "%r*" % self.inner
+
+
+EMPTY = Empty()
+NOTHING = Nothing()
+ANY = AnyContent()
+
+
+def _seq(parts: List[Expr]) -> Expr:
+    flat: List[Expr] = []
+    for part in parts:
+        if isinstance(part, Nothing):
+            return NOTHING
+        if isinstance(part, Empty):
+            continue
+        if isinstance(part, Seq):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(flat)
+
+
+def _choice(parts: List[Expr]) -> Expr:
+    flat: List[Expr] = []
+    for part in parts:
+        if isinstance(part, Nothing):
+            continue
+        if isinstance(part, Choice):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return NOTHING
+    if len(flat) == 1:
+        return flat[0]
+    return Choice(flat)
+
+
+class ContentModel:
+    """An element's declared content, with incremental matching.
+
+    ``mixed`` means ``#PCDATA`` is allowed (text children); ``expr``
+    constrains the element-child sequence.  Derivative states are
+    memoized per model so repeated validation of large documents pays
+    one derivative computation per distinct (state, tag) pair.
+    """
+
+    def __init__(self, expr: Expr, mixed: bool = False):
+        self.expr = expr
+        self.mixed = mixed
+        self._derivative_cache: Dict[Tuple[int, str], Expr] = {}
+
+    def initial_state(self) -> Expr:
+        return self.expr
+
+    def advance(self, state: Expr, tag: str) -> Expr:
+        key = (id(state), tag)
+        result = self._derivative_cache.get(key)
+        if result is None:
+            result = state.derive(tag)
+            # Keyed by id(): keep the state alive so ids stay unique.
+            self._derivative_cache[key] = result
+        return result
+
+    def accepting(self, state: Expr) -> bool:
+        return state.nullable()
+
+    def allows_text(self) -> bool:
+        return self.mixed or isinstance(self.expr, AnyContent)
+
+    def matches(self, tags: Iterable[str]) -> bool:
+        """Does a complete child-tag sequence satisfy the model?
+
+        >>> model = parse_dtd("<!ELEMENT r (a, b*)>").elements["r"].content
+        >>> model.matches(["a"]), model.matches(["a", "b", "b"])
+        (True, True)
+        >>> model.matches(["b"]), model.matches([])
+        (False, False)
+        """
+        state = self.initial_state()
+        for tag in tags:
+            state = self.advance(state, tag)
+            if isinstance(state, Nothing):
+                return False
+        return self.accepting(state)
+
+    def __repr__(self):
+        body = repr(self.expr)
+        return "ContentModel(%s%s)" % (body, ", mixed" if self.mixed else "")
+
+
+class AttributeDecl:
+    """One attribute from an ``<!ATTLIST>``: name, type, default mode."""
+
+    __slots__ = ("name", "att_type", "mode", "default", "enum_values")
+
+    def __init__(self, name: str, att_type: str, mode: str,
+                 default: Optional[str] = None,
+                 enum_values: Optional[Tuple[str, ...]] = None):
+        self.name = name
+        self.att_type = att_type      # CDATA, ID, IDREF, NMTOKEN, enum...
+        self.mode = mode              # #REQUIRED, #IMPLIED, #FIXED, default
+        self.default = default
+        self.enum_values = enum_values
+
+    @property
+    def required(self) -> bool:
+        return self.mode == "#REQUIRED"
+
+    def __repr__(self):
+        return "AttributeDecl(%s %s %s)" % (self.name, self.att_type,
+                                            self.mode)
+
+
+class ElementDecl:
+    """One ``<!ELEMENT>`` declaration plus its attribute list."""
+
+    def __init__(self, name: str, content: ContentModel):
+        self.name = name
+        self.content = content
+        self.attributes: Dict[str, AttributeDecl] = {}
+
+    def __repr__(self):
+        return "ElementDecl(%s, %r)" % (self.name, self.content)
+
+
+class Dtd:
+    """A parsed DTD: element declarations and structural queries."""
+
+    def __init__(self, elements: Dict[str, ElementDecl],
+                 root: Optional[str] = None):
+        self.elements = elements
+        self.root = root
+
+    def child_graph(self) -> Dict[str, FrozenSet[str]]:
+        """tag -> the set of child tags the DTD permits below it.
+
+        ``"*"`` appears in the set when the element's content is ANY.
+        """
+        graph = {}
+        for name, decl in self.elements.items():
+            graph[name] = frozenset(decl.content.expr.all_tags())
+        return graph
+
+    def reachable_tags(self, start: str) -> FrozenSet[str]:
+        """Tags reachable (as proper descendants) from ``start``.
+
+        An ANY element can contain any declared element.
+        """
+        graph = self.child_graph()
+        every = frozenset(self.elements)
+        seen: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            tag = frontier.pop()
+            children = graph.get(tag, frozenset())
+            if "*" in children:
+                children = every
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return frozenset(seen)
+
+    def is_recursive(self) -> bool:
+        """Does any element permit itself as a descendant?
+
+        The paper cites a survey finding 35 of 60 real DTDs recursive —
+        the property that makes closures genuinely nondeterministic.
+        """
+        return any(name in self.reachable_tags(name)
+                   for name in self.elements)
+
+    def __repr__(self):
+        return "<Dtd %d elements root=%r>" % (len(self.elements), self.root)
+
+
+# ---------------------------------------------------------------------------
+# DTD parsing
+# ---------------------------------------------------------------------------
+
+_DECL_RE = re.compile(r"<!(ELEMENT|ATTLIST)\s+([^>]+?)\s*>", re.S)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.S)
+_ATT_RE = re.compile(
+    r"(\S+)\s+(CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|ENTITY|ENTITIES"
+    r"|\([^)]*\))\s+(#REQUIRED|#IMPLIED|#FIXED\s+(?:\"[^\"]*\"|'[^']*')"
+    r"|\"[^\"]*\"|'[^']*')", re.S)
+
+
+def parse_dtd(text: str, root: Optional[str] = None) -> Dtd:
+    """Parse DTD text (the internal-subset syntax, without the wrapper).
+
+    >>> dtd = parse_dtd('''
+    ...     <!ELEMENT pub (year?, book+)>
+    ...     <!ELEMENT book (title, author*)>
+    ...     <!ELEMENT year (#PCDATA)>
+    ...     <!ELEMENT title (#PCDATA)>
+    ...     <!ELEMENT author (#PCDATA)>
+    ...     <!ATTLIST book id CDATA #REQUIRED>
+    ... ''', root="pub")
+    >>> sorted(dtd.child_graph()["pub"])
+    ['book', 'year']
+    >>> dtd.elements["book"].attributes["id"].required
+    True
+    """
+    text = _COMMENT_RE.sub("", text)
+    elements: Dict[str, ElementDecl] = {}
+    attlists: List[Tuple[str, str]] = []
+    for match in _DECL_RE.finditer(text):
+        kind, body = match.group(1), match.group(2)
+        if kind == "ELEMENT":
+            name, _, model_text = body.partition(" ")
+            name = name.strip()
+            if not name or not model_text.strip():
+                raise DtdSyntaxError("malformed ELEMENT declaration: %r"
+                                     % body)
+            content = _parse_content_model(model_text.strip())
+            elements[name] = ElementDecl(name, content)
+        else:
+            name, _, rest = body.partition(" ")
+            attlists.append((name.strip(), rest))
+    for name, rest in attlists:
+        decl = elements.get(name)
+        if decl is None:
+            decl = ElementDecl(name, ContentModel(ANY))
+            elements[name] = decl
+        for att in _ATT_RE.finditer(rest):
+            att_name, att_type, mode = att.group(1), att.group(2), att.group(3)
+            default = None
+            enum_values = None
+            if att_type.startswith("("):
+                enum_values = tuple(value.strip() for value
+                                    in att_type[1:-1].split("|"))
+                att_type = "ENUM"
+            if mode.startswith(("'", '"')):
+                default = mode[1:-1]
+                mode = "DEFAULT"
+            elif mode.startswith("#FIXED"):
+                default = mode.split(None, 1)[1].strip()[1:-1]
+                mode = "#FIXED"
+            decl.attributes[att_name] = AttributeDecl(
+                att_name, att_type, mode, default, enum_values)
+    if not elements:
+        raise DtdSyntaxError("no ELEMENT declarations found")
+    if root is not None and root not in elements:
+        raise DtdSyntaxError("declared root %r has no ELEMENT declaration"
+                             % root)
+    return Dtd(elements, root=root)
+
+
+def _parse_content_model(text: str) -> ContentModel:
+    text = text.strip()
+    if text == "EMPTY":
+        return ContentModel(EMPTY)
+    if text == "ANY":
+        return ContentModel(ANY)
+    if "#PCDATA" in text:
+        # Mixed content: (#PCDATA) or (#PCDATA | a | b)*
+        inner = text.strip()
+        if inner.endswith("*"):
+            inner = inner[:-1]
+        inner = inner.strip()
+        if not (inner.startswith("(") and inner.endswith(")")):
+            raise DtdSyntaxError("malformed mixed content: %r" % text)
+        names = [part.strip() for part in inner[1:-1].split("|")]
+        names = [name for name in names if name and name != "#PCDATA"]
+        if names:
+            expr: Expr = Star(Choice([Name(name) for name in names]))
+        else:
+            expr = EMPTY
+        return ContentModel(expr, mixed=True)
+    expr, rest = _parse_expr(text)
+    if rest.strip():
+        raise DtdSyntaxError("trailing content-model text: %r" % rest)
+    return ContentModel(expr)
+
+
+def _parse_expr(text: str) -> Tuple[Expr, str]:
+    """Parse one particle (group or name) with its repetition suffix."""
+    text = text.lstrip()
+    if not text:
+        raise DtdSyntaxError("empty content particle")
+    if text[0] == "(":
+        parts = []
+        separator = None
+        rest = text[1:]
+        while True:
+            part, rest = _parse_expr(rest)
+            parts.append(part)
+            rest = rest.lstrip()
+            if not rest:
+                raise DtdSyntaxError("unterminated group in content model")
+            if rest[0] == ")":
+                rest = rest[1:]
+                break
+            if rest[0] in ",|":
+                if separator is None:
+                    separator = rest[0]
+                elif rest[0] != separator:
+                    raise DtdSyntaxError(
+                        "mixed ',' and '|' in one group")
+                rest = rest[1:]
+                continue
+            raise DtdSyntaxError("unexpected %r in content model" % rest[0])
+        expr = (Choice(parts) if separator == "|" else _seq(parts))
+        return _apply_suffix(expr, rest)
+    match = re.match(r"[A-Za-z_:][\w.:\-]*", text)
+    if not match:
+        raise DtdSyntaxError("expected a name in content model: %r"
+                             % text[:20])
+    return _apply_suffix(Name(match.group()), text[match.end():])
+
+
+def _apply_suffix(expr: Expr, rest: str) -> Tuple[Expr, str]:
+    if rest[:1] == "*":
+        return Star(expr), rest[1:]
+    if rest[:1] == "+":
+        return _seq([expr, Star(expr)]), rest[1:]
+    if rest[:1] == "?":
+        return _choice([expr, EMPTY]), rest[1:]
+    return expr, rest
+
+
+# ---------------------------------------------------------------------------
+# Streaming validation
+# ---------------------------------------------------------------------------
+
+class StreamingValidator:
+    """Single-pass DTD validator over an event stream.
+
+    One stack frame per open element holds the residual content-model
+    expression; each child begin event takes a derivative, each end
+    event checks nullability.  This is the pushdown-automaton validator
+    of the work the paper cites in Section 5.
+
+    ``strict_attributes`` additionally rejects undeclared attributes;
+    required attributes are always enforced.
+    """
+
+    def __init__(self, dtd: Dtd, strict_attributes: bool = False):
+        self.dtd = dtd
+        self.strict_attributes = strict_attributes
+        self._stack: List[Tuple[str, Optional[ContentModel], Expr]] = []
+        self.events_validated = 0
+
+    def feed(self, event: Event) -> None:
+        self.events_validated += 1
+        kind = event.kind
+        if kind == "begin":
+            self._on_begin(event)
+        elif kind == "end":
+            self._on_end(event)
+        else:
+            self._on_text(event)
+
+    def _decl_for(self, tag: str) -> Optional[ElementDecl]:
+        return self.dtd.elements.get(tag)
+
+    def _on_begin(self, event) -> None:
+        tag = event.tag
+        decl = self._decl_for(tag)
+        if decl is None:
+            raise ValidationError("element <%s> is not declared" % tag,
+                                  element=tag)
+        if not self._stack:
+            if self.dtd.root is not None and tag != self.dtd.root:
+                raise ValidationError(
+                    "document element is <%s>, expected <%s>"
+                    % (tag, self.dtd.root), element=tag)
+        else:
+            parent_tag, model, state = self._stack[-1]
+            if model is not None and not isinstance(model.expr, AnyContent):
+                new_state = model.advance(state, tag)
+                if isinstance(new_state, Nothing):
+                    raise ValidationError(
+                        "<%s> not allowed here inside <%s> (expected one "
+                        "of: %s)" % (tag, parent_tag,
+                                     ", ".join(sorted(state.first_tags()))
+                                     or "end of element"),
+                        element=tag)
+                self._stack[-1] = (parent_tag, model, new_state)
+        self._check_attributes(decl, event.attrs)
+        model = decl.content
+        self._stack.append((tag, model, model.initial_state()))
+
+    def _check_attributes(self, decl: ElementDecl, attrs) -> None:
+        for att in decl.attributes.values():
+            if att.required and att.name not in attrs:
+                raise ValidationError(
+                    "required attribute %r missing on <%s>"
+                    % (att.name, decl.name), element=decl.name)
+            if att.enum_values and att.name in attrs \
+                    and attrs[att.name] not in att.enum_values:
+                raise ValidationError(
+                    "attribute %s=%r on <%s> not in enumeration %r"
+                    % (att.name, attrs[att.name], decl.name,
+                       att.enum_values), element=decl.name)
+            if att.mode == "#FIXED" and att.name in attrs \
+                    and attrs[att.name] != att.default:
+                raise ValidationError(
+                    "fixed attribute %s on <%s> must be %r"
+                    % (att.name, decl.name, att.default), element=decl.name)
+        if self.strict_attributes:
+            for name in attrs:
+                if name not in decl.attributes:
+                    raise ValidationError(
+                        "undeclared attribute %r on <%s>"
+                        % (name, decl.name), element=decl.name)
+
+    def _on_text(self, event) -> None:
+        if not self._stack:
+            raise ValidationError("text outside the document element")
+        tag, model, _ = self._stack[-1]
+        if model is not None and not model.allows_text() \
+                and event.text.strip():
+            raise ValidationError(
+                "element <%s> does not allow character data" % tag,
+                element=tag)
+
+    def _on_end(self, event) -> None:
+        if not self._stack:
+            raise ValidationError("unmatched end event </%s>" % event.tag)
+        tag, model, state = self._stack.pop()
+        if model is not None and not model.accepting(state):
+            raise ValidationError(
+                "element <%s> ended before its content model was "
+                "satisfied (missing one of: %s)"
+                % (tag, ", ".join(sorted(state.first_tags())) or "?"),
+                element=tag)
+
+    def finish(self) -> None:
+        if self._stack:
+            raise ValidationError(
+                "stream ended with open elements: %s"
+                % "/".join(frame[0] for frame in self._stack))
+
+    def checked(self, events: Iterable[Event]) -> Iterable[Event]:
+        """Pass-through iterator that validates as a side effect."""
+        for event in events:
+            self.feed(event)
+            yield event
+        self.finish()
+
+
+def validate(dtd: Dtd, events: Iterable[Event]) -> int:
+    """Validate a whole stream; return the number of events.
+
+    Raises :class:`ValidationError` on the first violation.
+    """
+    validator = StreamingValidator(dtd)
+    for event in events:
+        validator.feed(event)
+    validator.finish()
+    return validator.events_validated

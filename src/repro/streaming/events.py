@@ -1,0 +1,144 @@
+"""SAX events extended with depth — the data model of Section 2.1.
+
+The paper models a stream as ``{e1, e2, ...}`` with ``e_i ∈ B ∪ T ∪ E``:
+begin events carry ``(tag, attrs, depth)``, end events ``(tag, depth)``
+and text events ``(tag, text(), depth)`` where ``tag`` is the tag of the
+*enclosing* element.  Depth is 1 for the document element, matching the
+depth vectors used by the HPDT runtime.
+
+Events are plain ``__slots__`` classes rather than dataclasses: event
+construction dominates the hot path of every engine in this repository,
+and attribute access on slotted instances is measurably faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+
+class BeginEvent:
+    """Begin event ``(tag, attrs, depth)`` for an opening tag."""
+
+    __slots__ = ("tag", "attrs", "depth")
+
+    kind = "begin"
+
+    def __init__(self, tag: str, attrs: Optional[Dict[str, str]] = None,
+                 depth: int = 0):
+        self.tag = tag
+        self.attrs = attrs if attrs is not None else {}
+        self.depth = depth
+
+    def __repr__(self):
+        return "BeginEvent(%r, %r, depth=%d)" % (self.tag, self.attrs,
+                                                 self.depth)
+
+    def __eq__(self, other):
+        return (isinstance(other, BeginEvent) and self.tag == other.tag
+                and self.attrs == other.attrs and self.depth == other.depth)
+
+    def __hash__(self):
+        return hash(("B", self.tag, self.depth, tuple(sorted(self.attrs.items()))))
+
+
+class EndEvent:
+    """End event ``(/tag, depth)`` for a closing tag."""
+
+    __slots__ = ("tag", "depth")
+
+    kind = "end"
+
+    def __init__(self, tag: str, depth: int = 0):
+        self.tag = tag
+        self.depth = depth
+
+    def __repr__(self):
+        return "EndEvent(%r, depth=%d)" % (self.tag, self.depth)
+
+    def __eq__(self, other):
+        return (isinstance(other, EndEvent) and self.tag == other.tag
+                and self.depth == other.depth)
+
+    def __hash__(self):
+        return hash(("E", self.tag, self.depth))
+
+
+class TextEvent:
+    """Text event ``(tag, text(), depth)`` inside element ``tag``.
+
+    ``depth`` is the depth of the *enclosing* element, so a text event
+    has the same depth as the begin/end events that bracket it.  The
+    content is retrieved via the :attr:`text` attribute (the paper's
+    ``text()`` accessor).
+    """
+
+    __slots__ = ("tag", "text", "depth")
+
+    kind = "text"
+
+    def __init__(self, tag: str, text: str, depth: int = 0):
+        self.tag = tag
+        self.text = text
+        self.depth = depth
+
+    def __repr__(self):
+        return "TextEvent(%r, %r, depth=%d)" % (self.tag, self.text,
+                                                self.depth)
+
+    def __eq__(self, other):
+        return (isinstance(other, TextEvent) and self.tag == other.tag
+                and self.text == other.text and self.depth == other.depth)
+
+    def __hash__(self):
+        return hash(("T", self.tag, self.text, self.depth))
+
+
+Event = Union[BeginEvent, TextEvent, EndEvent]
+
+
+def iter_with_depth(events: Iterable[Event]) -> Iterator[Event]:
+    """Recompute depths for an event sequence whose depths are unset.
+
+    Useful when events are assembled by hand in tests: depths are
+    assigned exactly as a SAX-driven source would assign them (document
+    element at depth 1).
+    """
+    depth = 0
+    for event in events:
+        if event.kind == "begin":
+            depth += 1
+            yield BeginEvent(event.tag, event.attrs, depth)
+        elif event.kind == "end":
+            yield EndEvent(event.tag, depth)
+            depth -= 1
+        else:
+            yield TextEvent(event.tag, event.text, depth)
+
+
+def events_from_pairs(pairs: Iterable[Tuple[str, object]]) -> List[Event]:
+    """Build an event list from a compact test notation.
+
+    Each pair is one of::
+
+        ("begin", "tag")                 ("begin", ("tag", {"id": "1"}))
+        ("text", ("tag", "content"))     ("end", "tag")
+
+    Depths are filled in automatically.  This keeps hand-written test
+    streams short and unambiguous.
+    """
+    raw: List[Event] = []
+    for kind, payload in pairs:
+        if kind == "begin":
+            if isinstance(payload, tuple):
+                tag, attrs = payload
+                raw.append(BeginEvent(tag, dict(attrs)))
+            else:
+                raw.append(BeginEvent(payload))
+        elif kind == "end":
+            raw.append(EndEvent(payload))
+        elif kind == "text":
+            tag, content = payload
+            raw.append(TextEvent(tag, content))
+        else:
+            raise ValueError("unknown event kind: %r" % (kind,))
+    return list(iter_with_depth(raw))

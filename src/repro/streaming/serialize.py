@@ -1,0 +1,91 @@
+"""Re-serialization of event runs back to XML text.
+
+When a query has no output expression, XSQ must output whole matching
+*elements*; the paper's catchall transition ``*̄`` routes every
+descendant event of the match into the buffer.  This module turns such
+an event run back into XML text.  It is also used by the dataset
+generators' round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import StreamError
+from repro.streaming.events import BeginEvent, Event
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def escape_attr(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (escape_text(value).replace('"', "&quot;"))
+
+
+def begin_tag_text(event: BeginEvent) -> str:
+    """Render a begin event as its opening-tag text."""
+    if not event.attrs:
+        return "<%s>" % event.tag
+    parts = ["<", event.tag]
+    for name, value in event.attrs.items():
+        parts.append(' %s="%s"' % (name, escape_attr(value)))
+    parts.append(">")
+    return "".join(parts)
+
+
+class EventSerializer:
+    """Incremental serializer: feed events, read off the XML text.
+
+    The serializer is restartable (:meth:`reset`) so one instance can be
+    reused per buffered element, which matters on the catchall hot path.
+    """
+
+    def __init__(self):
+        self._parts: List[str] = []
+        self._open = 0
+
+    def reset(self) -> None:
+        self._parts = []
+        self._open = 0
+
+    @property
+    def balanced(self) -> bool:
+        """True when every begin fed so far has been closed."""
+        return self._open == 0
+
+    def feed(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "begin":
+            self._parts.append(begin_tag_text(event))
+            self._open += 1
+        elif kind == "end":
+            if self._open <= 0:
+                raise StreamError("serializer fed an unmatched end event")
+            self._parts.append("</%s>" % event.tag)
+            self._open -= 1
+        else:
+            self._parts.append(escape_text(event.text))
+
+    def getvalue(self) -> str:
+        return "".join(self._parts)
+
+
+def serialize_events(events: Iterable[Event]) -> str:
+    """Serialize a balanced run of events to XML text.
+
+    >>> from repro.streaming.events import events_from_pairs
+    >>> serialize_events(events_from_pairs(
+    ...     [("begin", ("b", {"id": "1"})), ("text", ("b", "x")), ("end", "b")]))
+    '<b id="1">x</b>'
+    """
+    ser = EventSerializer()
+    for event in events:
+        ser.feed(event)
+    if not ser.balanced:
+        raise StreamError("serialize_events called on an unbalanced run")
+    return ser.getvalue()

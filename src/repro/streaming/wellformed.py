@@ -1,0 +1,107 @@
+"""The simple pushdown automaton of Section 3.1 (Figure 4a).
+
+The PDA consumes an event stream and uses its stack exclusively to match
+begin and end tags: every begin event pushes its tag, every end event
+must match and pop the top of the stack.  After a complete document the
+PDA is in its final state with an empty stack.  The XSQ engines assume
+well-formed input (as the paper does); this PDA is the component that
+lets a deployment check that assumption on the fly at negligible cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.errors import NotWellFormedError
+from repro.streaming.events import Event
+
+
+class WellFormednessPDA:
+    """Streaming well-formedness checker.
+
+    Feed events one at a time with :meth:`feed`, or wrap a stream with
+    :meth:`checked` to get a pass-through iterator that validates as a
+    side effect.  :attr:`depth` exposes the current stack height, and
+    :meth:`finish` asserts the document closed cleanly.
+    """
+
+    def __init__(self):
+        self._stack: List[str] = []
+        self._seen_root = False
+        self._events = 0
+
+    @property
+    def depth(self) -> int:
+        """Current element nesting depth (stack height)."""
+        return len(self._stack)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fed so far."""
+        return self._events
+
+    def feed(self, event: Event) -> None:
+        """Process one event; raise :class:`NotWellFormedError` on violation."""
+        self._events += 1
+        kind = event.kind
+        if kind == "begin":
+            if not self._stack and self._seen_root:
+                raise NotWellFormedError(
+                    "second document element <%s> after the root closed"
+                    % event.tag)
+            self._stack.append(event.tag)
+            self._seen_root = True
+            if event.depth and event.depth != len(self._stack):
+                raise NotWellFormedError(
+                    "begin event <%s> carries depth %d but stack height is %d"
+                    % (event.tag, event.depth, len(self._stack)))
+        elif kind == "end":
+            if not self._stack:
+                raise NotWellFormedError(
+                    "end event </%s> with empty stack" % event.tag)
+            top = self._stack[-1]
+            if top != event.tag:
+                raise NotWellFormedError(
+                    "end event </%s> does not match open element <%s>"
+                    % (event.tag, top))
+            self._stack.pop()
+        else:  # text
+            if not self._stack:
+                raise NotWellFormedError(
+                    "text event %r outside the document element"
+                    % event.text[:40])
+            if event.tag != self._stack[-1]:
+                raise NotWellFormedError(
+                    "text event tagged %r inside element <%s>"
+                    % (event.tag, self._stack[-1]))
+
+    def finish(self) -> None:
+        """Assert that the stream ended with all elements closed."""
+        if self._stack:
+            raise NotWellFormedError(
+                "stream ended with %d open element(s): %s"
+                % (len(self._stack), "/".join(self._stack)))
+        if not self._seen_root:
+            raise NotWellFormedError("stream contained no document element")
+
+    def checked(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Yield events unchanged while validating them."""
+        for event in events:
+            self.feed(event)
+            yield event
+        self.finish()
+
+
+def check_well_formed(events: Iterable[Event]) -> int:
+    """Validate an entire event stream; return the number of events.
+
+    >>> from repro.streaming.events import events_from_pairs
+    >>> check_well_formed(events_from_pairs(
+    ...     [("begin", "a"), ("text", ("a", "x")), ("end", "a")]))
+    3
+    """
+    pda = WellFormednessPDA()
+    for event in events:
+        pda.feed(event)
+    pda.finish()
+    return pda.events_processed

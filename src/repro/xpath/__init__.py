@@ -1,0 +1,78 @@
+"""XPath subset of Figure 3: lexer, AST, parser, predicate semantics.
+
+The supported language is::
+
+    Q  ::= N+ [ /O ]
+    N  ::= ( / | // ) tag [ F ]
+    F  ::= [ FO [ OP constant ] ]
+    FO ::= @attribute | tag [@attribute] | text()
+    O  ::= @attribute | text() | count() | sum()
+    OP ::= > | >= | = | < | <= | != | contains
+
+with the documented extensions: ``*`` as a node test, several ``[F]``
+predicates on one step (conjunction), and ``avg()``/``min()``/``max()``
+aggregation outputs.  Reverse axes and positional predicates raise
+:class:`repro.errors.UnsupportedFeatureError`, matching the paper's
+stated scope for XSQ.
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    Op,
+    Predicate,
+    AttrExists,
+    AttrCompare,
+    TextExists,
+    TextCompare,
+    ChildExists,
+    ChildAttrExists,
+    ChildAttrCompare,
+    ChildTextCompare,
+    LocationStep,
+    Output,
+    ElementOutput,
+    TextOutput,
+    AttrOutput,
+    AggregateOutput,
+    CountOutput,
+    SumOutput,
+    AvgOutput,
+    MinOutput,
+    MaxOutput,
+    Query,
+)
+from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
+from repro.xpath.tokens import Token, TokenKind, tokenize_query
+
+__all__ = [
+    "Axis",
+    "Op",
+    "Predicate",
+    "AttrExists",
+    "AttrCompare",
+    "TextExists",
+    "TextCompare",
+    "ChildExists",
+    "ChildAttrExists",
+    "ChildAttrCompare",
+    "ChildTextCompare",
+    "LocationStep",
+    "Output",
+    "ElementOutput",
+    "TextOutput",
+    "AttrOutput",
+    "AggregateOutput",
+    "CountOutput",
+    "SumOutput",
+    "AvgOutput",
+    "MinOutput",
+    "MaxOutput",
+    "Query",
+    "parse_query",
+    "rewrite_reverse_axes",
+    "supports_reverse_axes",
+    "Token",
+    "TokenKind",
+    "tokenize_query",
+]

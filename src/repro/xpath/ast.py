@@ -1,0 +1,499 @@
+"""AST for the XPath subset, with the value-comparison semantics shared
+by every engine in the repository.
+
+The comparison rules (documented in DESIGN.md) are:
+
+* ``=`` / ``!=``: if both operands parse as numbers, compare
+  numerically; otherwise compare the raw strings (whitespace-trimmed).
+* ``<``, ``<=``, ``>``, ``>=``: numeric comparison; if either side is
+  not numeric the comparison is false (XPath 1.0 coerces to NaN, and
+  NaN comparisons are false).
+* ``contains``: substring test on the raw strings.
+
+Predicates carry a ``category`` attribute naming the paper's five-way
+classification from Section 3.2, which selects the BPDT template.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class Axis(Enum):
+    """Location-step axis: ``/`` (child) or ``//`` (descendant-or-self)."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self):
+        return self.value
+
+
+class Op(Enum):
+    """Comparison operator of the grammar's OP production."""
+
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    NE = "!="
+    CONTAINS = "contains"
+
+    def __str__(self):
+        return self.value
+
+
+def _as_number(text: str) -> Optional[float]:
+    try:
+        return float(text.strip())
+    except (ValueError, AttributeError):
+        return None
+
+
+def compare(left: str, op: Op, right: str) -> bool:
+    """Apply ``op`` between a data value and a query constant.
+
+    >>> compare("2002", Op.GT, "2000")
+    True
+    >>> compare("abc", Op.GT, "2000")
+    False
+    >>> compare(" 10.0 ", Op.EQ, "10")
+    True
+    >>> compare("First Folio", Op.CONTAINS, "Folio")
+    True
+    """
+    if op is Op.CONTAINS:
+        return right in left
+    lnum = _as_number(left)
+    rnum = _as_number(right)
+    if op is Op.EQ:
+        if lnum is not None and rnum is not None:
+            return lnum == rnum
+        return left.strip() == right.strip()
+    if op is Op.NE:
+        if lnum is not None and rnum is not None:
+            return lnum != rnum
+        return left.strip() != right.strip()
+    if lnum is None or rnum is None:
+        return False
+    if op is Op.GT:
+        return lnum > rnum
+    if op is Op.GE:
+        return lnum >= rnum
+    if op is Op.LT:
+        return lnum < rnum
+    if op is Op.LE:
+        return lnum <= rnum
+    raise AssertionError("unhandled operator %r" % op)
+
+
+def test_tag(node_test: str, tag: str) -> bool:
+    """Match a node test (``*`` is the wildcard) against an element tag."""
+    return node_test == "*" or node_test == tag
+
+
+class Predicate:
+    """Base class for the grammar's ``F`` production.
+
+    Subclasses set :attr:`category` to the paper's Section 3.2 class
+    number (1–5), which picks the BPDT template, and
+    :attr:`resolves_at_begin` when the predicate is fully decidable from
+    the element's own begin event (category 1).
+    """
+
+    category: int = 0
+    resolves_at_begin: bool = False
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class AttrExists(Predicate):
+    """``[@attr]`` — category 1: the element has the attribute."""
+
+    category = 1
+    resolves_at_begin = True
+
+    def __init__(self, attr: str):
+        self.attr = attr
+
+    def __repr__(self):
+        return "[@%s]" % self.attr
+
+
+class AttrCompare(Predicate):
+    """``[@attr OP c]`` — category 1: attribute value comparison."""
+
+    category = 1
+    resolves_at_begin = True
+
+    def __init__(self, attr: str, op: Op, value: str):
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[@%s%s%s]" % (self.attr, self.op, self.value)
+
+
+class TextExists(Predicate):
+    """``[text()]`` — category 2: the element has non-empty text."""
+
+    category = 2
+
+    def __repr__(self):
+        return "[text()]"
+
+
+class TextCompare(Predicate):
+    """``[text() OP c]`` — category 2: some text event satisfies OP.
+
+    Per the Figure 6 template, each text event of the element is tested
+    individually; the predicate is true as soon as one passes and false
+    only at the element's end event.
+    """
+
+    category = 2
+
+    def __init__(self, op: Op, value: str):
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[text()%s%s]" % (self.op, self.value)
+
+
+class ChildExists(Predicate):
+    """``[child]`` — category 3: the element has a ``child`` subelement."""
+
+    category = 3
+
+    def __init__(self, child: str):
+        self.child = child
+
+    def __repr__(self):
+        return "[%s]" % self.child
+
+
+class ChildAttrExists(Predicate):
+    """``[child@attr]`` — category 4: some child carries the attribute."""
+
+    category = 4
+
+    def __init__(self, child: str, attr: str):
+        self.child = child
+        self.attr = attr
+
+    def __repr__(self):
+        return "[%s@%s]" % (self.child, self.attr)
+
+
+class ChildAttrCompare(Predicate):
+    """``[child@attr OP c]`` — category 4 with a value comparison."""
+
+    category = 4
+
+    def __init__(self, child: str, attr: str, op: Op, value: str):
+        self.child = child
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[%s@%s%s%s]" % (self.child, self.attr, self.op, self.value)
+
+
+class ChildTextCompare(Predicate):
+    """``[child OP c]`` — category 5: some child's text satisfies OP.
+
+    Per the Figure 9 template the test fires on each text event of each
+    matching child; false only when the element ends with no child
+    having passed.
+    """
+
+    category = 5
+
+    def __init__(self, child: str, op: Op, value: str):
+        self.child = child
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[%s%s%s]" % (self.child, self.op, self.value)
+
+
+class PathPredicate(Predicate):
+    """Base for nested-path predicates (extension beyond Figure 3).
+
+    ``path`` is a tuple of child-axis tag names descending from the
+    candidate element; the predicate is exists-quantified over every
+    element the path reaches.  These are "category 6": decided by
+    events arbitrarily deep inside the element, tracked at runtime by a
+    per-activation path tracker.
+    """
+
+    category = 6
+
+    def __init__(self, path: Tuple[str, ...]):
+        if len(path) < 2:
+            raise ValueError("path predicates need at least two steps; "
+                             "one-step forms use the Figure 3 categories")
+        self.path = tuple(path)
+
+    @property
+    def path_text(self) -> str:
+        return "/".join(self.path)
+
+
+class PathExists(PathPredicate):
+    """``[a/b]`` — some a-child has a b-child."""
+
+    def __repr__(self):
+        return "[%s]" % self.path_text
+
+
+class PathAttrExists(PathPredicate):
+    """``[a/b@attr]`` — a path-reached element carries the attribute."""
+
+    def __init__(self, path: Tuple[str, ...], attr: str):
+        super().__init__(path)
+        self.attr = attr
+
+    def __repr__(self):
+        return "[%s@%s]" % (self.path_text, self.attr)
+
+
+class PathAttrCompare(PathPredicate):
+    """``[a/b@attr OP c]`` — with a value comparison."""
+
+    def __init__(self, path: Tuple[str, ...], attr: str, op: Op, value: str):
+        super().__init__(path)
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[%s@%s%s%s]" % (self.path_text, self.attr, self.op,
+                                self.value)
+
+
+class PathTextCompare(PathPredicate):
+    """``[a/b OP c]`` — some path-reached element's text satisfies OP."""
+
+    def __init__(self, path: Tuple[str, ...], op: Op, value: str):
+        super().__init__(path)
+        self.op = op
+        self.value = value
+
+    def __repr__(self):
+        return "[%s%s%s]" % (self.path_text, self.op, self.value)
+
+
+class NotPredicate(Predicate):
+    """``[not(F)]`` — negation of a simple predicate (extension).
+
+    The inner predicate's witness events carry *inverted* meaning: a
+    witness falsifies the step immediately, and the element's end event
+    — the moment the paper's NA state would fall back to START — now
+    confirms it.  Negation composes with every base category (1–6) but
+    not with ``or``/``not`` themselves (nested boolean structure would
+    need per-branch state the shared NA/TRUE encoding cannot carry).
+    """
+
+    def __init__(self, inner: Predicate):
+        if isinstance(inner, (OrPredicate, NotPredicate)):
+            raise ValueError(
+                "not() supports only simple predicates, not %r" % inner)
+        self.inner = inner
+
+    @property
+    def category(self) -> int:  # type: ignore[override]
+        return self.inner.category
+
+    @property
+    def resolves_at_begin(self) -> bool:  # type: ignore[override]
+        return self.inner.resolves_at_begin
+
+    def __repr__(self):
+        return "[not(%s)]" % repr(self.inner)[1:-1]
+
+
+class OrPredicate(Predicate):
+    """``[F or G]`` — disjunction of predicate branches (extension).
+
+    True as soon as any branch is witnessed true; false only when the
+    element ends with every branch unwitnessed — the same
+    exists-over-events discipline as the base categories, so the NA/
+    TRUE machinery carries over unchanged.
+    """
+
+    def __init__(self, branches: Tuple[Predicate, ...]):
+        if len(branches) < 2:
+            raise ValueError("OrPredicate needs at least two branches")
+        if any(isinstance(branch, (OrPredicate, NotPredicate))
+               for branch in branches):
+            raise ValueError(
+                "or-branches must be simple predicates (no nested "
+                "or/not): a witness for one branch settles the shared "
+                "NA/TRUE slot, which negation would invert")
+        self.branches = tuple(branches)
+
+    @property
+    def category(self) -> int:  # type: ignore[override]
+        return max(branch.category for branch in self.branches)
+
+    @property
+    def resolves_at_begin(self) -> bool:  # type: ignore[override]
+        return all(branch.resolves_at_begin for branch in self.branches)
+
+    def __repr__(self):
+        return "[%s]" % " or ".join(repr(b)[1:-1] for b in self.branches)
+
+
+class Output:
+    """Base class for the grammar's output expression ``O``."""
+
+    is_aggregate = False
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class ElementOutput(Output):
+    """No output expression: return whole matching elements (catchall)."""
+
+    def __repr__(self):
+        return ""
+
+
+class TextOutput(Output):
+    """``text()``: return the text content of matching elements."""
+
+    def __repr__(self):
+        return "/text()"
+
+
+class AttrOutput(Output):
+    """``@attr``: return the attribute value of matching elements."""
+
+    def __init__(self, attr: str):
+        self.attr = attr
+
+    def __repr__(self):
+        return "/@%s" % self.attr
+
+
+class AggregateOutput(Output):
+    """Base for aggregation outputs; :attr:`name` keys the stat buffer."""
+
+    is_aggregate = True
+    name = ""
+
+    def __repr__(self):
+        return "/%s()" % self.name
+
+
+class CountOutput(AggregateOutput):
+    """``count()``: number of matching elements."""
+
+    name = "count"
+
+
+class SumOutput(AggregateOutput):
+    """``sum()``: sum of the numeric text values of matching elements."""
+
+    name = "sum"
+
+
+class AvgOutput(AggregateOutput):
+    """``avg()`` (extension): mean of the numeric text values."""
+
+    name = "avg"
+
+
+class MinOutput(AggregateOutput):
+    """``min()`` (extension): minimum numeric text value."""
+
+    name = "min"
+
+
+class MaxOutput(AggregateOutput):
+    """``max()`` (extension): maximum numeric text value."""
+
+    name = "max"
+
+
+class LocationStep:
+    """One location step: axis, node test, and zero or more predicates."""
+
+    __slots__ = ("axis", "node_test", "predicates")
+
+    def __init__(self, axis: Axis, node_test: str,
+                 predicates: Tuple[Predicate, ...] = ()):
+        self.axis = axis
+        self.node_test = node_test
+        self.predicates = tuple(predicates)
+
+    @property
+    def has_predicate(self) -> bool:
+        return bool(self.predicates)
+
+    def matches_tag(self, tag: str) -> bool:
+        return test_tag(self.node_test, tag)
+
+    def __repr__(self):
+        preds = "".join(repr(p) for p in self.predicates)
+        return "%s%s%s" % (self.axis, self.node_test, preds)
+
+    def __eq__(self, other):
+        return (isinstance(other, LocationStep)
+                and self.axis == other.axis
+                and self.node_test == other.node_test
+                and self.predicates == other.predicates)
+
+    def __hash__(self):
+        return hash((self.axis, self.node_test, self.predicates))
+
+
+class Query:
+    """A parsed query: location path plus output expression.
+
+    :attr:`steps` never includes the implicit document root; the HPDT
+    builder adds the root BPDT itself (Figure 12).
+    """
+
+    __slots__ = ("steps", "output", "text")
+
+    def __init__(self, steps: Tuple[LocationStep, ...], output: Output,
+                 text: str = ""):
+        self.steps = tuple(steps)
+        self.output = output
+        self.text = text
+
+    @property
+    def has_closure(self) -> bool:
+        """True when any step uses the descendant-or-self axis."""
+        return any(s.axis is Axis.DESCENDANT for s in self.steps)
+
+    @property
+    def predicate_count(self) -> int:
+        return sum(len(s.predicates) for s in self.steps)
+
+    def __repr__(self):
+        return "Query(%s%s)" % ("".join(repr(s) for s in self.steps),
+                                repr(self.output))
+
+    def __eq__(self, other):
+        return (isinstance(other, Query) and self.steps == other.steps
+                and self.output == other.output)
+
+    def __hash__(self):
+        return hash((self.steps, self.output))

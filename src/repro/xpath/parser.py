@@ -1,0 +1,341 @@
+"""Recursive-descent parser for the XPath subset (grammar of Figure 3).
+
+``parse_query`` is the single entry point used everywhere else.  The
+parser is strict about the subset boundary: constructs from full
+XPath 1.0 that XSQ explicitly excludes (reverse axes, positional
+predicates) raise :class:`UnsupportedFeatureError` with a pointed
+message instead of a generic syntax error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import UnsupportedFeatureError, XPathSyntaxError
+from repro.xpath.ast import (
+    AttrCompare,
+    AttrExists,
+    AvgOutput,
+    Axis,
+    AttrOutput,
+    ChildAttrCompare,
+    ChildAttrExists,
+    ChildExists,
+    ChildTextCompare,
+    CountOutput,
+    ElementOutput,
+    LocationStep,
+    MaxOutput,
+    MinOutput,
+    NotPredicate,
+    Op,
+    OrPredicate,
+    Output,
+    PathAttrCompare,
+    PathAttrExists,
+    PathExists,
+    PathTextCompare,
+    Predicate,
+    Query,
+    SumOutput,
+    TextCompare,
+    TextExists,
+    TextOutput,
+)
+from repro.xpath.tokens import (
+    REVERSE_AXES,
+    Token,
+    TokenKind,
+    tokenize_query,
+)
+
+_AGGREGATES = {
+    "count": CountOutput,
+    "sum": SumOutput,
+    "avg": AvgOutput,
+    "min": MinOutput,
+    "max": MaxOutput,
+}
+
+_POSITIONAL = ("last", "position")
+
+
+class _Parser:
+    def __init__(self, query: str):
+        self.query = query
+        self.tokens = tokenize_query(query)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.current.kind is kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        token = self.accept(kind)
+        if token is None:
+            self.fail("expected %s, found %r" % (what, self.current.value or
+                                                 "end of query"))
+        return token
+
+    def fail(self, message: str):
+        raise XPathSyntaxError(message, query=self.query,
+                               position=self.current.position)
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> Query:
+        steps: List[LocationStep] = []
+        output: Output = ElementOutput()
+        if self.current.kind not in (TokenKind.SLASH, TokenKind.DSLASH):
+            self.fail("query must start with '/' or '//'")
+        while self.current.kind in (TokenKind.SLASH, TokenKind.DSLASH):
+            axis = (Axis.DESCENDANT
+                    if self.advance().kind is TokenKind.DSLASH else Axis.CHILD)
+            parsed = self.parse_step_or_output(axis)
+            if isinstance(parsed, Output):
+                output = parsed
+                break
+            steps.append(parsed)
+        if self.current.kind is TokenKind.PIPE:
+            self.fail("top-level union '|': parse with parse_query_set() "
+                      "or run through MultiQueryEngine.from_union()")
+        if self.current.kind is not TokenKind.END:
+            self.fail("trailing input after query")
+        if not steps:
+            self.fail("query has no location steps")
+        return Query(tuple(steps), output, text=self.query)
+
+    def parse_step_or_output(self, axis: Axis):
+        """Parse one ``N`` production, or the trailing output ``O``."""
+        token = self.current
+        if token.kind is TokenKind.AT:
+            self.advance()
+            name = self.expect(TokenKind.NAME, "attribute name")
+            self.expect_end_after_output()
+            return AttrOutput(name.value)
+        if token.kind is TokenKind.FUNC:
+            self.advance()
+            return self.make_output_function(token)
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            node_test = "*"
+        elif token.kind is TokenKind.NAME:
+            self.advance()
+            node_test = token.value
+            if node_test.endswith("::"):
+                axis_name = node_test[:-2]
+                self.reject_axis_syntax(axis_name, token)
+                if axis_name == "descendant":
+                    # /descendant::x is exactly the abbreviated //x.
+                    axis = Axis.DESCENDANT
+                node_test = self.expect(TokenKind.NAME, "node test").value
+        else:
+            self.fail("expected a node test, '@attr', or an output function")
+        predicates = []
+        while self.current.kind is TokenKind.LBRACKET:
+            predicates.extend(self.parse_predicate())
+        return LocationStep(axis, node_test, tuple(predicates))
+
+    def make_output_function(self, token: Token) -> Output:
+        name = token.value
+        if name == "text":
+            self.expect_end_after_output()
+            return TextOutput()
+        if name in _AGGREGATES:
+            self.expect_end_after_output()
+            return _AGGREGATES[name]()
+        if name in _POSITIONAL:
+            raise UnsupportedFeatureError(
+                "positional function %s() is outside the XSQ subset "
+                "(Section 2.2 of the paper)" % name)
+        self.fail("unknown output function %s()" % name)
+
+    def expect_end_after_output(self):
+        if self.current.kind is not TokenKind.END:
+            self.fail("output expression must be the last query component")
+
+    def reject_axis_syntax(self, axis_name: str, token: Token):
+        if axis_name in REVERSE_AXES:
+            raise UnsupportedFeatureError(
+                "reverse axis %r is outside the XSQ subset "
+                "(Section 2.2 of the paper)" % axis_name)
+        if axis_name in ("child", "descendant"):
+            return  # child:: is the default axis; descendant:: is //
+        if axis_name == "descendant-or-self":
+            raise UnsupportedFeatureError(
+                "descendant-or-self:: with a node test includes the "
+                "context node, which '//' cannot express; use "
+                "descendant:: (or '//') for proper descendants")
+        raise XPathSyntaxError("unknown axis %r" % axis_name,
+                               query=self.query, position=token.position)
+
+    def parse_predicate(self) -> Tuple[Predicate, ...]:
+        """Parse one ``[...]``; returns one or more predicates.
+
+        A top-level ``and`` splits into several conjunct predicates
+        (``[a and b]`` ≡ ``[a][b]``); ``or`` builds an
+        :class:`OrPredicate`.  Mixing the two inside one bracket would
+        need nested boolean structure and is rejected with a hint.
+        """
+        self.expect(TokenKind.LBRACKET, "'['")
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            raise UnsupportedFeatureError(
+                "positional predicate [%s] is outside the XSQ subset"
+                % token.value)
+        operands = [self.parse_filter_body()]
+        combinator = None
+        while (self.current.kind is TokenKind.NAME
+               and self.current.value in ("and", "or")):
+            word = self.advance().value
+            if combinator is None:
+                combinator = word
+            elif combinator != word:
+                raise UnsupportedFeatureError(
+                    "mixing 'and' and 'or' in one predicate is not "
+                    "supported; split conjuncts into separate [..] "
+                    "predicates")
+            operands.append(self.parse_filter_body())
+        self.expect(TokenKind.RBRACKET, "']'")
+        if combinator == "or":
+            try:
+                return (OrPredicate(tuple(operands)),)
+            except ValueError as exc:
+                raise UnsupportedFeatureError(str(exc)) from exc
+        return tuple(operands)
+
+    def parse_filter_body(self) -> Predicate:
+        token = self.current
+        if token.kind is TokenKind.NAME and token.value == "not" \
+                and self.tokens[self.index + 1].kind is TokenKind.LPAREN:
+            self.advance()  # not
+            self.advance()  # (
+            inner = self.parse_filter_body()
+            self.expect(TokenKind.RPAREN, "')'")
+            try:
+                return NotPredicate(inner)
+            except ValueError as exc:
+                raise UnsupportedFeatureError(str(exc)) from exc
+        if token.kind is TokenKind.AT:
+            self.advance()
+            attr = self.expect(TokenKind.NAME, "attribute name").value
+            comparison = self.parse_optional_comparison()
+            if comparison is None:
+                return AttrExists(attr)
+            return AttrCompare(attr, *comparison)
+        if token.kind is TokenKind.FUNC and token.value == "text":
+            self.advance()
+            comparison = self.parse_optional_comparison()
+            if comparison is None:
+                return TextExists()
+            return TextCompare(*comparison)
+        if token.kind is TokenKind.FUNC and token.value in _POSITIONAL:
+            raise UnsupportedFeatureError(
+                "positional function %s() in a predicate is outside the "
+                "XSQ subset" % token.value)
+        if token.kind in (TokenKind.NAME, TokenKind.STAR):
+            self.advance()
+            path = ["*" if token.kind is TokenKind.STAR else token.value]
+            while self.accept(TokenKind.SLASH):
+                part = self.current
+                if part.kind is TokenKind.STAR:
+                    self.advance()
+                    path.append("*")
+                elif part.kind is TokenKind.NAME:
+                    self.advance()
+                    path.append(part.value)
+                else:
+                    self.fail("expected a name after '/' in a path "
+                              "predicate")
+            if self.accept(TokenKind.AT):
+                attr = self.expect(TokenKind.NAME, "attribute name").value
+                comparison = self.parse_optional_comparison()
+                if len(path) == 1:
+                    if comparison is None:
+                        return ChildAttrExists(path[0], attr)
+                    return ChildAttrCompare(path[0], attr, *comparison)
+                if comparison is None:
+                    return PathAttrExists(tuple(path), attr)
+                return PathAttrCompare(tuple(path), attr, *comparison)
+            comparison = self.parse_optional_comparison()
+            if len(path) == 1:
+                if comparison is None:
+                    return ChildExists(path[0])
+                return ChildTextCompare(path[0], *comparison)
+            if comparison is None:
+                return PathExists(tuple(path))
+            return PathTextCompare(tuple(path), *comparison)
+        self.fail("expected a predicate body after '['")
+
+    def parse_optional_comparison(self) -> Optional[Tuple[Op, str]]:
+        token = self.accept(TokenKind.OP)
+        if token is None:
+            return None
+        op = Op(token.value)
+        value = self.current
+        if value.kind in (TokenKind.STRING, TokenKind.NUMBER):
+            self.advance()
+            return (op, value.value)
+        if value.kind is TokenKind.NAME:
+            # Bare-word constants appear in the paper's own queries,
+            # e.g. [LINE%love]-style keyword tests; accept them.
+            self.advance()
+            return (op, value.value)
+        self.fail("expected a constant after %r" % token.value)
+
+
+def parse_query_set(text: str) -> Tuple[Query, ...]:
+    """Parse a top-level union ``q1 | q2 | ...`` into its branches.
+
+    A single query parses to a one-element tuple.  Pipes inside string
+    literals do not split (the lexer sees them as literal content).
+
+    >>> len(parse_query_set("/a/b | //c/text()"))
+    2
+    >>> len(parse_query_set("/a[x='p|q']"))
+    1
+    """
+    if not text or not text.strip():
+        raise XPathSyntaxError("empty query", query=text, position=0)
+    tokens = tokenize_query(text.strip())
+    cuts = [token.position for token in tokens
+            if token.kind is TokenKind.PIPE]
+    if not cuts:
+        return (parse_query(text),)
+    stripped = text.strip()
+    parts = []
+    start = 0
+    for cut in cuts:
+        parts.append(stripped[start:cut])
+        start = cut + 1
+    parts.append(stripped[start:])
+    return tuple(parse_query(part) for part in parts)
+
+
+def parse_query(query: str) -> Query:
+    """Parse an XPath query in the supported subset.
+
+    >>> q = parse_query("//pub[year>2000]//book[author]//name/text()")
+    >>> len(q.steps), q.has_closure
+    (3, True)
+    >>> q.steps[0].predicates
+    ([year>2000],)
+    >>> type(parse_query("/a/b").output).__name__
+    'ElementOutput'
+    """
+    if not query or not query.strip():
+        raise XPathSyntaxError("empty query", query=query, position=0)
+    return _Parser(query.strip()).parse()

@@ -1,0 +1,374 @@
+"""Basic Pushdown Transducers — the per-location-step templates of
+Section 3 (Figures 5–9 and the root template of Figure 12).
+
+A BPDT is a small automaton generated from one location step.  Each has
+a START state and a TRUE state; categories whose predicate cannot be
+decided at the begin event also have an NA ("not yet available") state.
+The two invariants the paper proves of every template:
+
+1. whenever the BPDT is in TRUE, the step's predicate has evaluated to
+   true; whenever it is in NA, the predicate is still undecided;
+2. the *logic* of the predicate is in the arcs: one passing child/text
+   moves NA→TRUE, and only the end event of the element (all children
+   seen, none passed) moves NA→START, signifying false.
+
+The five predicate categories (Section 3.2):
+
+1. ``/tag[@attr]``, ``/tag[@attr OP v]`` — decidable at the begin event
+   (Figure 5; no NA state).
+2. ``/tag[text() OP v]`` — decided by the element's text events
+   (Figure 6).
+3. ``/tag[child]`` — decided by child begin events (Figure 8).
+4. ``/tag[child@attr OP v]`` — decided by child begin events' attributes
+   (Figure 7).
+5. ``/tag[child OP v]`` — decided by child text events (Figure 9).
+
+These objects are the structural skeleton the HPDT composes; the
+matcher executes their logic through :meth:`Bpdt.begin_verdict`,
+:meth:`Bpdt.child_begin_verdict` and :meth:`Bpdt.text_verdict`, and the
+explicit states/arcs back ``to_dot()`` visualization and the
+template-shape unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.xpath.ast import (
+    AttrCompare,
+    AttrExists,
+    Axis,
+    ChildAttrCompare,
+    ChildAttrExists,
+    ChildExists,
+    ChildTextCompare,
+    LocationStep,
+    NotPredicate,
+    OrPredicate,
+    PathPredicate,
+    Predicate,
+    TextCompare,
+    TextExists,
+    compare,
+    test_tag,
+)
+
+#: State roles.
+START = "START"
+TRUE = "TRUE"
+NA = "NA"
+FAILED = "FAILED"   # category-1 sink for a failed attribute test (Fig 5's $3)
+AUX = "AUX"         # inside-child states (Figs 7–9's $3/$5)
+
+
+class State:
+    """One automaton state with a display id (``$1`` style) and a role."""
+
+    __slots__ = ("sid", "role")
+
+    def __init__(self, sid: str, role: str):
+        self.sid = sid
+        self.role = role
+
+    def __repr__(self):
+        return "%s(%s)" % (self.sid, self.role)
+
+
+class Arc:
+    """One transition arc.
+
+    ``label`` uses the paper's notation: ``<tag>``, ``</tag>``,
+    ``<tag.text()>``, ``//``, ``<*>``, ``*̄``.  ``guard`` is the bracketed
+    condition rendered as text and ``actions`` the buffer operations
+    attached to the arc.
+    """
+
+    __slots__ = ("src", "dst", "label", "guard", "actions", "closure")
+
+    def __init__(self, src: State, dst: State, label: str,
+                 guard: str = "", actions: Tuple[str, ...] = (),
+                 closure: bool = False):
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.guard = guard
+        self.actions = tuple(actions)
+        # Section 4.2's "=" mark: the arc accepts its begin event at
+        # any depth (closure transition).
+        self.closure = closure
+
+    def __repr__(self):
+        extra = ""
+        if self.closure:
+            extra += "="
+        if self.guard:
+            extra += "[%s]" % self.guard
+        if self.actions:
+            extra += "{%s}" % ",".join(self.actions)
+        return "%s -%s%s-> %s" % (self.src.sid, self.label, extra,
+                                  self.dst.sid)
+
+
+class Bpdt:
+    """One basic pushdown transducer generated from a location step."""
+
+    def __init__(self, step: Optional[LocationStep],
+                 bpdt_id: Tuple[int, int], is_output_layer: bool = False):
+        self.step = step
+        self.bpdt_id = bpdt_id
+        self.is_output_layer = is_output_layer
+        self.states: List[State] = []
+        self.arcs: List[Arc] = []
+        self.start: Optional[State] = None
+        self.true_state: Optional[State] = None
+        self.na_state: Optional[State] = None
+        self._counter = 0
+        if step is None:
+            self._build_root()
+        else:
+            self._build_from_step(step)
+            if step.axis is Axis.DESCENDANT:
+                self._mark_closure()
+
+    def _mark_closure(self) -> None:
+        """Section 4.2's closure modification: a ``//`` self-transition
+        on the START state, and the begin arcs leaving START become
+        closure transitions (``=``) accepting their tag at any depth."""
+        for arc in self.arcs:
+            if arc.src is self.start and arc.label.startswith("<") \
+                    and not arc.label.startswith("</"):
+                arc.closure = True
+        self._arc(self.start, self.start, "//")
+
+    # -- construction ----------------------------------------------------
+
+    def _new_state(self, role: str) -> State:
+        self._counter += 1
+        state = State("$%d" % self._counter, role)
+        self.states.append(state)
+        return state
+
+    def _arc(self, src: State, dst: State, label: str, guard: str = "",
+             actions: Tuple[str, ...] = ()) -> Arc:
+        arc = Arc(src, dst, label, guard, actions)
+        self.arcs.append(arc)
+        return arc
+
+    def _build_root(self) -> None:
+        """Template of Figure 12: consume the document's <root> events."""
+        self.start = self._new_state(START)
+        self.true_state = self._new_state(TRUE)
+        self._arc(self.start, self.true_state, "<root>")
+        self._arc(self.true_state, self.start, "</root>")
+
+    def _build_from_step(self, step: LocationStep) -> None:
+        tag = step.node_test
+        self.start = self._new_state(START)
+        self.true_state = self._new_state(TRUE)
+        needs_na = any(not p.resolves_at_begin for p in step.predicates)
+        if needs_na:
+            self.na_state = self._new_state(NA)
+        if not step.predicates:
+            self._arc(self.start, self.true_state, "<%s>" % tag)
+            self._arc(self.true_state, self.start, "</%s>" % tag)
+            return
+        if not needs_na:
+            # Figure 5: attribute predicates decided at the begin event.
+            failed = self._new_state(FAILED)
+            guard = " and ".join(repr(p)[1:-1] for p in step.predicates)
+            self._arc(self.start, self.true_state, "<%s>" % tag, guard=guard)
+            self._arc(self.start, failed, "<%s>" % tag,
+                      guard="not(%s)" % guard)
+            self._arc(failed, self.start, "</%s>" % tag)
+            self._arc(self.true_state, self.start, "</%s>" % tag)
+            return
+        # Figures 6–9: enter NA at the begin event, move to TRUE when the
+        # deciding event arrives, fall back to START (predicate false,
+        # clear the buffer) at the end event.
+        begin_guard = " and ".join(
+            repr(p)[1:-1] for p in step.predicates if p.resolves_at_begin)
+        self._arc(self.start, self.na_state, "<%s>" % tag, guard=begin_guard)
+        for predicate in step.predicates:
+            if predicate.resolves_at_begin:
+                continue
+            self._add_deciding_arcs(tag, predicate)
+        self._arc(self.na_state, self.start, "</%s>" % tag,
+                  actions=("queue.clear()",))
+        self._arc(self.true_state, self.start, "</%s>" % tag)
+
+    def _add_deciding_arcs(self, tag: str, predicate: Predicate) -> None:
+        if isinstance(predicate, (TextExists, TextCompare)):
+            # Figure 6.
+            guard = ("text()" if isinstance(predicate, TextExists)
+                     else "text()%s%s" % (predicate.op, predicate.value))
+            self._arc(self.na_state, self.true_state,
+                      "<%s.text()>" % tag, guard=guard,
+                      actions=("queue.upload()",))
+            self._arc(self.na_state, self.na_state,
+                      "<%s.text()>" % tag, guard="not(%s)" % guard)
+        elif isinstance(predicate, ChildExists):
+            # Figure 8.
+            aux = self._new_state(AUX)
+            self._arc(self.na_state, aux, "<%s>" % predicate.child,
+                      actions=("queue.upload()",))
+            self._arc(aux, self.true_state, "</%s>" % predicate.child)
+        elif isinstance(predicate, (ChildAttrExists, ChildAttrCompare)):
+            # Figure 7.
+            aux = self._new_state(AUX)
+            if isinstance(predicate, ChildAttrExists):
+                guard = "@%s" % predicate.attr
+            else:
+                guard = "@%s%s%s" % (predicate.attr, predicate.op,
+                                     predicate.value)
+            self._arc(self.na_state, aux, "<%s>" % predicate.child,
+                      guard=guard, actions=("queue.upload()",))
+            self._arc(aux, self.true_state, "</%s>" % predicate.child)
+            failing = self._new_state(AUX)
+            self._arc(self.na_state, failing, "<%s>" % predicate.child,
+                      guard="not(%s)" % guard)
+            self._arc(failing, self.na_state, "</%s>" % predicate.child)
+        elif isinstance(predicate, ChildTextCompare):
+            # Figure 9.
+            inside = self._new_state(AUX)
+            satisfied = self._new_state(AUX)
+            guard = "text()%s%s" % (predicate.op, predicate.value)
+            self._arc(self.na_state, inside, "<%s>" % predicate.child)
+            self._arc(inside, satisfied, "<%s.text()>" % predicate.child,
+                      guard=guard, actions=("queue.upload()",))
+            self._arc(inside, inside, "<%s.text()>" % predicate.child,
+                      guard="not(%s)" % guard)
+            self._arc(inside, self.na_state, "</%s>" % predicate.child)
+            self._arc(satisfied, self.true_state, "</%s>" % predicate.child)
+        elif isinstance(predicate, PathPredicate):
+            # Extension: the deciding event lies arbitrarily deep; the
+            # arc stands for the per-activation path tracker.
+            self._arc(self.na_state, self.true_state,
+                      "<%s...>" % predicate.path_text,
+                      guard=repr(predicate)[1:-1],
+                      actions=("queue.upload()",))
+        elif isinstance(predicate, OrPredicate):
+            # Extension: one NA->TRUE arc per witnessing branch.
+            for branch in predicate.branches:
+                if branch.resolves_at_begin:
+                    continue
+                self._arc(self.na_state, self.true_state,
+                          "<or-branch>", guard=repr(branch)[1:-1],
+                          actions=("queue.upload()",))
+        elif isinstance(predicate, NotPredicate):
+            # Extension: a witness for the inner predicate falsifies
+            # the step (NA -> START), and the end event confirms it
+            # (NA -> TRUE) — the inverted polarity of not().
+            self._arc(self.na_state, self.start, "<witness>",
+                      guard=repr(predicate.inner)[1:-1],
+                      actions=("queue.clear()",))
+            self._arc(self.na_state, self.true_state,
+                      "</%s>" % tag, guard=repr(predicate)[1:-1],
+                      actions=("queue.upload()",))
+        else:
+            raise TypeError("predicate %r does not need deciding arcs"
+                            % predicate)
+
+    # -- runtime verdicts (the template logic, executed) -------------------
+
+    def begin_verdict(self, attrs: Dict[str, str]) -> Optional[bool]:
+        """Evaluate every begin-decidable predicate of this step.
+
+        Returns False if a category-1 predicate fails (Figure 5's path to
+        the FAILED sink — the activation is dead immediately), True if
+        *all* predicates are already satisfied (no NA state needed), and
+        None when undecided predicates remain (enter NA).
+        """
+        step = self.step
+        if step is None or not step.predicates:
+            return True
+        undecided = False
+        for predicate in step.predicates:
+            if isinstance(predicate, (AttrExists, AttrCompare)):
+                if not self.attr_verdict(predicate, attrs):
+                    return False
+            elif isinstance(predicate, NotPredicate) \
+                    and predicate.resolves_at_begin:
+                if self.attr_verdict(predicate.inner, attrs):
+                    return False
+            elif isinstance(predicate, OrPredicate):
+                if any(branch.resolves_at_begin
+                       and self.attr_verdict(branch, attrs)
+                       for branch in predicate.branches):
+                    continue  # one true branch settles the disjunction
+                if predicate.resolves_at_begin:
+                    return False  # all branches attr-decidable and false
+                undecided = True
+            else:
+                undecided = True
+        return None if undecided else True
+
+    @staticmethod
+    def attr_verdict(predicate: Predicate, attrs: Dict[str, str]) -> bool:
+        """Evaluate a category-1 predicate against an attribute map."""
+        if isinstance(predicate, AttrExists):
+            return predicate.attr in attrs
+        if isinstance(predicate, AttrCompare):
+            value = attrs.get(predicate.attr)
+            return value is not None and compare(value, predicate.op,
+                                                 predicate.value)
+        return False
+
+    @staticmethod
+    def child_begin_verdict(predicate: Predicate, tag: str,
+                            attrs: Dict[str, str]) -> bool:
+        """Does a child's begin event satisfy a category-3/4 predicate?"""
+        if isinstance(predicate, ChildExists):
+            return test_tag(predicate.child, tag)
+        if isinstance(predicate, ChildAttrExists):
+            return test_tag(predicate.child, tag) and predicate.attr in attrs
+        if isinstance(predicate, ChildAttrCompare):
+            if not test_tag(predicate.child, tag):
+                return False
+            value = attrs.get(predicate.attr)
+            return value is not None and compare(value, predicate.op,
+                                                 predicate.value)
+        return False
+
+    @staticmethod
+    def text_verdict(predicate: Predicate, text: str) -> bool:
+        """Does an element's own text event satisfy a category-2 predicate?"""
+        if isinstance(predicate, TextExists):
+            return bool(text.strip())
+        if isinstance(predicate, TextCompare):
+            return compare(text, predicate.op, predicate.value)
+        return False
+
+    @staticmethod
+    def child_text_verdict(predicate: Predicate, child_tag: str,
+                           text: str) -> bool:
+        """Does a child's text event satisfy a category-5 predicate?"""
+        if isinstance(predicate, ChildTextCompare):
+            return (test_tag(predicate.child, child_tag)
+                    and compare(text, predicate.op, predicate.value))
+        return False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def category(self) -> int:
+        """Highest predicate category of the step (0 = no predicate)."""
+        if self.step is None or not self.step.predicates:
+            return 0
+        return max(p.category for p in self.step.predicates)
+
+    @property
+    def has_na_state(self) -> bool:
+        return self.na_state is not None
+
+    def describe(self) -> str:
+        """Human-readable dump used by the CLI's --explain flag."""
+        header = "bpdt(%d,%d)" % self.bpdt_id
+        what = "<root>" if self.step is None else repr(self.step)
+        lines = ["%s for %s" % (header, what)]
+        for arc in self.arcs:
+            lines.append("  " + repr(arc))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<Bpdt (%d,%d) %s>" % (self.bpdt_id[0], self.bpdt_id[1],
+                                      self.step if self.step else "<root>")

@@ -1,0 +1,101 @@
+"""Depth vectors (Section 4.3).
+
+A depth vector records, for one current state of the nondeterministic
+HPDT, the depths of the begin events whose transitions led to that
+state.  It "simulates the stack operations for every possible path that
+the element matches the query": two embeddings of the same element that
+differ anywhere along the path have different depth vectors, so buffer
+operations scoped to one embedding never touch items belonging to
+another (the Example 6 scenario: clearing at depth vector ``(1,9)``
+must not delete the item enqueued under ``(1,2)``).
+
+The paper implements depth vectors as bitmap vectors manipulated with
+integer operations.  We store them the same way: since a path's depths
+are strictly increasing and element depth is bounded, a vector of depths
+``(d1 < d2 < ... < dk)`` packs into one integer with bit ``d_i`` set.
+Append/remove/top/prefix tests are single bit operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+
+class DepthVector:
+    """Immutable increasing sequence of depths, packed into an int.
+
+    >>> dv = DepthVector().append(1).append(2)
+    >>> dv.top()
+    2
+    >>> dv.append(5).remove(5) == dv
+    True
+    >>> DepthVector().append(1).append(9).is_prefix_of(dv)
+    False
+    >>> DepthVector().append(1).is_prefix_of(dv)
+    True
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: int = 0):
+        self._bits = bits
+
+    def append(self, depth: int) -> "DepthVector":
+        """Return a new vector with ``depth`` appended (paper's ``dv + e.d``)."""
+        if depth <= 0:
+            raise ValueError("depths are positive (document element is 1)")
+        if self._bits >> depth:
+            raise ValueError(
+                "depth %d is not greater than top %d" % (depth, self.top()))
+        return DepthVector(self._bits | (1 << depth))
+
+    def remove(self, depth: int) -> "DepthVector":
+        """Return a new vector with ``depth`` removed from the end."""
+        if self.top() != depth:
+            raise ValueError(
+                "depth %d is not at the end of %r" % (depth, self))
+        return DepthVector(self._bits & ~(1 << depth))
+
+    def top(self) -> int:
+        """Last (largest) depth in the vector; 0 when empty."""
+        return self._bits.bit_length() - 1 if self._bits else 0
+
+    def is_prefix_of(self, other: "DepthVector") -> bool:
+        """True when this vector is an initial segment of ``other``.
+
+        Buffer operations issued at a state with vector ``p`` apply to
+        items whose vector extends ``p`` — this is the containment test.
+        """
+        if self._bits == other._bits:
+            return True
+        if self._bits & ~other._bits:
+            return False
+        # All our bits are in other; we are a prefix iff every extra bit
+        # of other lies above our top (increasing sequences make the
+        # subset-plus-above test equivalent to initial-segment).
+        extra = other._bits & ~self._bits
+        return (extra & ((1 << (self.top() + 1)) - 1)) == 0
+
+    def to_tuple(self) -> Tuple[int, ...]:
+        return tuple(self)
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        depth = 0
+        while bits:
+            if bits & 1:
+                yield depth
+            bits >>= 1
+            depth += 1
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __eq__(self, other):
+        return isinstance(other, DepthVector) and self._bits == other._bits
+
+    def __hash__(self):
+        return hash(self._bits)
+
+    def __repr__(self):
+        return "DepthVector%r" % (self.to_tuple(),)

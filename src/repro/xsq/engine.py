@@ -1,0 +1,164 @@
+"""XSQ-F: the full streaming XPath engine (closures + multiple
+predicates + aggregations) — the paper's primary artifact.
+
+Typical use::
+
+    from repro import XSQEngine
+    engine = XSQEngine("//pub[year>2000]//book[author]//name/text()")
+    for value in engine.iter_results("catalog.xml"):
+        print(value)
+
+The compiled HPDT is built once per engine and reused across documents;
+each ``run``/``iter_results`` call creates a fresh runtime.  Results are
+emitted in document order, each exactly once, as soon as the paper's
+buffer discipline allows (an item leaves the buffer the moment the last
+governing predicate resolves *and* it reaches the head of the queue).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.streaming.events import Event
+from repro.streaming.sax_source import parse_events
+from repro.xpath.ast import AggregateOutput, Query
+from repro.xpath.parser import parse_query
+from repro.xsq.aggregates import StatBuffer
+from repro.xsq.buffers import BufferTrace
+from repro.xsq.hpdt import Hpdt
+from repro.xsq.matcher import MatcherRuntime
+
+
+class RunStats:
+    """Counters from one engine run, used by tests and the bench harness."""
+
+    __slots__ = ("events", "enqueued", "cleared", "emitted",
+                 "peak_buffered_items", "peak_instances")
+
+    def __init__(self, events=0, enqueued=0, cleared=0, emitted=0,
+                 peak_buffered_items=0, peak_instances=0):
+        self.events = events
+        self.enqueued = enqueued
+        self.cleared = cleared
+        self.emitted = emitted
+        self.peak_buffered_items = peak_buffered_items
+        self.peak_instances = peak_instances
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return "RunStats(%s)" % ", ".join(
+            "%s=%d" % (k, v) for k, v in self.as_dict().items())
+
+
+class XSQEngine:
+    """The XSQ-F engine: one compiled query, many documents."""
+
+    name = "xsq-f"
+    supports_predicates = True
+    supports_closures = True
+    supports_aggregates = True
+    streaming = True
+
+    def __init__(self, query: Union[str, Query], trace: bool = False):
+        self.query = parse_query(query) if isinstance(query, str) else query
+        self.hpdt = Hpdt(self.query)
+        self.trace: Optional[BufferTrace] = BufferTrace() if trace else None
+        self.last_stats: Optional[RunStats] = None
+        self.last_stat_buffer: Optional[StatBuffer] = None
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, source, sink: Optional[List[str]] = None) -> List[str]:
+        """Evaluate the query over ``source`` and return all results.
+
+        ``source`` may be a path, XML text, bytes, a file object, or an
+        iterable of events.  For aggregate queries the single final
+        value is returned (as a one-element list).  ``sink`` may supply
+        a custom result collector (anything with ``append``; the bench
+        harness passes a counting sink so memory measurements do not
+        charge the engine for the caller's result list).
+        """
+        events = self._as_events(source)
+        if sink is None:
+            sink = []
+        runtime, stat = self._new_runtime(sink)
+        count = 0
+        feed = runtime.feed
+        for event in events:
+            count += 1
+            feed(event)
+        runtime.finish()
+        self._capture_stats(runtime, count, stat)
+        if stat is not None:
+            return [stat.render()]
+        return sink
+
+    def iter_results(self, source) -> Iterator[str]:
+        """Yield results incrementally, as soon as they are determined.
+
+        For aggregate queries this yields every intermediate value (the
+        paper's streaming ``stat.update`` semantics for unbounded
+        streams), ending with the final value.
+        """
+        events = self._as_events(source)
+        sink: List[str] = []
+        runtime, stat = self._new_runtime(sink, streaming_agg=True)
+        count = 0
+        for event in events:
+            count += 1
+            runtime.feed(event)
+            if stat is not None:
+                for value in stat.drain_snapshots():
+                    yield value
+            elif sink:
+                # Drain (don't retain) so unbounded streams run in
+                # bounded memory.
+                for value in sink:
+                    yield value
+                sink.clear()
+        runtime.finish()
+        self._capture_stats(runtime, count, stat)
+        if stat is not None:
+            yield stat.render()
+        else:
+            for value in sink:
+                yield value
+            sink.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _as_events(self, source) -> Iterable[Event]:
+        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
+            return parse_events(source)
+        return source
+
+    def _new_runtime(self, sink: List[str], streaming_agg: bool = False):
+        stat = None
+        if isinstance(self.query.output, AggregateOutput):
+            stat = StatBuffer(self.query.output.name,
+                              track_snapshots=streaming_agg)
+        runtime = MatcherRuntime(self.hpdt, sink, trace=self.trace,
+                                 stat=stat)
+        return runtime, stat
+
+    def _capture_stats(self, runtime: MatcherRuntime, events: int,
+                       stat: Optional[StatBuffer]) -> None:
+        queue = runtime.queue
+        self.last_stats = RunStats(
+            events=events,
+            enqueued=queue.enqueued_total,
+            cleared=queue.cleared_total,
+            emitted=queue.emitted_total,
+            peak_buffered_items=queue.peak_size,
+            peak_instances=runtime.peak_instances,
+        )
+        self.last_stat_buffer = stat
+
+    def explain(self) -> str:
+        """Describe the compiled HPDT (the CLI's --explain output)."""
+        return self.hpdt.describe()
+
+    def __repr__(self):
+        return "<XSQEngine %r>" % (self.query.text,)

@@ -1,0 +1,112 @@
+"""Regenerate the paper's automaton figures from the implementation.
+
+Figures 5–12 of the paper are drawings of the BPDT templates and the
+running example's HPDT.  Because this reproduction materializes those
+automata as data (:class:`repro.xsq.bpdt.Bpdt`,
+:class:`repro.xsq.hpdt.Hpdt`), the figures can be *regenerated* from
+the code — the checked-in ``docs/FIGURES.md`` is produced by this
+module and a test asserts it is current, so the documentation cannot
+drift from the implementation.
+
+Usage::
+
+    python -m repro.xsq.paperfigs            # print to stdout
+    python -m repro.xsq.paperfigs --write    # refresh docs/FIGURES.md
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.xpath.parser import parse_query
+from repro.xsq.bpdt import Bpdt
+from repro.xsq.hpdt import Hpdt
+
+#: (figure label, description, location step) for each template figure.
+TEMPLATE_FIGURES = (
+    ("Figure 5", "category 1: attribute comparison", "/tag[@attr=1]"),
+    ("Figure 6", "category 2: own-text comparison", "/tag[text()=1]"),
+    ("Figure 7", "category 4: child-attribute comparison",
+     "/tag[child@attr=1]"),
+    ("Figure 8", "category 3: child existence", "/tag[child]"),
+    ("Figure 9", "category 5: child-text comparison", "/tag[child=1]"),
+)
+
+FIGURE10_QUERY = "/pub[year>2000]"
+FIGURE11_QUERY = "//pub[year>2000]//book[author]//name/text()"
+
+
+def _template_section(label: str, description: str, step_text: str) -> str:
+    step = parse_query(step_text).steps[0]
+    bpdt = Bpdt(step, (1, 1))
+    lines = ["## %s — template for `%s` (%s)" % (label, step_text,
+                                                 description), ""]
+    lines.append("```")
+    lines.append(bpdt.describe())
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_figures() -> str:
+    """The full FIGURES.md content."""
+    parts: List[str] = [
+        "# The paper's automata, regenerated from the code",
+        "",
+        "Produced by `python -m repro.xsq.paperfigs --write`; the test",
+        "suite asserts this file matches the implementation, so these",
+        "are the templates the engines actually run, not drawings.",
+        "",
+        "States are shown as `$n`; `START`/`TRUE`/`NA` follow the",
+        "paper's roles.  Arc notation: `<tag>` begin events, `</tag>`",
+        "end events, `<tag.text()>` text events, `[guard]` predicates,",
+        "`{action}` buffer operations, a trailing `=` marks a closure",
+        "transition, and `-//->` is the closure self-loop (Section 4.2).",
+        "",
+    ]
+    for label, description, step_text in TEMPLATE_FIGURES:
+        parts.append(_template_section(label, description, step_text))
+    # Figure 10: single-step query with catchall output.
+    hpdt10 = Hpdt(FIGURE10_QUERY)
+    parts.append("## Figure 10 — BPDT for `%s` (catchall output)\n"
+                 % FIGURE10_QUERY)
+    parts.append("```\n%s\n```\n" % hpdt10.describe())
+    # Figure 12: the root template.
+    parts.append("## Figure 12 — the root BPDT\n")
+    parts.append("```\n%s\n```\n" % Bpdt(None, (0, 0)).describe())
+    # Figure 11: the running example's full HPDT.
+    hpdt11 = Hpdt(FIGURE11_QUERY)
+    parts.append("## Figure 11 — HPDT for `%s`\n" % FIGURE11_QUERY)
+    parts.append("```\n%s\n```\n" % hpdt11.describe())
+    parts.append("GraphViz rendering of the same HPDT: run "
+                 "`xsq --dot \"%s\"`.\n" % FIGURE11_QUERY)
+    return "\n".join(parts)
+
+
+def figures_path() -> str:
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(root, "docs", "FIGURES.md")
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.xsq.paperfigs",
+        description="Regenerate the paper's automaton figures.")
+    parser.add_argument("--write", action="store_true",
+                        help="write docs/FIGURES.md instead of stdout")
+    args = parser.parse_args(argv)
+    content = render_figures()
+    if args.write:
+        with open(figures_path(), "w", encoding="utf-8") as out:
+            out.write(content)
+        print("wrote %s" % figures_path())
+    else:
+        print(content)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

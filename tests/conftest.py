@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dom import DomEngine, build_dom, evaluate
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+# Figure 1 of the paper, minus the synthetic <root> wrapper (the paper's
+# SAX parser adds that wrapper for the document node; our engines model
+# it as the virtual root).
+FIG1 = """
+<pub>
+ <book id="1">
+  <price>12.00</price>
+  <name>First</name>
+  <author>A</author>
+  <price type="discount">10.00</price>
+ </book>
+ <book id="2">
+  <price>14.00</price>
+  <name>Second</name>
+  <author>A</author>
+  <author>B</author>
+  <price type="discount">12.00</price>
+ </book>
+ <year>2002</year>
+</pub>
+"""
+
+# Figure 2 of the paper: recursive structure (a pub inside a book).
+FIG2 = """
+<pub>
+ <book>
+  <name>X</name>
+  <author>A</author>
+ </book>
+ <book>
+  <name>Y</name>
+  <pub>
+   <book>
+    <name>Z</name>
+    <author>B</author>
+   </book>
+   <year>1999</year>
+  </pub>
+ </book>
+ <year>2002</year>
+</pub>
+"""
+
+
+@pytest.fixture
+def fig1():
+    return FIG1
+
+
+@pytest.fixture
+def fig2():
+    return FIG2
+
+
+def oracle(query: str, xml: str):
+    """Evaluate via the DOM reference implementation."""
+    return evaluate(build_dom(xml), query)
+
+
+def assert_engines_match_oracle(query: str, xml: str):
+    """XSQ-F (and XSQ-NC when applicable) must equal the DOM oracle."""
+    expected = oracle(query, xml)
+    actual = XSQEngine(query).run(xml)
+    assert actual == expected, (
+        "XSQ-F mismatch for %r:\n  engine: %r\n  oracle: %r"
+        % (query, actual, expected))
+    if "//" not in query:
+        nc_actual = XSQEngineNC(query).run(xml)
+        assert nc_actual == expected, (
+            "XSQ-NC mismatch for %r:\n  engine: %r\n  oracle: %r"
+            % (query, nc_actual, expected))
+    return expected

@@ -1,0 +1,115 @@
+"""Unit tests for the statistics buffer (Section 4.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xsq.aggregates import StatBuffer, format_number
+
+
+class TestFormatNumber:
+    def test_integral_renders_without_point(self):
+        assert format_number(3.0) == "3"
+        assert format_number(0.0) == "0"
+        assert format_number(-7.0) == "-7"
+
+    def test_fractional_keeps_point(self):
+        assert format_number(5.5) == "5.5"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "NaN"
+
+
+class TestCount:
+    def test_empty(self):
+        assert StatBuffer("count").render() == "0"
+
+    def test_counts_updates(self):
+        stat = StatBuffer("count")
+        for _ in range(5):
+            stat.update(1.0)
+        assert stat.render() == "5"
+        assert stat.contributions == 5
+
+
+class TestSum:
+    def test_empty_sum_is_zero(self):
+        assert StatBuffer("sum").render() == "0"
+
+    def test_sums(self):
+        stat = StatBuffer("sum")
+        stat.update(2.0)
+        stat.update(3.5)
+        assert stat.render() == "5.5"
+
+    def test_update_text_skips_non_numeric(self):
+        stat = StatBuffer("sum")
+        assert stat.update_text("10") is True
+        assert stat.update_text("n/a") is False
+        assert stat.update_text(" 2.5 ") is True
+        assert stat.render() == "12.5"
+
+
+class TestAvgMinMax:
+    def test_empty_undefined(self):
+        for name in ("avg", "min", "max"):
+            assert StatBuffer(name).render() == "NA"
+            assert StatBuffer(name).value() is None
+
+    def test_avg(self):
+        stat = StatBuffer("avg")
+        for value in (1.0, 2.0, 6.0):
+            stat.update(value)
+        assert stat.render() == "3"
+
+    def test_min_max(self):
+        low, high = StatBuffer("min"), StatBuffer("max")
+        for value in (4.0, -2.0, 9.0):
+            low.update(value)
+            high.update(value)
+        assert low.render() == "-2"
+        assert high.render() == "9"
+
+
+class TestSnapshots:
+    def test_snapshots_track_every_update(self):
+        stat = StatBuffer("count", track_snapshots=True)
+        stat.update(1.0)
+        stat.update(1.0)
+        assert stat.snapshots == ["1", "2"]
+
+    def test_snapshots_disabled_by_default(self):
+        with pytest.raises(RuntimeError):
+            StatBuffer("count").snapshots
+
+    def test_running_sum_snapshots(self):
+        stat = StatBuffer("sum", track_snapshots=True)
+        stat.update(1.5)
+        stat.update(2.5)
+        assert stat.snapshots == ["1.5", "4"]
+
+
+class TestValidation:
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            StatBuffer("median")
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1))
+    def test_invariants(self, values):
+        stats = {name: StatBuffer(name)
+                 for name in ("count", "sum", "avg", "min", "max")}
+        for value in values:
+            for stat in stats.values():
+                stat.update(value)
+        assert stats["count"].value() == len(values)
+        assert stats["sum"].value() == pytest.approx(sum(values))
+        assert stats["min"].value() == min(values)
+        assert stats["max"].value() == max(values)
+        assert stats["avg"].value() == pytest.approx(
+            sum(values) / len(values))
+        tolerance = 1e-6 * (abs(stats["min"].value())
+                            + abs(stats["max"].value()) + 1)
+        assert stats["min"].value() - tolerance <= stats["avg"].value() \
+            <= stats["max"].value() + tolerance

@@ -1,0 +1,138 @@
+"""The DOM engine/oracle itself needs direct tests: it anchors all the
+differential testing, so its behaviour is pinned down by hand here."""
+
+import pytest
+
+from repro.baselines.dom import (
+    DomEngine,
+    build_dom,
+    evaluate,
+    match_elements,
+)
+from repro.xpath.parser import parse_query
+
+
+class TestTreeBuilding:
+    def test_structure(self, fig1):
+        document = build_dom(fig1)
+        assert document.root.tag == "pub"
+        assert [c.tag for c in document.root.children] == \
+            ["book", "book", "year"]
+        assert document.root.children[0].attrs == {"id": "1"}
+
+    def test_texts_and_positions(self):
+        document = build_dom("<a>x<b>y</b>z</a>")
+        assert document.root.texts == ["x", "z"]
+        positions = document.text_positions(document.root)
+        assert len(positions) == 2
+        assert positions[0] < positions[1]
+
+    def test_parent_links(self, fig1):
+        document = build_dom(fig1)
+        book = document.root.children[0]
+        assert book.parent is document.root
+        assert document.root.parent is None
+
+    def test_iter_descendants_document_order(self):
+        document = build_dom("<a><b><c/></b><d/></a>")
+        assert [el.tag for el in document.root.iter_descendants()] == \
+            ["b", "c", "d"]
+
+    def test_iter_elements_includes_root(self):
+        document = build_dom("<a><b/></a>")
+        assert [el.tag for el in document.iter_elements()] == ["a", "b"]
+
+    def test_serialize_roundtrip(self):
+        xml = '<a k="1">x<b>y</b>z</a>'
+        assert build_dom(xml).root.serialize() == xml
+
+    def test_node_count(self):
+        document = build_dom("<a><b>x</b><c/></a>")
+        # begin a, begin b, text, end b, begin c, end c, end a = 7 events
+        assert document.node_count == 7
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(Exception):
+            build_dom("")
+
+
+class TestMatching:
+    def test_child_axis_from_root(self, fig1):
+        matches = match_elements(build_dom(fig1), parse_query("/pub/book"))
+        assert [el.attrs.get("id") for el in matches] == ["1", "2"]
+
+    def test_first_step_must_match_document_element(self, fig1):
+        assert match_elements(build_dom(fig1), parse_query("/book")) == []
+
+    def test_descendant_axis_matches_everything_matching(self, fig2):
+        matches = match_elements(build_dom(fig2), parse_query("//name"))
+        assert len(matches) == 3
+
+    def test_descendant_deduplicates(self, fig2):
+        # Z's name matches //pub//book//name via several embeddings.
+        matches = match_elements(build_dom(fig2),
+                                 parse_query("//pub//book//name"))
+        texts = ["".join(el.texts).strip() for el in matches]
+        assert texts == ["X", "Y", "Z"]
+
+    def test_results_in_document_order(self):
+        xml = "<r><z><n>2</n></z><a><n>1</n></a></r>"
+        matches = match_elements(build_dom(xml), parse_query("//n"))
+        assert ["".join(el.texts) for el in matches] == ["2", "1"]
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("query,expected_ids", [
+        ("/pub/book[@id]", ["1", "2"]),
+        ("/pub/book[@id=1]", ["1"]),
+        ("/pub/book[@id>1]", ["2"]),
+        ("/pub/book[price<11]", ["1"]),
+        ("/pub/book[price>13]", ["2"]),
+        ("/pub/book[author]", ["1", "2"]),
+        ("/pub/book[zzz]", []),
+        ("/pub/book[price@type]", ["1", "2"]),
+        ("/pub/book[price@type='discount']", ["1", "2"]),
+        ("/pub/book[price@missing]", []),
+    ])
+    def test_on_fig1(self, query, expected_ids, fig1):
+        matches = match_elements(build_dom(fig1), parse_query(query))
+        assert [el.attrs.get("id") for el in matches] == expected_ids
+
+    def test_text_predicates(self):
+        xml = "<r><v>10</v><v>20</v><v/></r>"
+        document = build_dom(xml)
+        assert len(match_elements(document, parse_query("/r/v[text()]"))) == 2
+        assert len(match_elements(document,
+                                  parse_query("/r/v[text()>15]"))) == 1
+
+
+class TestEvaluation:
+    def test_text_output_global_document_order(self):
+        # Text chunks of nested matches interleave in document order.
+        xml = "<a>x<a>y</a>z</a>"
+        assert evaluate(build_dom(xml), "//a/text()") == ["x", "y", "z"]
+
+    def test_attr_output_skips_missing(self):
+        xml = '<r><b id="1"/><b/><b id="3"/></r>'
+        assert evaluate(build_dom(xml), "/r/b/@id") == ["1", "3"]
+
+    def test_element_output(self):
+        xml = "<r><b>x</b></r>"
+        assert evaluate(build_dom(xml), "/r/b") == ["<b>x</b>"]
+
+    def test_aggregates(self, fig1):
+        document = build_dom(fig1)
+        assert evaluate(document, "/pub/book/count()") == ["2"]
+        assert evaluate(document, "/pub/book/price/sum()") == ["48"]
+        assert evaluate(document, "/pub/book/price/min()") == ["10"]
+
+    def test_engine_facade_phases(self, fig1):
+        engine = DomEngine("/pub/book/name/text()")
+        with pytest.raises(RuntimeError):
+            engine.run_query()
+        engine.preprocess(fig1)
+        assert engine.run_query() == ["First", "Second"]
+
+    def test_accepts_parsed_query(self, fig1):
+        engine = DomEngine(parse_query("/pub/year/text()"))
+        assert engine.run(fig1) == ["2002"]

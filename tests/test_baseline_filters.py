@@ -1,0 +1,110 @@
+"""XFilter / YFilter analogues: document filtering."""
+
+import pytest
+
+from repro.baselines.xfilter import XFilterEngine
+from repro.baselines.yfilter import YFilterEngine
+from repro.errors import UnsupportedFeatureError
+
+from conftest import oracle
+
+DOCS = {
+    "catalog": "<pub><book><name>N</name><author>A</author></book>"
+               "<year>2002</year></pub>",
+    "feed": '<feed><quote s="X"><price>1</price></quote></feed>',
+    "deep": "<a><b><c><d><target/></d></c></b></a>",
+    "flat": "<flat><x/><y/></flat>",
+}
+
+QUERIES = [
+    "/pub/book/name",
+    "//author",
+    "/feed/quote/price",
+    "//target",
+    "/a/b/c",
+    "//c//target",
+    "/flat/*",
+    "/nomatch/at/all",
+]
+
+
+def oracle_filter(query, xml):
+    """A document matches iff the oracle finds at least one element."""
+    return bool(oracle(query, xml))
+
+
+class TestXFilter:
+    def test_registration_ids_sequential(self):
+        engine = XFilterEngine()
+        assert engine.register("/a/b") == 0
+        assert engine.register("//c") == 1
+        assert engine.query_count == 2
+
+    def test_rejects_predicates(self):
+        with pytest.raises(UnsupportedFeatureError):
+            XFilterEngine(["/a[b]/c"])
+
+    @pytest.mark.parametrize("doc_id", sorted(DOCS))
+    def test_matches_agree_with_oracle(self, doc_id):
+        engine = XFilterEngine(QUERIES)
+        xml = DOCS[doc_id]
+        expected = {qid for qid, query in enumerate(QUERIES)
+                    if oracle_filter(query, xml)}
+        assert engine.matches(xml) == expected
+
+    def test_filter_documents_collection(self):
+        engine = XFilterEngine(["//author"])
+        results = engine.filter_documents(
+            (doc_id, xml) for doc_id, xml in DOCS.items())
+        assert results["catalog"] == {0}
+        assert results["feed"] == set()
+
+    def test_no_queries_no_matches(self):
+        assert XFilterEngine().matches(DOCS["catalog"]) == set()
+
+
+class TestYFilter:
+    @pytest.mark.parametrize("doc_id", sorted(DOCS))
+    def test_matches_agree_with_oracle(self, doc_id):
+        engine = YFilterEngine(QUERIES)
+        xml = DOCS[doc_id]
+        expected = {qid for qid, query in enumerate(QUERIES)
+                    if oracle_filter(query, xml)}
+        assert engine.matches(xml) == expected
+
+    @pytest.mark.parametrize("doc_id", sorted(DOCS))
+    def test_agrees_with_xfilter(self, doc_id):
+        xml = DOCS[doc_id]
+        assert YFilterEngine(QUERIES).matches(xml) == \
+            XFilterEngine(QUERIES).matches(xml)
+
+    def test_prefix_sharing_shrinks_nfa(self):
+        shared = YFilterEngine(["/a/b/c", "/a/b/d", "/a/b/e"])
+        # 3 queries x 3 steps = 9 step nodes unshared; sharing the /a/b
+        # prefix leaves 1 (root) + 2 (a, b) + 3 (c, d, e) = 6.
+        assert shared.node_count == 6
+
+    def test_identical_queries_share_accepting_node(self):
+        engine = YFilterEngine(["//x", "//x"])
+        assert engine.node_count == 2  # root + one x node
+        assert engine.matches("<x/>") == {0, 1}
+
+    def test_closure_after_closure(self):
+        engine = YFilterEngine(["//a//b"])
+        assert engine.matches("<r><a><mid><b/></mid></a></r>") == {0}
+        assert engine.matches("<r><b><a/></b></r>") == set()
+
+    def test_rejects_predicates(self):
+        with pytest.raises(UnsupportedFeatureError):
+            YFilterEngine(["/a[@id]"])
+
+    def test_on_generated_collection(self):
+        from repro.datagen import generate_dblp, generate_shake
+        queries = ["//author", "/PLAY/ACT", "//SPEAKER", "/dblp/article"]
+        yf = YFilterEngine(queries)
+        xf = XFilterEngine(queries)
+        for xml in (generate_dblp(8_000), generate_shake(8_000)):
+            assert yf.matches(xml) == xf.matches(xml)
+            expected = {qid for qid, query in enumerate(queries)
+                        if oracle_filter(query, xml)}
+            assert yf.matches(xml) == expected

@@ -1,0 +1,88 @@
+"""XQEngine analogue: index-then-query engine."""
+
+import pytest
+
+from repro.baselines.fulltext import FullTextEngine, FullTextIndex
+from repro.baselines.dom import build_dom
+
+from conftest import oracle
+
+
+class TestIndex:
+    def test_posting_lists(self, fig1):
+        index = FullTextIndex(build_dom(fig1))
+        assert len(index.by_tag["book"]) == 2
+        assert len(index.by_tag["author"]) == 3
+        # pub + 2 book + 4 price + 2 name + 3 author + 1 year
+        assert index.element_count == 13
+
+    def test_candidates_missing_tag_empty(self, fig1):
+        index = FullTextIndex(build_dom(fig1))
+        assert index.candidates("nothere") == []
+
+    def test_wildcard_candidates_in_document_order(self):
+        index = FullTextIndex(build_dom("<a><b/><c/></a>"))
+        assert [e.element.tag for e in index.candidates("*")] == \
+            ["a", "b", "c"]
+
+    def test_ancestor_chains(self, fig2):
+        index = FullTextIndex(build_dom(fig2))
+        inner_name = index.by_tag["name"][-1]
+        assert [el.tag for el in inner_name.ancestors] == \
+            ["pub", "book", "pub", "book"]
+
+
+class TestQueryResults:
+    QUERIES = [
+        "/pub/book/name/text()",
+        "/pub/book[@id=2]/author/text()",
+        "/pub[year=2002]/book[price<11]/author",
+        "//name/text()",
+        "//pub[year=2002]//book[author]//name",
+        "//book//name",
+        "/pub/book/count()",
+        "/pub/book/price/sum()",
+        "/pub/book/@id",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_matches_oracle_fig1(self, query, fig1):
+        assert FullTextEngine(query).run(fig1) == oracle(query, fig1)
+
+    @pytest.mark.parametrize("query", [
+        "//pub[year=2002]//book[author]//name",
+        "//pub//book//name/text()",
+        "//book[author]//name",
+    ])
+    def test_matches_oracle_fig2(self, query, fig2):
+        assert FullTextEngine(query).run(fig2) == oracle(query, fig2)
+
+    def test_matches_oracle_generated(self):
+        from repro.datagen import generate_dblp
+        xml = generate_dblp(20_000)
+        for query in ("/dblp/article/title/text()",
+                      "/dblp/inproceedings[author]/title/text()"):
+            assert FullTextEngine(query).run(xml) == oracle(query, xml)
+
+
+class TestPhases:
+    def test_query_requires_preprocess(self, fig1):
+        engine = FullTextEngine("/pub/book/name/text()")
+        with pytest.raises(RuntimeError):
+            engine.run_query()
+        engine.preprocess(fig1)
+        assert engine.run_query() == ["First", "Second"]
+
+    def test_index_reused_across_queries(self, fig1):
+        engine = FullTextEngine("/pub/book/name/text()")
+        engine.preprocess(fig1)
+        first = engine.run_query()
+        second = engine.run_query()
+        assert first == second
+
+    def test_missing_tag_returns_empty_fast(self, fig1):
+        # The paper: "if the query contains a tag that is not in the
+        # data, XQEngine returns the empty result set immediately."
+        engine = FullTextEngine("/pub/nonexistent/text()")
+        engine.preprocess(fig1)
+        assert engine.run_query() == []

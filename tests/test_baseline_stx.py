@@ -1,0 +1,98 @@
+"""Joost/STX analogue: preceding-data-only predicate semantics."""
+
+import pytest
+
+from repro.baselines.stx import StxEngine
+from repro.xsq.engine import XSQEngine
+
+from conftest import oracle
+
+
+class TestPrecedingDataSemantics:
+    def test_evidence_before_candidate_is_seen(self):
+        xml = "<r><g><flag>1</flag><n>kept</n></g></r>"
+        assert StxEngine("/r/g[flag=1]/n/text()").run(xml) == ["kept"]
+
+    def test_evidence_after_candidate_is_lost(self):
+        # This is the defining restriction: XSQ finds the result, STX
+        # does not, because the flag streams after the candidate.
+        xml = "<r><g><n>lost</n><flag>1</flag></g></r>"
+        query = "/r/g[flag=1]/n/text()"
+        assert StxEngine(query).run(xml) == []
+        assert XSQEngine(query).run(xml) == ["lost"]
+
+    def test_example1_returns_nothing(self, fig1):
+        # The year arrives last; no author can ever be emitted.
+        query = "/pub[year=2002]/book[price<11]/author"
+        assert StxEngine(query).run(fig1) == []
+        assert XSQEngine(query).run(fig1) == ["<author>A</author>"]
+
+    def test_attribute_predicates_always_available(self):
+        # Attributes arrive with the begin event, so category-1
+        # predicates behave identically to XSQ.
+        xml = '<r><b id="1"><n>x</n></b><b><n>y</n></b></r>'
+        query = "/r/b[@id]/n/text()"
+        assert StxEngine(query).run(xml) == XSQEngine(query).run(xml)
+
+    def test_mixed_one_predicate_early_one_late(self):
+        xml = ("<r><g><flag>1</flag><n>seen</n><late>1</late></g></r>")
+        # flag precedes, late follows: the conjunction is not yet true
+        # when n streams past.
+        assert StxEngine("/r/g[flag=1][late=1]/n/text()").run(xml) == []
+        assert StxEngine("/r/g[flag=1]/n/text()").run(xml) == ["seen"]
+
+
+class TestAgreementWhenEvidencePrecedes:
+    """When all deciding data precedes every candidate, STX must agree
+    with the oracle exactly."""
+
+    @pytest.mark.parametrize("query,xml", [
+        ("/r/b/n/text()", "<r><b><n>1</n></b><b><n>2</n></b></r>"),
+        ("//n/text()", "<r><x><n>a</n></x><n>b</n></r>"),
+        ("/r/b/@id", '<r><b id="7"><n/></b></r>'),
+        ("/r/g[flag]/n/text()",
+         "<r><g><flag/><n>x</n></g><g><n>y</n></g></r>"),
+        ("/r/g[@on=1]/n/text()",
+         '<r><g on="1"><n>x</n></g><g><n>y</n></g></r>'),
+    ])
+    def test_matches_oracle(self, query, xml):
+        assert StxEngine(query).run(xml) == oracle(query, xml)
+
+    def test_closures_supported(self, fig2):
+        assert StxEngine("//name/text()").run(fig2) == \
+            oracle("//name/text()", fig2)
+
+    def test_aggregates_supported(self):
+        xml = "<r><v>1</v><v>2</v></r>"
+        assert StxEngine("/r/v/sum()").run(xml) == ["3"]
+        assert StxEngine("/r/v/count()").run(xml) == ["2"]
+
+    def test_element_output(self):
+        xml = "<r><b><c>x</c></b></r>"
+        assert StxEngine("/r/b").run(xml) == ["<b><c>x</c></b>"]
+
+
+class TestOrderingDataset:
+    """The Figure 21 scenario is exactly STX's sweet/sore spot."""
+
+    def test_whole_element_output_needs_evidence_before_begin(self):
+        # Copying the whole <a> element through requires the predicate
+        # to be known at its begin event; child-based evidence arrives
+        # too late either way, attribute evidence is on time.
+        xml = ('<root><a id="1"><prior>0</prior><foo>1</foo>'
+               '<posterior>0</posterior></a></root>')
+        assert StxEngine("/root/a[prior=0]").run(xml) == []
+        assert StxEngine("/root/a[posterior=0]").run(xml) == []
+        assert StxEngine("/root/a[@id=1]").run(xml) == \
+            ['<a id="1"><prior>0</prior><foo>1</foo>'
+             '<posterior>0</posterior></a>']
+
+    def test_prior_vs_posterior_for_inner_results(self):
+        xml = ('<root><a id="1"><prior>0</prior><foo>1</foo>'
+               '<posterior>0</posterior></a></root>')
+        # A result element that begins after the deciding child streams
+        # is emitted; one that begins before is lost.
+        assert StxEngine("/root/a[prior=0]/posterior/text()").run(xml) \
+            == ["0"]
+        assert StxEngine("/root/a[posterior=0]/prior/text()").run(xml) \
+            == []

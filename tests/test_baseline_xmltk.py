@@ -1,0 +1,86 @@
+"""XMLTK analogue: lazy-DFA path engine."""
+
+import pytest
+
+from repro.baselines.xmltk import XmltkEngine
+from repro.errors import UnsupportedFeatureError
+
+from conftest import oracle
+
+
+class TestScope:
+    def test_rejects_predicates(self):
+        with pytest.raises(UnsupportedFeatureError):
+            XmltkEngine("/a[b]/c")
+
+    def test_rejects_aggregates(self):
+        with pytest.raises(UnsupportedFeatureError):
+            XmltkEngine("/a/b/count()")
+
+    def test_accepts_closures_and_wildcards(self):
+        XmltkEngine("//a/*/b/text()")
+
+
+class TestResults:
+    @pytest.mark.parametrize("query", [
+        "/pub/book/name/text()",
+        "/pub/book/@id",
+        "/pub/book/author",
+        "//name/text()",
+        "//book//author/text()",
+        "/pub/*/name/text()",
+        "//pub//book//name",
+    ])
+    def test_matches_oracle_fig1(self, query, fig1):
+        assert XmltkEngine(query).run(fig1) == oracle(query, fig1)
+
+    @pytest.mark.parametrize("query", [
+        "//name/text()",
+        "//pub//book//name",
+        "//book//name/text()",
+        "//book",
+    ])
+    def test_matches_oracle_fig2_recursive(self, query, fig2):
+        assert XmltkEngine(query).run(fig2) == oracle(query, fig2)
+
+    def test_matches_oracle_generated(self):
+        from repro.datagen import generate_recursive
+        xml = generate_recursive(20_000, seed=9)
+        for query in ("//book/title/text()", "//pub//title/text()",
+                      "/root/pub/book/@id"):
+            assert XmltkEngine(query).run(xml) == oracle(query, xml)
+
+    def test_nested_element_output_order(self):
+        xml = "<a><a>inner</a></a>"
+        assert XmltkEngine("//a").run(xml) == \
+            ["<a><a>inner</a></a>", "<a>inner</a>"]
+
+    def test_empty_result(self, fig1):
+        assert XmltkEngine("/pub/zzz/text()").run(fig1) == []
+
+
+class TestLazyDfa:
+    def test_states_materialize_lazily(self, fig1):
+        engine = XmltkEngine("//book//name/text()")
+        assert engine.dfa_states == 1  # only the initial state
+        engine.run(fig1)
+        after_first = engine.dfa_states
+        assert after_first > 1
+        # A second identical run adds no states.
+        engine.run(fig1)
+        assert engine.dfa_states == after_first
+
+    def test_transition_cache_reused(self, fig1):
+        engine = XmltkEngine("/pub/book/name/text()")
+        engine.run(fig1)
+        cached = len(engine._transitions)
+        engine.run(fig1)
+        assert len(engine._transitions) == cached
+
+    def test_states_bounded_on_recursive_data(self):
+        from repro.datagen import generate_recursive
+        engine = XmltkEngine("//pub//book/title/text()")
+        engine.run(generate_recursive(30_000, seed=2))
+        # Lazy DFA stays small even though the NFA has exponential
+        # worst-case determinization.
+        assert engine.dfa_states < 40

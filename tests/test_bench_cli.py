@@ -1,0 +1,44 @@
+"""The experiment-runner CLI (python -m repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchMain:
+    def test_fig14_prints_table(self, capsys, tmp_path):
+        assert main(["fig14", "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "XSQ-F" in out and "Joost" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["fig14", "--data-dir", str(tmp_path),
+                     "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["scale"] == 1.0
+        rows = data["experiments"]["fig14"]["rows"]
+        assert any(row["name"] == "XSQ-NC" for row in rows)
+
+    def test_scale_flag_reaches_cache(self, capsys, tmp_path):
+        assert main(["fig15", "--scale", "0.02",
+                     "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SHAKE" in out
+        # Generated files exist in the given directory at tiny scale.
+        generated = list(tmp_path.glob("*.xml"))
+        assert generated
+        assert all(f.stat().st_size < 1_000_000 for f in generated)
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--data-dir", str(tmp_path)])
+
+    def test_ablation_buffering_runs(self, capsys, tmp_path):
+        assert main(["ablation-buffering", "--scale", "0.02",
+                     "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "peak_buffered" in out

@@ -1,0 +1,102 @@
+"""Benchmark-regression comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    Delta,
+    compare_exports,
+    main,
+    regressions,
+)
+
+
+def export(rows, name="fig16"):
+    return {"scale": 1.0, "repeat": 1,
+            "experiments": {name: {"title": "t", "rows": rows,
+                                   "notes": ""}}}
+
+
+BASE_ROW = {"query": "Q2", "system": "XSQ-NC",
+            "relative_throughput": 0.7, "seconds": 0.10, "results": 100}
+
+
+class TestComparison:
+    def test_matching_rows_produce_deltas(self):
+        current = dict(BASE_ROW, seconds=0.12)
+        deltas = compare_exports(export([BASE_ROW]), export([current]))
+        by_metric = {d.metric: d for d in deltas}
+        assert by_metric["seconds"].ratio == pytest.approx(1.2)
+        assert by_metric["relative_throughput"].ratio == pytest.approx(1.0)
+
+    def test_identity_mismatch_not_compared(self):
+        other = dict(BASE_ROW, system="XSQ-F")
+        assert compare_exports(export([BASE_ROW]), export([other])) == []
+
+    def test_note_differences_ignored(self):
+        current = dict(BASE_ROW, note="something changed")
+        baseline_row = dict(BASE_ROW, note="")
+        deltas = compare_exports(export([baseline_row]), export([current]))
+        assert deltas  # still matched despite differing notes
+
+    def test_experiments_intersected(self):
+        deltas = compare_exports(export([BASE_ROW], "fig16"),
+                                 export([BASE_ROW], "fig17"))
+        assert deltas == []
+
+
+class TestRegressionRules:
+    def test_timing_growth_flagged(self):
+        slow = dict(BASE_ROW, seconds=0.25)
+        deltas = compare_exports(export([BASE_ROW]), export([slow]))
+        flagged = regressions(deltas, threshold=1.5)
+        assert [d.metric for d in flagged] == ["seconds"]
+
+    def test_timing_improvement_not_flagged(self):
+        fast = dict(BASE_ROW, seconds=0.02)
+        deltas = compare_exports(export([BASE_ROW]), export([fast]))
+        assert regressions(deltas, threshold=1.5) == []
+
+    def test_throughput_drop_flagged(self):
+        worse = dict(BASE_ROW, relative_throughput=0.3)
+        deltas = compare_exports(export([BASE_ROW]), export([worse]))
+        flagged = regressions(deltas, threshold=1.5)
+        assert [d.metric for d in flagged] == ["relative_throughput"]
+
+    def test_throughput_gain_not_flagged(self):
+        better = dict(BASE_ROW, relative_throughput=0.95)
+        deltas = compare_exports(export([BASE_ROW]), export([better]))
+        assert regressions(deltas, threshold=1.5) == []
+
+    def test_delta_describe_readable(self):
+        delta = Delta("fig16", (("system", "XSQ-NC"),), "seconds",
+                      0.1, 0.3)
+        text = delta.describe()
+        assert "fig16" in text and "XSQ-NC" in text and "x3.00" in text
+
+
+class TestCli:
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(export([BASE_ROW])))
+        b.write_text(json.dumps(export([dict(BASE_ROW)])))
+        assert main([str(a), str(b)]) == 0
+        assert "0 beyond" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(export([BASE_ROW])))
+        b.write_text(json.dumps(export([dict(BASE_ROW, seconds=0.9)])))
+        assert main([str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(export([BASE_ROW])))
+        b.write_text(json.dumps(export([dict(BASE_ROW, seconds=0.18)])))
+        assert main([str(a), str(b), "--threshold", "2.0"]) == 0
+        assert main([str(a), str(b), "--threshold", "1.5"]) == 1

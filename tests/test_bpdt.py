@@ -1,0 +1,174 @@
+"""Unit tests for the BPDT templates (Figures 5-9 and 12)."""
+
+import pytest
+
+from repro.xpath.ast import (
+    ChildAttrCompare,
+    ChildExists,
+    ChildTextCompare,
+    Op,
+    TextCompare,
+    TextExists,
+)
+from repro.xpath.parser import parse_query
+from repro.xsq.bpdt import AUX, Bpdt, FAILED, NA, START, TRUE
+
+
+def bpdt_for(query_step: str) -> Bpdt:
+    step = parse_query(query_step).steps[0]
+    return Bpdt(step, (1, 1))
+
+
+def roles(bpdt):
+    return sorted(state.role for state in bpdt.states)
+
+
+class TestRootTemplate:
+    def test_figure12_shape(self):
+        root = Bpdt(None, (0, 0))
+        assert roles(root) == [START, TRUE]
+        labels = {arc.label for arc in root.arcs}
+        assert labels == {"<root>", "</root>"}
+        assert root.category == 0
+        assert not root.has_na_state
+
+
+class TestTemplateShapes:
+    def test_no_predicate(self):
+        bpdt = bpdt_for("/name")
+        assert roles(bpdt) == [START, TRUE]
+        assert {a.label for a in bpdt.arcs} == {"<name>", "</name>"}
+
+    def test_category1_attr_no_na_state(self):
+        # Figure 5: decided at the begin event; FAILED sink, no NA.
+        bpdt = bpdt_for("/book[@id=1]")
+        assert NA not in roles(bpdt)
+        assert FAILED in roles(bpdt)
+        assert bpdt.category == 1
+
+    def test_category2_text(self):
+        # Figure 6: NA state with text-deciding arcs.
+        bpdt = bpdt_for("/year[text()=2000]")
+        assert NA in roles(bpdt)
+        assert bpdt.category == 2
+        text_arcs = [a for a in bpdt.arcs if a.label == "<year.text()>"]
+        assert len(text_arcs) == 2  # passing and self-loop arcs
+        assert any("queue.upload()" in a.actions for a in text_arcs)
+
+    def test_category3_child(self):
+        # Figure 8.
+        bpdt = bpdt_for("/book[author]")
+        assert NA in roles(bpdt)
+        assert AUX in roles(bpdt)
+        assert bpdt.category == 3
+        child_arcs = [a for a in bpdt.arcs if a.label == "<author>"]
+        assert any("queue.upload()" in a.actions for a in child_arcs)
+
+    def test_category4_child_attr(self):
+        # Figure 7.
+        bpdt = bpdt_for("/pub[book@id<=10]")
+        assert NA in roles(bpdt)
+        assert bpdt.category == 4
+
+    def test_category5_child_text(self):
+        # Figure 9.
+        bpdt = bpdt_for("/pub[year=2002]")
+        assert NA in roles(bpdt)
+        assert bpdt.category == 5
+        # The element's own end event clears the buffer (NA -> START).
+        clears = [a for a in bpdt.arcs
+                  if a.label == "</pub>" and "queue.clear()" in a.actions]
+        assert len(clears) == 1
+
+    def test_na_state_clears_on_end(self):
+        for query in ("/a[text()=1]", "/a[b]", "/a[b@c]", "/a[b=1]"):
+            bpdt = bpdt_for(query)
+            assert any("queue.clear()" in arc.actions for arc in bpdt.arcs), \
+                query
+
+    def test_multi_predicate_step_has_na(self):
+        bpdt = bpdt_for("/book[@id][author]")
+        assert NA in roles(bpdt)
+
+    def test_describe_mentions_id_and_step(self):
+        text = bpdt_for("/book[author]").describe()
+        assert "bpdt(1,1)" in text
+        assert "book" in text
+
+
+class TestBeginVerdict:
+    def test_no_predicates_true(self):
+        assert bpdt_for("/a").begin_verdict({}) is True
+
+    def test_attr_exists(self):
+        bpdt = bpdt_for("/a[@id]")
+        assert bpdt.begin_verdict({"id": "5"}) is True
+        assert bpdt.begin_verdict({}) is False
+
+    def test_attr_compare(self):
+        bpdt = bpdt_for("/a[@id<=10]")
+        assert bpdt.begin_verdict({"id": "7"}) is True
+        assert bpdt.begin_verdict({"id": "11"}) is False
+        assert bpdt.begin_verdict({}) is False
+
+    def test_undecided_returns_none(self):
+        assert bpdt_for("/a[b]").begin_verdict({}) is None
+
+    def test_mixed_attr_failure_dominates(self):
+        bpdt = bpdt_for("/a[@id=1][b]")
+        assert bpdt.begin_verdict({"id": "2"}) is False
+        assert bpdt.begin_verdict({"id": "1"}) is None
+
+
+class TestVerdictHelpers:
+    def test_child_begin_verdict(self):
+        assert Bpdt.child_begin_verdict(ChildExists("b"), "b", {})
+        assert not Bpdt.child_begin_verdict(ChildExists("b"), "c", {})
+        assert Bpdt.child_begin_verdict(ChildExists("*"), "anything", {})
+
+    def test_child_attr_verdict(self):
+        pred = ChildAttrCompare("b", "id", Op.GT, "5")
+        assert Bpdt.child_begin_verdict(pred, "b", {"id": "6"})
+        assert not Bpdt.child_begin_verdict(pred, "b", {"id": "5"})
+        assert not Bpdt.child_begin_verdict(pred, "b", {})
+        assert not Bpdt.child_begin_verdict(pred, "x", {"id": "6"})
+
+    def test_text_verdict(self):
+        assert Bpdt.text_verdict(TextCompare(Op.EQ, "2000"), "2000")
+        assert not Bpdt.text_verdict(TextCompare(Op.EQ, "2000"), "1999")
+        assert Bpdt.text_verdict(TextExists(), "content")
+        assert not Bpdt.text_verdict(TextExists(), "   ")
+
+    def test_child_text_verdict(self):
+        pred = ChildTextCompare("year", Op.GT, "2000")
+        assert Bpdt.child_text_verdict(pred, "year", "2002")
+        assert not Bpdt.child_text_verdict(pred, "year", "1999")
+        assert not Bpdt.child_text_verdict(pred, "month", "2002")
+
+
+class TestClosureTransitions:
+    """Section 4.2: closure steps get a // self-transition on START and
+    their begin arcs become closure ('=') transitions."""
+
+    def test_closure_step_marks(self):
+        from repro.xpath.parser import parse_query
+        step = parse_query("//pub[year>2000]").steps[0]
+        bpdt = Bpdt(step, (1, 1))
+        self_loops = [a for a in bpdt.arcs
+                      if a.label == "//" and a.src is a.dst is bpdt.start]
+        assert len(self_loops) == 1
+        begin_arcs = [a for a in bpdt.arcs
+                      if a.src is bpdt.start and a.label == "<pub>"]
+        assert begin_arcs and all(a.closure for a in begin_arcs)
+
+    def test_child_step_unmarked(self):
+        bpdt = bpdt_for("/pub[year>2000]")
+        assert not any(a.label == "//" for a in bpdt.arcs)
+        assert not any(a.closure for a in bpdt.arcs)
+
+    def test_closure_shows_in_describe(self):
+        from repro.xpath.parser import parse_query
+        step = parse_query("//name").steps[0]
+        text = Bpdt(step, (1, 1)).describe()
+        assert "-//->" in text
+        assert "<name>=" in text

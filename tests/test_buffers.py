@@ -1,0 +1,156 @@
+"""Unit tests for the buffer discipline (Sections 3.3 and 4.3)."""
+
+from repro.xsq.buffers import BufferTrace, OutputQueue
+
+
+def make_queue(trace=False):
+    sink = []
+    queue = OutputQueue(sink, trace=BufferTrace() if trace else None)
+    return queue, sink
+
+
+class TestFifoDiscipline:
+    def test_single_item_flush(self):
+        queue, sink = make_queue()
+        item = queue.new_item("a", (1, 1))
+        queue.mark_output(item)
+        assert sink == ["a"]
+        assert len(queue) == 0
+
+    def test_marked_item_waits_for_head(self):
+        queue, sink = make_queue()
+        first = queue.new_item("first", (1, 1))
+        second = queue.new_item("second", (1, 1))
+        queue.mark_output(second)
+        assert sink == []  # second is marked but not at the head
+        queue.mark_output(first)
+        assert sink == ["first", "second"]
+
+    def test_clearing_head_releases_marked_successor(self):
+        queue, sink = make_queue()
+        first = queue.new_item("first", (1, 1))
+        second = queue.new_item("second", (1, 1))
+        queue.mark_output(second)
+        queue.mark_dead(first)
+        assert sink == ["second"]
+
+    def test_document_order_across_many_items(self):
+        queue, sink = make_queue()
+        items = [queue.new_item(str(i), (1, 1)) for i in range(6)]
+        # resolve out of order: 4, 2, 0, 5, 1 output; 3 dead
+        for index in (4, 2, 0, 5):
+            queue.mark_output(items[index])
+        queue.mark_output(items[1])
+        queue.mark_dead(items[3])
+        assert sink == ["0", "1", "2", "4", "5"]
+
+    def test_interior_clear_unlinks_immediately(self):
+        queue, _ = make_queue()
+        queue.new_item("a", (1, 1))
+        middle = queue.new_item("b", (1, 1))
+        queue.new_item("c", (1, 1))
+        assert len(queue) == 3
+        queue.mark_dead(middle)
+        assert len(queue) == 2
+
+
+class TestDuplicateAndDeadRules:
+    def test_output_then_dead_still_emits(self):
+        # Example 2's rule: once one embedding satisfies the query the
+        # item stays in the result even if other embeddings later fail.
+        queue, sink = make_queue()
+        blocker = queue.new_item("blocker", (1, 1))
+        item = queue.new_item("kept", (1, 1))
+        queue.mark_output(item)
+        queue.mark_dead(item)  # must be a no-op
+        queue.mark_output(blocker)
+        assert sink == ["blocker", "kept"]
+
+    def test_double_mark_output_emits_once(self):
+        queue, sink = make_queue()
+        item = queue.new_item("once", (1, 1))
+        queue.mark_output(item)
+        queue.mark_output(item)
+        assert sink == ["once"]
+
+    def test_dead_then_output_stays_dead(self):
+        queue, sink = make_queue()
+        item = queue.new_item("gone", (1, 1))
+        queue.mark_dead(item)
+        queue.mark_output(item)
+        assert sink == []
+
+
+class TestValueFinalization:
+    def test_unready_value_blocks_emission(self):
+        queue, sink = make_queue()
+        item = queue.new_item(None, (1, 1), value_ready=False)
+        queue.mark_output(item)
+        assert sink == []
+        item.value = "<x/>"
+        queue.value_finalized(item)
+        assert sink == ["<x/>"]
+
+    def test_unready_head_blocks_later_ready_items(self):
+        queue, sink = make_queue()
+        head = queue.new_item(None, (1, 1), value_ready=False)
+        tail = queue.new_item("tail", (1, 1))
+        queue.mark_output(head)
+        queue.mark_output(tail)
+        assert sink == []
+        head.value = "head"
+        queue.value_finalized(head)
+        assert sink == ["head", "tail"]
+
+
+class TestEmitHook:
+    def test_on_emit_replaces_sink(self):
+        queue, sink = make_queue()
+        seen = []
+        item = queue.new_item("1", (1, 1), on_emit=lambda i: seen.append(i.value))
+        queue.mark_output(item)
+        assert sink == []
+        assert seen == ["1"]
+
+
+class TestCountersAndTrace:
+    def test_peak_size_tracks_high_water_mark(self):
+        queue, _ = make_queue()
+        items = [queue.new_item(str(i), (1, 1)) for i in range(4)]
+        for item in items:
+            queue.mark_output(item)
+        assert queue.peak_size == 4
+        assert len(queue) == 0
+        assert queue.enqueued_total == 4
+        assert queue.emitted_total == 4
+        assert queue.cleared_total == 0
+
+    def test_cleared_counter(self):
+        queue, _ = make_queue()
+        item = queue.new_item("x", (1, 1))
+        queue.mark_dead(item)
+        assert queue.cleared_total == 1
+
+    def test_trace_records_operations(self):
+        queue, _ = make_queue(trace=True)
+        item = queue.new_item("v", (2, 2), depth_vector=(1, 2))
+        queue.upload(item, (1, 1), depth_vector=(1, 2))
+        queue.mark_output(item, depth_vector=(1, 2))
+        ops = [op for op, *_ in queue.trace.operations]
+        assert ops == ["enqueue", "upload", "flush", "send"]
+        assert queue.trace.ops("upload")[0][1] == (1, 1)
+
+    def test_upload_changes_owner(self):
+        queue, _ = make_queue()
+        item = queue.new_item("v", (3, 4))
+        queue.upload(item, (2, 2))
+        assert item.owner == (2, 2)
+
+
+class TestFinish:
+    def test_finish_drains_resolved_prefix(self):
+        queue, sink = make_queue()
+        item = queue.new_item("x", (1, 1))
+        queue.mark_output(item)
+        queue.finish()
+        assert sink == ["x"]

@@ -1,0 +1,173 @@
+"""Dataset generators: well-formedness, determinism, schema, statistics."""
+
+import pytest
+
+from repro.datagen import (
+    DatasetStats,
+    dataset_statistics,
+    generate_colors,
+    generate_dblp,
+    generate_nasa,
+    generate_ordered,
+    generate_psd,
+    generate_recursive,
+    generate_shake,
+)
+from repro.datagen.base import XmlWriter
+from repro.streaming.sax_source import parse_events
+from repro.streaming.wellformed import check_well_formed
+from repro.xsq.engine import XSQEngine
+
+GENERATORS = [generate_shake, generate_nasa, generate_dblp, generate_psd,
+              generate_recursive, generate_colors]
+
+
+class TestXmlWriter:
+    def test_element_shorthand(self):
+        writer = XmlWriter()
+        writer.begin("a").element("b", "x", k="v").end()
+        assert writer.getvalue() == '<a><b k="v">x</b></a>'
+
+    def test_escaping(self):
+        writer = XmlWriter()
+        writer.element("t", "a<b", k='say "hi"')
+        assert writer.getvalue() == \
+            '<t k="say &quot;hi&quot;">a&lt;b</t>'
+
+    def test_close_all(self):
+        writer = XmlWriter()
+        writer.begin("a").begin("b").begin("c").close_all()
+        assert writer.getvalue() == "<a><b><c></c></b></a>"
+
+    def test_bytes_written_tracks_length(self):
+        writer = XmlWriter()
+        writer.element("ab", "cd")
+        assert writer.bytes_written == len(writer.getvalue())
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_well_formed(self, generator):
+        xml = generator(20_000)
+        assert check_well_formed(parse_events(xml)) > 0
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_deterministic(self, generator):
+        assert generator(10_000) == generator(10_000)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_size_near_target(self, generator):
+        xml = generator(50_000)
+        assert 50_000 <= len(xml) <= 75_000
+
+    @pytest.mark.parametrize("generator",
+                             [generate_shake, generate_dblp, generate_nasa,
+                              generate_psd, generate_recursive])
+    def test_seed_changes_content(self, generator):
+        assert generator(10_000, seed=1) != generator(10_000, seed=2)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_file_output(self, generator, tmp_path):
+        path = tmp_path / "out.xml"
+        result = generator(10_000, path=str(path))
+        assert result is None
+        assert path.stat().st_size >= 10_000
+        check_well_formed(parse_events(str(path)))
+
+
+class TestSchemas:
+    """The paper's queries must find data in the generated corpora."""
+
+    def test_shake_queries_find_speakers(self):
+        xml = generate_shake(60_000)
+        q2 = XSQEngine("/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()").run(xml)
+        assert len(q2) > 10
+        q1 = XSQEngine("/PLAY/ACT/SCENE/SPEECH[LINE contains 'love']"
+                       "/SPEAKER/text()").run(xml)
+        assert 0 < len(q1) < len(q2)
+        assert XSQEngine("//ACT//SPEAKER/text()").run(xml) == q2
+
+    def test_nasa_query_path_exists(self):
+        xml = generate_nasa(40_000)
+        names = XSQEngine("/datasets/dataset/reference/source/other"
+                          "/name/text()").run(xml)
+        assert names
+
+    def test_dblp_queries(self):
+        xml = generate_dblp(40_000)
+        titles = XSQEngine("/dblp/article/title/text()").run(xml)
+        assert titles
+        with_author = XSQEngine("/dblp/inproceedings[author]/title/text()"
+                                ).run(xml)
+        all_inproc = XSQEngine("/dblp/inproceedings/title/text()").run(xml)
+        assert 0 < len(with_author) < len(all_inproc)
+
+    def test_psd_query_path_exists(self):
+        xml = generate_psd(40_000)
+        authors = XSQEngine("/ProteinDatabase/ProteinEntry/reference"
+                            "/refinfo/authors/author/text()").run(xml)
+        assert authors
+
+    def test_recursive_dataset_is_recursive(self):
+        xml = generate_recursive(40_000)
+        nested = XSQEngine("//pub//pub/year/count()").run(xml)
+        assert int(nested[0]) > 0
+        titles = XSQEngine("//pub[year]//book[@id]/title/text()").run(xml)
+        assert titles
+
+    def test_ordered_dataset_template(self):
+        xml = generate_ordered(4_000, filler_repeats=10)
+        records = XSQEngine("/root/a/count()").run(xml)
+        assert int(records[0]) >= 1
+        assert XSQEngine("/root/a[prior=1]/count()").run(xml) == records
+        # prior before posterior in every record
+        assert xml.index("<prior>") < xml.index("<posterior>")
+
+    def test_colors_distribution(self):
+        xml = generate_colors(60_000)
+        red = int(XSQEngine("/a/Red/count()").run(xml)[0])
+        green = int(XSQEngine("/a/Green/count()").run(xml)[0])
+        blue = int(XSQEngine("/a/Blue/count()").run(xml)[0])
+        total = red + green + blue
+        assert 0.05 < red / total < 0.15
+        assert 0.25 < green / total < 0.35
+        assert 0.55 < blue / total < 0.65
+
+
+class TestStatistics:
+    def test_columns_computed(self):
+        stats = dataset_statistics("<a><b>xx</b><b>yy</b></a>")
+        assert stats.element_count == 3
+        assert stats.text_bytes == 4
+        assert stats.max_depth == 2
+        assert stats.avg_depth == pytest.approx((1 + 2 + 2) / 3)
+        assert stats.avg_tag_length == pytest.approx(1.0)
+
+    def test_works_on_files(self, tmp_path):
+        path = tmp_path / "x.xml"
+        path.write_text("<a><b/></a>")
+        stats = dataset_statistics(str(path))
+        assert stats.size_bytes == 11
+        assert stats.element_count == 2
+
+    def test_row_formatting(self):
+        stats = DatasetStats(7_890_000, 4_940_000, 180_000, 5.77, 7, 5.03)
+        row = stats.row("SHAKE")
+        assert "SHAKE" in row and "7.89" in row and "5.77" in row
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(Exception):
+            dataset_statistics("")
+
+    def test_shake_tracks_paper_shape(self):
+        stats = dataset_statistics(generate_shake(100_000))
+        # Paper: avg depth 5.77, max 7, avg tag length 5.03.
+        assert 4.0 < stats.avg_depth < 6.5
+        assert stats.max_depth <= 8
+        assert 4.0 < stats.avg_tag_length < 6.5
+
+    def test_dblp_is_shallowest(self):
+        # Paper: DBLP avg depth 2.90, the shallowest corpus.
+        dblp = dataset_statistics(generate_dblp(60_000))
+        shake = dataset_statistics(generate_shake(60_000))
+        assert dblp.avg_depth < shake.avg_depth

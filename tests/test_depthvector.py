@@ -1,0 +1,123 @@
+"""Unit and property tests for depth vectors (Section 4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xsq.depthvector import DepthVector
+
+
+class TestBasics:
+    def test_empty(self):
+        dv = DepthVector()
+        assert len(dv) == 0
+        assert dv.top() == 0
+        assert dv.to_tuple() == ()
+
+    def test_append(self):
+        dv = DepthVector().append(1).append(3).append(7)
+        assert dv.to_tuple() == (1, 3, 7)
+        assert dv.top() == 7
+        assert len(dv) == 3
+
+    def test_append_is_persistent(self):
+        base = DepthVector().append(2)
+        extended = base.append(5)
+        assert base.to_tuple() == (2,)
+        assert extended.to_tuple() == (2, 5)
+
+    def test_remove_from_end(self):
+        dv = DepthVector().append(1).append(2)
+        assert dv.remove(2).to_tuple() == (1,)
+
+    def test_remove_wrong_depth_raises(self):
+        dv = DepthVector().append(1).append(2)
+        with pytest.raises(ValueError):
+            dv.remove(1)
+
+    def test_append_non_increasing_raises(self):
+        dv = DepthVector().append(3)
+        with pytest.raises(ValueError):
+            dv.append(3)
+        with pytest.raises(ValueError):
+            dv.append(2)
+
+    def test_append_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            DepthVector().append(0)
+
+    def test_equality_and_hash(self):
+        a = DepthVector().append(1).append(4)
+        b = DepthVector().append(1).append(4)
+        c = DepthVector().append(1).append(5)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_in_order(self):
+        assert list(DepthVector().append(2).append(5).append(9)) == [2, 5, 9]
+
+    def test_repr(self):
+        assert repr(DepthVector().append(1).append(2)) == "DepthVector(1, 2)"
+
+
+class TestPrefix:
+    def test_empty_is_prefix_of_everything(self):
+        dv = DepthVector().append(1).append(2)
+        assert DepthVector().is_prefix_of(dv)
+
+    def test_self_prefix(self):
+        dv = DepthVector().append(1).append(2)
+        assert dv.is_prefix_of(dv)
+
+    def test_proper_prefix(self):
+        short = DepthVector().append(1)
+        long = short.append(2).append(4)
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+
+    def test_example6_vectors_disjoint(self):
+        # The paper's Example 6: clearing at (1,9) must not touch the
+        # item enqueued under (1,2).
+        clear_scope = DepthVector().append(1).append(9)
+        kept_item = DepthVector().append(1).append(2)
+        assert not clear_scope.is_prefix_of(kept_item)
+        assert not kept_item.is_prefix_of(clear_scope)
+
+    def test_subset_but_not_prefix(self):
+        # {1,5} is a subset of {1,3,5} but not an initial segment.
+        sub = DepthVector().append(1).append(5)
+        full = DepthVector().append(1).append(3).append(5)
+        assert not sub.is_prefix_of(full)
+
+
+@st.composite
+def depth_vectors(draw):
+    depths = draw(st.lists(st.integers(min_value=1, max_value=60),
+                           unique=True, max_size=10))
+    dv = DepthVector()
+    for depth in sorted(depths):
+        dv = dv.append(depth)
+    return dv
+
+
+class TestProperties:
+    @given(depth_vectors())
+    def test_roundtrip_through_tuple(self, dv):
+        rebuilt = DepthVector()
+        for depth in dv.to_tuple():
+            rebuilt = rebuilt.append(depth)
+        assert rebuilt == dv
+
+    @given(depth_vectors(), st.integers(min_value=1, max_value=64))
+    def test_append_remove_inverse(self, dv, extra):
+        if extra <= dv.top():
+            extra = dv.top() + extra
+        assert dv.append(extra).remove(extra) == dv
+
+    @given(depth_vectors(), depth_vectors())
+    def test_prefix_agrees_with_tuple_semantics(self, a, b):
+        tuple_prefix = b.to_tuple()[:len(a)] == a.to_tuple()
+        assert a.is_prefix_of(b) == tuple_prefix
+
+    @given(depth_vectors())
+    def test_len_matches_tuple(self, dv):
+        assert len(dv) == len(dv.to_tuple())

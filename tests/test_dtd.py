@@ -1,0 +1,214 @@
+"""DTD parsing, content models, and streaming validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streaming.dtd import (
+    DtdSyntaxError,
+    StreamingValidator,
+    ValidationError,
+    parse_dtd,
+    validate,
+)
+from repro.streaming.sax_source import parse_events
+
+BOOK_DTD = """
+<!ELEMENT pub (year?, book+)>
+<!ELEMENT book (title, author*)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ATTLIST book id CDATA #REQUIRED
+               kind (hardcover|paperback) "paperback">
+"""
+
+
+@pytest.fixture
+def book_dtd():
+    return parse_dtd(BOOK_DTD, root="pub")
+
+
+class TestParsing:
+    def test_elements_parsed(self, book_dtd):
+        assert set(book_dtd.elements) == {"pub", "book", "year", "title",
+                                          "author"}
+
+    def test_attlist_parsed(self, book_dtd):
+        attrs = book_dtd.elements["book"].attributes
+        assert attrs["id"].required
+        assert attrs["kind"].enum_values == ("hardcover", "paperback")
+        assert attrs["kind"].default == "paperback"
+
+    def test_comments_ignored(self):
+        dtd = parse_dtd("<!-- note --><!ELEMENT a (b?)>"
+                        "<!ELEMENT b EMPTY>")
+        assert set(dtd.elements) == {"a", "b"}
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        assert dtd.elements["a"].content.allows_text()
+        assert dtd.elements["b"].content.matches([])
+        assert not dtd.elements["b"].content.matches(["x"])
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | b)*>"
+                        "<!ELEMENT em (#PCDATA)><!ELEMENT b (#PCDATA)>")
+        model = dtd.elements["p"].content
+        assert model.mixed
+        assert model.matches(["em", "b", "em"])
+        assert model.matches([])
+
+    @pytest.mark.parametrize("bad", [
+        "", "<!ELEMENT >", "<!ELEMENT a (b>", "<!ELEMENT a (b,|c)>",
+        "<!ELEMENT a (b | c, d)>",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(bad)
+
+    def test_undeclared_root_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY>", root="zzz")
+
+
+class TestContentModels:
+    def model(self, text):
+        return parse_dtd("<!ELEMENT r %s><!ELEMENT a EMPTY>"
+                         "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+                         % text).elements["r"].content
+
+    @pytest.mark.parametrize("decl,word,expected", [
+        ("(a, b)", ["a", "b"], True),
+        ("(a, b)", ["a"], False),
+        ("(a, b)", ["b", "a"], False),
+        ("(a | b)", ["a"], True),
+        ("(a | b)", ["b"], True),
+        ("(a | b)", ["a", "b"], False),
+        ("(a*)", [], True),
+        ("(a*)", ["a", "a", "a"], True),
+        ("(a+)", [], False),
+        ("(a+)", ["a", "a"], True),
+        ("(a?)", [], True),
+        ("(a?)", ["a", "a"], False),
+        ("(a, (b | c)*)", ["a", "b", "c", "b"], True),
+        ("(a, (b | c)*)", ["b"], False),
+        ("((a, b) | c)", ["c"], True),
+        ("((a, b) | c)", ["a", "b"], True),
+        ("((a, b) | c)", ["a", "c"], False),
+        ("(a?, b+, c)", ["b", "c"], True),
+        ("(a?, b+, c)", ["a", "b", "b", "c"], True),
+        ("(a?, b+, c)", ["a", "c"], False),
+    ])
+    def test_matching_table(self, decl, word, expected):
+        assert self.model(decl).matches(word) is expected
+
+    def test_incremental_states(self):
+        model = self.model("(a, b*)")
+        state = model.initial_state()
+        assert not model.accepting(state)
+        state = model.advance(state, "a")
+        assert model.accepting(state)
+        state = model.advance(state, "b")
+        assert model.accepting(state)
+        from repro.streaming.dtd import Nothing
+        assert isinstance(model.advance(state, "a"), Nothing)
+
+    def test_first_tags_diagnostics(self):
+        model = self.model("(a?, b)")
+        assert model.initial_state().first_tags() == {"a", "b"}
+
+
+class TestStructuralQueries:
+    def test_child_graph(self, book_dtd):
+        graph = book_dtd.child_graph()
+        assert graph["pub"] == {"year", "book"}
+        assert graph["book"] == {"title", "author"}
+        assert graph["year"] == frozenset()
+
+    def test_reachable_tags(self, book_dtd):
+        assert book_dtd.reachable_tags("pub") == {"year", "book", "title",
+                                                  "author"}
+        assert book_dtd.reachable_tags("book") == {"title", "author"}
+
+    def test_not_recursive(self, book_dtd):
+        assert not book_dtd.is_recursive()
+
+    def test_recursive_detection(self):
+        dtd = parse_dtd("<!ELEMENT part (part*, name)>"
+                        "<!ELEMENT name (#PCDATA)>")
+        assert dtd.is_recursive()
+
+    def test_any_reaches_everything(self):
+        dtd = parse_dtd("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        assert dtd.reachable_tags("a") == {"a", "b"}
+        assert dtd.is_recursive()  # ANY admits itself
+
+
+class TestValidation:
+    VALID = ('<pub><year>2002</year>'
+             '<book id="1"><title>T</title><author>A</author></book></pub>')
+
+    def test_valid_document(self, book_dtd):
+        assert validate(book_dtd, parse_events(self.VALID)) == 13
+
+    @pytest.mark.parametrize("bad,fragment", [
+        ('<pub><book id="1"><author>A</author></book></pub>',
+         "not allowed"),                      # title missing before author
+        ('<pub><year>2002</year></pub>', "content model"),  # no book
+        ('<pub><book><title>T</title></book></pub>', "required attribute"),
+        ('<pub><book id="1" kind="audio"><title>T</title></book></pub>',
+         "enumeration"),
+        ('<pub><mystery/></pub>', "not declared"),
+        ('<book id="1"><title>T</title></book>', "document element"),
+        ('<pub>words<book id="1"><title>T</title></book></pub>',
+         "character data"),
+    ])
+    def test_invalid_documents(self, book_dtd, bad, fragment):
+        with pytest.raises(ValidationError) as err:
+            validate(book_dtd, parse_events(bad))
+        assert fragment in str(err.value)
+
+    def test_strict_attributes(self, book_dtd):
+        doc = ('<pub><book id="1" extra="x"><title>T</title></book></pub>')
+        validate(book_dtd, parse_events(doc))  # lax: fine
+        strict = StreamingValidator(book_dtd, strict_attributes=True)
+        with pytest.raises(ValidationError):
+            for event in parse_events(doc):
+                strict.feed(event)
+
+    def test_checked_passthrough(self, book_dtd):
+        events = list(parse_events(self.VALID))
+        validator = StreamingValidator(book_dtd)
+        assert list(validator.checked(iter(events))) == events
+
+    def test_generated_dataset_validates(self):
+        from repro.datagen import generate_ordered
+        dtd = parse_dtd("""
+            <!ELEMENT root (a*)>
+            <!ELEMENT a (prior, foo*, posterior)>
+            <!ELEMENT prior (#PCDATA)>
+            <!ELEMENT foo (#PCDATA)>
+            <!ELEMENT posterior (#PCDATA)>
+            <!ATTLIST a id CDATA #REQUIRED>
+        """, root="root")
+        xml = generate_ordered(5_000, filler_repeats=10)
+        assert validate(dtd, parse_events(xml)) > 0
+
+
+class TestContentModelProperties:
+    @given(st.lists(st.sampled_from(["a", "b"]), max_size=8))
+    def test_star_choice_accepts_everything_over_alphabet(self, word):
+        model = parse_dtd("<!ELEMENT r (a | b)*>"
+                          "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+                          ).elements["r"].content
+        assert model.matches(word)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=8))
+    def test_seq_semantics_match_reference(self, word):
+        # (a*, b) accepts words of shape a^n b.
+        model = parse_dtd("<!ELEMENT r (a*, b)>"
+                          "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+                          "<!ELEMENT c EMPTY>").elements["r"].content
+        expected = (len(word) >= 1 and word[-1] == "b"
+                    and all(tag == "a" for tag in word[:-1]))
+        assert model.matches(word) is expected

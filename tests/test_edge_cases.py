@@ -1,0 +1,220 @@
+"""Edge cases and failure injection across the whole stack."""
+
+import pytest
+
+from repro.errors import ReproError, StreamError
+from repro.baselines.dom import build_dom, evaluate
+from repro.streaming.events import BeginEvent, EndEvent, TextEvent
+from repro.streaming.sax_source import parse_events
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+from conftest import assert_engines_match_oracle
+
+
+class TestDeepDocuments:
+    DEPTH = 3000
+
+    def deep_xml(self):
+        return ("<a>" * self.DEPTH) + "leaf" + ("</a>" * self.DEPTH)
+
+    def test_xsq_f_handles_deep_nesting(self):
+        xml = self.deep_xml()
+        assert XSQEngine("//a/text()").run(xml) == ["leaf"]
+
+    def test_xsq_nc_handles_deep_nesting(self):
+        xml = self.deep_xml()
+        # NC aligned paths: /a/a/a would need 3000 steps; use a short
+        # prefix query instead.
+        assert XSQEngineNC("/a/a/a").run("<a><a><a>x</a></a></a>") == \
+            ["<a>x</a>"]
+        engine = XSQEngineNC("/a/a")
+        results = engine.run(xml)
+        assert len(results) == 1
+
+    def test_dom_oracle_handles_deep_nesting(self):
+        xml = self.deep_xml()
+        document = build_dom(xml)
+        results = evaluate(document, "//a/text()")
+        assert results == ["leaf"]
+        # Serialization of the whole tree is iterative too.
+        assert document.root.serialize() == xml
+
+    def test_fulltext_index_handles_deep_nesting(self):
+        from repro.baselines.fulltext import FullTextEngine
+        xml = self.deep_xml()
+        assert FullTextEngine("//a/text()").run(xml) == ["leaf"]
+
+    def test_deep_closure_memory_is_linear_in_depth_only(self):
+        xml = self.deep_xml()
+        engine = XSQEngine("//a[zzz]//a/text()")
+        assert engine.run(xml) == []
+        # Candidates bounded by open-path embeddings, all cleared.
+        assert engine.last_stats.emitted == 0
+
+
+class TestUnicode:
+    def test_unicode_content_and_tags(self):
+        xml = "<livre><titre>Être et Temps — 存在と時間</titre></livre>"
+        assert XSQEngine("/livre/titre/text()").run(xml) == \
+            ["Être et Temps — 存在と時間"]
+
+    def test_unicode_attribute_values(self):
+        xml = '<b t="café ☕"/>'
+        assert XSQEngine("/b/@t").run(xml) == ["café ☕"]
+
+    def test_unicode_in_predicates(self):
+        xml = "<r><b><lang>日本語</lang><n>x</n></b></r>"
+        assert XSQEngine("/r/b[lang='日本語']/n/text()").run(xml) == ["x"]
+
+    def test_unicode_survives_element_serialization(self):
+        xml = "<r><b>øßł</b></r>"
+        assert XSQEngine("/r/b").run(xml) == ["<b>øßł</b>"]
+
+
+class TestSpecialContent:
+    def test_entities_in_results(self):
+        xml = "<r><v>a &lt; b &amp; c</v></r>"
+        assert XSQEngine("/r/v/text()").run(xml) == ["a < b & c"]
+
+    def test_entities_reescaped_in_element_output(self):
+        xml = "<r><v>a &lt; b</v></r>"
+        assert XSQEngine("/r/v").run(xml) == ["<v>a &lt; b</v>"]
+
+    def test_cdata_through_engine(self):
+        from repro.streaming.textparser import tokenize_xml
+        xml = "<r><v><![CDATA[<raw> & stuff]]></v></r>"
+        assert XSQEngine("/r/v/text()").run(tokenize_xml(xml)) == \
+            ["<raw> & stuff"]
+
+    def test_numeric_comparison_with_whitespace(self):
+        xml = "<r><v> 42 </v><v>13</v></r>"
+        assert XSQEngine("/r/v[text()=42]/text()").run(xml) == [" 42 "]
+
+    def test_empty_elements_everywhere(self):
+        xml = "<r><a/><a></a><a>x</a></r>"
+        assert XSQEngine("/r/a/text()").run(xml) == ["x"]
+        assert len(XSQEngine("/r/a").run(xml)) == 3
+
+    def test_attribute_with_quotes_roundtrip(self):
+        xml = '<r><a t="say &quot;hi&quot;"/></r>'
+        assert XSQEngine("/r/a/@t").run(xml) == ['say "hi"']
+        serialized = XSQEngine("/r/a").run(xml)[0]
+        assert build_dom("<r>%s</r>" % serialized).root.children[0] \
+            .attrs["t"] == 'say "hi"'
+
+    def test_tags_with_dots_dashes_underscores(self):
+        xml = "<r><x-y.z_w>v</x-y.z_w></r>"
+        assert XSQEngine("/r/x-y.z_w/text()").run(xml) == ["v"]
+
+
+class TestFailureInjection:
+    def test_malformed_stream_raises_repro_error(self):
+        for engine_cls in (XSQEngine,):
+            with pytest.raises(ReproError):
+                engine_cls("/a/b").run("<a><b></a>")
+
+    def test_partial_results_before_stream_failure(self):
+        # Results determined before the malformed tail must have been
+        # yielded by the streaming iterator.
+        xml = "<a><b>1</b><b>2</b><oops>"
+        engine = XSQEngine("/a/b/text()")
+        seen = []
+        with pytest.raises(ReproError):
+            for value in engine.iter_results(parse_events(xml)):
+                seen.append(value)
+        assert seen == ["1", "2"]
+
+    def test_mid_stream_event_corruption(self):
+        # A hand-built stream violating nesting: engines assume
+        # well-formed input (as the paper does), so guard with the PDA.
+        from repro.streaming.wellformed import WellFormednessPDA
+        from repro.errors import NotWellFormedError
+        bad = [BeginEvent("a", {}, 1), EndEvent("b", 1)]
+        engine = XSQEngine("/a")
+        with pytest.raises(NotWellFormedError):
+            engine.run(WellFormednessPDA().checked(iter(bad)))
+
+    def test_empty_document_is_a_stream_error(self):
+        with pytest.raises(ReproError):
+            XSQEngine("/a").run("")
+
+    def test_engine_usable_after_failed_run(self):
+        engine = XSQEngine("/a/b/text()")
+        with pytest.raises(ReproError):
+            engine.run("<a><b>")
+        assert engine.run("<a><b>ok</b></a>") == ["ok"]
+
+
+class TestOrderingStress:
+    def test_many_interleaved_groups(self):
+        parts = []
+        expected = []
+        for i in range(50):
+            ok = i % 3 == 0
+            parts.append("<g><n>%d</n>%s</g>" % (i, "<ok/>" if ok else ""))
+            if ok:
+                expected.append(str(i))
+        xml = "<r>%s</r>" % "".join(parts)
+        assert_engines_match_oracle("/r/g[ok]/n/text()", xml)
+        assert XSQEngine("/r/g[ok]/n/text()").run(xml) == expected
+
+    def test_wide_fanout(self):
+        xml = "<r>" + "<i>x</i>" * 2000 + "</r>"
+        assert len(XSQEngine("/r/i/text()").run(xml)) == 2000
+
+    def test_alternating_match_nonmatch_depths(self):
+        xml = ("<r>" + "<a><b><c>1</c></b></a><a><c>skip</c></a>" * 20
+               + "</r>")
+        results = XSQEngine("/r/a/b/c/text()").run(xml)
+        assert results == ["1"] * 20
+
+
+class TestNamespacePrefixedNames:
+    XML = ('<rdf:RDF><dc:title>T</dc:title>'
+           '<dc:creator role="a">C</dc:creator></rdf:RDF>')
+
+    def test_prefixed_query_path(self):
+        assert XSQEngine("/rdf:RDF/dc:title/text()").run(self.XML) == ["T"]
+
+    def test_prefixed_predicate(self):
+        assert XSQEngine("/rdf:RDF[dc:creator]/dc:title/text()"
+                         ).run(self.XML) == ["T"]
+
+    def test_prefixed_under_closure(self):
+        assert XSQEngine("//dc:creator/@role").run(self.XML) == ["a"]
+
+    def test_prefix_is_opaque_text(self):
+        # Namespace-unaware: a different prefix is a different tag.
+        assert XSQEngine("//dcterms:title/text()").run(self.XML) == []
+
+    def test_axis_syntax_still_works(self):
+        assert XSQEngine("/child::rdf:RDF/dc:title/text()"
+                         ).run(self.XML) == ["T"]
+
+
+class TestGzipInput:
+    def test_sax_source_reads_gz(self, tmp_path):
+        import gzip
+        path = tmp_path / "doc.xml.gz"
+        with gzip.open(str(path), "wt") as out:
+            out.write("<a><b>zipped</b></a>")
+        assert XSQEngine("/a/b/text()").run(str(path)) == ["zipped"]
+
+    def test_textparser_reads_gz(self, tmp_path):
+        import gzip
+        from repro.streaming.textparser import tokenize_xml
+        path = tmp_path / "doc.xml.gz"
+        with gzip.open(str(path), "wt") as out:
+            out.write("<a><b>zipped</b></a>")
+        kinds = [e.kind for e in tokenize_xml(str(path))]
+        assert kinds == ["begin", "begin", "text", "end", "end"]
+
+
+class TestCliErrorCaret:
+    def test_syntax_error_points_at_position(self, capsys):
+        from repro.cli import main
+        assert main(["/a[@#]", "/dev/null"]) == 2
+        err = capsys.readouterr().err
+        assert "^" in err
+        assert "/a[@#]" in err

@@ -1,0 +1,124 @@
+"""XSQ engines: aggregation queries (Section 4.4)."""
+
+import pytest
+
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+from conftest import oracle
+
+
+class TestCount:
+    def test_count_simple(self, fig1):
+        assert XSQEngine("/pub/book/count()").run(fig1) == ["2"]
+
+    def test_count_zero(self, fig1):
+        assert XSQEngine("/pub/magazine/count()").run(fig1) == ["0"]
+
+    def test_count_with_predicate(self, fig1):
+        assert XSQEngine("/pub/book[price<11]/count()").run(fig1) == ["1"]
+
+    def test_count_under_closure(self, fig2):
+        assert XSQEngine("//pub//book//name/count()").run(fig2) == ["3"]
+
+    def test_count_counts_elements_not_text_chunks(self):
+        xml = "<r><i>a<x/>b</i><i>c</i></r>"
+        assert XSQEngine("/r/i/count()").run(xml) == ["2"]
+
+    def test_paper_aggregation_query(self, fig2):
+        # //pub[year>2000]//book[author]//name/count() - X and Z match.
+        query = "//pub[year>2000]//book[author]//name/count()"
+        assert XSQEngine(query).run(fig2) == ["2"]
+
+    def test_count_deduplicates_embeddings(self):
+        xml = "<a><a><n>x</n></a></a>"
+        # n matches //a//n via two embeddings but is one element.
+        assert XSQEngine("//a//n/count()").run(xml) == ["1"]
+
+
+class TestSum:
+    def test_sum_prices(self, fig1):
+        # 12.00 + 10.00 + 14.00 + 12.00
+        assert XSQEngine("/pub/book/price/sum()").run(fig1) == ["48"]
+
+    def test_sum_with_predicate(self, fig1):
+        assert XSQEngine("/pub/book[@id=1]/price/sum()").run(fig1) == ["22"]
+
+    def test_sum_skips_non_numeric(self):
+        xml = "<r><v>1</v><v>n/a</v><v>2.5</v></r>"
+        assert XSQEngine("/r/v/sum()").run(xml) == ["3.5"]
+
+    def test_sum_empty_is_zero(self):
+        assert XSQEngine("/r/v/sum()").run("<r/>") == ["0"]
+
+    def test_sum_contributions_gated_by_predicate(self):
+        # The deciding year arrives after the prices: contributions are
+        # buffered and only folded when the predicate resolves.
+        xml = ("<r><g><v>10</v><v>20</v><year>2002</year></g>"
+               "<g><v>99</v><year>1999</year></g></r>")
+        assert XSQEngine("/r/g[year=2002]/v/sum()").run(xml) == ["30"]
+
+
+class TestExtensionAggregates:
+    def test_avg(self):
+        xml = "<r><v>2</v><v>4</v><v>6</v></r>"
+        assert XSQEngine("/r/v/avg()").run(xml) == ["4"]
+
+    def test_min_max(self):
+        xml = "<r><v>5</v><v>-1</v><v>3</v></r>"
+        assert XSQEngine("/r/v/min()").run(xml) == ["-1"]
+        assert XSQEngine("/r/v/max()").run(xml) == ["5"]
+
+    def test_empty_avg_min_max(self):
+        for name in ("avg", "min", "max"):
+            assert XSQEngine("/r/v/%s()" % name).run("<r/>") == ["NA"]
+
+
+class TestStreamingUpdates:
+    def test_intermediate_count_values(self):
+        xml = "<r><i/><i/><i/></r>"
+        values = list(XSQEngine("/r/i/count()").iter_results(xml))
+        assert values == ["1", "2", "3", "3"]  # updates + final
+
+    def test_intermediate_sum_values(self):
+        xml = "<r><v>1</v><v>2</v></r>"
+        values = list(XSQEngine("/r/v/sum()").iter_results(xml))
+        assert values == ["1", "3", "3"]
+
+    def test_no_updates_for_empty_result(self):
+        values = list(XSQEngine("/r/v/count()").iter_results("<r><x/></r>"))
+        assert values == ["0"]
+
+    def test_updates_deferred_until_predicate_resolves(self):
+        # Candidates buffered behind an unresolved predicate do not
+        # produce intermediate values until the predicate is true.
+        xml = "<r><g><v>1</v><v>2</v><ok/></g></r>"
+        values = list(XSQEngine("/r/g[ok]/v/count()").iter_results(xml))
+        assert values == ["1", "2", "2"]
+
+
+class TestNCAggregates:
+    def test_nc_count_matches_f(self, fig1):
+        for query in ("/pub/book/count()", "/pub/book[price<11]/count()",
+                      "/pub/book/price/sum()"):
+            assert XSQEngineNC(query).run(fig1) == XSQEngine(query).run(fig1)
+
+    def test_nc_streaming_count(self):
+        xml = "<r><i/><i/></r>"
+        assert list(XSQEngineNC("/r/i/count()").iter_results(xml)) == \
+            ["1", "2", "2"]
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("query", [
+        "/pub/book/count()",
+        "/pub/book/price/sum()",
+        "/pub/book[price<11]/count()",
+        "/pub/book/price/avg()",
+        "/pub/book/price/min()",
+        "/pub/book/price/max()",
+        "//book//price/sum()",
+        "//pub//name/count()",
+    ])
+    def test_fig1(self, query, fig1):
+        assert XSQEngine(query).run(fig1) == oracle(query, fig1)

@@ -1,0 +1,117 @@
+"""XSQ-F engine: paths, outputs, ordering — no predicates yet."""
+
+import pytest
+
+from repro.xsq.engine import XSQEngine
+
+from conftest import assert_engines_match_oracle
+
+
+class TestSimplePaths:
+    def test_single_step_text(self):
+        assert XSQEngine("/a/text()").run("<a>hi</a>") == ["hi"]
+
+    def test_two_step_path(self):
+        xml = "<a><b>1</b><c>skip</c><b>2</b></a>"
+        assert XSQEngine("/a/b/text()").run(xml) == ["1", "2"]
+
+    def test_no_match_returns_empty(self):
+        assert XSQEngine("/a/zzz/text()").run("<a><b>x</b></a>") == []
+
+    def test_root_tag_mismatch(self):
+        assert XSQEngine("/wrong/b/text()").run("<a><b>x</b></a>") == []
+
+    def test_path_must_be_rooted(self):
+        # /b matches only the document element, not inner b's.
+        xml = "<a><b>inner</b></a>"
+        assert XSQEngine("/b/text()").run(xml) == []
+
+    def test_deep_path(self):
+        xml = "<a><b><c><d><e>deep</e></d></c></b></a>"
+        assert XSQEngine("/a/b/c/d/e/text()").run(xml) == ["deep"]
+
+    def test_wildcard_step(self):
+        xml = "<a><x><n>1</n></x><y><n>2</n></y></a>"
+        assert XSQEngine("/a/*/n/text()").run(xml) == ["1", "2"]
+
+    def test_document_order_preserved(self):
+        xml = "<r>" + "".join("<i>%d</i>" % n for n in range(20)) + "</r>"
+        assert XSQEngine("/r/i/text()").run(xml) == \
+            [str(n) for n in range(20)]
+
+    def test_sibling_after_nonmatching_subtree(self):
+        xml = "<a><junk><b>no</b></junk><b>yes</b></a>"
+        assert XSQEngine("/a/b/text()").run(xml) == ["yes"]
+
+
+class TestOutputs:
+    def test_element_output_serializes_whole_element(self):
+        xml = '<a><b id="1">x<c>y</c></b></a>'
+        assert XSQEngine("/a/b").run(xml) == ['<b id="1">x<c>y</c></b>']
+
+    def test_attr_output(self):
+        xml = '<a><b id="1"/><b/><b id="3"/></a>'
+        assert XSQEngine("/a/b/@id").run(xml) == ["1", "3"]
+
+    def test_text_output_multiple_chunks(self):
+        xml = "<a><b>one<c/>two</b></a>"
+        assert XSQEngine("/a/b/text()").run(xml) == ["one", "two"]
+
+    def test_text_output_skips_elements_without_text(self):
+        xml = "<a><b/><b>x</b></a>"
+        assert XSQEngine("/a/b/text()").run(xml) == ["x"]
+
+    def test_element_output_escapes_content(self):
+        xml = "<a><b>1 &lt; 2</b></a>"
+        assert XSQEngine("/a/b").run(xml) == ["<b>1 &lt; 2</b>"]
+
+
+class TestEngineLifecycle:
+    def test_engine_reusable_across_documents(self):
+        engine = XSQEngine("/a/b/text()")
+        assert engine.run("<a><b>1</b></a>") == ["1"]
+        assert engine.run("<a><b>2</b></a>") == ["2"]
+
+    def test_run_accepts_event_iterables(self):
+        from repro.streaming.events import events_from_pairs
+        events = events_from_pairs([
+            ("begin", "a"), ("begin", "b"), ("text", ("b", "ev")),
+            ("end", "b"), ("end", "a")])
+        assert XSQEngine("/a/b/text()").run(events) == ["ev"]
+
+    def test_run_accepts_path(self, tmp_path):
+        path = tmp_path / "d.xml"
+        path.write_text("<a><b>file</b></a>")
+        assert XSQEngine("/a/b/text()").run(str(path)) == ["file"]
+
+    def test_last_stats_populated(self):
+        engine = XSQEngine("/a/b/text()")
+        engine.run("<a><b>1</b></a>")
+        stats = engine.last_stats
+        assert stats.events == 5
+        assert stats.emitted == 1
+        assert stats.enqueued == 1
+
+    def test_explain_shows_hpdt(self):
+        text = XSQEngine("/a[x]/b/text()").explain()
+        assert "bpdt(0,0)" in text and "bpdt(2,3)" in text
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("query", [
+        "/a/b/text()",
+        "/a/b",
+        "/a/b/@id",
+        "/a/*/text()",
+        "/a/b/c/text()",
+    ])
+    def test_structured_document(self, query):
+        xml = ('<a><b id="1">one<c>inner</c></b><d><c>dc</c></d>'
+               '<b>two</b></a>')
+        assert_engines_match_oracle(query, xml)
+
+    def test_fig1_paths(self, fig1):
+        for query in ("/pub/book/name/text()", "/pub/book/@id",
+                      "/pub/book/author", "/pub/year/text()",
+                      "/pub/*/name/text()"):
+            assert_engines_match_oracle(query, fig1)

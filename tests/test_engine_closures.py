@@ -1,0 +1,173 @@
+"""XSQ-F engine: closures, recursive data, multi-embedding bookkeeping.
+
+These are the cases Sections 1 and 4.3 call out as the hard part:
+a single element matching the query several ways, clears scoped to one
+embedding, and duplicate-free output.
+"""
+
+import pytest
+
+from repro.xsq.engine import XSQEngine
+
+from conftest import assert_engines_match_oracle
+
+
+class TestBasicClosures:
+    def test_leading_descendant(self):
+        xml = "<a><x><n>1</n></x><n>2</n></a>"
+        assert XSQEngine("//n/text()").run(xml) == ["1", "2"]
+
+    def test_descendant_matches_document_element(self):
+        assert XSQEngine("//a").run("<a>x</a>") == ["<a>x</a>"]
+
+    def test_inner_descendant(self):
+        xml = "<a><mid><deep><n>1</n></deep></mid><n>2</n></a>"
+        assert XSQEngine("/a//n/text()").run(xml) == ["1", "2"]
+
+    def test_descendant_then_child(self):
+        xml = "<a><p><b><t>yes</t></b></p><b><t>also</t></b><t>no</t></a>"
+        assert XSQEngine("//b/t/text()").run(xml) == ["yes", "also"]
+
+    def test_child_then_descendant(self):
+        xml = "<a><b><c><d>x</d></c></b></a>"
+        assert XSQEngine("/a/b//d/text()").run(xml) == ["x"]
+
+    def test_descendant_excludes_context_node(self):
+        # //a//a requires one a strictly below another.
+        xml = "<a><a><a>deep</a></a></a>"
+        assert XSQEngine("//a//a//a/text()").run(xml) == ["deep"]
+
+    def test_closure_with_wildcard(self):
+        xml = "<a><u><n>1</n></u><v><n>2</n></v></a>"
+        assert XSQEngine("//*/n/text()").run(xml) == ["1", "2"]
+
+
+class TestRecursiveData:
+    def test_nested_same_tag_text(self):
+        # Inner text arrives between the outer element's chunks: output
+        # must follow document order of the text events.
+        xml = "<a>x<a>y</a>z</a>"
+        assert XSQEngine("//a/text()").run(xml) == ["x", "y", "z"]
+
+    def test_nested_same_tag_elements_no_duplicates(self):
+        xml = "<a><a>inner</a></a>"
+        results = XSQEngine("//a").run(xml)
+        assert results == ["<a><a>inner</a></a>", "<a>inner</a>"]
+
+    def test_example2(self, fig2):
+        # Only X and Z match: Y's book has no author, and the embedding
+        # of Z through the inner pub fails [year=2002].
+        query = "//pub[year=2002]//book[author]//name"
+        assert XSQEngine(query).run(fig2) == \
+            ["<name>X</name>", "<name>Z</name>"]
+
+    def test_example2_text_output(self, fig2):
+        query = "//pub[year>2000]//book[author]//name/text()"
+        assert XSQEngine(query).run(fig2) == ["X", "Z"]
+
+    def test_example2_variant_with_extra_author(self):
+        # The paper: "if we add an author element between line 8 and
+        # line 9 for the book in line 7, the match in the first row
+        # would also evaluate both predicates to true. In such cases, we
+        # have to avoid duplicates."
+        xml = """
+        <pub>
+         <book><name>X</name><author>A</author></book>
+         <book><name>Y</name><author>EXTRA</author>
+          <pub>
+           <book><name>Z</name><author>B</author></book>
+           <year>1999</year>
+          </pub>
+         </book>
+         <year>2002</year>
+        </pub>
+        """
+        query = "//pub[year=2002]//book[author]//name"
+        results = XSQEngine(query).run(xml)
+        assert results == ["<name>X</name>", "<name>Y</name>",
+                           "<name>Z</name>"]
+        assert len(results) == len(set(results))
+
+    def test_example2_inner_year_2002(self):
+        # Flip the years: now only the inner embedding satisfies pub.
+        xml = """
+        <pub>
+         <book><name>X</name><author>A</author></book>
+         <book><name>Y</name>
+          <pub>
+           <book><name>Z</name><author>B</author></book>
+           <year>2002</year>
+          </pub>
+         </book>
+         <year>1999</year>
+        </pub>
+        """
+        query = "//pub[year=2002]//book[author]//name"
+        assert XSQEngine(query).run(xml) == ["<name>Z</name>"]
+
+    def test_deep_recursive_chain(self):
+        depth = 30
+        xml = "<a>" * depth + "leaf" + "</a>" * depth
+        results = XSQEngine("//a//a/text()").run(xml)
+        # text 'leaf' belongs to the innermost a, which matches //a//a
+        # via many embeddings but must be reported once.
+        assert results == ["leaf"]
+
+    def test_multi_branch_recursion(self):
+        xml = ("<pub><book><pub><book><name>d2</name></book></pub>"
+               "<name>d1</name></book></pub>")
+        assert XSQEngine("//pub//book//name/text()").run(xml) == ["d2", "d1"]
+
+
+class TestClosuresWithPredicates:
+    def test_predicate_resolved_by_later_sibling(self):
+        xml = ("<r><sec><item>i1</item><ok/></sec>"
+               "<sec><item>i2</item></sec></r>")
+        assert XSQEngine("//sec[ok]/item/text()").run(xml) == ["i1"]
+
+    def test_attr_predicate_under_closure(self):
+        xml = '<r><d><b id="1"><n>x</n></b></d><b><n>y</n></b></r>'
+        assert XSQEngine("//b[@id]/n/text()").run(xml) == ["x"]
+
+    def test_nested_matching_ancestors_with_different_verdicts(self):
+        # outer sec has ok, inner does not: items under inner still
+        # match via the outer embedding.
+        xml = "<r><sec><ok/><sec><item>x</item></sec></sec></r>"
+        assert XSQEngine("//sec[ok]//item/text()").run(xml) == ["x"]
+
+    def test_clear_scoped_to_embedding(self):
+        # Both pubs contain the name; inner pub fails its predicate
+        # *after* the item is buffered; outer succeeds later.
+        xml = ("<pub><pub><name>N</name><year>1999</year></pub>"
+               "<year>2002</year></pub>")
+        assert XSQEngine("//pub[year=2002]//name/text()").run(xml) == ["N"]
+
+    def test_all_embeddings_fail(self):
+        xml = ("<pub><pub><name>N</name><year>1999</year></pub>"
+               "<year>1998</year></pub>")
+        engine = XSQEngine("//pub[year=2002]//name/text()")
+        assert engine.run(xml) == []
+        assert engine.last_stats.cleared == 1
+
+
+class TestOracleAgreementOnRecursiveData:
+    QUERIES = [
+        "//pub//book//name",
+        "//pub[year=2002]//book[author]//name",
+        "//pub[year=2002]//book[author]//name/text()",
+        "//book//name/text()",
+        "//pub/book/name/text()",
+        "//name",
+        "//book[author]//name",
+        "/pub//name/text()",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fig2(self, query, fig2):
+        assert_engines_match_oracle(query, fig2)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_generated_recursive_dataset(self, query):
+        from repro.datagen import generate_recursive
+        xml = generate_recursive(15_000, seed=5)
+        assert_engines_match_oracle(query, xml)

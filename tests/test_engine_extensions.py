@@ -1,0 +1,209 @@
+"""Extensions beyond the Figure 3 grammar: path predicates (category 6)
+and or-disjunctions, in both engines."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.xpath.ast import OrPredicate, PathExists, PathTextCompare
+from repro.xpath.parser import parse_query
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+from conftest import assert_engines_match_oracle, oracle
+
+NESTED = """
+<r>
+ <g><a><b>5</b></a><n>hit</n></g>
+ <g><a><c>5</c></a><n>c-only</n></g>
+ <g><a><b>7</b></a><n>b-seven</n></g>
+ <g><n>bare</n></g>
+</r>
+"""
+
+
+class TestPathPredicateParsing:
+    def test_path_exists(self):
+        pred = parse_query("/r/g[a/b]").steps[1].predicates[0]
+        assert isinstance(pred, PathExists)
+        assert pred.path == ("a", "b")
+        assert pred.category == 6
+
+    def test_path_text_compare(self):
+        pred = parse_query("/r/g[a/b=5]").steps[1].predicates[0]
+        assert isinstance(pred, PathTextCompare)
+        assert (pred.path, pred.value) == (("a", "b"), "5")
+
+    def test_path_attr_forms(self):
+        pred = parse_query("/r/g[a/b@id]").steps[1].predicates[0]
+        assert pred.path == ("a", "b") and pred.attr == "id"
+        pred = parse_query("/r/g[a/b@id>3]").steps[1].predicates[0]
+        assert pred.value == "3"
+
+    def test_deep_path(self):
+        pred = parse_query("/r/g[a/b/c/d]").steps[1].predicates[0]
+        assert pred.path == ("a", "b", "c", "d")
+
+    def test_wildcard_hops(self):
+        pred = parse_query("/r/g[*/b]").steps[1].predicates[0]
+        assert pred.path == ("*", "b")
+
+    def test_single_step_keeps_figure3_classes(self):
+        from repro.xpath.ast import ChildExists
+        pred = parse_query("/r/g[a]").steps[1].predicates[0]
+        assert isinstance(pred, ChildExists)
+
+
+class TestOrParsing:
+    def test_or_predicate(self):
+        pred = parse_query("/r/g[a or b]").steps[1].predicates[0]
+        assert isinstance(pred, OrPredicate)
+        assert len(pred.branches) == 2
+
+    def test_and_splits_into_conjuncts(self):
+        preds = parse_query("/r/g[a and b]").steps[1].predicates
+        assert len(preds) == 2
+
+    def test_three_way_or(self):
+        pred = parse_query("/r/g[a or b or c]").steps[1].predicates[0]
+        assert len(pred.branches) == 3
+
+    def test_mixed_and_or_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("/r/g[a and b or c]")
+
+    def test_or_of_comparisons(self):
+        pred = parse_query("/r/g[a=1 or @id=2]").steps[1].predicates[0]
+        assert isinstance(pred, OrPredicate)
+
+    def test_or_resolution_category(self):
+        all_attr = parse_query("/r/g[@a or @b]").steps[1].predicates[0]
+        assert all_attr.resolves_at_begin
+        mixed = parse_query("/r/g[@a or b]").steps[1].predicates[0]
+        assert not mixed.resolves_at_begin
+
+
+class TestPathPredicateEvaluation:
+    def test_path_exists(self):
+        assert XSQEngine("/r/g[a/b]/n/text()").run(NESTED) == \
+            ["hit", "b-seven"]
+
+    def test_path_text_compare(self):
+        assert XSQEngine("/r/g[a/b=5]/n/text()").run(NESTED) == ["hit"]
+
+    def test_path_attr(self):
+        xml = '<r><g><a><b id="9"/></a><n>X</n></g><g><a><b/></a><n>Y</n></g></r>'
+        assert XSQEngine("/r/g[a/b@id]/n/text()").run(xml) == ["X"]
+        assert XSQEngine("/r/g[a/b@id=9]/n/text()").run(xml) == ["X"]
+        assert XSQEngine("/r/g[a/b@id=8]/n/text()").run(xml) == []
+
+    def test_evidence_after_candidate(self):
+        xml = "<r><g><n>late</n><a><b>5</b></a></g></r>"
+        assert XSQEngine("/r/g[a/b=5]/n/text()").run(xml) == ["late"]
+
+    def test_second_path_target_decides(self):
+        xml = "<r><g><a><b>0</b><b>5</b></a><n>x</n></g></r>"
+        assert XSQEngine("/r/g[a/b=5]/n/text()").run(xml) == ["x"]
+
+    def test_sibling_subtrees_do_not_leak(self):
+        # The b must be under THIS g's a, not a sibling g's.
+        xml = "<r><g><a><b>5</b></a></g><g><n>no</n></g></r>"
+        assert XSQEngine("/r/g[a/b]/n/text()").run(xml) == []
+
+    def test_grandchild_via_wrong_intermediate(self):
+        xml = "<r><g><z><b>5</b></z><n>no</n></g></r>"
+        assert XSQEngine("/r/g[a/b]/n/text()").run(xml) == []
+
+    def test_path_predicate_under_closure(self):
+        xml = ("<top><g><a><b>5</b></a><n>one</n></g>"
+               "<deep><g><a><b>5</b></a><n>two</n></g></deep></top>")
+        assert XSQEngine("//g[a/b=5]/n/text()").run(xml) == ["one", "two"]
+
+    def test_nc_agrees(self):
+        for query in ("/r/g[a/b]/n/text()", "/r/g[a/b=5]/n/text()",
+                      "/r/g[a/b=5]/n", "/r/g[a/b]/count()"):
+            assert XSQEngineNC(query).run(NESTED) == \
+                XSQEngine(query).run(NESTED), query
+
+    def test_oracle_agrees(self):
+        for query in ("/r/g[a/b]/n/text()", "/r/g[a/b=5]/n/text()",
+                      "/r/g[a/c]/n/text()", "/r/g[*/c]/n/text()",
+                      "/r/g[a/zzz]/n/text()"):
+            assert_engines_match_oracle(query, NESTED)
+
+    def test_recursive_path_anchors(self):
+        # Nested g's each get their own tracker; inner evidence must
+        # not satisfy the outer anchor's path at the wrong depth.
+        xml = ("<r><g><g><a><b>5</b></a><n>inner</n></g>"
+               "<n>outer</n></g></r>")
+        assert XSQEngine("//g[a/b]/n/text()").run(xml) == ["inner"]
+
+
+class TestOrEvaluation:
+    def test_or_of_children(self):
+        assert XSQEngine("/r/g[a/b or a/c]/n/text()").run(NESTED) == \
+            ["hit", "c-only", "b-seven"]
+
+    def test_or_with_attr_branch_true(self):
+        xml = '<r><g id="1"><n>A</n></g><g><ok/><n>B</n></g><g><n>C</n></g></r>'
+        assert XSQEngine("/r/g[@id or ok]/n/text()").run(xml) == ["A", "B"]
+
+    def test_or_all_attr_branches_false(self):
+        xml = "<r><g><n>A</n></g></r>"
+        assert XSQEngine("/r/g[@id or @name]/n/text()").run(xml) == []
+
+    def test_or_first_witness_settles(self):
+        xml = "<r><g><b/><c/><n>x</n></g></r>"
+        engine = XSQEngine("/r/g[b or c]/n/text()")
+        assert engine.run(xml) == ["x"]
+
+    def test_or_text_branches(self):
+        xml = "<r><v>5</v><v>9</v><v>7</v></r>"
+        assert XSQEngine("/r/v[text()=5 or text()=7]/text()").run(xml) == \
+            ["5", "7"]
+
+    def test_nc_agrees(self):
+        for query in ("/r/g[a/b or a/c]/n/text()",
+                      "/r/g[a or zzz]/n/text()"):
+            assert XSQEngineNC(query).run(NESTED) == \
+                XSQEngine(query).run(NESTED)
+
+    def test_oracle_agrees(self, fig1):
+        for query in ("/pub/book[price<11 or author]/name/text()",
+                      "/pub/book[@id=2 or price<11]/name/text()",
+                      "/pub[zzz or year]/book/name/text()"):
+            assert_engines_match_oracle(query, fig1)
+
+
+class TestCombinedExtensions:
+    def test_or_of_path_predicates_with_late_evidence(self):
+        xml = "<r><g><n>late</n><a><c>ok</c></a></g></r>"
+        assert XSQEngine("/r/g[a/b or a/c]/n/text()").run(xml) == ["late"]
+
+    def test_conjunction_of_path_predicates(self):
+        xml = ("<r><g><a><b>1</b></a><a><c>2</c></a><n>both</n></g>"
+               "<g><a><b>1</b></a><n>only-b</n></g></r>")
+        assert XSQEngine("/r/g[a/b][a/c]/n/text()").run(xml) == ["both"]
+
+    def test_and_form_equivalent_to_brackets(self):
+        xml = "<r><g><a><b>1</b></a><a><c>2</c></a><n>x</n></g></r>"
+        assert XSQEngine("/r/g[a/b and a/c]/n/text()").run(xml) == \
+            XSQEngine("/r/g[a/b][a/c]/n/text()").run(xml)
+
+    def test_stx_baseline_rejects_extensions(self):
+        from repro.baselines.stx import StxEngine
+        with pytest.raises(UnsupportedFeatureError):
+            StxEngine("/r/g[a/b]/n")
+        with pytest.raises(UnsupportedFeatureError):
+            StxEngine("/r/g[a or b]/n")
+
+    def test_fulltext_supports_extensions(self):
+        from repro.baselines.fulltext import FullTextEngine
+        query = "/r/g[a/b=5 or a/c=5]/n/text()"
+        assert FullTextEngine(query).run(NESTED) == \
+            XSQEngine(query).run(NESTED) == ["hit", "c-only"]
+
+    def test_buffer_invariant_holds(self):
+        engine = XSQEngine("//g[a/b or a/c]/n/text()")
+        engine.run(NESTED)
+        stats = engine.last_stats
+        assert stats.enqueued == stats.emitted + stats.cleared

@@ -1,0 +1,211 @@
+"""XSQ-F engine: the five predicate categories, in every arrival order.
+
+The paper's central difficulty is that "elements in an XML stream may
+come in an order that does not match the order of the corresponding
+predicates in the query" — every test class here exercises a predicate
+with its deciding evidence before, after, and absent.
+"""
+
+import pytest
+
+from repro.xsq.engine import XSQEngine
+
+from conftest import assert_engines_match_oracle
+
+
+class TestCategory1AttributePredicates:
+    def test_attr_exists(self):
+        xml = '<r><b id="1"><n>yes</n></b><b><n>no</n></b></r>'
+        assert XSQEngine("/r/b[@id]/n/text()").run(xml) == ["yes"]
+
+    def test_attr_compare_true_false(self):
+        xml = '<r><b id="5"><n>small</n></b><b id="50"><n>big</n></b></r>'
+        assert XSQEngine("/r/b[@id<10]/n/text()").run(xml) == ["small"]
+        assert XSQEngine("/r/b[@id>10]/n/text()").run(xml) == ["big"]
+
+    def test_attr_string_compare(self):
+        xml = '<r><b lang="en"><n>E</n></b><b lang="de"><n>D</n></b></r>'
+        assert XSQEngine("/r/b[@lang='de']/n/text()").run(xml) == ["D"]
+
+    def test_nothing_buffered_when_decided_at_begin(self):
+        xml = '<r><b id="1"><n>x</n></b></r>'
+        engine = XSQEngine("/r/b[@id]/n/text()")
+        engine.run(xml)
+        # The predicate was true at <b>; the item flushes immediately.
+        assert engine.last_stats.peak_buffered_items <= 1
+
+    def test_failed_attr_kills_subtree(self):
+        xml = '<r><b><n>never</n></b></r>'
+        engine = XSQEngine("/r/b[@id]/n/text()")
+        assert engine.run(xml) == []
+        assert engine.last_stats.enqueued == 0
+
+
+class TestCategory2TextPredicates:
+    def test_text_compare_on_result_element(self):
+        xml = "<r><y>2002</y><y>1999</y></r>"
+        assert XSQEngine("/r/y[text()=2002]/text()").run(xml) == ["2002"]
+
+    def test_text_exists(self):
+        xml = "<r><y>content</y><y/><y>  </y></r>"
+        assert XSQEngine("/r/y[text()]").run(xml) == ["<y>content</y>"]
+
+    def test_text_decides_after_candidate_seen(self):
+        # Predicate on an ancestor; the deciding text arrives after the
+        # candidate item, forcing buffering.
+        xml = "<r><p><n>kept</n><flag>go</flag></p></r>"
+        engine = XSQEngine("/r/p[flag='go']/n/text()")
+        assert engine.run(xml) == ["kept"]
+        assert engine.last_stats.peak_buffered_items >= 1
+
+    def test_contains_operator(self):
+        xml = "<r><line>what is love</line><line>nothing</line></r>"
+        assert XSQEngine("/r/line[text() contains 'love']/text()").run(xml) \
+            == ["what is love"]
+
+
+class TestCategory3ChildExists:
+    def test_child_present(self, fig1):
+        assert XSQEngine("/pub/book[author]/name/text()").run(fig1) == \
+            ["First", "Second"]
+
+    def test_child_absent(self):
+        xml = "<r><b><n>no-author</n></b></r>"
+        assert XSQEngine("/r/b[author]/n/text()").run(xml) == []
+
+    def test_child_after_candidate(self):
+        xml = "<r><b><n>late</n><author>A</author></b></r>"
+        assert XSQEngine("/r/b[author]/n/text()").run(xml) == ["late"]
+
+    def test_child_before_candidate(self):
+        xml = "<r><b><author>A</author><n>early</n></b></r>"
+        assert XSQEngine("/r/b[author]/n/text()").run(xml) == ["early"]
+
+    def test_wildcard_child(self):
+        xml = "<r><b><anything/><n>w</n></b><empty-b/></r>"
+        assert XSQEngine("/r/b[*]/n/text()").run(xml) == ["w"]
+
+    def test_grandchild_does_not_satisfy_child_predicate(self):
+        xml = "<r><b><mid><author>A</author></mid><n>x</n></b></r>"
+        assert XSQEngine("/r/b[author]/n/text()").run(xml) == []
+
+
+class TestCategory4ChildAttr:
+    def test_child_attr_exists(self):
+        xml = ('<r><p><b id="1"/><n>yes</n></p>'
+               '<p><b/><n>no</n></p></r>')
+        assert XSQEngine("/r/p[b@id]/n/text()").run(xml) == ["yes"]
+
+    def test_child_attr_compare(self):
+        xml = ('<r><p><b id="5"/><n>small</n></p>'
+               '<p><b id="50"/><n>big</n></p></r>')
+        assert XSQEngine("/r/p[b@id<=10]/n/text()").run(xml) == ["small"]
+
+    def test_multiple_children_any_satisfies(self):
+        xml = '<r><p><b id="50"/><b id="5"/><n>kept</n></p></r>'
+        assert XSQEngine("/r/p[b@id<=10]/n/text()").run(xml) == ["kept"]
+
+
+class TestCategory5ChildTextCompare:
+    def test_basic(self, fig1):
+        assert XSQEngine("/pub/book[price<11]/name/text()").run(fig1) == \
+            ["First"]
+
+    def test_any_child_can_satisfy(self):
+        # First price fails, second passes - element still matches.
+        xml = "<r><b><price>14</price><price>9</price><n>x</n></b></r>"
+        assert XSQEngine("/r/b[price<11]/n/text()").run(xml) == ["x"]
+
+    def test_all_children_fail(self):
+        xml = "<r><b><price>14</price><price>12</price><n>x</n></b></r>"
+        assert XSQEngine("/r/b[price<11]/n/text()").run(xml) == []
+
+    def test_deciding_child_after_candidates(self, fig1):
+        # [year=2002]: the year element is the LAST child of pub.
+        engine = XSQEngine("/pub[year=2002]/book/name/text()")
+        assert engine.run(fig1) == ["First", "Second"]
+        # Names were buffered until the year arrived.
+        assert engine.last_stats.peak_buffered_items >= 2
+
+    def test_predicate_false_clears_buffer(self, fig1):
+        engine = XSQEngine("/pub[year=2003]/book/name/text()")
+        assert engine.run(fig1) == []
+        assert engine.last_stats.cleared == 2
+
+
+class TestMultiplePredicates:
+    def test_example1(self, fig1):
+        # The paper's Example 1, element output.
+        assert XSQEngine("/pub[year=2002]/book[price<11]/author").run(fig1) \
+            == ["<author>A</author>"]
+
+    def test_example1_text(self, fig1):
+        assert XSQEngine(
+            "/pub[year=2002]/book[price<11]/author/text()").run(fig1) == ["A"]
+
+    def test_first_predicate_fails(self, fig1):
+        assert XSQEngine("/pub[year=2001]/book[price<11]/author").run(fig1) \
+            == []
+
+    def test_second_predicate_fails_everywhere(self, fig1):
+        assert XSQEngine("/pub[year=2002]/book[price<9]/author").run(fig1) \
+            == []
+
+    def test_multiple_predicates_same_step(self, fig1):
+        query = "/pub/book[@id=2][price<13]/name/text()"
+        assert XSQEngine(query).run(fig1) == ["Second"]
+
+    def test_conjunction_one_fails(self, fig1):
+        query = "/pub/book[@id=1][price>13]/name/text()"
+        assert XSQEngine(query).run(fig1) == []
+
+    def test_three_predicates_three_categories(self):
+        xml = ('<r><b id="1"><flag>on</flag><v>42</v><n>all</n></b>'
+               '<b id="2"><v>42</v><n>noflag</n></b></r>')
+        query = "/r/b[@id][flag='on'][v=42]/n/text()"
+        assert XSQEngine(query).run(xml) == ["all"]
+
+
+class TestArrivalOrderMatrix:
+    """Evidence before / after / interleaved with the candidate."""
+
+    CASES = [
+        ("<r><p><k>1</k><n>A</n></p></r>", ["A"]),       # evidence first
+        ("<r><p><n>A</n><k>1</k></p></r>", ["A"]),       # evidence last
+        ("<r><p><n>A</n><k>0</k><k>1</k></p></r>", ["A"]),  # second k decides
+        ("<r><p><n>A</n><k>0</k></p></r>", []),          # never satisfied
+        ("<r><p><n>A</n></p></r>", []),                  # no k at all
+        ("<r><p><n>A</n><k>1</k><n>B</n></p></r>", ["A", "B"]),
+    ]
+
+    @pytest.mark.parametrize("xml,expected", CASES)
+    def test_orderings(self, xml, expected):
+        assert XSQEngine("/r/p[k=1]/n/text()").run(xml) == expected
+
+    @pytest.mark.parametrize("xml,expected", CASES)
+    def test_orderings_match_oracle(self, xml, expected):
+        assert assert_engines_match_oracle("/r/p[k=1]/n/text()", xml) == \
+            expected
+
+
+class TestPredicateOnResultElement:
+    def test_result_element_own_predicate(self):
+        xml = '<r><n id="1">one</n><n>two</n></r>'
+        assert XSQEngine("/r/n[@id]/text()").run(xml) == ["one"]
+
+    def test_result_element_child_predicate_buffers_text(self):
+        xml = "<r><n>keep<ok/></n><n>drop</n></r>"
+        assert XSQEngine("/r/n[ok]/text()").run(xml) == ["keep"]
+
+    def test_oracle_agreement_on_fig1(self, fig1):
+        for query in (
+                "/pub[year=2002]/book[price<11]/author",
+                "/pub[year>2000]/book[author]/name/text()",
+                "/pub/book[@id=2]/author/text()",
+                "/pub/book[price>13]/name/text()",
+                "/pub[book]/year/text()",
+                "/pub[book@id]/year/text()",
+                "/pub[book@id=2]/year/text()",
+                "/pub[zzz]/year/text()",
+        ):
+            assert_engines_match_oracle(query, fig1)

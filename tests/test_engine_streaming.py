@@ -1,0 +1,147 @@
+"""Streaming behaviour: incremental emission, unbounded inputs, memory."""
+
+import itertools
+
+from repro.streaming.events import BeginEvent, EndEvent, TextEvent
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+
+class TestIncrementalEmission:
+    def test_iter_results_matches_run(self, fig1):
+        query = "/pub[year=2002]/book/name/text()"
+        engine = XSQEngine(query)
+        assert list(engine.iter_results(fig1)) == engine.run(fig1)
+
+    def test_unblocked_results_stream_before_document_end(self):
+        # No predicates: each result must be available as soon as its
+        # text event has been consumed, not at document end.
+        def events():
+            yield BeginEvent("r", {}, 1)
+            yield BeginEvent("i", {}, 2)
+            yield TextEvent("i", "first", 2)
+            yield EndEvent("i", 2)
+            yield from iter(lambda: None, 0)  # hang forever if consumed
+
+        engine = XSQEngine("/r/i/text()")
+        stream = engine.iter_results(events())
+        assert next(stream) == "first"  # must not touch the hang
+
+    def test_results_blocked_only_by_their_own_predicates(self):
+        def events():
+            yield BeginEvent("r", {}, 1)
+            yield BeginEvent("g", {}, 2)
+            yield BeginEvent("n", {}, 3)
+            yield TextEvent("n", "candidate", 3)
+            yield EndEvent("n", 3)
+            yield BeginEvent("ok", {}, 3)   # predicate now true
+            yield EndEvent("ok", 3)
+            yield from iter(lambda: None, 0)
+
+        engine = XSQEngine("/r/g[ok]/n/text()")
+        stream = engine.iter_results(events())
+        assert next(stream) == "candidate"
+
+    def test_nc_streams_too(self):
+        def events():
+            yield BeginEvent("r", {}, 1)
+            yield BeginEvent("i", {}, 2)
+            yield TextEvent("i", "x", 2)
+            yield EndEvent("i", 2)
+            yield from iter(lambda: None, 0)
+
+        stream = XSQEngineNC("/r/i/text()").iter_results(events())
+        assert next(stream) == "x"
+
+
+class TestUnboundedStreams:
+    @staticmethod
+    def infinite_items():
+        yield BeginEvent("feed", {}, 1)
+        for n in itertools.count():
+            yield BeginEvent("item", {"n": str(n)}, 2)
+            yield BeginEvent("v", {}, 3)
+            yield TextEvent("v", str(n), 3)
+            yield EndEvent("v", 3)
+            yield EndEvent("item", 2)
+
+    def test_prefix_of_infinite_stream(self):
+        engine = XSQEngine("/feed/item/v/text()")
+        first_five = list(itertools.islice(
+            engine.iter_results(self.infinite_items()), 5))
+        assert first_five == ["0", "1", "2", "3", "4"]
+
+    def test_running_aggregate_on_infinite_stream(self):
+        engine = XSQEngine("/feed/item/v/sum()")
+        values = list(itertools.islice(
+            engine.iter_results(self.infinite_items()), 4))
+        assert values == ["0", "1", "3", "6"]
+
+    def test_attr_predicate_on_infinite_stream(self):
+        engine = XSQEngine("/feed/item[@n='2']/v/text()")
+        assert next(iter(engine.iter_results(self.infinite_items()))) == "2"
+
+
+class TestMemoryBounds:
+    def test_no_buffering_without_predicates(self):
+        xml = "<r>" + "<i>x</i>" * 500 + "</r>"
+        engine = XSQEngine("/r/i/text()")
+        engine.run(xml)
+        assert engine.last_stats.peak_buffered_items <= 1
+
+    def test_buffer_drains_per_group(self):
+        # Each group's candidates resolve at its </g>; the buffer must
+        # never hold more than one group's worth.
+        xml = "<r>" + ("<g><n>a</n><n>b</n><year>2002</year></g>" * 100) \
+            + "</r>"
+        engine = XSQEngine("/r/g[year=2002]/n/text()")
+        results = engine.run(xml)
+        assert len(results) == 200
+        assert engine.last_stats.peak_buffered_items <= 2
+
+    def test_failed_groups_cleared_immediately(self):
+        xml = "<r>" + ("<g><n>a</n></g>" * 100) + "</r>"
+        engine = XSQEngine("/r/g[year=2002]/n/text()")
+        assert engine.run(xml) == []
+        assert engine.last_stats.peak_buffered_items <= 1
+        assert engine.last_stats.cleared == 100
+
+    def test_recursive_closure_memory_bounded_by_open_elements(self):
+        from repro.datagen import generate_recursive
+        xml = generate_recursive(60_000, seed=3)
+        engine = XSQEngine("//pub[year]//book[@id]/title/text()")
+        engine.run(xml)
+        # Candidates are bounded by undetermined pubs on the open path,
+        # not by document size.
+        assert engine.last_stats.peak_buffered_items < 200
+
+
+class TestIterResultsMemory:
+    def test_sink_drained_as_results_are_yielded(self):
+        # iter_results must not retain already-yielded values: that
+        # would grow without bound on long streams.
+        from repro.streaming.events import BeginEvent, EndEvent, TextEvent
+
+        def events(n):
+            yield BeginEvent("r", {}, 1)
+            for i in range(n):
+                yield BeginEvent("i", {}, 2)
+                yield TextEvent("i", str(i), 2)
+                yield EndEvent("i", 2)
+            yield EndEvent("r", 1)
+
+        engine = XSQEngine("/r/i/text()")
+        stream = engine.iter_results(events(5000))
+        for index, value in enumerate(stream):
+            assert value == str(index)
+        assert index == 4999
+
+    def test_aggregate_snapshots_drained(self):
+        from repro.xsq.aggregates import StatBuffer
+        stat = StatBuffer("count", track_snapshots=True)
+        stat.update(1.0)
+        stat.update(1.0)
+        assert stat.drain_snapshots() == ["1", "2"]
+        assert stat.drain_snapshots() == []
+        stat.update(1.0)
+        assert stat.drain_snapshots() == ["3"]

@@ -1,0 +1,54 @@
+"""Exception hierarchy: one catchable root, informative subclasses."""
+
+import pytest
+
+from repro.errors import (
+    ClosureNotSupportedError,
+    NotWellFormedError,
+    ReproError,
+    StreamError,
+    UnsupportedFeatureError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        XPathSyntaxError, UnsupportedFeatureError, NotWellFormedError,
+        ClosureNotSupportedError, StreamError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_closure_error_is_unsupported_feature(self):
+        assert issubclass(ClosureNotSupportedError, UnsupportedFeatureError)
+
+    def test_syntax_error_carries_context(self):
+        err = XPathSyntaxError("bad", query="/a[", position=3)
+        assert err.query == "/a["
+        assert err.position == 3
+
+
+class TestSingleCatchPoint:
+    """A caller wrapping the public API in `except ReproError` sees
+    every failure mode the package can produce."""
+
+    def test_parse_failure(self):
+        from repro.xpath.parser import parse_query
+        with pytest.raises(ReproError):
+            parse_query("not a query")
+
+    def test_engine_rejection(self):
+        from repro.xsq.nc import XSQEngineNC
+        with pytest.raises(ReproError):
+            XSQEngineNC("//a")
+
+    def test_stream_failure(self):
+        from repro.xsq.engine import XSQEngine
+        with pytest.raises(ReproError):
+            XSQEngine("/a").run("<a><b></a>")
+
+    def test_wellformedness_failure(self):
+        from repro.streaming.events import events_from_pairs
+        from repro.streaming.wellformed import check_well_formed
+        with pytest.raises(ReproError):
+            check_well_formed(events_from_pairs([("begin", "a")]))

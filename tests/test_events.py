@@ -1,0 +1,88 @@
+"""Unit tests for the SAX-with-depth event model (Section 2.1)."""
+
+import pytest
+
+from repro.streaming.events import (
+    BeginEvent,
+    EndEvent,
+    TextEvent,
+    events_from_pairs,
+    iter_with_depth,
+)
+
+
+class TestEventClasses:
+    def test_begin_event_fields(self):
+        event = BeginEvent("book", {"id": "1"}, 2)
+        assert event.tag == "book"
+        assert event.attrs == {"id": "1"}
+        assert event.depth == 2
+        assert event.kind == "begin"
+
+    def test_begin_event_default_attrs_is_fresh_dict(self):
+        a = BeginEvent("x")
+        b = BeginEvent("y")
+        a.attrs["k"] = "v"
+        assert b.attrs == {}
+
+    def test_end_event_fields(self):
+        event = EndEvent("book", 2)
+        assert (event.tag, event.depth, event.kind) == ("book", 2, "end")
+
+    def test_text_event_fields(self):
+        event = TextEvent("name", "First", 3)
+        assert (event.tag, event.text, event.depth) == ("name", "First", 3)
+        assert event.kind == "text"
+
+    def test_equality_and_hash(self):
+        assert BeginEvent("a", {"x": "1"}, 1) == BeginEvent("a", {"x": "1"}, 1)
+        assert BeginEvent("a", {}, 1) != BeginEvent("a", {}, 2)
+        assert EndEvent("a", 1) == EndEvent("a", 1)
+        assert TextEvent("a", "t", 1) == TextEvent("a", "t", 1)
+        assert TextEvent("a", "t", 1) != TextEvent("a", "u", 1)
+        assert len({BeginEvent("a", {}, 1), BeginEvent("a", {}, 1)}) == 1
+
+    def test_cross_kind_inequality(self):
+        assert BeginEvent("a") != EndEvent("a")
+        assert EndEvent("a") != TextEvent("a", "")
+
+    def test_repr_mentions_tag(self):
+        assert "book" in repr(BeginEvent("book"))
+        assert "book" in repr(EndEvent("book"))
+        assert "hello" in repr(TextEvent("t", "hello"))
+
+
+class TestDepthAssignment:
+    def test_iter_with_depth_simple(self):
+        events = list(iter_with_depth([
+            BeginEvent("a"), BeginEvent("b"), EndEvent("b"), EndEvent("a")]))
+        assert [e.depth for e in events] == [1, 2, 2, 1]
+
+    def test_iter_with_depth_text_inherits_element_depth(self):
+        events = list(iter_with_depth([
+            BeginEvent("a"), TextEvent("a", "x"), EndEvent("a")]))
+        assert [e.depth for e in events] == [1, 1, 1]
+
+    def test_events_from_pairs_full_notation(self):
+        events = events_from_pairs([
+            ("begin", ("book", {"id": "9"})),
+            ("text", ("book", "hi")),
+            ("begin", "name"),
+            ("end", "name"),
+            ("end", "book"),
+        ])
+        assert [e.kind for e in events] == ["begin", "text", "begin",
+                                            "end", "end"]
+        assert events[0].attrs == {"id": "9"}
+        assert [e.depth for e in events] == [1, 1, 2, 2, 1]
+
+    def test_events_from_pairs_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            events_from_pairs([("comment", "x")])
+
+    def test_siblings_share_depth(self):
+        events = events_from_pairs([
+            ("begin", "a"), ("begin", "b"), ("end", "b"),
+            ("begin", "c"), ("end", "c"), ("end", "a")])
+        depths = {e.tag: e.depth for e in events if e.kind == "begin"}
+        assert depths == {"a": 1, "b": 2, "c": 2}

@@ -1,0 +1,46 @@
+"""Every example must run clean — examples are the first code a new
+user executes, so they are tested like everything else."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+#: (script, argv, fragments the output must contain)
+CASES = [
+    ("quickstart.py", [],
+     ["result:", "XSQ-NC agrees", "running sums", "compiled HPDT"]),
+    ("shakespeare_speakers.py", ["120000"],
+     ["Q1", "Q2", "Q3", "first streamed result"]),
+    ("stock_stream.py", ["6"],
+     ["running max", "running counts"]),
+    ("document_filter.py", [],
+     ["routing with XFilter", "routing with YFilter", "shared NFA"]),
+    ("recursive_bibliography.py", [],
+     ["<name>X</name>", "buffer operations", "enqueue"]),
+    ("schema_optimization.py", [],
+     ["validated", "statically empty", "schema-aware"]),
+    ("subscription_service.py", ["2"],
+     ["subscriptions:", "routed", "delivered"]),
+]
+
+
+@pytest.mark.parametrize("script,argv,fragments", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs_clean(script, argv, fragments):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script)] + argv,
+        capture_output=True, text=True, timeout=240)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in fragments:
+        assert fragment in completed.stdout, (script, fragment)
+
+
+def test_every_example_is_covered_here():
+    scripts = {name for name in os.listdir(EXAMPLES)
+               if name.endswith(".py")}
+    assert scripts == {case[0] for case in CASES}

@@ -1,0 +1,194 @@
+"""The paper's evaluation *shapes*, asserted on scaled-down inputs.
+
+Absolute numbers cannot transfer from the paper's 2003 testbed, but the
+qualitative claims — who wins, what grows linearly, what stays flat —
+must reproduce.  These tests run the actual experiment functions at a
+small scale, so they double as integration tests for the harness.
+Timing-based assertions use generous margins (2x) to tolerate CI noise.
+"""
+
+import pytest
+
+from repro.bench.datasets import DatasetCache
+from repro.bench.figures import (
+    ablation_buffering,
+    ablation_determinism,
+    fig14_features,
+    fig15_datasets,
+    fig18_phases,
+    fig19_memory_dblp,
+    fig20_memory_recursive,
+    fig21_ordering,
+    fig22_result_size,
+)
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    # ~100-300 KB datasets: large enough that engine differences beat
+    # noise, small enough for the test suite.
+    return DatasetCache(str(tmp_path_factory.mktemp("shapes")), scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def timing_cache(tmp_path_factory):
+    # Wall-clock comparisons need more data before systematic engine
+    # differences dominate scheduler noise.
+    return DatasetCache(str(tmp_path_factory.mktemp("shapes-t")), scale=0.5)
+
+
+def by_system(rows, **filters):
+    out = {}
+    for row in rows:
+        if all(row.get(key) == value for key, value in filters.items()):
+            out[row["system"]] = row
+    return out
+
+
+class TestFig14Shape:
+    def test_matches_paper_matrix(self):
+        rows = {r["name"]: r for r in fig14_features().rows}
+        # The X marks of Figure 14, row by row.
+        assert rows["XSQ-F"] == {
+            "name": "XSQ-F", "language": "XPath", "streaming": True,
+            "buffered_predicates": True, "multiple_predicates": True,
+            "closures": True, "aggregation": True}
+        assert not rows["XSQ-NC"]["closures"]
+        assert not rows["XMLTK"]["buffered_predicates"]
+        assert not rows["Saxon"]["streaming"]
+        assert not rows["Galax"]["streaming"]
+        assert not rows["XQEngine"]["streaming"]
+        assert rows["Joost"]["streaming"]
+
+
+class TestFig15Shape:
+    def test_dataset_statistics_track_paper(self, cache):
+        rows = {r["dataset"]: r for r in fig15_datasets(cache=cache).rows}
+        # DBLP is the shallowest (paper: 2.90); the others are 4.3-6.
+        assert rows["DBLP"]["avg_depth"] < rows["SHAKE"]["avg_depth"]
+        assert rows["DBLP"]["avg_depth"] < rows["NASA"]["avg_depth"]
+        assert rows["DBLP"]["avg_depth"] < 3.5
+        for name in ("SHAKE", "NASA", "DBLP", "PSD"):
+            row = rows[name]
+            assert 0 < row["text_mb"] < row["size_mb"]
+            assert 4 < row["avg_tag_len"] < 8
+
+
+class TestFig18Shape:
+    def test_streaming_vs_preprocessing(self, cache):
+        rows = by_system(fig18_phases(cache=cache).rows)
+        # Streaming systems: essentially no preprocessing phase.
+        for name in ("XSQ-F", "XSQ-NC", "XMLTK", "Joost"):
+            assert rows[name]["preprocess_s"] < 0.01, name
+        # Saxon and XQEngine pay a preprocessing phase that dominates
+        # their query phase.
+        for name in ("Saxon", "XQEngine"):
+            assert rows[name]["preprocess_s"] > rows[name]["query_s"], name
+
+
+class TestFig19Shape:
+    def test_dom_linear_streaming_flat(self, cache):
+        result = fig19_memory_dblp(cache=cache)
+        saxon = sorted((r["size_mb"], r["peak_mb"]) for r in result.rows
+                       if r["system"] == "Saxon")
+        xsqf = sorted((r["size_mb"], r["peak_mb"]) for r in result.rows
+                      if r["system"] == "XSQ-F")
+        # Saxon's memory grows with input (4x input => >2.5x memory) and
+        # exceeds the input size itself (paper: 4-5x).
+        assert saxon[-1][1] > 2.5 * saxon[0][1]
+        assert saxon[-1][1] > saxon[-1][0]
+        # XSQ-F stays flat: largest input uses < 2x the smallest's peak
+        # and well under Saxon's (the retained result list is common to
+        # both, which caps the visible ratio at small scales).
+        assert xsqf[-1][1] < 2 * xsqf[0][1] + 0.5
+        assert xsqf[-1][1] < saxon[-1][1] / 2
+
+    def test_xmltk_ran_without_predicate(self, cache):
+        result = fig19_memory_dblp(cache=cache)
+        notes = {r["system"]: r.get("note", "") for r in result.rows}
+        assert "predicate dropped" in notes["XMLTK"]
+
+
+class TestFig20Shape:
+    def test_closure_predicate_query_coverage(self, cache):
+        result = fig20_memory_recursive(cache=cache)
+        rows = result.rows
+        # XSQ-NC and XMLTK cannot handle the query (paper footnote 1).
+        assert all(r["note"] == "cannot run" for r in rows
+                   if r["system"] in ("XSQ-NC", "XMLTK"))
+        saxon = sorted((r["size_mb"], r["peak_mb"]) for r in rows
+                       if r["system"] == "Saxon")
+        # The DOM engine's memory grows with the recursive input...
+        assert saxon[-1][1] > 2 * saxon[0][1]
+        # ...while XSQ-F's buffer holds only the undetermined candidates
+        # on the open path: bounded by nesting, not input size (the
+        # engine-level metric is immune to allocator/GC timing noise).
+        xsqf_buffered = sorted((r["size_mb"], r["buffered_items"])
+                               for r in rows if r["system"] == "XSQ-F")
+        assert xsqf_buffered[-1][1] < 4 * xsqf_buffered[0][1]
+        assert xsqf_buffered[-1][1] < 500
+
+
+class TestFig21Shape:
+    def test_ordering_sensitivity(self, timing_cache):
+        result = fig21_ordering(cache=timing_cache, repeat=3)
+        rows = result.rows
+        # All three queries return empty results (the paper's setup).
+        assert all(r["results"] == 0 for r in rows)
+        nc = {r["query"]: r["seconds"] for r in rows
+              if r["system"] == "XSQ-NC"}
+        # XSQ-NC: @id decided at the begin event is markedly faster
+        # than posterior (buffer until the end); paper reports ~30%.
+        assert nc["/root/a[@id=0]"] < 0.9 * nc["/root/a[posterior=0]"]
+        # Saxon is insensitive to ordering (within noise).
+        saxon = {r["query"]: r["seconds"] for r in rows
+                 if r["system"] == "Saxon"}
+        values = sorted(saxon.values())
+        assert values[-1] < 2.0 * values[0]
+
+
+class TestFig22Shape:
+    def test_result_size_sensitivity(self, timing_cache):
+        result = fig22_result_size(cache=timing_cache, repeat=3)
+        nc = {r["query"]: r["seconds"] for r in result.rows
+              if r["system"] == "XSQ-NC"}
+        red = nc["/a/Red (10%)"]
+        blue = nc["/a/Blue (60%)"]
+        # Bigger result => more transitions and output work => slower.
+        assert blue > red
+        counts = {r["query"]: r["results"] for r in result.rows
+                  if r["system"] == "XSQ-NC"}
+        assert counts["/a/Blue (60%)"] > counts["/a/Green (30%)"] \
+            > counts["/a/Red (10%)"]
+
+
+class TestAblations:
+    def test_determinism_cost(self, timing_cache):
+        result = ablation_determinism(cache=timing_cache, repeat=5)
+        ratios = []
+        for row in result.rows:
+            assert row["results_equal"]
+            # XSQ-F pays for nondeterminism on identical queries; allow
+            # a small per-dataset noise band but demand the shape hold
+            # on average.
+            assert row["f_over_nc"] > 0.9, row
+            ratios.append(row["f_over_nc"])
+        assert sum(ratios) / len(ratios) > 1.0, ratios
+
+    def test_buffering_probes(self, cache):
+        result = ablation_buffering(cache=cache)
+        rows = {r["probe"]: r for r in result.rows}
+        assert rows["early decision"]["enqueued"] == 0
+        assert rows["late decision"]["enqueued"] > 0
+        assert rows["late decision"]["peak_buffered"] >= 1
+        closure = rows["closures, recursive"]
+        assert closure["enqueued"] == (closure["emitted"]
+                                       + closure["cleared"])
+
+
+class TestReportRendering:
+    def test_every_result_reports(self, cache):
+        for fn in (fig14_features, fig15_datasets):
+            text = fn(cache=cache).report()
+            assert text.strip()
+            assert "—" in text or "-" in text

@@ -1,0 +1,130 @@
+"""Unit tests for HPDT composition (Section 4.2)."""
+
+import pytest
+
+from repro.xsq.hpdt import Hpdt
+
+PAPER_QUERY = "//pub[year>2000]//book[author]//name/text()"
+
+
+class TestTreeConstruction:
+    def test_root_bpdt_exists(self):
+        hpdt = Hpdt("/a/b")
+        assert (0, 0) in hpdt.bpdts
+        assert hpdt.bpdts[(0, 0)].step is None
+
+    def test_paper_figure11_positions(self):
+        # Figure 11 shows exactly these BPDTs for the running query.
+        hpdt = Hpdt(PAPER_QUERY)
+        assert set(hpdt.bpdts) == {
+            (0, 0), (1, 1), (2, 2), (2, 3), (3, 4), (3, 5), (3, 6), (3, 7)}
+
+    def test_right_child_only_under_na_parent(self):
+        # /name has no predicate, hence no NA state, hence no right child
+        # below it at the next level.
+        hpdt = Hpdt("/name/title")
+        assert set(hpdt.bpdts) == {(0, 0), (1, 1), (2, 3)}
+
+    def test_predicate_parent_gets_both_children(self):
+        hpdt = Hpdt("/book[author]/title")
+        assert set(hpdt.bpdts) == {(0, 0), (1, 1), (2, 2), (2, 3)}
+
+    def test_depth_matches_steps(self):
+        assert Hpdt("/a/b/c/d").depth == 4
+
+    def test_bpdt_count_growth_with_predicates(self):
+        # All-predicate queries double the layer width each level.
+        hpdt = Hpdt("/a[x]/b[y]/c[z]")
+        assert hpdt.bpdt_count == 1 + 1 + 2 + 4
+
+    def test_closure_levels(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        assert hpdt.closure_levels == {1, 2, 3}
+        assert Hpdt("/a//b/c").closure_levels == {2}
+
+
+class TestNavigation:
+    def test_parent_of(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        assert hpdt.parent_of((3, 4)) == (2, 2)
+        assert hpdt.parent_of((3, 7)) == (2, 3)
+        assert hpdt.parent_of((1, 1)) == (0, 0)
+        assert hpdt.parent_of((0, 0)) is None
+
+    def test_ancestors(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        assert list(hpdt.ancestors((3, 4))) == [(2, 2), (1, 1), (0, 0)]
+
+    def test_left_child_detection(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        assert hpdt.is_left_child((3, 7))
+        assert not hpdt.is_left_child((3, 4))
+
+
+class TestUploadTargets:
+    """Section 4.3: upload goes to the nearest ancestor holding the
+    current BPDT in its right subtree (deepest still-NA predicate)."""
+
+    def test_paper_example_positions(self):
+        hpdt = Hpdt("/pub[year>2000]/book[author]/name/text()")
+        assert hpdt.upload_target((3, 4)) == (2, 2)
+        assert hpdt.upload_target((2, 2)) == (1, 1)
+        assert hpdt.upload_target((3, 5)) == (1, 1)
+        # (3,6) = right child of (2,3): the book predicate is the
+        # deepest NA one on that path.
+        assert hpdt.upload_target((3, 6)) == (2, 3)
+
+    def test_all_true_position_flushes(self):
+        hpdt = Hpdt("/pub[year>2000]/book[author]/name/text()")
+        assert hpdt.upload_target((3, 7)) is None
+        assert hpdt.upload_target((1, 1)) is None
+        assert hpdt.output_bpdt_id() == (3, 7)
+
+    def test_example7_upload_skips_true_ancestor(self):
+        # bpdt(3,5) uploads to bpdt(1,1), not bpdt(2,2), because the
+        # predicate in bpdt(2,2) has already evaluated to true.
+        hpdt = Hpdt(PAPER_QUERY)
+        assert hpdt.upload_target((3, 5)) == (1, 1)
+
+
+class TestTruthEncoding:
+    def test_truth_bits_of_paper_position(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        # 4 = (100)2: only the root-level predicate is known true.
+        assert hpdt.truth_bits((3, 4)) == (True, False, False)
+        assert hpdt.truth_bits((3, 7)) == (True, True, True)
+        assert hpdt.truth_bits((3, 5)) == (True, False, True)
+
+    def test_id_for_statuses_inverts_truth_bits(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        for bpdt_id in hpdt.bpdts:
+            if bpdt_id == (0, 0):
+                continue
+            assert hpdt.id_for_statuses(hpdt.truth_bits(bpdt_id)) == bpdt_id
+
+
+class TestIntrospection:
+    def test_state_count_positive(self):
+        assert Hpdt("/a/b").state_count >= 6
+
+    def test_layer_listing(self):
+        hpdt = Hpdt(PAPER_QUERY)
+        assert [b.bpdt_id for b in hpdt.layer(3)] == [
+            (3, 7), (3, 6), (3, 5), (3, 4)]
+
+    def test_describe_lists_all_bpdts(self):
+        text = Hpdt(PAPER_QUERY).describe()
+        for level, k in ((0, 0), (1, 1), (2, 2), (2, 3), (3, 4), (3, 7)):
+            assert "bpdt(%d,%d)" % (level, k) in text
+
+    def test_to_dot_well_formed(self):
+        dot = Hpdt("/a[x]/b/text()").to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph") == Hpdt("/a[x]/b/text()").bpdt_count
+
+    def test_string_query_and_parsed_query_agree(self):
+        from repro.xpath.parser import parse_query
+        a = Hpdt(PAPER_QUERY)
+        b = Hpdt(parse_query(PAPER_QUERY))
+        assert set(a.bpdts) == set(b.bpdts)

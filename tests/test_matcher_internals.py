@@ -1,0 +1,219 @@
+"""White-box tests of the matcher's internal state machines.
+
+The end-to-end suites exercise these through whole queries; these tests
+pin down the unit-level contracts so refactors fail close to the bug.
+"""
+
+import pytest
+
+from repro.xpath.ast import Op, PathExists, PathTextCompare
+from repro.xsq.buffers import OutputQueue
+from repro.xsq.engine import XSQEngine
+from repro.xsq.hpdt import Hpdt
+from repro.xsq.matcher import (
+    Chain,
+    MatcherRuntime,
+    PathTracker,
+    PredicateInstance,
+)
+
+
+class _FakeRuntime:
+    """Just enough runtime for instance/tracker unit tests."""
+
+    def __init__(self):
+        self.queue = OutputQueue([])
+        self.hpdt = Hpdt("/a/b")
+
+
+class TestPredicateInstance:
+    def test_no_pending_is_true_immediately(self):
+        assert PredicateInstance(1, None).status is True
+
+    def test_resolves_true_when_pending_drains(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0, 1})
+        instance.witness(0, runtime)
+        assert instance.status is None
+        instance.witness(1, runtime)
+        assert instance.status is True
+
+    def test_resolution_is_latched(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0})
+        instance.witness(0, runtime)
+        instance.resolve_at_end(runtime)  # must not flip back
+        assert instance.status is True
+
+    def test_end_without_witness_is_false(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0})
+        instance.resolve_at_end(runtime)
+        assert instance.status is False
+
+    def test_negated_witness_falsifies(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0})
+        instance.negated.add(0)
+        instance.witness(0, runtime)
+        assert instance.status is False
+
+    def test_negated_unwitnessed_confirms_at_end(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0})
+        instance.negated.add(0)
+        instance.resolve_at_end(runtime)
+        assert instance.status is True
+
+    def test_mixed_pending_normal_dominates_at_end(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0, 1})
+        instance.negated.add(1)
+        instance.resolve_at_end(runtime)  # pred 0 never witnessed
+        assert instance.status is False
+
+    def test_watchers_fire_once(self):
+        runtime = _FakeRuntime()
+        instance = PredicateInstance(1, {0})
+        item = runtime.queue.new_item("v", (1, 1))
+        item.live_chains = 1
+        chain = Chain(item, 1, (instance,), ())
+        instance.chain_watchers.append(chain)
+        instance.witness(0, runtime)
+        assert item.state == "sent"
+        assert instance.chain_watchers == []  # handed off, not re-fired
+
+
+class TestChain:
+    def test_last_pending_true_marks_output(self):
+        runtime = _FakeRuntime()
+        sink = runtime.queue.sink
+        instance = PredicateInstance(1, {0})
+        item = runtime.queue.new_item("x", (1, 1))
+        item.live_chains = 1
+        chain = Chain(item, 1, (instance,), ())
+        instance.chain_watchers.append(chain)
+        instance.witness(0, runtime)
+        assert sink == ["x"]
+
+    def test_any_false_kills_chain_and_item(self):
+        runtime = _FakeRuntime()
+        first = PredicateInstance(1, {0})
+        second = PredicateInstance(2, {0})
+        item = runtime.queue.new_item("x", (2, 0))
+        item.live_chains = 1
+        chain = Chain(item, 2, (first, second), ())
+        first.chain_watchers.append(chain)
+        second.chain_watchers.append(chain)
+        first.resolve_at_end(runtime)
+        assert chain.dead
+        assert item.state == "dead"
+        # The surviving instance resolving later is a no-op.
+        second.witness(0, runtime)
+        assert item.state == "dead"
+
+    def test_multi_chain_item_survives_one_dead_embedding(self):
+        runtime = _FakeRuntime()
+        dying = PredicateInstance(1, {0})
+        living = PredicateInstance(1, {0})
+        item = runtime.queue.new_item("x", (1, 0))
+        item.live_chains = 2
+        chain_a = Chain(item, 1, (dying,), ())
+        chain_b = Chain(item, 1, (living,), ())
+        dying.chain_watchers.append(chain_a)
+        living.chain_watchers.append(chain_b)
+        dying.resolve_at_end(runtime)
+        assert item.state == "pending"
+        living.witness(0, runtime)
+        assert item.state == "sent"
+
+    def test_owner_id_tracks_deepest_na(self):
+        runtime = _FakeRuntime()
+        hpdt = Hpdt("/a[x]/b[y]/c/text()")
+        level1 = PredicateInstance(1, {0})
+        level2 = PredicateInstance(2, {0})
+        level3 = PredicateInstance(3, None)
+        chain = Chain(runtime.queue.new_item("v", (3, 4)), 2,
+                      (level1, level2, level3), ())
+        assert chain.owner_id(hpdt) == (2, 2)   # deepest NA: level 2
+        level2.status = True
+        assert chain.owner_id(hpdt) == (1, 1)   # now level 1
+        level1.status = True
+        assert chain.owner_id(hpdt) is None     # all true: flush
+
+
+class TestPathTracker:
+    def make(self, predicate, base_depth=1):
+        instance = PredicateInstance(1, {0})
+        return PathTracker(instance, 0, predicate, base_depth), instance
+
+    def test_exists_resolves_at_full_match(self):
+        runtime = _FakeRuntime()
+        tracker, instance = self.make(PathExists(("a", "b")))
+        tracker.on_begin("a", {}, 2, runtime)
+        assert instance.status is None
+        tracker.on_begin("b", {}, 3, runtime)
+        assert instance.status is True
+        assert tracker.done
+
+    def test_wrong_intermediate_blocks(self):
+        runtime = _FakeRuntime()
+        tracker, instance = self.make(PathExists(("a", "b")))
+        tracker.on_begin("z", {}, 2, runtime)   # not 'a'
+        tracker.on_begin("b", {}, 3, runtime)   # b under z: no match
+        assert instance.status is None
+
+    def test_retract_on_end_then_rematch(self):
+        runtime = _FakeRuntime()
+        tracker, instance = self.make(PathExists(("a", "b")))
+        tracker.on_begin("a", {}, 2, runtime)
+        tracker.on_end(2)                       # </a>, no b inside
+        assert tracker.match_len == 0
+        tracker.on_begin("a", {}, 2, runtime)   # a sibling a
+        tracker.on_begin("b", {}, 3, runtime)
+        assert instance.status is True
+
+    def test_depth_jump_cannot_skip_steps(self):
+        runtime = _FakeRuntime()
+        tracker, instance = self.make(PathExists(("a", "b")))
+        tracker.on_begin("b", {}, 3, runtime)   # b with no a matched
+        assert instance.status is None
+
+    def test_text_compare_waits_for_terminal_text(self):
+        runtime = _FakeRuntime()
+        predicate = PathTextCompare(("a", "b"), Op.EQ, "5")
+        tracker, instance = self.make(predicate)
+        tracker.on_begin("a", {}, 2, runtime)
+        tracker.on_begin("b", {}, 3, runtime)
+        assert instance.status is None          # begin alone decides nothing
+        tracker.on_text("7", 3, runtime)
+        assert instance.status is None
+        tracker.on_text("5", 3, runtime)
+        assert instance.status is True
+
+    def test_text_at_wrong_depth_ignored(self):
+        runtime = _FakeRuntime()
+        predicate = PathTextCompare(("a", "b"), Op.EQ, "5")
+        tracker, instance = self.make(predicate)
+        tracker.on_begin("a", {}, 2, runtime)
+        tracker.on_text("5", 2, runtime)        # text of 'a', not 'b'
+        assert instance.status is None
+
+    def test_done_after_instance_resolved_elsewhere(self):
+        runtime = _FakeRuntime()
+        tracker, instance = self.make(PathExists(("a", "b")))
+        instance.status = True                  # resolved by another pred
+        tracker.on_begin("a", {}, 2, runtime)
+        assert tracker.done
+
+
+class TestRuntimeTrackerLifecycle:
+    def test_tracker_removed_when_anchor_closes(self):
+        runtime = MatcherRuntime(Hpdt("/r/g[a/b]/n/text()"), [])
+        from repro.streaming.events import events_from_pairs
+        events = events_from_pairs([
+            ("begin", "r"), ("begin", "g"), ("begin", "a"), ("end", "a"),
+            ("end", "g")])
+        for event in events:
+            runtime.feed(event)
+        assert runtime._trackers == []

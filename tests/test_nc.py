@@ -1,0 +1,137 @@
+"""XSQ-NC: the deterministic engine (Section 6)."""
+
+import pytest
+
+from repro.errors import ClosureNotSupportedError
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+from conftest import oracle
+
+
+class TestClosureRejection:
+    @pytest.mark.parametrize("query", [
+        "//a", "/a//b", "//a/b/text()", "//pub[year]//book//name"])
+    def test_rejects_closures_at_construction(self, query):
+        with pytest.raises(ClosureNotSupportedError):
+            XSQEngineNC(query)
+
+    def test_error_suggests_fallback(self):
+        with pytest.raises(ClosureNotSupportedError) as err:
+            XSQEngineNC("//a")
+        assert "XSQ-F" in str(err.value)
+
+
+class TestEquivalenceWithF:
+    QUERIES = [
+        "/pub/book/name/text()",
+        "/pub/book",
+        "/pub/book/@id",
+        "/pub[year=2002]/book[price<11]/author",
+        "/pub[year=2002]/book[price<11]/author/text()",
+        "/pub/book[@id=2][price<13]/name/text()",
+        "/pub/book[author]/name/text()",
+        "/pub[book@id]/year/text()",
+        "/pub/book/count()",
+        "/pub/book/price/sum()",
+        "/pub/*/text()",
+        "/pub/zzz/text()",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fig1_agreement(self, query, fig1):
+        assert XSQEngineNC(query).run(fig1) == XSQEngine(query).run(fig1)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fig1_matches_oracle(self, query, fig1):
+        assert XSQEngineNC(query).run(fig1) == oracle(query, fig1)
+
+    def test_generated_dataset_agreement(self):
+        from repro.datagen import generate_dblp
+        xml = generate_dblp(25_000)
+        for query in ("/dblp/article/title/text()",
+                      "/dblp/inproceedings[author]/title/text()",
+                      "/dblp/article[year>1995]/title/text()",
+                      "/dblp/inproceedings/booktitle/text()"):
+            assert XSQEngineNC(query).run(xml) == XSQEngine(query).run(xml)
+
+
+class TestDeterministicBehaviour:
+    def test_recursive_data_without_closures(self):
+        # Recursive *data* is fine for NC; only closure *queries* are out.
+        xml = "<a><b><a><b><t>deep</t></b></a></b><b><t>x</t></b></a>"
+        assert XSQEngineNC("/a/b/t/text()").run(xml) == ["x"]
+
+    def test_skips_unmatched_subtrees(self):
+        xml = ("<r><noise>" + "<x>y</x>" * 50 + "</noise>"
+               "<b><n>kept</n></b></r>")
+        engine = XSQEngineNC("/r/b/n/text()")
+        assert engine.run(xml) == ["kept"]
+
+    def test_same_tag_at_wrong_depth_ignored(self):
+        xml = "<r><b><b><n>too-deep</n></b></b></r>"
+        assert XSQEngineNC("/r/b/n/text()").run(xml) == []
+
+    def test_immediate_output_when_no_pending_predicate(self):
+        engine = XSQEngineNC("/r/i/text()")
+        xml = "<r>" + "<i>x</i>" * 10 + "</r>"
+        engine.run(xml)
+        assert engine.last_stats.peak_buffered_items <= 1
+
+    def test_element_output_with_nested_content(self):
+        xml = "<r><b><c>x</c>tail</b></r>"
+        assert XSQEngineNC("/r/b").run(xml) == ["<b><c>x</c>tail</b>"]
+
+    def test_predicate_on_last_step_element(self):
+        xml = '<r><n id="a">one</n><n>two</n></r>'
+        assert XSQEngineNC("/r/n[@id]/text()").run(xml) == ["one"]
+
+    def test_ordering_dataset_empty_results(self):
+        from repro.datagen import generate_ordered
+        xml = generate_ordered(5_000, filler_repeats=20)
+        for query in ("/root/a[prior=0]", "/root/a[posterior=0]",
+                      "/root/a[@id=0]"):
+            assert XSQEngineNC(query).run(xml) == []
+
+    def test_buffering_depends_on_predicate_position(self):
+        from repro.datagen import generate_ordered
+        xml = generate_ordered(5_000, filler_repeats=20)
+        # @id: decided at <a>, nothing ever buffered.
+        early = XSQEngineNC("/root/a[@id=0]")
+        early.run(xml)
+        assert early.last_stats.enqueued == 0
+        # posterior: element-output candidates buffer until </a>.
+        late = XSQEngineNC("/root/a[posterior=0]")
+        late.run(xml)
+        assert late.last_stats.enqueued > 0
+        assert late.last_stats.cleared == late.last_stats.enqueued
+
+    def test_stats_events_counted(self, fig1):
+        engine = XSQEngineNC("/pub/book/name/text()")
+        engine.run(fig1)
+        assert engine.last_stats.events > 0
+        assert engine.last_stats.emitted == 2
+
+    def test_engine_reusable(self, fig1):
+        engine = XSQEngineNC("/pub/year/text()")
+        assert engine.run(fig1) == ["2002"]
+        assert engine.run(fig1) == ["2002"]
+
+    def test_explain_available(self):
+        assert "bpdt(0,0)" in XSQEngineNC("/a/b").explain()
+
+
+class TestNCTrace:
+    def test_trace_mode_preserves_results(self, fig1):
+        query = "/pub[year=2002]/book[price<11]/author"
+        plain = XSQEngineNC(query).run(fig1)
+        traced_engine = XSQEngineNC(query, trace=True)
+        assert traced_engine.run(fig1) == plain
+        ops = [op for op, *_ in traced_engine.trace.operations]
+        assert "enqueue" in ops and "send" in ops
+
+    def test_trace_records_clears(self, fig1):
+        engine = XSQEngineNC("/pub[year=2003]/book/name/text()",
+                             trace=True)
+        assert engine.run(fig1) == []
+        assert engine.trace.ops("clear")

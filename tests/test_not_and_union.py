@@ -1,0 +1,168 @@
+"""not() predicates and top-level unions (extensions)."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError, XPathSyntaxError
+from repro.xpath.ast import NotPredicate
+from repro.xpath.parser import parse_query, parse_query_set
+from repro.xsq.engine import XSQEngine
+from repro.xsq.multiquery import MultiQueryEngine
+from repro.xsq.nc import XSQEngineNC
+
+from conftest import assert_engines_match_oracle, oracle
+
+DOC = """
+<r>
+ <b><author>A</author><n>with</n></b>
+ <b><n>without</n></b>
+ <b id="1"><n>attr</n></b>
+ <b id="2"><author>B</author><n>both</n></b>
+</r>
+"""
+
+
+class TestNotParsing:
+    def test_not_child(self):
+        pred = parse_query("/r/b[not(author)]").steps[1].predicates[0]
+        assert isinstance(pred, NotPredicate)
+        assert pred.category == 3
+        assert not pred.resolves_at_begin
+
+    def test_not_attr_resolves_at_begin(self):
+        pred = parse_query("/r/b[not(@id)]").steps[1].predicates[0]
+        assert pred.resolves_at_begin
+
+    def test_not_path(self):
+        pred = parse_query("/r/b[not(a/c=5)]").steps[1].predicates[0]
+        assert pred.category == 6
+
+    def test_element_named_not_still_works(self):
+        pred = parse_query("/r/b[not]").steps[1].predicates[0]
+        assert not isinstance(pred, NotPredicate)
+
+    def test_nested_not_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("/r/b[not(not(a))]")
+
+    def test_not_inside_or_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query("/r/b[not(a) or c]")
+
+    def test_unclosed_not_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/r/b[not(a]")
+
+
+class TestNotEvaluation:
+    def test_not_child_exists(self):
+        assert XSQEngine("/r/b[not(author)]/n/text()").run(DOC) == \
+            ["without", "attr"]
+
+    def test_not_attr(self):
+        assert XSQEngine("/r/b[not(@id)]/n/text()").run(DOC) == \
+            ["with", "without"]
+
+    def test_not_attr_compare(self):
+        assert XSQEngine("/r/b[not(@id=1)]/n/text()").run(DOC) == \
+            ["with", "without", "both"]
+
+    def test_not_child_text_compare(self):
+        xml = "<r><g><v>5</v><n>five</n></g><g><v>9</v><n>nine</n></g></r>"
+        assert XSQEngine("/r/g[not(v=5)]/n/text()").run(xml) == ["nine"]
+
+    def test_conjunction_with_not(self):
+        assert XSQEngine("/r/b[@id][not(author)]/n/text()").run(DOC) == \
+            ["attr"]
+
+    def test_not_under_closure(self):
+        assert XSQEngine("//b[not(author)]/n/text()").run(DOC) == \
+            ["without", "attr"]
+
+    def test_double_negation_via_data(self):
+        # [not(x)] on elements that all have x: empty result.
+        xml = "<r><g><x/></g><g><x/></g></r>"
+        assert XSQEngine("/r/g[not(x)]").run(xml) == []
+
+    def test_not_path_predicate(self):
+        xml = ("<r><g><a><b>1</b></a><n>has</n></g>"
+               "<g><a><c>1</c></a><n>lacks</n></g></r>")
+        assert XSQEngine("/r/g[not(a/b)]/n/text()").run(xml) == ["lacks"]
+
+    def test_not_delays_emission_to_end(self):
+        # A not(child) predicate cannot be confirmed before </element>;
+        # candidates must buffer even when nothing contradicts them.
+        engine = XSQEngine("/r/b[not(author)]/n/text()")
+        engine.run(DOC)
+        assert engine.last_stats.peak_buffered_items >= 1
+
+    def test_nc_agrees(self):
+        for query in ("/r/b[not(author)]/n/text()",
+                      "/r/b[not(@id)]/n/text()",
+                      "/r/b[@id][not(author)]/n/text()",
+                      "/r/b[not(author)]/count()"):
+            assert XSQEngineNC(query).run(DOC) == \
+                XSQEngine(query).run(DOC), query
+
+    def test_oracle_agrees(self):
+        for query in ("/r/b[not(author)]/n/text()",
+                      "/r/b[not(@id)]/n/text()",
+                      "/r/b[not(zzz)]/count()",
+                      "//b[not(author)]/n/text()"):
+            assert_engines_match_oracle(query, DOC)
+
+    def test_stx_rejects_not(self):
+        from repro.baselines.stx import StxEngine
+        with pytest.raises(UnsupportedFeatureError):
+            StxEngine("/r/b[not(author)]")
+
+
+class TestNotWithSchema:
+    def test_schema_reasoning(self):
+        from repro.streaming.dtd import parse_dtd
+        from repro.xsq.schema_opt import optimize
+        dtd = parse_dtd("""
+            <!ELEMENT r (b*)>
+            <!ELEMENT b (title, author?)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT author (#PCDATA)>
+        """, root="r")
+        # title is required: [not(title)] is impossible -> empty query.
+        assert optimize(dtd, "/r/b[not(title)]").empty
+        # [not(zzz)] is guaranteed (zzz is impossible) -> dropped.
+        plan = optimize(dtd, "/r/b[not(zzz)]/title/text()")
+        assert not plan.empty
+        assert not plan.queries[0].steps[1].predicates
+
+
+class TestUnions:
+    def test_parse_query_set_splits(self):
+        branches = parse_query_set("/a/b | //c/text() | /d")
+        assert len(branches) == 3
+
+    def test_single_query_is_singleton(self):
+        assert len(parse_query_set("/a/b[c='x|y']")) == 1
+
+    def test_parse_query_rejects_pipe_with_hint(self):
+        with pytest.raises(XPathSyntaxError) as err:
+            parse_query("/a | /b")
+        assert "union" in str(err.value)
+
+    def test_from_union_merged_document_order(self):
+        engine = MultiQueryEngine.from_union(
+            "/r/b/n/text() | /r/b/author/text()")
+        assert engine.run_merged(DOC) == \
+            ["A", "with", "without", "attr", "B", "both"]
+
+    def test_union_matches_oracle_union(self, fig1):
+        union = "/pub/book/name/text() | /pub/year/text()"
+        merged = MultiQueryEngine.from_union(union).run_merged(fig1)
+        left = oracle("/pub/book/name/text()", fig1)
+        right = oracle("/pub/year/text()", fig1)
+        assert sorted(merged) == sorted(left + right)
+
+    def test_cli_runs_unions(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "u.xml"
+        path.write_text("<r><a>1</a><b>2</b></r>")
+        assert main(["/r/a/text() | /r/b/text()", str(path)]) == 0
+        assert capsys.readouterr().out == "1\n2\n"

@@ -1,0 +1,111 @@
+"""Result serialization envelopes (plain / xml / json)."""
+
+import io
+import json
+
+import pytest
+
+from repro.output import FORMATS, ResultWriter, format_results
+from repro.cli import main
+
+
+class TestPlain:
+    def test_one_per_line(self):
+        assert format_results(["a", "b"]) == "a\nb\n"
+
+    def test_empty(self):
+        assert format_results([]) == ""
+
+
+class TestXml:
+    def test_envelope(self):
+        text = format_results(["a", "b"], "xml")
+        assert text == ("<xsq:results>\n"
+                        "  <xsq:result>a</xsq:result>\n"
+                        "  <xsq:result>b</xsq:result>\n"
+                        "</xsq:results>\n")
+
+    def test_scalar_values_escaped(self):
+        text = format_results(["a<b&c"], "xml")
+        assert "<xsq:result>a&lt;b&amp;c</xsq:result>" in text
+
+    def test_markup_values_embedded(self):
+        text = format_results(["<name>X</name>"], "xml",
+                              values_are_markup=True)
+        assert "<xsq:result><name>X</name></xsq:result>" in text
+
+    def test_empty_envelope_still_well_formed(self):
+        text = format_results([], "xml")
+        assert text == "<xsq:results>\n</xsq:results>\n"
+
+    def test_custom_wrapper(self):
+        buffer = io.StringIO()
+        with ResultWriter(buffer, "xml", wrapper="out", item="r") as writer:
+            writer.write("v")
+        assert buffer.getvalue() == "<out>\n  <r>v</r>\n</out>\n"
+
+
+class TestJson:
+    def test_array(self):
+        assert json.loads(format_results(["a", "b"], "json")) == ["a", "b"]
+
+    def test_empty_array(self):
+        assert json.loads(format_results([], "json")) == []
+
+    def test_escaping_is_jsons(self):
+        assert json.loads(format_results(['say "hi"'], "json")) == \
+            ['say "hi"']
+
+
+class TestWriterContract:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            ResultWriter(io.StringIO(), "yaml")
+
+    def test_write_after_close_rejected(self):
+        writer = ResultWriter(io.StringIO(), "plain")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write("x")
+
+    def test_double_close_is_noop(self):
+        buffer = io.StringIO()
+        writer = ResultWriter(buffer, "json")
+        writer.close()
+        writer.close()
+        assert buffer.getvalue() == "[]\n"
+
+    def test_count_tracks_writes(self):
+        writer = ResultWriter(io.StringIO(), "plain")
+        assert writer.write_all(["a", "b", "c"]) == 3
+        assert writer.count == 3
+
+    def test_formats_constant(self):
+        assert set(FORMATS) == {"plain", "xml", "json"}
+
+
+class TestCliIntegration:
+    @pytest.fixture
+    def doc(self, tmp_path):
+        path = tmp_path / "d.xml"
+        path.write_text("<r><v>1</v><v>2</v></r>")
+        return str(path)
+
+    def test_json_format(self, doc, capsys):
+        assert main(["--format", "json", "/r/v/text()", doc]) == 0
+        assert json.loads(capsys.readouterr().out) == ["1", "2"]
+
+    def test_xml_format_scalar(self, doc, capsys):
+        assert main(["--format", "xml", "/r/v/text()", doc]) == 0
+        out = capsys.readouterr().out
+        assert "<xsq:result>1</xsq:result>" in out
+
+    def test_xml_format_element_output_embeds_markup(self, doc, capsys):
+        assert main(["--format", "xml", "/r/v", doc]) == 0
+        out = capsys.readouterr().out
+        assert "<xsq:result><v>1</v></xsq:result>" in out
+
+    def test_streaming_with_format(self, doc, capsys):
+        assert main(["--format", "json", "--streaming", "/r/v/count()",
+                     doc]) == 0
+        assert json.loads(capsys.readouterr().out) == ["1", "2", "2"]

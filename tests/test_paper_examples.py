@@ -1,0 +1,190 @@
+"""The paper's worked examples, reproduced end to end.
+
+Each test encodes not just the final answer but the intermediate
+behaviour the paper narrates (what is buffered when, which buffer holds
+it, what gets cleared), using the engine's trace facility.
+"""
+
+import pytest
+
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+
+class TestExample1:
+    """Section 1, Example 1: /pub[year=2002]/book[price<11]/author on
+    the Figure 1 document."""
+
+    QUERY = "/pub[year=2002]/book[price<11]/author"
+
+    def test_final_answer(self, fig1):
+        assert XSQEngine(self.QUERY).run(fig1) == ["<author>A</author>"]
+
+    def test_narrated_buffer_population(self, fig1):
+        # "Now there are two As and one B in the buffer" - three authors
+        # are enqueued in total; two are removed when book 2's predicate
+        # fails; one is emitted when the year arrives.
+        engine = XSQEngine(self.QUERY)
+        engine.run(fig1)
+        stats = engine.last_stats
+        assert stats.enqueued == 3
+        assert stats.cleared == 2
+        assert stats.emitted == 1
+        assert stats.peak_buffered_items == 3
+
+    def test_emission_waits_for_year(self, fig1):
+        # The A of book 1 satisfies [price<11] early but cannot be
+        # emitted until the year element arrives at the very end.
+        engine = XSQEngine(self.QUERY, trace=True)
+        engine.run(fig1)
+        sends = engine.trace.ops("send")
+        assert len(sends) == 1
+        # The flush (output-marking) of A happens only after year text;
+        # verify clear operations happened for book 2's authors first.
+        ops = [op for op, *_ in engine.trace.operations]
+        assert ops.index("clear") < ops.index("send")
+
+    def test_nc_agrees(self, fig1):
+        assert XSQEngineNC(self.QUERY).run(fig1) == ["<author>A</author>"]
+
+
+class TestExample2:
+    """Section 1, Example 2: closures over the recursive Figure 2 data."""
+
+    QUERY = "//pub[year=2002]//book[author]//name"
+
+    def test_final_answer(self, fig2):
+        assert XSQEngine(self.QUERY).run(fig2) == \
+            ["<name>X</name>", "<name>Z</name>"]
+
+    def test_z_survives_failed_embeddings(self, fig2):
+        # Z's embedding through the inner pub fails [year=2002] and its
+        # embedding through the outer book (line 7) fails [author]; it
+        # must survive both clears and emit via the remaining embedding.
+        engine = XSQEngine(self.QUERY, trace=True)
+        results = engine.run(fig2)
+        assert "<name>Z</name>" in results
+        cleared_values = [value for op, _, value, _ in
+                          engine.trace.operations if op == "clear"]
+        assert "<name>Z</name>" not in cleared_values
+
+    def test_y_cleared(self, fig2):
+        engine = XSQEngine(self.QUERY, trace=True)
+        engine.run(fig2)
+        cleared_values = [value for op, _, value, _ in
+                          engine.trace.operations if op == "clear"]
+        assert "<name>Y</name>" in cleared_values
+
+    def test_three_embeddings_table(self, fig2):
+        # The paper's table: name Z matches the location path three ways.
+        from repro.baselines.dom import build_dom, match_elements
+        from repro.xpath.parser import parse_query
+        document = build_dom(fig2)
+        no_pred = parse_query("//pub//book//name")
+        matches = match_elements(document, no_pred)
+        z_elements = [el for el in matches
+                      if el.texts and el.texts[0].strip() == "Z"]
+        assert len(z_elements) == 1  # one element, multiple embeddings
+
+
+class TestExample3:
+    """Section 3.2: the three tasks of location step /book[author]."""
+
+    def test_task1_remember_author_seen(self):
+        # Predicate true as soon as <author> begins.
+        xml = "<q><book><author/><name>n</name></book></q>"
+        assert XSQEngine("/q/book[author]/name/text()").run(xml) == ["n"]
+
+    def test_task2_delete_buffered_name_at_end(self):
+        xml = "<q><book><name>n</name></book></q>"
+        engine = XSQEngine("/q/book[author]/name/text()", trace=True)
+        assert engine.run(xml) == []
+        assert engine.trace.ops("clear")
+
+    def test_task3_flush_buffered_name_when_author_arrives(self):
+        xml = "<q><book><name>n</name><author/></book></q>"
+        engine = XSQEngine("/q/book[author]/name/text()", trace=True)
+        assert engine.run(xml) == ["n"]
+        ops = [op for op, *_ in engine.trace.operations]
+        assert "flush" in ops
+
+
+class TestExample4:
+    """Section 3.4 / Figure 10: /pub[year>2000] with catchall output."""
+
+    def test_pub_emitted_when_year_satisfies(self):
+        xml = "<pub><x>stuff</x><year>2002</year><y/></pub>"
+        results = XSQEngine("/pub[year>2000]").run(xml)
+        assert results == ["<pub><x>stuff</x><year>2002</year><y/></pub>"
+                           .replace("<y/>", "<y></y>")]
+
+    def test_pub_cleared_when_all_years_fail(self):
+        xml = "<pub><x/><year>1999</year><year>1998</year></pub>"
+        assert XSQEngine("/pub[year>2000]").run(xml) == []
+
+    def test_first_passing_year_decides(self):
+        xml = "<pub><year>1999</year><year>2002</year><z/></pub>"
+        results = XSQEngine("/pub[year>2000]").run(xml)
+        assert len(results) == 1
+        assert results[0].startswith("<pub>")
+
+
+class TestExample5:
+    """Section 4.1: running the Figure 11 HPDT over Figure 1's stream."""
+
+    QUERY = "//pub[year>2000]//book[author]//name/text()"
+
+    def test_final_result(self, fig1):
+        assert XSQEngine(self.QUERY).run(fig1) == ["First", "Second"]
+
+    def test_items_enqueued_at_all_na_position(self, fig1):
+        # "it enqueues the text content 'first' into the buffer of
+        # bpdt(3,4)" - the all-NA lowest-layer position.
+        engine = XSQEngine(self.QUERY, trace=True)
+        engine.run(fig1)
+        enqueues = engine.trace.ops("enqueue")
+        assert [entry[1] for entry in enqueues][:1] == [(3, 4)]
+
+    def test_upload_chain_matches_paper(self, fig1):
+        # first is uploaded to bpdt(2,2) (book NA), then to bpdt(1,1)
+        # (pub NA) when the author arrives, then flushed when the year
+        # satisfies the pub predicate.
+        engine = XSQEngine(self.QUERY, trace=True)
+        engine.run(fig1)
+        first_ops = [(op, bpdt_id) for op, bpdt_id, value, _
+                     in engine.trace.operations if value == "First"]
+        assert first_ops == [
+            ("enqueue", (3, 4)),
+            ("upload", (2, 2)),
+            ("upload", (1, 1)),
+            ("flush", (1, 1)),
+            ("send", (1, 1)),
+        ]
+
+
+class TestExample6And7:
+    """Section 4.3: depth vectors scope buffer operations to embeddings."""
+
+    QUERY = "//pub[year>2000]//book[author]//name/text()"
+
+    def test_figure2_stream_result(self, fig2):
+        assert XSQEngine(self.QUERY).run(fig2) == ["X", "Z"]
+
+    def test_depth_vectors_distinguish_embeddings(self, fig2):
+        engine = XSQEngine(self.QUERY, trace=True)
+        engine.run(fig2)
+        z_enqueues = [dv for op, _, value, dv in engine.trace.operations
+                      if op == "enqueue" and value == "Z"]
+        z_clears = [dv for op, _, value, dv in engine.trace.operations
+                    if op == "clear" and value == "Z"]
+        assert z_enqueues  # Z was buffered
+        assert not z_clears  # but never cleared (one embedding survives)
+
+    def test_result_after_year_text_before_year_end(self):
+        # Example 7's scenario: a result name element arriving after the
+        # text event of year but before its end event must not be lost.
+        xml = ("<pub><book><author/><name>early</name></book>"
+               "<year>2002<name>inside-year</name></year></pub>")
+        results = XSQEngine("//pub[year>2000]//book[author]//name/text()"
+                            ).run(xml)
+        assert results == ["early"]

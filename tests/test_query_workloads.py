@@ -1,0 +1,92 @@
+"""Random query-workload generation over corpus tag graphs."""
+
+import pytest
+
+from repro.baselines.yfilter import YFilterEngine
+from repro.datagen import generate_nasa, generate_shake
+from repro.datagen.queries import (
+    QueryWorkloadGenerator,
+    TagGraph,
+    generate_filter_workload,
+)
+from repro.xpath.parser import parse_query
+from repro.xsq.engine import XSQEngine
+
+
+class TestTagGraph:
+    def test_extraction(self):
+        graph = TagGraph.from_document("<r><a x='1'><b/></a><c/></r>")
+        assert graph.root == "r"
+        assert graph.children("r") == {"a", "c"}
+        assert graph.children("a") == {"b"}
+        assert graph.children("b") == frozenset()
+        assert graph.attributes["a"] == {"x"}
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(Exception):
+            TagGraph.from_document("")
+
+    def test_all_tags(self):
+        graph = TagGraph.from_document("<r><a/><a><b/></a></r>")
+        assert graph.all_tags() == {"r", "a", "b"}
+
+
+class TestWorkloadGeneration:
+    SAMPLE = "<lib><shelf n='1'><book><t>x</t></book></shelf><cd/></lib>"
+
+    def test_queries_parse(self):
+        for query in generate_filter_workload(self.SAMPLE, 10, seed=3):
+            parse_query(query)  # must not raise
+
+    def test_deterministic(self):
+        a = generate_filter_workload(self.SAMPLE, 5, seed=7)
+        b = generate_filter_workload(self.SAMPLE, 5, seed=7)
+        assert a == b
+
+    def test_unique_by_default(self):
+        queries = generate_filter_workload(self.SAMPLE, 8, seed=11)
+        assert len(set(queries)) == 8
+
+    def test_rooted_at_document_element(self):
+        for query in generate_filter_workload(self.SAMPLE, 10, seed=13):
+            first = parse_query(query).steps[0]
+            assert first.node_test in ("lib", "*")
+
+    def test_queries_match_real_data(self):
+        # Closure/wildcard-free workloads follow real edges, so every
+        # query must match the sample it was derived from.
+        graph = TagGraph.from_document(self.SAMPLE)
+        gen = QueryWorkloadGenerator(graph, seed=17,
+                                     closure_probability=0.0,
+                                     wildcard_probability=0.0)
+        # The sample admits exactly 5 distinct plain paths.
+        for query in gen.workload(5):
+            assert XSQEngine(query).run(self.SAMPLE), query
+
+    def test_predicate_workloads(self):
+        graph = TagGraph.from_document(self.SAMPLE)
+        gen = QueryWorkloadGenerator(graph, seed=19,
+                                     predicate_probability=1.0)
+        queries = gen.workload(6)
+        assert any("[" in query for query in queries)
+        for query in queries:
+            parse_query(query)
+
+    def test_too_small_graph_raises(self):
+        with pytest.raises(ValueError):
+            generate_filter_workload("<only/>", 50)
+
+    def test_generated_corpora_workloads_filterable(self):
+        sample = generate_shake(10_000)
+        queries = generate_filter_workload(sample, 20, seed=23,
+                                           closure_probability=0.3)
+        engine = YFilterEngine(queries)
+        matched = engine.matches(sample)
+        # The workload was derived from this very document, so plenty
+        # of the queries must match it.
+        assert len(matched) >= 10
+
+    def test_nasa_workload_runs_through_xsq(self):
+        sample = generate_nasa(10_000)
+        for query in generate_filter_workload(sample, 5, seed=29):
+            XSQEngine(query).run(sample)  # must not raise

@@ -1,0 +1,186 @@
+"""Schema-aware optimization (the paper's Section 5 future work)."""
+
+import pytest
+
+from repro.streaming.dtd import parse_dtd
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+from repro.xsq.schema_opt import SchemaAwareEngine, optimize
+
+from conftest import oracle
+
+BOOK_DTD = parse_dtd("""
+<!ELEMENT pub (year?, book+)>
+<!ELEMENT book (title, author*)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ATTLIST book id CDATA #REQUIRED>
+""", root="pub")
+
+RECURSIVE_DTD = parse_dtd("""
+<!ELEMENT pub (year?, book*)>
+<!ELEMENT book (title, pub?)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+""", root="pub")
+
+DOC = ('<pub><year>2002</year>'
+       '<book id="1"><title>T1</title><author>A1</author></book>'
+       '<book id="2"><title>T2</title></book></pub>')
+
+
+class TestEmptiness:
+    @pytest.mark.parametrize("query", [
+        "/pub/magazine/text()",          # tag not in schema
+        "/book/title/text()",            # wrong document element
+        "//title/author/text()",         # title has no children
+        "/pub/book[isbn]/title/text()",  # predicate child impossible
+        "/pub/book[year=2002]/title/text()",  # year not a child of book
+        "//year[author]/text()",         # predicate child impossible
+        "/pub[text()]/book",             # pub has element content only
+    ])
+    def test_statically_empty(self, query):
+        plan = optimize(BOOK_DTD, query)
+        assert plan.empty, plan.describe()
+        assert SchemaAwareEngine(query, BOOK_DTD).run(DOC) == []
+
+    def test_empty_aggregates_render_properly(self):
+        assert SchemaAwareEngine("/pub/magazine/count()",
+                                 BOOK_DTD).run(DOC) == ["0"]
+        assert SchemaAwareEngine("/pub/magazine/price/sum()",
+                                 BOOK_DTD).run(DOC) == ["0"]
+
+    def test_satisfiable_query_not_marked_empty(self):
+        assert not optimize(BOOK_DTD, "/pub/book/title/text()").empty
+
+
+class TestPredicateElimination:
+    def test_required_child_predicate_dropped(self):
+        plan = optimize(BOOK_DTD, "/pub/book[title]/author/text()")
+        assert not plan.queries[0].steps[1].predicates
+        assert any("guaranteed" in note for note in plan.notes)
+
+    def test_optional_child_predicate_kept(self):
+        # author* is optional: [author] does real filtering.
+        plan = optimize(BOOK_DTD, "/pub/book[author]/title/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_optional_year_predicate_kept(self):
+        plan = optimize(BOOK_DTD, "/pub[year]/book/title/text()")
+        assert plan.queries[0].steps[0].predicates
+
+    def test_value_predicates_never_dropped(self):
+        # The schema guarantees a title exists, not its value.
+        plan = optimize(BOOK_DTD, "/pub/book[title='x']/author/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_elimination_preserves_results(self):
+        query = "/pub/book[title]/author/text()"
+        engine = SchemaAwareEngine(query, BOOK_DTD)
+        assert engine.run(DOC) == oracle(query, DOC) == ["A1"]
+
+
+class TestClosureElimination:
+    def test_single_path_runs_deterministic(self):
+        engine = SchemaAwareEngine("//author/text()", BOOK_DTD)
+        assert not engine.plan.is_union
+        assert not engine.plan.queries[0].has_closure
+        assert isinstance(engine._engine, XSQEngineNC)
+        assert engine.run(DOC) == ["A1"]
+
+    def test_multi_closure_query(self):
+        engine = SchemaAwareEngine("//book//author/text()", BOOK_DTD)
+        assert engine.plan.closure_free
+        assert engine.run(DOC) == ["A1"]
+
+    def test_recursive_dtd_keeps_closures(self):
+        engine = SchemaAwareEngine("//book/title/text()", RECURSIVE_DTD)
+        assert engine.plan.queries[0].has_closure
+        assert isinstance(engine._engine, XSQEngine)
+        doc = ("<pub><book><title>outer</title>"
+               "<pub><book><title>inner</title></book></pub>"
+               "</book></pub>")
+        assert engine.run(doc) == ["outer", "inner"]
+
+    def test_union_expansion(self):
+        dtd = parse_dtd("""
+            <!ELEMENT lib (shelf*, box*)>
+            <!ELEMENT shelf (item*)>
+            <!ELEMENT box (item*)>
+            <!ELEMENT item (#PCDATA)>
+        """, root="lib")
+        engine = SchemaAwareEngine("//item/text()", dtd)
+        assert engine.plan.is_union
+        assert len(engine.plan.queries) == 2
+        doc = ("<lib><shelf><item>s1</item></shelf>"
+               "<box><item>b1</item></box>"
+               "<box><item>b2</item></box></lib>")
+        assert engine.run(doc) == ["s1", "b1", "b2"]
+
+    def test_expansion_cap_falls_back(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (a*, b*, c*, d*)>
+            <!ELEMENT a (x*)> <!ELEMENT b (x*)>
+            <!ELEMENT c (x*)> <!ELEMENT d (x*)>
+            <!ELEMENT x (#PCDATA)>
+        """, root="r")
+        plan = optimize(dtd, "//x/text()", max_expansions=2)
+        # More than 2 paths exist; expansion aborted, closure kept.
+        assert plan.queries[0].has_closure
+
+    def test_expansion_equals_oracle_on_dataset(self):
+        dtd = parse_dtd("""
+            <!ELEMENT dblp (article | inproceedings)*>
+            <!ELEMENT article (author*, title, journal?, volume?, year,
+                               pages, url)>
+            <!ELEMENT inproceedings (author*, title, booktitle, year,
+                                     pages, url)>
+            <!ELEMENT author (#PCDATA)> <!ELEMENT title (#PCDATA)>
+            <!ELEMENT journal (#PCDATA)> <!ELEMENT volume (#PCDATA)>
+            <!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)>
+            <!ELEMENT url (#PCDATA)> <!ELEMENT booktitle (#PCDATA)>
+        """, root="dblp")
+        from repro.datagen import generate_dblp
+        xml = generate_dblp(20_000)
+        for query in ("//title/text()", "//author/text()",
+                      "//article//year/text()"):
+            engine = SchemaAwareEngine(query, dtd)
+            assert engine.run(xml) == oracle(query, xml), \
+                engine.plan.describe()
+
+
+class TestPlanReporting:
+    def test_describe_lists_rewrites(self):
+        text = SchemaAwareEngine("//book[title]/author/text()",
+                                 BOOK_DTD).explain()
+        assert "plan for" in text
+        assert "guaranteed" in text
+        assert "engine:" in text
+
+    def test_plan_repr(self):
+        plan = optimize(BOOK_DTD, "/pub/magazine")
+        assert "EMPTY" in repr(plan)
+
+
+class TestEquivalenceWithUnoptimized:
+    """Schema optimization is an optimization: results never change
+    on schema-valid documents."""
+
+    QUERIES = [
+        "/pub/book/title/text()",
+        "//author/text()",
+        "//book[title]/author/text()",
+        "//book[@id]/title/text()",
+        "//book//title",
+        "/pub[year]/book/title/text()",
+        "/pub/book/count()",
+        "//title/count()",
+        "/pub/magazine/text()",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_results_identical(self, query):
+        optimized = SchemaAwareEngine(query, BOOK_DTD).run(DOC)
+        plain = XSQEngine(query).run(DOC)
+        assert optimized == plain, query

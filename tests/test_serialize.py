@@ -1,0 +1,73 @@
+"""Unit tests for event re-serialization (the catchall output path)."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.events import events_from_pairs
+from repro.streaming.sax_source import parse_events
+from repro.streaming.serialize import (
+    EventSerializer,
+    escape_attr,
+    escape_text,
+    serialize_events,
+)
+
+
+class TestEscaping:
+    def test_escape_text_specials(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_text_plain_passthrough(self):
+        assert escape_text("plain words") == "plain words"
+
+    def test_escape_attr_also_quotes(self):
+        assert escape_attr('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialization:
+    def test_simple_roundtrip(self):
+        xml = '<b id="1">x</b>'
+        assert serialize_events(parse_events(xml)) == xml
+
+    def test_nested_roundtrip(self):
+        xml = "<a><b>x</b><c><d/></c></a>"
+        out = serialize_events(parse_events(xml))
+        # self-closing tags serialize as begin+end pairs
+        assert out == "<a><b>x</b><c><d></d></c></a>"
+
+    def test_escapes_survive_roundtrip(self):
+        xml = "<a>&lt;raw&gt; &amp; more</a>"
+        assert serialize_events(parse_events(xml)) == xml
+
+    def test_attribute_order_preserved(self):
+        events = events_from_pairs([("begin", ("t", {"b": "2", "a": "1"})),
+                                    ("end", "t")])
+        assert serialize_events(events) == '<t b="2" a="1"></t>'
+
+    def test_unbalanced_run_rejected(self):
+        events = events_from_pairs([("begin", "a")])
+        with pytest.raises(StreamError):
+            serialize_events(events)
+
+    def test_unmatched_end_rejected(self):
+        ser = EventSerializer()
+        with pytest.raises(StreamError):
+            ser.feed(events_from_pairs([("begin", "a"), ("end", "a")])[1])
+
+    def test_serializer_reset_reusable(self):
+        ser = EventSerializer()
+        for event in parse_events("<a>1</a>"):
+            ser.feed(event)
+        first = ser.getvalue()
+        ser.reset()
+        for event in parse_events("<b>2</b>"):
+            ser.feed(event)
+        assert first == "<a>1</a>"
+        assert ser.getvalue() == "<b>2</b>"
+        assert ser.balanced
+
+    def test_parse_of_serialized_output_matches(self):
+        xml = '<x p="1&amp;2">A<y>B</y>C</x>'
+        events = list(parse_events(xml))
+        assert list(parse_events(serialize_events(events))) == events

@@ -1,0 +1,97 @@
+"""Soak tests: every engine over megabyte-scale generated corpora.
+
+The unit and property suites run on small documents; these runs catch
+anything that only shows at scale — buffer leaks, quadratic blowups,
+order bugs that need thousands of items to manifest.  Kept to a few
+seconds each by sizing the corpora at ~1 MB.
+"""
+
+import pytest
+
+from repro.baselines.dom import DomEngine
+from repro.baselines.fulltext import FullTextEngine
+from repro.baselines.xmltk import XmltkEngine
+from repro.datagen import generate_dblp, generate_recursive, generate_shake
+from repro.xsq.engine import XSQEngine
+from repro.xsq.multiquery import MultiQueryEngine
+from repro.xsq.nc import XSQEngineNC
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return generate_dblp(1_000_000)
+
+
+@pytest.fixture(scope="module")
+def recursive():
+    return generate_recursive(600_000)
+
+
+class TestDblpSoak:
+    QUERIES = [
+        "/dblp/article/title/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/dblp/article[year>1995][journal]/title/text()",
+        "//inproceedings//booktitle/text()",
+        "/dblp/*/year/count()",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_engines_agree_at_scale(self, dblp, query):
+        reference = DomEngine(query).run(dblp)
+        assert XSQEngine(query).run(dblp) == reference
+        if "//" not in query:
+            assert XSQEngineNC(query).run(dblp) == reference
+        assert FullTextEngine(query).run(dblp) == reference
+
+    def test_grouped_run_at_scale(self, dblp):
+        grouped = MultiQueryEngine(self.QUERIES).run(dblp)
+        for query, results in zip(self.QUERIES, grouped):
+            assert results == XSQEngine(query).run(dblp)
+
+    def test_buffer_accounting_exact(self, dblp):
+        engine = XSQEngine("/dblp/inproceedings[author]/title/text()")
+        engine.run(dblp)
+        stats = engine.last_stats
+        assert stats.enqueued == stats.emitted + stats.cleared
+        assert stats.peak_buffered_items <= 5  # one record at a time
+
+
+class TestRecursiveSoak:
+    QUERIES = [
+        "//pub[year]//book[@id]/title/text()",
+        "//book//book/title/count()",
+        "//pub//pub//title",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_xsqf_matches_oracle_on_recursive_megabytes(self, recursive,
+                                                        query):
+        assert XSQEngine(query).run(recursive) == \
+            DomEngine(query).run(recursive)
+
+    def test_path_only_engines_agree(self, recursive):
+        query = "//pub//book/title/text()"
+        assert XmltkEngine(query).run(recursive) == \
+            XSQEngine(query).run(recursive)
+
+    def test_memory_stays_bounded(self, recursive):
+        engine = XSQEngine("//pub[year]//book[@id]/title/text()")
+        engine.run(recursive)
+        assert engine.last_stats.peak_buffered_items < 300
+
+
+class TestShakeSoak:
+    def test_figure16_queries_agree(self):
+        play = generate_shake(800_000)
+        q1 = ("/PLAY/ACT/SCENE/SPEECH[LINE contains 'love']"
+              "/SPEAKER/text()")
+        q2 = "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()"
+        q3 = "//ACT//SPEAKER/text()"
+        reference = DomEngine(q2).run(play)
+        assert XSQEngine(q2).run(play) == reference
+        assert XSQEngineNC(q2).run(play) == reference
+        assert XSQEngine(q3).run(play) == reference  # //ACT//SPEAKER = all
+        q1_results = XSQEngine(q1).run(play)
+        assert q1_results == DomEngine(q1).run(play)
+        assert 0 < len(q1_results) < len(reference)

@@ -1,0 +1,137 @@
+"""Unit tests for the pure-Python incremental XML tokenizer."""
+
+import io
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.sax_source import parse_events
+from repro.streaming.textparser import TextEventSource, tokenize_xml
+
+
+def kinds(xml, **kwargs):
+    return [e.kind for e in TextEventSource(xml, **kwargs)]
+
+
+class TestBasics:
+    def test_simple_element(self):
+        events = list(tokenize_xml("<a>x</a>"))
+        assert [e.kind for e in events] == ["begin", "text", "end"]
+        assert events[1].text == "x"
+
+    def test_self_closing(self):
+        events = list(tokenize_xml("<a><b/></a>"))
+        assert [(e.kind, e.tag) for e in events] == [
+            ("begin", "a"), ("begin", "b"), ("end", "b"), ("end", "a")]
+
+    def test_attributes_both_quote_styles(self):
+        events = list(tokenize_xml("<a x=\"1\" y='2'/>"))
+        assert events[0].attrs == {"x": "1", "y": "2"}
+
+    def test_attribute_entities(self):
+        events = list(tokenize_xml('<a t="a&amp;b&#65;"/>'))
+        assert events[0].attrs["t"] == "a&bA"
+
+    def test_text_entities(self):
+        events = list(tokenize_xml("<a>&lt;x&gt; &#x41; &apos;&quot;</a>"))
+        assert events[1].text == "<x> A '\""
+
+    def test_comments_skipped(self):
+        assert kinds("<a><!-- hi --><b/><!----></a>") == [
+            "begin", "begin", "end", "end"]
+
+    def test_processing_instruction_and_declaration_skipped(self):
+        xml = "<?xml version='1.0'?><!DOCTYPE a><a><?pi data?></a>"
+        assert kinds(xml) == ["begin", "end"]
+
+    def test_cdata_becomes_text(self):
+        events = list(tokenize_xml("<a><![CDATA[<not/> &parsed;]]></a>"))
+        assert events[1].kind == "text"
+        assert events[1].text == "<not/> &parsed;"
+
+    def test_whitespace_between_elements_dropped(self):
+        assert kinds("<a>\n  <b/>\n</a>") == ["begin", "begin", "end", "end"]
+
+    def test_depths(self):
+        events = list(tokenize_xml("<a><b><c>t</c></b></a>"))
+        assert [(e.kind, e.depth) for e in events] == [
+            ("begin", 1), ("begin", 2), ("begin", 3), ("text", 3),
+            ("end", 3), ("end", 2), ("end", 1)]
+
+
+class TestIncrementality:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 8, 64])
+    def test_boundary_splits_do_not_change_events(self, chunk_size):
+        xml = ('<?xml version="1.0"?><root a="1"><!-- c --><x>alpha</x>'
+               '<![CDATA[raw]]><y z="2">beta &amp; gamma</y></root>')
+        expected = list(tokenize_xml(xml))
+        got = list(TextEventSource(io.StringIO(xml), chunk_size=chunk_size))
+        assert got == expected
+
+    def test_file_object_input(self):
+        events = list(TextEventSource(io.StringIO("<a>x</a>")))
+        assert [e.kind for e in events] == ["begin", "text", "end"]
+
+    def test_bytes_input(self):
+        events = list(tokenize_xml(b"<a>x</a>"))
+        assert events[1].text == "x"
+
+    def test_path_input(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b/></a>")
+        assert kinds(str(path)) == ["begin", "begin", "end", "end"]
+
+
+class TestErrors:
+    def test_unclosed_element(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("<a><b>"))
+
+    def test_stray_close_tag(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("<a></a></b>"))
+
+    def test_text_outside_root(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("hello <a/>"))
+
+    def test_unterminated_comment(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("<a><!-- nope</a>"))
+
+    def test_undefined_entity(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("<a>&nope;</a>"))
+
+    def test_malformed_tag(self):
+        with pytest.raises(StreamError):
+            list(tokenize_xml("<a><1bad></1bad></a>"))
+
+    def test_unsupported_input_type(self):
+        with pytest.raises(StreamError):
+            TextEventSource(3.14)  # type: ignore[arg-type]
+
+
+class TestAgreementWithSax:
+    """The two independent parsers must produce identical event streams."""
+
+    @pytest.mark.parametrize("xml", [
+        "<a/>",
+        "<a>text</a>",
+        '<a k="v"><b>x</b>y<c/></a>',
+        "<r><x>1</x><x>2</x><deep><deeper><deepest>3</deepest></deeper>"
+        "</deep></r>",
+        "<a>&amp;&lt;&gt;</a>",
+    ])
+    def test_handwritten_documents(self, xml):
+        assert list(tokenize_xml(xml)) == list(parse_events(xml))
+
+    def test_generated_dataset(self):
+        from repro.datagen import generate_dblp
+        xml = generate_dblp(30_000)
+        assert list(tokenize_xml(xml)) == list(parse_events(xml))
+
+    def test_generated_recursive_dataset(self):
+        from repro.datagen import generate_recursive
+        xml = generate_recursive(20_000)
+        assert list(tokenize_xml(xml)) == list(parse_events(xml))

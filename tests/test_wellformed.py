@@ -1,0 +1,87 @@
+"""Unit tests for the simple well-formedness PDA (Section 3.1)."""
+
+import pytest
+
+from repro.errors import NotWellFormedError
+from repro.streaming.events import BeginEvent, EndEvent, TextEvent, \
+    events_from_pairs
+from repro.streaming.sax_source import parse_events
+from repro.streaming.wellformed import WellFormednessPDA, check_well_formed
+
+
+def ok(pairs):
+    return check_well_formed(events_from_pairs(pairs))
+
+
+class TestAccepting:
+    def test_single_element(self):
+        assert ok([("begin", "a"), ("end", "a")]) == 2
+
+    def test_nested(self):
+        assert ok([("begin", "a"), ("begin", "b"), ("end", "b"),
+                   ("end", "a")]) == 4
+
+    def test_text_inside_element(self):
+        assert ok([("begin", "a"), ("text", ("a", "x")), ("end", "a")]) == 3
+
+    def test_real_parse_stream(self, fig1):
+        assert check_well_formed(parse_events(fig1)) > 0
+
+    def test_depth_property_tracks_stack(self):
+        pda = WellFormednessPDA()
+        pda.feed(BeginEvent("a", {}, 1))
+        assert pda.depth == 1
+        pda.feed(BeginEvent("b", {}, 2))
+        assert pda.depth == 2
+        pda.feed(EndEvent("b", 2))
+        assert pda.depth == 1
+
+    def test_checked_is_passthrough(self):
+        events = events_from_pairs([("begin", "a"), ("end", "a")])
+        pda = WellFormednessPDA()
+        assert list(pda.checked(events)) == events
+
+
+class TestRejecting:
+    def test_mismatched_end(self):
+        with pytest.raises(NotWellFormedError):
+            ok([("begin", "a"), ("end", "b")])
+
+    def test_end_with_empty_stack(self):
+        pda = WellFormednessPDA()
+        with pytest.raises(NotWellFormedError):
+            pda.feed(EndEvent("a", 0))
+
+    def test_unclosed_at_finish(self):
+        pda = WellFormednessPDA()
+        pda.feed(BeginEvent("a", {}, 1))
+        with pytest.raises(NotWellFormedError):
+            pda.finish()
+
+    def test_empty_stream_at_finish(self):
+        with pytest.raises(NotWellFormedError):
+            WellFormednessPDA().finish()
+
+    def test_second_root_element(self):
+        with pytest.raises(NotWellFormedError):
+            ok([("begin", "a"), ("end", "a"), ("begin", "b"), ("end", "b")])
+
+    def test_text_outside_root(self):
+        pda = WellFormednessPDA()
+        with pytest.raises(NotWellFormedError):
+            pda.feed(TextEvent("a", "stray", 0))
+
+    def test_text_tag_mismatch(self):
+        pda = WellFormednessPDA()
+        pda.feed(BeginEvent("a", {}, 1))
+        with pytest.raises(NotWellFormedError):
+            pda.feed(TextEvent("other", "x", 1))
+
+    def test_inconsistent_depth_annotation(self):
+        pda = WellFormednessPDA()
+        with pytest.raises(NotWellFormedError):
+            pda.feed(BeginEvent("a", {}, 5))
+
+    def test_interleaved_close(self):
+        with pytest.raises(NotWellFormedError):
+            ok([("begin", "a"), ("begin", "b"), ("end", "a"), ("end", "b")])

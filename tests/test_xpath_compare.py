@@ -1,0 +1,68 @@
+"""Unit tests for the shared value-comparison semantics."""
+
+import pytest
+
+from repro.xpath.ast import Op, compare
+from repro.xpath.ast import test_tag as tag_matches
+
+
+class TestNumericComparisons:
+    @pytest.mark.parametrize("left,op,right,expected", [
+        ("2002", Op.GT, "2000", True),
+        ("2000", Op.GT, "2000", False),
+        ("2000", Op.GE, "2000", True),
+        ("10", Op.LT, "11", True),
+        ("12.00", Op.LT, "11", False),
+        ("10.00", Op.LT, "11", True),
+        ("11", Op.LE, "11", True),
+        ("11.5", Op.LE, "11", False),
+        ("-3", Op.LT, "0", True),
+    ])
+    def test_ordering(self, left, op, right, expected):
+        assert compare(left, op, right) is expected
+
+    def test_numeric_equality_ignores_formatting(self):
+        assert compare("10.0", Op.EQ, "10")
+        assert compare(" 10 ", Op.EQ, "10")
+        assert not compare("10.5", Op.EQ, "10")
+
+    def test_numeric_inequality(self):
+        assert compare("3", Op.NE, "4")
+        assert not compare("4.0", Op.NE, "4")
+
+
+class TestStringComparisons:
+    def test_string_equality(self):
+        assert compare("abc", Op.EQ, "abc")
+        assert not compare("abc", Op.EQ, "abd")
+
+    def test_string_equality_trims_whitespace(self):
+        assert compare(" abc ", Op.EQ, "abc")
+
+    def test_mixed_string_number_falls_back_to_string(self):
+        assert not compare("abc", Op.EQ, "0")
+        assert compare("abc", Op.NE, "0")
+
+    def test_ordering_on_non_numeric_is_false(self):
+        # XPath 1.0: non-numeric comparands become NaN; NaN compares false.
+        assert not compare("abc", Op.GT, "1")
+        assert not compare("abc", Op.LT, "1")
+        assert not compare("1", Op.GE, "abc")
+
+    def test_contains(self):
+        assert compare("what is love", Op.CONTAINS, "love")
+        assert not compare("what is this", Op.CONTAINS, "love")
+        assert compare("anything", Op.CONTAINS, "")
+
+
+class TestTagTest:
+    def test_exact_match(self):
+        assert tag_matches("book", "book")
+        assert not tag_matches("book", "books")
+
+    def test_wildcard(self):
+        assert tag_matches("*", "anything")
+        assert tag_matches("*", "")
+
+    def test_case_sensitive(self):
+        assert not tag_matches("Book", "book")

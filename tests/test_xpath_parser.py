@@ -1,0 +1,240 @@
+"""Unit tests for the XPath subset parser (grammar of Figure 3)."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError, XPathSyntaxError
+from repro.xpath.ast import (
+    AttrCompare,
+    AttrExists,
+    AttrOutput,
+    AvgOutput,
+    Axis,
+    ChildAttrCompare,
+    ChildAttrExists,
+    ChildExists,
+    ChildTextCompare,
+    CountOutput,
+    ElementOutput,
+    MaxOutput,
+    MinOutput,
+    Op,
+    SumOutput,
+    TextCompare,
+    TextExists,
+    TextOutput,
+)
+from repro.xpath.parser import parse_query
+
+
+class TestLocationPaths:
+    def test_single_step(self):
+        query = parse_query("/book")
+        assert len(query.steps) == 1
+        assert query.steps[0].axis is Axis.CHILD
+        assert query.steps[0].node_test == "book"
+        assert not query.steps[0].predicates
+
+    def test_multi_step_axes(self):
+        query = parse_query("/a//b/c")
+        assert [s.axis for s in query.steps] == [
+            Axis.CHILD, Axis.DESCENDANT, Axis.CHILD]
+
+    def test_leading_descendant(self):
+        query = parse_query("//a")
+        assert query.steps[0].axis is Axis.DESCENDANT
+        assert query.has_closure
+
+    def test_no_closure_flag(self):
+        assert not parse_query("/a/b").has_closure
+
+    def test_wildcard_step(self):
+        query = parse_query("/a/*/c")
+        assert query.steps[1].node_test == "*"
+        assert query.steps[1].matches_tag("anything")
+
+    def test_explicit_child_axis(self):
+        query = parse_query("/child::book")
+        assert query.steps[0].node_test == "book"
+
+    def test_explicit_descendant_axis(self):
+        query = parse_query("/a/descendant::b")
+        assert query.steps[1].axis is Axis.DESCENDANT
+        assert query.steps[1].node_test == "b"
+
+    def test_query_text_preserved(self):
+        assert parse_query(" /a/b ").text == "/a/b"
+
+    def test_predicate_count(self):
+        assert parse_query("/a[x]/b[y][z]/c").predicate_count == 3
+
+
+class TestPredicates:
+    def test_attr_exists(self):
+        pred = parse_query("/book[@id]").steps[0].predicates[0]
+        assert isinstance(pred, AttrExists)
+        assert pred.attr == "id"
+        assert pred.category == 1
+
+    def test_attr_compare(self):
+        pred = parse_query("/book[@id<=10]").steps[0].predicates[0]
+        assert isinstance(pred, AttrCompare)
+        assert (pred.attr, pred.op, pred.value) == ("id", Op.LE, "10")
+
+    def test_text_exists(self):
+        pred = parse_query("/year[text()]").steps[0].predicates[0]
+        assert isinstance(pred, TextExists)
+        assert pred.category == 2
+
+    def test_text_compare(self):
+        pred = parse_query("/year[text()=2000]").steps[0].predicates[0]
+        assert isinstance(pred, TextCompare)
+        assert (pred.op, pred.value) == (Op.EQ, "2000")
+
+    def test_child_exists(self):
+        pred = parse_query("/book[author]").steps[0].predicates[0]
+        assert isinstance(pred, ChildExists)
+        assert pred.child == "author"
+        assert pred.category == 3
+
+    def test_child_attr_exists(self):
+        pred = parse_query("/pub[book@id]").steps[0].predicates[0]
+        assert isinstance(pred, ChildAttrExists)
+        assert (pred.child, pred.attr) == ("book", "id")
+        assert pred.category == 4
+
+    def test_child_attr_compare(self):
+        pred = parse_query("/pub[book@id<=10]").steps[0].predicates[0]
+        assert isinstance(pred, ChildAttrCompare)
+        assert (pred.child, pred.attr, pred.op, pred.value) == \
+            ("book", "id", Op.LE, "10")
+
+    def test_child_text_compare(self):
+        pred = parse_query("/book[year<=2000]").steps[0].predicates[0]
+        assert isinstance(pred, ChildTextCompare)
+        assert (pred.child, pred.op, pred.value) == ("year", Op.LE, "2000")
+        assert pred.category == 5
+
+    def test_string_constant(self):
+        pred = parse_query("/a[b='x y']").steps[0].predicates[0]
+        assert pred.value == "x y"
+
+    def test_bareword_constant(self):
+        pred = parse_query("/a[b=ok]").steps[0].predicates[0]
+        assert pred.value == "ok"
+
+    def test_contains_operator(self):
+        pred = parse_query("/a[LINE contains 'love']").steps[0].predicates[0]
+        assert pred.op is Op.CONTAINS
+
+    def test_multiple_predicates_one_step(self):
+        preds = parse_query("/book[@id][author][year>1999]").steps[0].predicates
+        assert [type(p) for p in preds] == [AttrExists, ChildExists,
+                                            ChildTextCompare]
+
+    def test_predicates_on_multiple_steps(self):
+        query = parse_query("/pub[year=2002]/book[price<11]/author")
+        assert len(query.steps[0].predicates) == 1
+        assert len(query.steps[1].predicates) == 1
+        assert not query.steps[2].predicates
+
+    def test_wildcard_child_predicate(self):
+        pred = parse_query("/a[*]").steps[0].predicates[0]
+        assert isinstance(pred, ChildExists)
+        assert pred.child == "*"
+
+
+class TestOutputs:
+    def test_default_element_output(self):
+        assert isinstance(parse_query("/a/b").output, ElementOutput)
+        assert not parse_query("/a/b").output.is_aggregate
+
+    def test_text_output(self):
+        assert isinstance(parse_query("/a/text()").output, TextOutput)
+
+    def test_attr_output(self):
+        output = parse_query("/a/@id").output
+        assert isinstance(output, AttrOutput)
+        assert output.attr == "id"
+
+    @pytest.mark.parametrize("name,cls", [
+        ("count", CountOutput), ("sum", SumOutput), ("avg", AvgOutput),
+        ("min", MinOutput), ("max", MaxOutput)])
+    def test_aggregate_outputs(self, name, cls):
+        output = parse_query("/a/%s()" % name).output
+        assert isinstance(output, cls)
+        assert output.is_aggregate
+        assert output.name == name
+
+    def test_output_must_be_last(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a/text()/b")
+
+
+class TestRejections:
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "a/b", "/a[", "/a]", "/a[]", "/a[@]", "/a[b=]",
+        "/a[b<]", "/", "//", "/a[b='x' extra]", "/a b",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_query(bad)
+
+    @pytest.mark.parametrize("unsupported", [
+        "/a[1]", "/a[last()]", "/a[position()]", "/a/last()",
+        "/preceding-sibling::a", "/ancestor::a", "/parent::a",
+        "/descendant-or-self::a",
+    ])
+    def test_unsupported_features(self, unsupported):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query(unsupported)
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a/frobnicate()")
+
+    def test_error_reports_position(self):
+        with pytest.raises(XPathSyntaxError) as err:
+            parse_query("/a[@#]")
+        assert err.value.query == "/a[@#]"
+
+
+class TestPaperQueries:
+    """Every query that appears in the paper must parse."""
+
+    @pytest.mark.parametrize("query", [
+        "//book[year>2000]/name/text()",
+        "/pub[year=2002]/book[price<11]/author",
+        "//pub[year=2002]//book[author]//name",
+        "/pub[year>2000]/book[author]/name/text()",
+        "//pub[year>2000]//book[author]//name/text()",
+        "/pub[year>2000]",
+        "//pub[year>2000]//book[author]//name/count()",
+        "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()",
+        "//ACT//SPEAKER/text()",
+        "/datasets/dataset/reference/source/other/name/text()",
+        "/dblp/article/title/text()",
+        "/dblp/inproceedings[author]/title/text()",
+        "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author"
+        "/text()",
+        "//pub[year]//book[@id]/title/text()",
+        "/a[prior=0]",
+        "/a[posterior=0]",
+        "/a[@id=0]",
+        "/book[@id]",
+        "/book[@id<=10]",
+        "/year[text()=2000]",
+        "/book[author]",
+        "/pub[book@id<=10]",
+        "/book[year<=2000]",
+    ])
+    def test_parses(self, query):
+        parsed = parse_query(query)
+        assert parsed.steps
+
+    def test_equality_and_hash(self):
+        a = parse_query("/a[b>1]/c/text()")
+        b = parse_query("/a[b>1]/c/text()")
+        c = parse_query("/a[b>2]/c/text()")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c

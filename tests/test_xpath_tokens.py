@@ -1,0 +1,128 @@
+"""Unit tests for the XPath lexer."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.tokens import TokenKind, tokenize_query
+
+
+def kinds(query):
+    return [t.kind for t in tokenize_query(query)][:-1]  # drop END
+
+
+def values(query):
+    return [t.value for t in tokenize_query(query)][:-1]
+
+
+class TestBasicTokens:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [TokenKind.SLASH, TokenKind.NAME,
+                                 TokenKind.SLASH, TokenKind.NAME]
+
+    def test_double_slash(self):
+        assert kinds("//a") == [TokenKind.DSLASH, TokenKind.NAME]
+
+    def test_wildcard(self):
+        assert kinds("/*") == [TokenKind.SLASH, TokenKind.STAR]
+
+    def test_attribute(self):
+        assert kinds("/a/@id") == [TokenKind.SLASH, TokenKind.NAME,
+                                   TokenKind.SLASH, TokenKind.AT,
+                                   TokenKind.NAME]
+
+    def test_function(self):
+        assert kinds("/a/text()") == [TokenKind.SLASH, TokenKind.NAME,
+                                      TokenKind.SLASH, TokenKind.FUNC]
+        assert values("/a/count()")[-1] == "count"
+
+    def test_predicate_brackets(self):
+        assert TokenKind.LBRACKET in kinds("/a[b]")
+        assert TokenKind.RBRACKET in kinds("/a[b]")
+
+    def test_end_token_always_last(self):
+        tokens = tokenize_query("/a")
+        assert tokens[-1].kind is TokenKind.END
+
+    def test_whitespace_ignored(self):
+        assert kinds("/a [ b ]") == kinds("/a[b]")
+
+    def test_positions_recorded(self):
+        tokens = tokenize_query("/abc/def")
+        assert tokens[1].position == 1
+        assert tokens[3].position == 5
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [">", ">=", "=", "<", "<=", "!="])
+    def test_comparison_operators(self, op):
+        tokens = tokenize_query("/a[b%s1]" % op)
+        ops = [t for t in tokens if t.kind is TokenKind.OP]
+        assert [t.value for t in ops] == [op]
+
+    def test_multichar_operators_win_over_prefix(self):
+        tokens = tokenize_query("/a[b>=10]")
+        op = [t for t in tokens if t.kind is TokenKind.OP][0]
+        assert op.value == ">="
+
+    def test_contains_as_operator_after_name(self):
+        tokens = tokenize_query("/a[LINE contains 'love']")
+        assert any(t.kind is TokenKind.OP and t.value == "contains"
+                   for t in tokens)
+
+    def test_contains_as_operator_after_text_function(self):
+        tokens = tokenize_query("/a[text() contains 'x']")
+        assert any(t.kind is TokenKind.OP and t.value == "contains"
+                   for t in tokens)
+
+    def test_contains_as_element_name(self):
+        tokens = tokenize_query("/contains/text()")
+        assert tokens[1].kind is TokenKind.NAME
+        assert tokens[1].value == "contains"
+
+
+class TestLiterals:
+    def test_double_quoted_string(self):
+        tokens = tokenize_query('/a[b="hello world"]')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert [t.value for t in strings] == ["hello world"]
+
+    def test_single_quoted_string(self):
+        tokens = tokenize_query("/a[b='it']")
+        assert [t.value for t in tokens
+                if t.kind is TokenKind.STRING] == ["it"]
+
+    def test_integer_number(self):
+        tokens = tokenize_query("/a[b=2000]")
+        numbers = [t for t in tokens if t.kind is TokenKind.NUMBER]
+        assert [t.value for t in numbers] == ["2000"]
+
+    def test_decimal_number(self):
+        tokens = tokenize_query("/a[b<11.5]")
+        assert [t.value for t in tokens
+                if t.kind is TokenKind.NUMBER] == ["11.5"]
+
+    def test_negative_number(self):
+        tokens = tokenize_query("/a[b>-3]")
+        assert [t.value for t in tokens
+                if t.kind is TokenKind.NUMBER] == ["-3"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize_query("/a[b='oops]")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(XPathSyntaxError) as err:
+            tokenize_query("/a[b#c]")
+        assert err.value.position is not None
+
+
+class TestNamesWithSpecials:
+    def test_hyphenated_and_dotted_names(self):
+        assert values("/x-y/p.q") == ["/", "x-y", "/", "p.q"]
+
+    def test_underscore_names(self):
+        assert values("/_priv")[-1] == "_priv"
+
+    def test_axis_syntax_tokenized(self):
+        tokens = tokenize_query("/child::a")
+        assert tokens[1].value == "child::"
