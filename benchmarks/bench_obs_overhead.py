@@ -1,0 +1,78 @@
+"""Observability overhead: the disabled path must cost nothing.
+
+Engines take ``obs=None`` by default and run the original
+un-instrumented event loops, so attaching nothing should time within
+noise of the seed.  The other groups price what the instrumentation
+actually costs when it *is* attached — spans + metrics + event trace,
+and the per-event dispatch timer on top.
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.xsq.engine import XSQEngine
+
+QUERY = "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()"
+
+
+@pytest.fixture(scope="module")
+def shake(cache):
+    return cache.path("shake")
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_disabled(benchmark, shake):
+    """Baseline: no bundle attached (the seed's hot path)."""
+    engine = XSQEngine(QUERY)
+    results = benchmark(engine.run, shake)
+    assert results
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_attached(benchmark, shake):
+    """Spans + metrics + event trace recording every buffer op."""
+
+    def run():
+        obs = Observability()
+        return XSQEngine(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_per_event_timing(benchmark, shake):
+    """The heaviest setting: a clock read around every dispatch."""
+
+    def run():
+        obs = Observability(per_event_timing=True)
+        return XSQEngine(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+def test_disabled_path_skips_instrumentation(shake):
+    """The acceptance bound, made falsifiable.
+
+    ``obs=None`` is the seed loop by construction — ``run()`` branches
+    to the original un-instrumented pump before the first event — so
+    "disabled regresses <5% vs seed" can only break if that branch
+    disappears and the disabled path starts paying per-event
+    instrumentation.  In that failure mode the disabled and attached
+    timings converge; here we assert they have not (the attached bundle
+    samples a histogram and records a trace entry per buffer op, which
+    costs well over 5%).
+    """
+    import time
+
+    def best_of(fn, runs=5):
+        samples = []
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        return min(samples)
+
+    disabled = best_of(lambda: XSQEngine(QUERY).run(shake))
+    attached = best_of(
+        lambda: XSQEngine(QUERY, obs=Observability()).run(shake))
+    assert disabled < attached

@@ -44,6 +44,7 @@ from repro.xsq import (
     XSQEngine,
     XSQEngineNC,
 )
+from repro.obs import EventTrace, MetricsRegistry, Observability, Tracer
 
 __version__ = "1.0.0"
 
@@ -59,6 +60,10 @@ __all__ = [
     "Bpdt",
     "DepthVector",
     "BufferTrace",
+    "EventTrace",
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
     "StatBuffer",
     "parse_query",
     "ReproError",

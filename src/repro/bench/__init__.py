@@ -22,6 +22,7 @@ Run any experiment from the command line::
 from repro.bench.metrics import (
     MemoryMeasurement,
     ThroughputMeasurement,
+    clear_baseline_cache,
     measure_memory,
     measure_throughput,
     relative_throughput,
@@ -32,6 +33,7 @@ from repro.bench.datasets import DatasetCache
 __all__ = [
     "MemoryMeasurement",
     "ThroughputMeasurement",
+    "clear_baseline_cache",
     "measure_memory",
     "measure_throughput",
     "relative_throughput",

@@ -51,7 +51,16 @@ class CountingSink:
 
 
 class SystemAdapter:
-    """Base adapter; subclasses bind one engine class."""
+    """Base adapter; subclasses bind one engine class.
+
+    ``use_observability(obs)`` attaches an
+    :class:`repro.obs.Observability` bundle; with one attached,
+    :meth:`run` wraps the three phases in spans (``compile`` /
+    ``preprocess`` / ``query``, each labelled with the system name) and
+    folds phase timings and engine-reported run stats into the metrics
+    registry — so every baseline in the Figure 14 roster reports
+    comparable metrics, not just the XSQ engines.
+    """
 
     name = ""
     language = ""
@@ -60,6 +69,13 @@ class SystemAdapter:
     multiple_predicates = False
     closures = False
     aggregation = False
+    #: Optional Observability bundle; ``None`` keeps phases untimed.
+    obs = None
+
+    def use_observability(self, obs) -> "SystemAdapter":
+        """Attach an observability bundle; returns self for chaining."""
+        self.obs = obs
+        return self
 
     def can_run(self, query: Union[str, Query]) -> bool:
         query = parse_query(query) if isinstance(query, str) else query
@@ -81,9 +97,42 @@ class SystemAdapter:
         raise NotImplementedError
 
     def run(self, query: Union[str, Query], source) -> List[str]:
-        engine = self.compile(query)
-        self.preprocess(engine, source)
-        return self.query(engine, source)
+        obs = self.obs
+        if obs is None:
+            engine = self.compile(query)
+            self.preprocess(engine, source)
+            return self.query(engine, source)
+        with obs.span("system-run", system=self.name):
+            with obs.span("compile", system=self.name) as compile_span:
+                engine = self.compile(query)
+            with obs.span("preprocess", system=self.name) as pre_span:
+                self.preprocess(engine, source)
+            with obs.span("query", system=self.name) as query_span:
+                results = self.query(engine, source)
+        self._record_phases(obs, compile_span, pre_span, query_span,
+                            len(results) if results is not None else 0)
+        # Engines that carry the bundle themselves (the XSQ adapters
+        # pass it through compile) already recorded their run stats
+        # under their own engine label; don't double count.
+        if getattr(engine, "obs", None) is None:
+            stats = getattr(engine, "last_stats", None)
+            if stats is not None:
+                obs.record_run(self.name, stats,
+                               seconds=query_span.duration)
+        return results
+
+    def _record_phases(self, obs, compile_span, pre_span, query_span,
+                       result_count: int) -> None:
+        metrics = obs.metrics
+        for phase, span in (("compile", compile_span),
+                            ("preprocess", pre_span),
+                            ("query", query_span)):
+            metrics.gauge("repro_phase_seconds",
+                          "wall time of the Figure 18 phases",
+                          system=self.name, phase=phase).set(span.duration)
+        metrics.counter("repro_system_results_total",
+                        "results produced per system",
+                        system=self.name).inc(result_count)
 
     def query_discarding(self, engine, source) -> int:
         """Produce results without retaining them; returns the count.
@@ -108,7 +157,7 @@ class XsqFAdapter(SystemAdapter):
     aggregation = True
 
     def compile(self, query):
-        return XSQEngine(query)
+        return XSQEngine(query, obs=self.obs)
 
     def query(self, engine, source):
         return engine.run(source)
@@ -129,7 +178,7 @@ class XsqNCAdapter(SystemAdapter):
     aggregation = True
 
     def compile(self, query):
-        return XSQEngineNC(query)
+        return XSQEngineNC(query, obs=self.obs)
 
     def query(self, engine, source):
         return engine.run(source)

@@ -10,7 +10,13 @@ Usage::
     xsq --stats QUERY FILE           # run and report buffer statistics
     xsq --streaming QUERY FILE       # print results as they stream out
 
-Also available as ``python -m repro``.
+    xsq trace QUERY [FILE]           # explain-my-query: run with the
+                                     # observability layer attached and
+                                     # print each item's buffer journey
+    xsq trace QUERY FILE --jsonl out.jsonl --metrics --explain --flame
+
+Also available as ``python -m repro`` (so ``python -m repro trace ...``
+is the ``repro trace`` subcommand).
 """
 
 from __future__ import annotations
@@ -145,7 +151,119 @@ def _run_queries_file(args) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq trace",
+        description="Run a query with the observability layer attached "
+                    "and explain, item by item, which BPDT buffer each "
+                    "result flowed through and why non-results were "
+                    "cleared.")
+    parser.add_argument("query", help="XPath query in the supported subset")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML file to query (default: stdin)")
+    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+                        default="auto",
+                        help="f = XSQ-F, nc = XSQ-NC, auto = nc when "
+                             "possible, else f")
+    parser.add_argument("--jsonl", default=None, metavar="OUT",
+                        help="write spans, buffer operations, and a "
+                             "metrics snapshot as JSON lines to OUT "
+                             "('-' for stdout)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style metrics snapshot")
+    parser.add_argument("--explain", action="store_true",
+                        help="also print the compiled HPDT")
+    parser.add_argument("--flame", action="store_true",
+                        help="print the span tree (phase timings)")
+    return parser
+
+
+def _pick_traced_engine(query: str, choice: str, obs):
+    """Engine selection for ``xsq trace``: same rules, obs attached."""
+    if supports_reverse_axes(query):
+        rewritten = rewrite_reverse_axes(query)
+        if rewritten is None:
+            return _EmptyEngine()
+        query = rewritten
+    from repro.xpath.parser import parse_query_set
+    if len(parse_query_set(query)) > 1:
+        raise ReproError("xsq trace does not support union queries; "
+                         "trace each branch separately")
+    if choice == "f":
+        return XSQEngine(query, obs=obs)
+    if choice == "nc":
+        return XSQEngineNC(query, obs=obs)
+    try:
+        return XSQEngineNC(query, obs=obs)
+    except ClosureNotSupportedError:
+        return XSQEngine(query, obs=obs)
+
+
+def trace_main(argv=None) -> int:
+    """The ``xsq trace`` / ``repro trace`` subcommand."""
+    from repro.obs import Observability
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        obs = Observability()
+        engine = _pick_traced_engine(args.query, args.engine, obs)
+        source = args.file if args.file is not None else sys.stdin
+        results = engine.run(source)
+        print("# results (%d)" % len(results))
+        for value in results:
+            print(value)
+        if args.explain and hasattr(engine, "explain"):
+            print()
+            print("# compiled HPDT")
+            print(engine.explain())
+        print()
+        print("# buffer journeys")
+        if obs.events is not None and getattr(engine, "obs", None) is obs:
+            print(obs.events.explain())
+        else:
+            print("(no trace: the rewrite proved the query empty)")
+        if args.flame:
+            print()
+            print("# spans")
+            print(obs.flame())
+        if args.metrics:
+            print()
+            print("# metrics")
+            print(obs.metrics_text(), end="")
+        if args.jsonl is not None:
+            if args.jsonl == "-":
+                obs.write_jsonl(sys.stdout)
+            else:
+                try:
+                    lines = obs.write_jsonl(args.jsonl)
+                except OSError as exc:
+                    print("xsq: error: cannot write %s: %s"
+                          % (args.jsonl, exc.strerror or exc),
+                          file=sys.stderr)
+                    return 2
+                print("wrote %d JSONL lines to %s" % (lines, args.jsonl),
+                      file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        return _report_error(exc)
+
+
+def _report_error(exc: ReproError) -> int:
+    print("xsq: error: %s" % exc, file=sys.stderr)
+    position = getattr(exc, "position", None)
+    query = getattr(exc, "query", None)
+    if query is not None and position is not None:
+        # Point at the offending character, grep-style.
+        print("  %s" % query, file=sys.stderr)
+        print("  %s^" % (" " * position), file=sys.stderr)
+    return 2
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:
@@ -187,14 +305,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
         return 0
     except ReproError as exc:
-        print("xsq: error: %s" % exc, file=sys.stderr)
-        position = getattr(exc, "position", None)
-        query = getattr(exc, "query", None)
-        if query is not None and position is not None:
-            # Point at the offending character, grep-style.
-            print("  %s" % query, file=sys.stderr)
-            print("  %s^" % (" " * position), file=sys.stderr)
-        return 2
+        return _report_error(exc)
 
 
 if __name__ == "__main__":

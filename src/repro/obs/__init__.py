@@ -1,0 +1,222 @@
+"""Unified observability: spans, metrics, and execution tracing.
+
+This package is the measurement substrate for every performance claim
+the reproduction makes.  It has three pillars, bundled by the
+:class:`Observability` facade that engines and the bench harness accept:
+
+* :mod:`repro.obs.spans` — nested phase timings (tokenize -> parse ->
+  HPDT compile -> stream -> per-event dispatch) with monotonic clocks;
+* :mod:`repro.obs.metrics` — named counters, gauges, and fixed-bucket
+  histograms with a pluggable sink protocol and Prometheus-style text
+  exposition;
+* :mod:`repro.obs.events` — :class:`EventTrace`, the replayable SAX
+  event -> transition -> buffer-op record behind ``repro trace``.
+
+Everything is zero-dependency and, when not attached, zero-cost: the
+engines keep their un-instrumented hot loops when ``obs is None``, and
+the :data:`~repro.obs.spans.NULL_TRACER` / :data:`~repro.obs.metrics.NULL_METRICS`
+singletons make partially-disabled bundles safe to call into.
+
+Typical use::
+
+    from repro import XSQEngine
+    from repro.obs import Observability
+
+    obs = Observability()
+    engine = XSQEngine("//pub[year>2000]//name/text()", obs=obs)
+    results = engine.run("catalog.xml")
+    print(obs.flame())                    # phase timings
+    print(obs.metrics_text())             # Prometheus exposition
+    print(obs.events.explain())           # per-item buffer journeys
+    obs.write_jsonl("run.jsonl")          # spans + buffer ops + metrics
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.events import BufferOp, EventTrace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlMetricsSink,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.spans import NULL_TRACER, Span, Tracer
+
+#: Canonical buffer-operation names, mapped from ``RunStats`` fields.
+#: ``upload`` counts are populated only when an event trace is attached:
+#: the matcher skips the ownership arithmetic otherwise (it affects no
+#: output, only observability — see ``Chain.on_instance_true``).
+_STATS_OPS = (("enqueued", "enqueue"), ("cleared", "clear"),
+              ("flushed", "flush"), ("uploaded", "upload"))
+
+
+class Observability:
+    """One bundle of tracer + metrics + event trace.
+
+    Construct with the pillars you want (all on by default except
+    per-event dispatch timing, which multiplies per-event work and is
+    only worth it when hunting a hot spot)::
+
+        obs = Observability()                        # spans+metrics+events
+        obs = Observability(events=False)            # timings/metrics only
+        obs = Observability(per_event_timing=True)   # + dispatch histogram
+
+    Engines accept ``obs=`` at construction; ``None`` (the default)
+    keeps their hot paths exactly as un-instrumented as before.
+    """
+
+    enabled = True
+
+    def __init__(self, spans: bool = True, metrics: bool = True,
+                 events: bool = True, per_event_timing: bool = False):
+        self.tracer: Tracer = Tracer() if spans else NULL_TRACER
+        self.metrics: MetricsRegistry = (MetricsRegistry() if metrics
+                                         else NULL_METRICS)
+        self.events: Optional[EventTrace] = EventTrace() if events else None
+        self.per_event_timing = per_event_timing
+        # High-water mark into ``events.records`` already aggregated into
+        # per-BPDT metrics, so several runs on one bundle don't double
+        # count.
+        self._aggregated_ops = 0
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A bundle that observes nothing (all pillars are no-ops)."""
+        obs = cls(spans=False, metrics=False, events=False)
+        obs.enabled = False
+        return obs
+
+    # -- convenience delegates -------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, help: str = "", **labels):
+        return self.metrics.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels):
+        return self.metrics.gauge(name, help, **labels)
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS,
+                  **labels):
+        return self.metrics.histogram(name, help, buckets=buckets, **labels)
+
+    # -- engine hooks -----------------------------------------------------
+
+    def record_run(self, engine: str, stats, seconds: float = 0.0) -> None:
+        """Fold one run's ``RunStats`` into the metrics registry."""
+        metrics = self.metrics
+        metrics.counter("repro_runs_total",
+                        "engine runs recorded", engine=engine).inc()
+        metrics.counter("repro_run_events_total",
+                        "stream events processed", engine=engine
+                        ).inc(stats.events)
+        metrics.counter("repro_results_total",
+                        "result items emitted", engine=engine
+                        ).inc(stats.emitted)
+        stats_dict = stats.as_dict()
+        for field, op in _STATS_OPS:
+            metrics.counter(
+                "repro_buffer_ops_total",
+                "buffer operations (the paper's enqueue/clear/flush/upload)",
+                engine=engine, op=op).inc(stats_dict.get(field, 0))
+        metrics.gauge("repro_peak_buffered_items",
+                      "max simultaneously buffered undetermined items",
+                      engine=engine).set_max(stats.peak_buffered_items)
+        metrics.gauge("repro_peak_predicate_instances",
+                      "max simultaneously live predicate instances "
+                      "(depth-vector population)",
+                      engine=engine).set_max(stats.peak_instances)
+        metrics.histogram("repro_peak_occupancy_items",
+                          "per-run peak buffer occupancy",
+                          engine=engine).observe(stats.peak_buffered_items)
+        if seconds > 0:
+            metrics.gauge("repro_events_per_second",
+                          "stream events per second of query phase",
+                          engine=engine).set(stats.events / seconds)
+        self._aggregate_events(engine)
+
+    def _aggregate_events(self, engine: str) -> None:
+        """Per-BPDT op counters and depth-vector sizes from the trace."""
+        trace = self.events
+        if trace is None:
+            return
+        records = trace.records
+        metrics = self.metrics
+        dv_histogram = metrics.histogram(
+            "repro_depth_vector_len",
+            "depth-vector length at enqueue (embedding depth)",
+            buckets=(0, 1, 2, 3, 4, 6, 8, 12, 16), engine=engine)
+        for record in records[self._aggregated_ops:]:
+            metrics.counter(
+                "repro_bpdt_ops_total",
+                "buffer operations per owning BPDT buffer",
+                engine=engine, bpdt="(%d,%d)" % record.bpdt,
+                op=record.op).inc()
+            if record.op == "enqueue":
+                dv_histogram.observe(len(record.depth_vector))
+        self._aggregated_ops = len(records)
+
+    # -- export ----------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Spans, then buffer ops, then one metrics snapshot line."""
+        for line in self.tracer.jsonl_lines():
+            yield line
+        if self.events is not None:
+            for line in self.events.jsonl_lines():
+                yield line
+        if self.metrics.enabled:
+            yield json.dumps({"type": "metrics",
+                              "snapshot": self.metrics.as_dict()},
+                             sort_keys=True)
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write the JSONL export to a path or stream; returns line count."""
+        lines: List[str] = list(self.jsonl_lines())
+        if hasattr(target, "write"):
+            for line in lines:
+                target.write(line + "\n")
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+        return len(lines)
+
+    def metrics_text(self) -> str:
+        return self.metrics.render_prometheus()
+
+    def flame(self) -> str:
+        return self.tracer.flame()
+
+    def __repr__(self):
+        return ("<Observability spans=%d metrics=%d events=%s>"
+                % (len(self.tracer.finished),
+                   len(self.metrics.metrics()),
+                   len(self.events.records) if self.events is not None
+                   else "off"))
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlMetricsSink",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "EventTrace",
+    "BufferOp",
+]

@@ -1,0 +1,293 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+The quantities the paper's evaluation revolves around — buffer
+occupancy, live predicate instances, events per second, per-BPDT
+enqueue/clear/flush/upload counts — are registered here by name (with
+optional labels) and exported two ways:
+
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (``# HELP`` / ``# TYPE`` / samples), the ``repro trace
+  --metrics`` output;
+* :meth:`MetricsRegistry.as_dict` — a plain snapshot for JSONL export
+  and programmatic assertions.
+
+Sinks implement one method, ``export(registry)``; :meth:`MetricsRegistry.emit`
+pushes the current snapshot to every registered sink (the pluggable-sink
+protocol — a JSONL sink ships in this module, a statsd or OTLP sink can
+be slotted in from outside without touching engine code).
+
+Disabled metrics are module-level no-op singletons (:data:`NULL_METRICS`
+hands out one shared :class:`_NullMetric` for every name), so the hot
+path pays one method call that does nothing — and the engines avoid
+even that by not instrumenting per-event work unless observability is
+attached (verified by ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Optional, Sequence, Tuple
+
+#: Default occupancy-style bucket upper bounds (items); chosen to cover
+#: the paper's datasets, where peak buffered items stay small unless a
+#: predicate resolves late.
+DEFAULT_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+#: Default latency-style bucket upper bounds (seconds) for per-event
+#: dispatch timing.
+LATENCY_BUCKETS = (1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 1e-1)
+
+
+def _labels_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % pair for pair in labels)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return "%d" % int(value)
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, _format_labels(self.labels), self.value)]
+
+
+class Gauge:
+    """Point-in-time value; ``set_max`` tracks a high-water mark."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        return [(self.name, _format_labels(self.labels), self.value)]
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative buckets, Prometheus layout)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out, running = [], 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        rows = []
+        for bound, running in self.cumulative():
+            le = "+Inf" if bound == float("inf") else _format_value(bound)
+            labels = self.labels + (("le", le),)
+            rows.append((self.name + "_bucket", _format_labels(labels),
+                         running))
+        plain = _format_labels(self.labels)
+        rows.append((self.name + "_sum", plain, self.sum))
+        rows.append((self.name + "_count", plain, self.count))
+        return rows
+
+
+class MetricsRegistry:
+    """Named metric store with Prometheus-style exposition.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    (name, labels) pair always returns the same metric object, so call
+    sites need no registration ceremony.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[tuple, object] = {}
+        self._help: Dict[str, str] = {}
+        self._sinks: List[object] = []
+
+    # -- creation --------------------------------------------------------
+
+    def _get(self, cls, name: str, help: str, labels: dict, **extra):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, _labels_key(labels), **extra)
+            self._metrics[key] = metric
+            if help and name not in self._help:
+                self._help[name] = help
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- sinks -----------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register an object with ``export(registry)``."""
+        self._sinks.append(sink)
+
+    def emit(self) -> None:
+        """Push the current snapshot to every sink."""
+        for sink in self._sinks:
+            sink.export(self)
+
+    # -- export ----------------------------------------------------------
+
+    def metrics(self) -> List[object]:
+        return list(self._metrics.values())
+
+    def as_dict(self) -> dict:
+        """Flat ``name{labels} -> value`` snapshot (histograms expand)."""
+        snapshot = {}
+        for metric in self._metrics.values():
+            for name, labels, value in metric.samples():
+                snapshot[name + labels] = value
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format, grouped by metric name."""
+        by_name: Dict[str, List[object]] = {}
+        for metric in self._metrics.values():
+            by_name.setdefault(metric.name, []).append(metric)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            group = by_name[name]
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s %s" % (name, group[0].kind))
+            for metric in group:
+                for sample, labels, value in metric.samples():
+                    lines.append("%s%s %s"
+                                 % (sample, labels, _format_value(value)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self):
+        return "<MetricsRegistry %d metrics>" % len(self._metrics)
+
+
+class JsonlMetricsSink:
+    """Sink that appends one ``{"type": "metrics", ...}`` line per emit."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+
+    def export(self, registry: MetricsRegistry) -> None:
+        self._stream.write(json.dumps(
+            {"type": "metrics", "snapshot": registry.as_dict()},
+            sort_keys=True) + "\n")
+
+
+class _NullMetric:
+    """One shared object that satisfies all three metric interfaces."""
+
+    __slots__ = ()
+    name = "null"
+    labels: tuple = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def samples(self) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullMetricsRegistry(MetricsRegistry):
+    """Disabled metrics: every name resolves to the shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name, help="", **labels):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", **labels):  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS,
+                  **labels):  # type: ignore[override]
+        return _NULL_METRIC
+
+
+#: Module-level no-op singleton.
+NULL_METRICS = _NullMetricsRegistry()

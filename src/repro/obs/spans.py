@@ -1,0 +1,191 @@
+"""Structured tracing: nested phase timings as context-manager spans.
+
+The paper's throughput decomposition (Figure 18) splits every run into
+compile / preprocess / query phases; the engines themselves decompose
+further (tokenize -> parse -> HPDT compile -> stream).  A
+:class:`Tracer` records those phases as a tree of :class:`Span` objects
+timed with a monotonic clock, exportable two ways:
+
+* :meth:`Tracer.jsonl_lines` — one JSON object per finished span, in
+  completion order, for machine consumption (the ``repro trace --jsonl``
+  output);
+* :meth:`Tracer.flame` — an indented flame-style text summary with
+  durations and percent-of-parent bars, for humans.
+
+Disabled tracing costs one attribute load and a truth test:
+:data:`NULL_TRACER` hands out a shared no-op context manager, so code
+can be written against the tracer interface unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Iterator, List, Optional
+
+
+class Span:
+    """One timed phase.  Use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "attrs", "start", "end", "parent", "children",
+                 "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 parent: Optional["Span"]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from enter to exit (0.0 while still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def depth(self) -> int:
+        depth, current = 0, self.parent
+        while current is not None:
+            depth += 1
+            current = current.parent
+        return depth
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._exit(self)
+
+    def as_dict(self) -> dict:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent.name if self.parent is not None else None,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self):
+        return "<Span %s %.6fs>" % (self.name, self.duration)
+
+
+class Tracer:
+    """Records a tree of spans with a monotonic clock.
+
+    One tracer is one timeline; engines share the tracer handed to them
+    through an :class:`repro.obs.Observability` bundle, so engine-internal
+    phases nest under the harness's phases automatically.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._stack: List[Span] = []
+        #: Root spans, in start order.
+        self.roots: List[Span] = []
+        #: Every finished span, in completion order.
+        self.finished: List[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create a span; timing starts when the ``with`` block enters."""
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, name, attrs, parent)
+
+    # -- context-manager plumbing ---------------------------------------
+
+    def _enter(self, span: Span) -> None:
+        # Re-resolve the parent at enter time: a span created eagerly may
+        # be entered after its sibling closed.
+        span.parent = self._stack[-1] if self._stack else None
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        span.end = self._clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self.finished.append(span)
+
+    # -- export ----------------------------------------------------------
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """One JSON object per finished span, completion order."""
+        for span in self.finished:
+            yield json.dumps(span.as_dict(), sort_keys=True)
+
+    def flame(self) -> str:
+        """Indented text summary: duration, share of parent, bar."""
+        lines: List[str] = []
+
+        def render(span: Span, indent: int, parent_duration: float) -> None:
+            share = (span.duration / parent_duration
+                     if parent_duration > 0 else 1.0)
+            bar = "#" * max(1, int(round(share * 20)))
+            label = "%s%s" % ("  " * indent, span.name)
+            lines.append("%-32s %9.3fms %5.1f%% %s"
+                         % (label, span.duration * 1e3, share * 100, bar))
+            for child in span.children:
+                render(child, indent + 1, span.duration or 1e-12)
+
+        total = sum(span.duration for span in self.roots)
+        for root in self.roots:
+            render(root, 0, total or root.duration or 1e-12)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<Tracer %d spans>" % len(self.finished)
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled tracer's only allocation."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: dict = {}
+    start = end = None
+    duration = 0.0
+    depth = 0
+    parent = None
+    children: list = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+class _NullTracer(Tracer):
+    """Disabled tracing: every ``span()`` is the same inert object."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._span = _NullSpan()
+
+    def span(self, name: str, **attrs) -> _NullSpan:  # type: ignore[override]
+        return self._span
+
+
+#: Module-level no-op singleton; ``Observability.disabled()`` uses it.
+NULL_TRACER = _NullTracer()

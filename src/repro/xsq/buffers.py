@@ -66,13 +66,20 @@ class BufferTrace:
 
     Records tuples ``(op, bpdt_id, value, depth_vector)`` where ``op``
     is one of ``enqueue``/``upload``/``flush``/``clear``/``send``.
+
+    ``item_seq`` identifies the buffered item the operation touched;
+    this base recorder ignores it (keeping the historical 4-tuples), but
+    :class:`repro.obs.events.EventTrace` — the general execution trace —
+    overrides :meth:`record` and uses it to reconstruct and replay each
+    item's journey through the BPDT buffers.
     """
 
     def __init__(self):
         self.operations: List[Tuple[str, Tuple[int, int], Optional[str], tuple]] = []
 
     def record(self, op: str, bpdt_id: Tuple[int, int],
-               value: Optional[str], depth_vector: tuple = ()) -> None:
+               value: Optional[str], depth_vector: tuple = (),
+               item_seq: Optional[int] = None) -> None:
         self.operations.append((op, bpdt_id, value, depth_vector))
 
     def ops(self, op: Optional[str] = None) -> List[tuple]:
@@ -110,6 +117,12 @@ class OutputQueue:
         self.enqueued_total = 0
         self.cleared_total = 0
         self.emitted_total = 0
+        self.flushed_total = 0
+        # Uploads are performed only when a trace (or the observability
+        # layer) is attached: ownership hops change no output, so the
+        # matcher skips the arithmetic otherwise.  The counter is
+        # therefore 0 in un-traced runs.
+        self.uploaded_total = 0
 
     def __len__(self) -> int:
         return self._size
@@ -137,15 +150,18 @@ class OutputQueue:
         if self._size > self.peak_size:
             self.peak_size = self._size
         if self.trace is not None:
-            self.trace.record("enqueue", owner, value, depth_vector)
+            self.trace.record("enqueue", owner, value, depth_vector,
+                              item_seq=item.seq)
         return item
 
     def upload(self, item: BufferItem, new_owner: Tuple[int, int],
                depth_vector: tuple = ()) -> None:
         """Move the item to an ancestor BPDT's buffer (ownership only)."""
         item.owner = new_owner
+        self.uploaded_total += 1
         if self.trace is not None:
-            self.trace.record("upload", new_owner, item.value, depth_vector)
+            self.trace.record("upload", new_owner, item.value, depth_vector,
+                              item_seq=item.seq)
 
     def mark_output(self, item: BufferItem, depth_vector: tuple = ()) -> None:
         """Some embedding satisfied all predicates: flush when possible.
@@ -156,9 +172,12 @@ class OutputQueue:
         """
         if item.state in (DEAD, SENT):
             return
+        if item.state != OUTPUT:
+            self.flushed_total += 1
         item.state = OUTPUT
         if self.trace is not None:
-            self.trace.record("flush", item.owner, item.value, depth_vector)
+            self.trace.record("flush", item.owner, item.value, depth_vector,
+                              item_seq=item.seq)
         self._advance()
 
     def mark_dead(self, item: BufferItem, depth_vector: tuple = ()) -> None:
@@ -170,7 +189,8 @@ class OutputQueue:
         item.state = DEAD
         self.cleared_total += 1
         if self.trace is not None:
-            self.trace.record("clear", item.owner, item.value, depth_vector)
+            self.trace.record("clear", item.owner, item.value, depth_vector,
+                              item_seq=item.seq)
         self._unlink(item)
         self._advance()
 
@@ -207,7 +227,8 @@ class OutputQueue:
             if self.track_seqs:
                 self.emitted_seqs.append(head.seq)
             if self.trace is not None:
-                self.trace.record("send", head.owner, head.value, ())
+                self.trace.record("send", head.owner, head.value, (),
+                                  item_seq=head.seq)
             if head.on_emit is not None:
                 head.on_emit(head)
             else:

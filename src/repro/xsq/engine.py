@@ -30,19 +30,29 @@ from repro.xsq.matcher import MatcherRuntime
 
 
 class RunStats:
-    """Counters from one engine run, used by tests and the bench harness."""
+    """Counters from one engine run, used by tests and the bench harness.
+
+    ``enqueued``/``cleared``/``flushed``/``uploaded`` are the paper's
+    four buffer operations (Section 3.3); ``uploaded`` is populated only
+    when a trace or observability bundle is attached, because ownership
+    hops are otherwise skipped entirely (they affect no output).
+    """
 
     __slots__ = ("events", "enqueued", "cleared", "emitted",
-                 "peak_buffered_items", "peak_instances")
+                 "peak_buffered_items", "peak_instances",
+                 "flushed", "uploaded")
 
     def __init__(self, events=0, enqueued=0, cleared=0, emitted=0,
-                 peak_buffered_items=0, peak_instances=0):
+                 peak_buffered_items=0, peak_instances=0,
+                 flushed=0, uploaded=0):
         self.events = events
         self.enqueued = enqueued
         self.cleared = cleared
         self.emitted = emitted
         self.peak_buffered_items = peak_buffered_items
         self.peak_instances = peak_instances
+        self.flushed = flushed
+        self.uploaded = uploaded
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -53,7 +63,15 @@ class RunStats:
 
 
 class XSQEngine:
-    """The XSQ-F engine: one compiled query, many documents."""
+    """The XSQ-F engine: one compiled query, many documents.
+
+    ``obs`` accepts an :class:`repro.obs.Observability` bundle; when
+    attached, compilation and streaming are wrapped in spans, run stats
+    flow into the metrics registry, and the bundle's
+    :class:`~repro.obs.events.EventTrace` (if any) replaces the plain
+    ``trace=True`` buffer trace.  When ``obs is None`` (the default) the
+    hot loop is exactly the un-instrumented one.
+    """
 
     name = "xsq-f"
     supports_predicates = True
@@ -61,10 +79,29 @@ class XSQEngine:
     supports_aggregates = True
     streaming = True
 
-    def __init__(self, query: Union[str, Query], trace: bool = False):
-        self.query = parse_query(query) if isinstance(query, str) else query
-        self.hpdt = Hpdt(self.query)
-        self.trace: Optional[BufferTrace] = BufferTrace() if trace else None
+    def __init__(self, query: Union[str, Query], trace: bool = False,
+                 obs=None):
+        self.obs = obs
+        if obs is not None:
+            with obs.span("compile", engine=self.name):
+                if isinstance(query, str):
+                    from repro.xpath.tokens import tokenize_query
+                    with obs.span("tokenize"):
+                        tokenize_query(query.strip())
+                    with obs.span("parse"):
+                        self.query = parse_query(query)
+                else:
+                    self.query = query
+                with obs.span("hpdt-compile"):
+                    self.hpdt = Hpdt(self.query)
+        else:
+            self.query = parse_query(query) if isinstance(query, str) \
+                else query
+            self.hpdt = Hpdt(self.query)
+        if obs is not None and obs.events is not None:
+            self.trace: Optional[BufferTrace] = obs.events
+        else:
+            self.trace = BufferTrace() if trace else None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
 
@@ -80,20 +117,70 @@ class XSQEngine:
         harness passes a counting sink so memory measurements do not
         charge the engine for the caller's result list).
         """
-        events = self._as_events(source)
         if sink is None:
             sink = []
-        runtime, stat = self._new_runtime(sink)
-        count = 0
-        feed = runtime.feed
-        for event in events:
-            count += 1
-            feed(event)
-        runtime.finish()
+        obs = self.obs
+        if obs is None:
+            events = self._as_events(source)
+            runtime, stat = self._new_runtime(sink)
+            count = 0
+            feed = runtime.feed
+            for event in events:
+                count += 1
+                feed(event)
+            runtime.finish()
+            self._capture_stats(runtime, count, stat)
+            if stat is not None:
+                return [stat.render()]
+            return sink
+        with obs.span("run", engine=self.name, query=self.query.text):
+            with obs.span("stream", engine=self.name) as stream_span:
+                events = self._as_events(source)
+                runtime, stat = self._new_runtime(sink)
+                count = self._pump_observed(events, runtime, obs)
+                runtime.finish()
         self._capture_stats(runtime, count, stat)
+        obs.record_run(self.name, self.last_stats,
+                       seconds=stream_span.duration)
         if stat is not None:
             return [stat.render()]
         return sink
+
+    def _pump_observed(self, events: Iterable[Event], runtime, obs) -> int:
+        """The instrumented event loop: per-event trace context, buffer
+        occupancy samples, and (optionally) dispatch-latency timing."""
+        count = 0
+        feed = runtime.feed
+        queue = runtime.queue
+        on_event = obs.events.on_event if obs.events is not None else None
+        occupancy = obs.metrics.histogram(
+            "repro_buffer_occupancy_items",
+            "output-queue occupancy sampled after each event",
+            engine=self.name)
+        if obs.per_event_timing:
+            import time
+            from repro.obs.metrics import LATENCY_BUCKETS
+            dispatch = obs.metrics.histogram(
+                "repro_event_dispatch_seconds",
+                "per-event dispatch latency",
+                buckets=LATENCY_BUCKETS, engine=self.name)
+            clock = time.perf_counter
+            for event in events:
+                count += 1
+                if on_event is not None:
+                    on_event(event)
+                t0 = clock()
+                feed(event)
+                dispatch.observe(clock() - t0)
+                occupancy.observe(len(queue))
+        else:
+            for event in events:
+                count += 1
+                if on_event is not None:
+                    on_event(event)
+                feed(event)
+                occupancy.observe(len(queue))
+        return count
 
     def iter_results(self, source) -> Iterator[str]:
         """Yield results incrementally, as soon as they are determined.
@@ -105,9 +192,14 @@ class XSQEngine:
         events = self._as_events(source)
         sink: List[str] = []
         runtime, stat = self._new_runtime(sink, streaming_agg=True)
+        obs = self.obs
+        on_event = (obs.events.on_event
+                    if obs is not None and obs.events is not None else None)
         count = 0
         for event in events:
             count += 1
+            if on_event is not None:
+                on_event(event)
             runtime.feed(event)
             if stat is not None:
                 for value in stat.drain_snapshots():
@@ -120,6 +212,8 @@ class XSQEngine:
                 sink.clear()
         runtime.finish()
         self._capture_stats(runtime, count, stat)
+        if obs is not None:
+            obs.record_run(self.name, self.last_stats)
         if stat is not None:
             yield stat.render()
         else:
@@ -153,6 +247,8 @@ class XSQEngine:
             emitted=queue.emitted_total,
             peak_buffered_items=queue.peak_size,
             peak_instances=runtime.peak_instances,
+            flushed=queue.flushed_total,
+            uploaded=queue.uploaded_total,
         )
         self.last_stat_buffer = stat
 

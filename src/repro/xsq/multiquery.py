@@ -47,12 +47,22 @@ class MultiQueryEngine:
     [['N'], ['2002']]
     """
 
-    def __init__(self, queries: Sequence[Union[str, Query]]):
+    def __init__(self, queries: Sequence[Union[str, Query]], obs=None):
         if not queries:
             raise ValueError("MultiQueryEngine needs at least one query")
-        self.queries: List[Query] = [
-            parse_query(q) if isinstance(q, str) else q for q in queries]
-        self.hpdts: List[Hpdt] = [Hpdt(q) for q in self.queries]
+        self.obs = obs
+        if obs is not None:
+            with obs.span("compile", engine="multiquery",
+                          queries=len(queries)):
+                self.queries: List[Query] = [
+                    parse_query(q) if isinstance(q, str) else q
+                    for q in queries]
+                with obs.span("hpdt-compile"):
+                    self.hpdts: List[Hpdt] = [Hpdt(q) for q in self.queries]
+        else:
+            self.queries = [
+                parse_query(q) if isinstance(q, str) else q for q in queries]
+            self.hpdts = [Hpdt(q) for q in self.queries]
         self.last_stats: Optional[List[RunStats]] = None
 
     @classmethod
@@ -92,6 +102,7 @@ class MultiQueryEngine:
                     if isinstance(query.output, AggregateOutput) else None)
             queue = OutputQueue(
                 sink,
+                trace=(self.obs.events if self.obs is not None else None),
                 seq_source=(counter.__next__ if counter is not None
                             else None),
                 track_seqs=shared_seq)
@@ -103,14 +114,29 @@ class MultiQueryEngine:
         return runtimes, sinks, stats, queues
 
     def _drive(self, source, shared_seq: bool):
+        obs = self.obs
+        stream_span = (obs.span("stream", engine="multiquery",
+                                queries=len(self.queries))
+                       if obs is not None else None)
         runtimes, sinks, stats, queues = self._build_runtimes(shared_seq)
         events = self._as_events(source)
         feeds = [runtime.feed for runtime in runtimes]
         count = 0
-        for event in events:
-            count += 1
-            for feed in feeds:
-                feed(event)
+        if stream_span is None:
+            for event in events:
+                count += 1
+                for feed in feeds:
+                    feed(event)
+        else:
+            on_event = (obs.events.on_event if obs.events is not None
+                        else None)
+            with stream_span:
+                for event in events:
+                    count += 1
+                    if on_event is not None:
+                        on_event(event)
+                    for feed in feeds:
+                        feed(event)
         run_stats = []
         for runtime, queue in zip(runtimes, queues):
             runtime.finish()
@@ -120,8 +146,14 @@ class MultiQueryEngine:
                 cleared=queue.cleared_total,
                 emitted=queue.emitted_total,
                 peak_buffered_items=queue.peak_size,
-                peak_instances=runtime.peak_instances))
+                peak_instances=runtime.peak_instances,
+                flushed=queue.flushed_total,
+                uploaded=queue.uploaded_total))
         self.last_stats = run_stats
+        if obs is not None:
+            for run in run_stats:
+                obs.record_run("multiquery", run,
+                               seconds=stream_span.duration)
         return sinks, stats, queues
 
     def run(self, source) -> List[List[str]]:

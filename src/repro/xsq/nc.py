@@ -42,7 +42,7 @@ from repro.xpath.parser import parse_query
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.bpdt import Bpdt
 from repro.xsq.buffers import BufferItem, BufferTrace, OutputQueue
-from repro.xsq.engine import RunStats
+from repro.xsq.engine import RunStats, XSQEngine
 from repro.xsq.hpdt import Hpdt
 from repro.xpath.ast import NotPredicate, OrPredicate, PathPredicate
 from repro.xsq.matcher import Chain, PathTracker, PredicateInstance
@@ -310,34 +310,75 @@ class XSQEngineNC:
     supports_aggregates = True
     streaming = True
 
-    def __init__(self, query: Union[str, Query], trace: bool = False):
-        self.query = parse_query(query) if isinstance(query, str) else query
-        if self.query.has_closure:
-            raise ClosureNotSupportedError(
-                "XSQ-NC does not support the closure axis //; "
-                "use XSQEngine (XSQ-F) for %r" % (self.query.text,))
-        self.hpdt = Hpdt(self.query)
-        self.trace: Optional[BufferTrace] = BufferTrace() if trace else None
+    def __init__(self, query: Union[str, Query], trace: bool = False,
+                 obs=None):
+        self.obs = obs
+        if obs is not None:
+            with obs.span("compile", engine=self.name):
+                if isinstance(query, str):
+                    from repro.xpath.tokens import tokenize_query
+                    with obs.span("tokenize"):
+                        tokenize_query(query.strip())
+                    with obs.span("parse"):
+                        self.query = parse_query(query)
+                else:
+                    self.query = query
+                if self.query.has_closure:
+                    raise ClosureNotSupportedError(
+                        "XSQ-NC does not support the closure axis //; "
+                        "use XSQEngine (XSQ-F) for %r" % (self.query.text,))
+                with obs.span("hpdt-compile"):
+                    self.hpdt = Hpdt(self.query)
+        else:
+            self.query = parse_query(query) if isinstance(query, str) \
+                else query
+            if self.query.has_closure:
+                raise ClosureNotSupportedError(
+                    "XSQ-NC does not support the closure axis //; "
+                    "use XSQEngine (XSQ-F) for %r" % (self.query.text,))
+            self.hpdt = Hpdt(self.query)
+        if obs is not None and obs.events is not None:
+            self.trace: Optional[BufferTrace] = obs.events
+        else:
+            self.trace = BufferTrace() if trace else None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
 
     def run(self, source, sink: Optional[List[str]] = None) -> List[str]:
         """Evaluate the query over ``source``; see :meth:`XSQEngine.run`."""
-        events = self._as_events(source)
         if sink is None:
             sink = []
-        stat = self._new_stat(False)
-        runtime = _NCRuntime(self, sink, stat, self.trace)
-        count = 0
-        feed = runtime.feed
-        for event in events:
-            count += 1
-            feed(event)
-        runtime.finish()
+        obs = self.obs
+        if obs is None:
+            events = self._as_events(source)
+            stat = self._new_stat(False)
+            runtime = _NCRuntime(self, sink, stat, self.trace)
+            count = 0
+            feed = runtime.feed
+            for event in events:
+                count += 1
+                feed(event)
+            runtime.finish()
+            self._capture_stats(runtime, count, stat)
+            if stat is not None:
+                return [stat.render()]
+            return sink
+        with obs.span("run", engine=self.name, query=self.query.text):
+            with obs.span("stream", engine=self.name) as stream_span:
+                events = self._as_events(source)
+                stat = self._new_stat(False)
+                runtime = _NCRuntime(self, sink, stat, self.trace)
+                count = self._pump_observed(events, runtime, obs)
+                runtime.finish()
         self._capture_stats(runtime, count, stat)
+        obs.record_run(self.name, self.last_stats,
+                       seconds=stream_span.duration)
         if stat is not None:
             return [stat.render()]
         return sink
+
+    # The instrumented event loop is identical for both engines.
+    _pump_observed = XSQEngine._pump_observed
 
     def iter_results(self, source) -> Iterator[str]:
         """Yield results incrementally (intermediate values for aggregates)."""
@@ -345,9 +386,14 @@ class XSQEngineNC:
         sink: List[str] = []
         stat = self._new_stat(True)
         runtime = _NCRuntime(self, sink, stat, self.trace)
+        obs = self.obs
+        on_event = (obs.events.on_event
+                    if obs is not None and obs.events is not None else None)
         count = 0
         for event in events:
             count += 1
+            if on_event is not None:
+                on_event(event)
             runtime.feed(event)
             if stat is not None:
                 for value in stat.drain_snapshots():
@@ -359,6 +405,8 @@ class XSQEngineNC:
                 sink.clear()
         runtime.finish()
         self._capture_stats(runtime, count, stat)
+        if obs is not None:
+            obs.record_run(self.name, self.last_stats)
         if stat is not None:
             yield stat.render()
         else:
@@ -387,6 +435,8 @@ class XSQEngineNC:
             emitted=queue.emitted_total,
             peak_buffered_items=queue.peak_size,
             peak_instances=runtime.peak_instances,
+            flushed=queue.flushed_total,
+            uploaded=queue.uploaded_total,
         )
         self.last_stat_buffer = stat
 

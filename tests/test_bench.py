@@ -86,6 +86,32 @@ class TestMetrics:
         rel = relative_throughput(run, path, baseline_seconds=base)
         assert 0.0 < rel <= 1.0
 
+    def test_relative_throughput_baseline_cached(self, cache, monkeypatch):
+        # Regression: without baseline_seconds, the PureParser baseline
+        # is measured at most once per input file, not once per system.
+        from repro.bench import metrics as bench_metrics
+        path = cache.path("shake")
+        bench_metrics.clear_baseline_cache()
+        real_measure = bench_metrics.measure_throughput
+        calls = []
+
+        def counting_measure(adapter, query, source, repeat=1, obs=None):
+            calls.append(adapter.name)
+            return real_measure(adapter, query, source, repeat=repeat,
+                                obs=obs)
+
+        monkeypatch.setattr(bench_metrics, "measure_throughput",
+                            counting_measure)
+        run = real_measure(ADAPTERS["XSQ-NC"],
+                           "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()", path)
+        try:
+            first = relative_throughput(run, path)
+            second = relative_throughput(run, path)
+        finally:
+            bench_metrics.clear_baseline_cache()
+        assert calls == ["PureParser"]
+        assert first == second
+
     def test_measure_memory(self, cache):
         # Fixed interpreter overheads swamp an 80 KB input; use ~1 MB so
         # the DOM-vs-streaming gap is visible.

@@ -1,0 +1,264 @@
+"""Observability package: spans, metrics registry, execution traces."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    EventTrace,
+    JsonlMetricsSink,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Observability,
+    Tracer,
+)
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+
+FIG10_XML = ("<root>"
+             "<pub><name>Early</name><year>2003</year><name>Late</name></pub>"
+             "<pub><name>Reject</name><year>1999</year></pub>"
+             "</root>")
+FIG10_QUERY = "//pub[year>2000]//name/text()"
+
+
+class TestTracer:
+    def test_nesting_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("outer", phase="demo") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0
+        assert inner.parent is outer
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [child.name for child in outer.children] == ["inner"]
+
+    def test_jsonl_lines_are_valid_json(self):
+        tracer = Tracer()
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                pass
+        records = [json.loads(line) for line in tracer.jsonl_lines()]
+        # Completion order: the inner span finishes first.
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert all(r["type"] == "span" for r in records)
+        assert records[0]["parent"] == "a"
+        assert records[1]["attrs"] == {"k": 1}
+
+    def test_flame_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("parse"):
+                pass
+        flame = tracer.flame()
+        lines = flame.splitlines()
+        assert lines[0].startswith("compile")
+        assert lines[1].startswith("  parse")
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", x=1):
+            pass
+        assert list(NULL_TRACER.jsonl_lines()) == []
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "help", op="enqueue")
+        counter.inc()
+        counter.inc(2)
+        again = registry.counter("ops_total", "help", op="enqueue")
+        assert again is counter
+        assert counter.value == 3
+        other = registry.counter("ops_total", "help", op="clear")
+        assert other is not counter
+        assert other.value == 0
+
+    def test_gauge_set_max(self):
+        gauge = MetricsRegistry().gauge("peak", "help")
+        gauge.set_max(4)
+        gauge.set_max(2)
+        assert gauge.value == 4
+
+    def test_histogram_buckets(self):
+        hist = MetricsRegistry().histogram("occupancy", "help",
+                                           buckets=(0, 1, 4))
+        for value in (0, 1, 3, 100):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 104
+        # Cumulative counts per le= bucket: <=0, <=1, <=4, +Inf.
+        assert hist.cumulative() == [(0, 1), (1, 2), (4, 3),
+                                     (float("inf"), 4)]
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "buffer ops",
+                         engine="xsq-f", op="enqueue").inc(5)
+        registry.histogram("repro_depth", "depths", buckets=(1, 2)).observe(2)
+        text = registry.render_prometheus()
+        assert "# HELP repro_ops_total buffer ops" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{engine="xsq-f",op="enqueue"} 5' in text
+        assert '# TYPE repro_depth histogram' in text
+        assert 'repro_depth_bucket{le="+Inf"} 1' in text
+        assert "repro_depth_sum 2" in text
+        assert "repro_depth_count 1" in text
+
+    def test_jsonl_sink(self):
+        registry = MetricsRegistry()
+        registry.counter("n", "help").inc(7)
+        stream = io.StringIO()
+        registry.add_sink(JsonlMetricsSink(stream))
+        registry.emit()
+        record = json.loads(stream.getvalue())
+        assert record["type"] == "metrics"
+        assert record["snapshot"]["n"] == 7
+
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("n", "help").inc()
+        NULL_METRICS.gauge("g", "help").set(3)
+        NULL_METRICS.histogram("h", "help").observe(1)
+        assert NULL_METRICS.as_dict() == {}
+
+
+class TestEventTrace:
+    def run_traced(self, query=FIG10_QUERY, xml=FIG10_XML):
+        obs = Observability()
+        engine = XSQEngine(query, obs=obs)
+        results = engine.run(xml)
+        return results, obs
+
+    def test_figure10_walkthrough_sequence(self):
+        """The paper's Figure 10 discipline, step by step.
+
+        ``Early`` arrives before its governing ``year`` predicate
+        resolves: it must be enqueued (NA), uploaded to the parent
+        BPDT's buffer, then flushed and sent once ``year>2000`` turns
+        true.  ``Late`` arrives after the predicate is already true.
+        ``Reject``'s predicate never turns true, so ``</pub>`` clears
+        it.
+        """
+        results, obs = self.run_traced()
+        assert results == ["Early", "Late"]
+        journeys = obs.events.journeys()
+        assert [(op.op, op.bpdt) for op in journeys[0]] == [
+            ("enqueue", (2, 2)), ("upload", (1, 1)),
+            ("flush", (1, 1)), ("send", (1, 1))]
+        assert [(op.op, op.bpdt) for op in journeys[1]] == [
+            ("enqueue", (2, 3)), ("flush", (2, 3)), ("send", (2, 3))]
+        assert [(op.op, op.bpdt) for op in journeys[2]] == [
+            ("enqueue", (2, 2)), ("upload", (1, 1)), ("clear", (1, 1))]
+        assert [op.value for op in journeys[2]] == ["Reject"] * 3
+
+    def test_ops_annotated_with_stream_events(self):
+        _, obs = self.run_traced()
+        first = obs.events.records[0]
+        assert first.event_kind == "text"
+        assert first.event_tag == "name"
+        assert first.event_seq >= 0
+        clear = [op for op in obs.events.records if op.op == "clear"][0]
+        assert clear.event_kind == "end"
+        assert clear.event_tag == "pub"
+
+    def test_replay_reproduces_results(self):
+        results, obs = self.run_traced()
+        assert obs.events.replay() == results
+
+    def test_explain_mentions_verdicts(self):
+        _, obs = self.run_traced()
+        text = obs.events.explain()
+        assert "item #0 'Early' [RESULT]" in text
+        assert "item #2 'Reject' [cleared]" in text
+        assert "enqueued into the bpdt(2,2) buffer" in text
+
+    def test_trace_off_and_on_identical_results(self):
+        plain = XSQEngine(FIG10_QUERY).run(FIG10_XML)
+        traced, obs = self.run_traced()
+        assert traced == plain
+        nc_query = "/root/pub/name/text()"
+        nc_plain = XSQEngineNC(nc_query).run(FIG10_XML)
+        nc_traced = XSQEngineNC(nc_query, obs=Observability()).run(FIG10_XML)
+        assert nc_traced == nc_plain
+
+    def test_base_buffertrace_tuples_still_work(self):
+        trace = EventTrace()
+        trace.record("enqueue", (1, 1), "v", (2,), item_seq=0)
+        assert trace.operations == [("enqueue", (1, 1), "v", (2,))]
+        assert trace.ops("enqueue")
+
+
+class TestObservability:
+    def test_record_run_populates_buffer_op_counters(self):
+        obs = Observability()
+        engine = XSQEngine(FIG10_QUERY, obs=obs)
+        engine.run(FIG10_XML)
+        stats = engine.last_stats
+        assert stats.flushed == 2
+        assert stats.uploaded == 2
+        snapshot = obs.metrics.as_dict()
+        assert snapshot[
+            'repro_buffer_ops_total{engine="xsq-f",op="enqueue"}'] == 3
+        assert snapshot[
+            'repro_buffer_ops_total{engine="xsq-f",op="clear"}'] == 1
+        assert snapshot[
+            'repro_buffer_ops_total{engine="xsq-f",op="flush"}'] == 2
+        assert snapshot[
+            'repro_buffer_ops_total{engine="xsq-f",op="upload"}'] == 2
+
+    def test_span_tree_covers_compile_and_stream(self):
+        obs = Observability()
+        engine = XSQEngine(FIG10_QUERY, obs=obs)
+        engine.run(FIG10_XML)
+        flame = obs.flame()
+        for phase in ("compile", "tokenize", "parse", "hpdt-compile",
+                      "run", "stream"):
+            assert phase in flame
+
+    def test_jsonl_bundle(self, tmp_path):
+        obs = Observability()
+        XSQEngine(FIG10_QUERY, obs=obs).run(FIG10_XML)
+        target = tmp_path / "obs.jsonl"
+        count = obs.write_jsonl(str(target))
+        lines = target.read_text().splitlines()
+        assert len(lines) == count > 0
+        kinds = {json.loads(line)["type"] for line in lines}
+        assert kinds == {"span", "buffer_op", "metrics"}
+
+    def test_disabled_bundle_records_nothing(self):
+        obs = Observability.disabled()
+        results = XSQEngine(FIG10_QUERY, obs=obs).run(FIG10_XML)
+        assert results == ["Early", "Late"]
+        assert list(obs.jsonl_lines()) == []
+
+    def test_per_event_timing_histogram(self):
+        obs = Observability(per_event_timing=True)
+        XSQEngine(FIG10_QUERY, obs=obs).run(FIG10_XML)
+        text = obs.metrics_text()
+        assert "repro_event_dispatch_seconds" in text
+
+    def test_untraced_engine_reports_zero_uploads(self):
+        # Without a trace the matcher skips the upload bookkeeping (the
+        # seed's hot-path optimization); the counter stays 0 and the
+        # docstrings say so.
+        engine = XSQEngine(FIG10_QUERY)
+        engine.run(FIG10_XML)
+        assert engine.last_stats.uploaded == 0
+        assert engine.last_stats.flushed == 2
+
+
+class TestMultiQueryObservability:
+    def test_multiquery_records_per_query_runs(self):
+        from repro.xsq.multiquery import MultiQueryEngine
+        obs = Observability()
+        engine = MultiQueryEngine([FIG10_QUERY, "/root/pub/year/text()"],
+                                  obs=obs)
+        results = engine.run(FIG10_XML)
+        assert results[0] == ["Early", "Late"]
+        assert results[1] == ["2003", "1999"]
+        snapshot = obs.metrics.as_dict()
+        assert snapshot.get('repro_runs_total{engine="multiquery"}') == 2

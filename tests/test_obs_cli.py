@@ -1,0 +1,107 @@
+"""The ``xsq trace`` / ``repro trace`` explain-my-query subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main, trace_main
+
+
+@pytest.fixture
+def doc(tmp_path):
+    path = tmp_path / "pubs.xml"
+    path.write_text(
+        "<root>"
+        "<pub><name>Early</name><year>2003</year><name>Late</name></pub>"
+        "<pub><name>Reject</name><year>1999</year></pub>"
+        "</root>")
+    return str(path)
+
+
+QUERY = "//pub[year>2000]//name/text()"
+
+
+class TestTraceSubcommand:
+    def test_main_dispatches_trace(self, doc, capsys):
+        assert main(["trace", QUERY, doc]) == 0
+        out = capsys.readouterr().out
+        assert "# results (2)" in out
+        assert "Early" in out and "Late" in out
+        assert "# buffer journeys" in out
+
+    def test_journeys_explain_clears_and_results(self, doc, capsys):
+        assert trace_main([QUERY, doc]) == 0
+        out = capsys.readouterr().out
+        assert "item #0 'Early' [RESULT]" in out
+        assert "item #2 'Reject' [cleared]" in out
+        assert "enqueued into the bpdt(2,2) buffer" in out
+
+    def test_jsonl_output(self, doc, tmp_path, capsys):
+        target = tmp_path / "out.jsonl"
+        assert trace_main([QUERY, doc, "--jsonl", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        lines = target.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        kinds = {record["type"] for record in records}
+        assert kinds == {"span", "buffer_op", "metrics"}
+        ops = [r for r in records if r["type"] == "buffer_op"]
+        assert {op["op"] for op in ops} >= {"enqueue", "upload",
+                                            "flush", "clear", "send"}
+
+    def test_jsonl_to_stdout(self, doc, capsys):
+        assert trace_main([QUERY, doc, "--jsonl", "-"]) == 0
+        out = capsys.readouterr().out
+        jsonl_part = out.split("# buffer journeys")[1]
+        parsed = [json.loads(line) for line in jsonl_part.splitlines()
+                  if line.startswith("{")]
+        assert parsed
+
+    def test_metrics_snapshot_has_all_four_ops(self, doc, capsys):
+        assert trace_main([QUERY, doc, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# metrics" in out
+        for op in ("enqueue", "clear", "flush", "upload"):
+            assert ('repro_buffer_ops_total{engine="xsq-f",op="%s"}' % op
+                    in out)
+
+    def test_explain_and_flame(self, doc, capsys):
+        assert trace_main([QUERY, doc, "--explain", "--flame"]) == 0
+        out = capsys.readouterr().out
+        assert "# compiled HPDT" in out
+        assert "bpdt(1,1)" in out
+        assert "# spans" in out
+        assert "compile" in out and "stream" in out
+
+    def test_stdin_default(self, doc, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("<a><b>x</b></a>"))
+        assert trace_main(["/a/b/text()"]) == 0
+        assert "# results (1)" in capsys.readouterr().out
+
+    def test_union_query_rejected(self, doc, capsys):
+        assert trace_main(["/a/text()|/b/text()", doc]) == 2
+        assert "union" in capsys.readouterr().err
+
+    def test_rewrite_proved_empty(self, doc, capsys):
+        assert trace_main(["/pub/year/parent::name/text()", doc]) == 0
+        out = capsys.readouterr().out
+        assert "# results (0)" in out
+        assert "rewrite proved the query empty" in out
+
+    def test_engine_choice_nc(self, doc, capsys):
+        assert trace_main(["/root/pub/name/text()", doc,
+                           "--engine", "nc"]) == 0
+        out = capsys.readouterr().out
+        assert "# results (3)" in out
+
+    def test_syntax_error_reported(self, doc, capsys):
+        assert trace_main(["//a[", doc]) == 2
+        assert "xsq: error:" in capsys.readouterr().err
+
+    def test_unwritable_jsonl_reported(self, doc, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "out.jsonl"
+        assert trace_main([QUERY, doc, "--jsonl", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "xsq: error: cannot write" in err
