@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Shared-dispatch multi-query benchmark (standalone, no pytest).
+
+Measures, for N registered queries over one generated DBLP-like
+document, the wall-clock throughput of three execution strategies:
+
+* ``independent`` — N separate :class:`XSQEngine` runs, each parsing
+  the stream itself (the no-sharing baseline);
+* ``dense``       — :class:`MultiQueryEngine` with
+  ``shared_dispatch=False``: one parse, every event fed to every
+  runtime (the pre-index grouped engine);
+* ``shared``      — :class:`MultiQueryEngine` with the tag-keyed
+  dispatch index routing each event only to the queries that can
+  react to it.
+
+Outputs one JSON artifact (``BENCH_multiquery.json``) suitable for CI
+archiving, and with ``--check`` exits non-zero unless, at the largest
+N, shared dispatch is (a) at least as fast as the dense loop and
+(b) at least ``--speedup-floor`` times faster than independent runs —
+the regression gate for the shared index.
+
+Usage::
+
+    python benchmarks/bench_multiquery.py                # full run
+    python benchmarks/bench_multiquery.py --quick --check  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.queries import TagGraph, QueryWorkloadGenerator
+from repro.xsq.engine import XSQEngine
+from repro.xsq.multiquery import MultiQueryEngine
+
+
+def build_workload(sample: str, count: int, seed: int = 97) -> List[str]:
+    """``count`` text queries over the sample's tag graph.
+
+    Uniqueness is best-effort: the DBLP tag graph is small, so large
+    workloads repeat paths — which is exactly the dissemination-service
+    shape (many subscribers, few distinct shapes).
+    """
+    graph = TagGraph.from_document(sample)
+    generator = QueryWorkloadGenerator(
+        graph, seed=seed, max_depth=4, closure_probability=0.15,
+        wildcard_probability=0.0, predicate_probability=0.3)
+    return [q + "/text()" for q in generator.workload(count, unique=False)]
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_point(xml: str, queries: List[str], repeats: int) -> Dict[str, float]:
+    shared = MultiQueryEngine(queries, cache=False)
+    dense = MultiQueryEngine(queries, cache=False, shared_dispatch=False)
+    independents = [XSQEngine(query, cache=False) for query in queries]
+
+    # Sanity: the three strategies must agree before we time them.
+    expected = [engine.run(xml) for engine in independents]
+    if shared.run(xml) != expected or dense.run(xml) != expected:
+        raise AssertionError(
+            "strategies disagree for N=%d: shared dispatch is broken"
+            % len(queries))
+
+    point = {
+        "n_queries": len(queries),
+        "shared_s": timed(lambda: shared.run(xml), repeats),
+        "dense_s": timed(lambda: dense.run(xml), repeats),
+        "independent_s": timed(
+            lambda: [engine.run(xml) for engine in independents], repeats),
+    }
+    point["shared_vs_dense"] = point["dense_s"] / point["shared_s"]
+    point["shared_vs_independent"] = (point["independent_s"]
+                                      / point["shared_s"])
+    index = shared.index
+    point["index"] = index.stats()
+    return point
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="1,10,100",
+                        help="comma-separated N values (default 1,10,100)")
+    parser.add_argument("--target-bytes", type=int, default=400_000,
+                        help="generated document size (default 400000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small document + 1 repeat (CI smoke)")
+    parser.add_argument("--out", default="BENCH_multiquery.json",
+                        help="JSON artifact path (default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless shared dispatch beats the "
+                             "gates at the largest N")
+    parser.add_argument("--speedup-floor", type=float, default=2.0,
+                        help="required shared-vs-independent speedup at "
+                             "the largest N (default 2.0)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.target_bytes = min(args.target_bytes, 120_000)
+        args.repeats = 1
+    sizes = sorted({int(size) for size in args.sizes.split(",")})
+
+    xml = generate_dblp(target_bytes=args.target_bytes, seed=11)
+    workload = build_workload(xml, max(sizes))
+
+    points = []
+    for size in sizes:
+        point = run_point(xml, workload[:size], args.repeats)
+        points.append(point)
+        print("N=%-4d shared=%.3fs dense=%.3fs independent=%.3fs "
+              "(vs dense %.2fx, vs independent %.2fx)"
+              % (size, point["shared_s"], point["dense_s"],
+                 point["independent_s"], point["shared_vs_dense"],
+                 point["shared_vs_independent"]))
+
+    artifact = {
+        "bench": "multiquery-shared-dispatch",
+        "target_bytes": args.target_bytes,
+        "repeats": args.repeats,
+        "points": points,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    if args.check:
+        top = points[-1]
+        failures = []
+        if top["shared_vs_dense"] < 1.0:
+            failures.append(
+                "shared dispatch slower than the dense loop at N=%d "
+                "(%.2fx)" % (top["n_queries"], top["shared_vs_dense"]))
+        if top["shared_vs_independent"] < args.speedup_floor:
+            failures.append(
+                "shared dispatch only %.2fx faster than independent "
+                "runs at N=%d (floor %.1fx)"
+                % (top["shared_vs_independent"], top["n_queries"],
+                   args.speedup_floor))
+        if failures:
+            for failure in failures:
+                print("CHECK FAILED: %s" % failure, file=sys.stderr)
+            return 1
+        print("checks passed: %.2fx vs dense, %.2fx vs independent at N=%d"
+              % (top["shared_vs_dense"], top["shared_vs_independent"],
+                 top["n_queries"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,15 +7,19 @@ substrate and comparison system the paper's evaluation uses.
 
 Quickstart::
 
-    from repro import XSQEngine
+    import repro
 
-    engine = XSQEngine("//book[price<11]/author/text()")
-    for author in engine.iter_results("catalog.xml"):
+    query = repro.compile("//book[price<11]/author/text()")
+    for author in query.iter_results("catalog.xml"):
         print(author)
 
 Main entry points:
 
-* :class:`XSQEngine` (XSQ-F) and :class:`XSQEngineNC` (XSQ-NC)
+* :func:`repro.compile` — the unified facade; picks the right engine,
+  shares compiled HPDTs process-wide, and groups query *lists* into a
+  single shared-dispatch pass
+* :class:`XSQEngine` (XSQ-F) and :class:`XSQEngineNC` (XSQ-NC) — the
+  underlying engines, still public for engine-specific work
 * :func:`repro.xpath.parse_query` — the XPath subset parser
 * :mod:`repro.streaming` — the SAX-with-depth event model and sources
 * :mod:`repro.baselines` — the paper's comparison systems
@@ -23,6 +27,14 @@ Main entry points:
 * :mod:`repro.bench` — throughput/memory measurement harness
 """
 
+from repro.api import (
+    CompiledQuery,
+    CompiledQuerySet,
+    EmptyEngine,
+    UnionEngine,
+    compile,
+    select_engine,
+)
 from repro.errors import (
     ClosureNotSupportedError,
     NotWellFormedError,
@@ -35,6 +47,8 @@ from repro.xpath import parse_query
 from repro.streaming.dtd import Dtd, StreamingValidator, parse_dtd
 from repro.xsq import (
     Bpdt,
+    DispatchIndex,
+    HpdtCache,
     MultiQueryEngine,
     SchemaAwareEngine,
     BufferTrace,
@@ -49,6 +63,14 @@ from repro.obs import EventTrace, MetricsRegistry, Observability, Tracer
 __version__ = "1.0.0"
 
 __all__ = [
+    "compile",
+    "CompiledQuery",
+    "CompiledQuerySet",
+    "select_engine",
+    "EmptyEngine",
+    "UnionEngine",
+    "HpdtCache",
+    "DispatchIndex",
     "XSQEngine",
     "XSQEngineNC",
     "MultiQueryEngine",

@@ -1,0 +1,240 @@
+"""The unified compile facade: one entry point, every engine.
+
+The repository grew three engine front doors — :class:`XSQEngine`
+(XSQ-F), :class:`XSQEngineNC` (XSQ-NC) and :class:`MultiQueryEngine` —
+each with slightly different construction and result conventions.
+:func:`compile` replaces them for everyday use::
+
+    import repro
+
+    q = repro.compile("//book[price<11]/author/text()")
+    q.run("catalog.xml")            # ['Alice', ...]
+    q.stats.events                  # uniform RunStats across engines
+
+    qs = repro.compile(["/a/b/text()", "//c/text()"])
+    qs.run(stream)                  # one pass, per-query result lists
+
+Engine selection (``engine="auto"``, the default) follows the paper's
+own guidance: the deterministic XSQ-NC engine when the query has no
+closure axis, the full XSQ-F engine otherwise.  ``engine="f"`` or
+``"nc"`` forces a choice (``"nc"`` raises
+:class:`~repro.errors.ClosureNotSupportedError` on closure queries).
+Top-level unions (``q1 | q2``) and reverse-axis queries that rewrite to
+nothing are handled transparently — the facade returns the same
+:class:`CompiledQuery` shape with a grouped or empty engine inside.
+
+Compilation goes through the process-wide HPDT cache
+(:mod:`repro.xsq.compile_cache`), so compiling the same query text
+twice reuses the frozen transducer; pass ``cache=False`` to opt out or
+an :class:`~repro.xsq.compile_cache.HpdtCache` to scope one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ClosureNotSupportedError
+from repro.xpath.ast import Query
+from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
+from repro.xsq.engine import RunStats, XSQEngine
+from repro.xsq.multiquery import MultiQueryEngine
+from repro.xsq.nc import XSQEngineNC
+
+QueryLike = Union[str, Query]
+
+
+class EmptyEngine:
+    """Stand-in when a rewrite proves the query matches nothing."""
+
+    name = "empty"
+    last_stats = None
+    stats = None
+
+    def run(self, _source, sink=None):
+        return sink if sink is not None else []
+
+    def iter_results(self, _source):
+        return iter(())
+
+    def explain(self) -> str:
+        return "(empty query: the reverse-axis rewrite proved no matches)"
+
+
+class UnionEngine:
+    """Top-level union: grouped one-pass evaluation, doc-order merge."""
+
+    name = "xsq-union"
+
+    def __init__(self, branches: Sequence[QueryLike], obs=None, cache=None):
+        self._engine = MultiQueryEngine(branches, obs=obs, cache=cache)
+
+    def run(self, source, sink=None):
+        return self._engine._run_merged(source, sink=sink)
+
+    def iter_results(self, source):
+        # Document-order merging needs the full pass; union queries
+        # therefore emit at end of stream.
+        return iter(self.run(source))
+
+    @property
+    def last_stats(self) -> Optional[RunStats]:
+        return self.stats
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        return self._engine.stats
+
+    def explain(self) -> str:
+        return "\n\n".join(h.describe() for h in self._engine.hpdts)
+
+
+def select_engine(query: QueryLike, choice: str = "auto", obs=None,
+                  cache=None):
+    """The raw engine :func:`compile` would wrap for ``query``.
+
+    Applies the reverse-axis rewrite, detects top-level unions, and
+    picks XSQ-NC over XSQ-F when ``choice="auto"`` allows it.  Returns
+    an :class:`XSQEngine`, :class:`XSQEngineNC`, :class:`UnionEngine`
+    or :class:`EmptyEngine`.
+    """
+    if choice not in ("auto", "f", "nc"):
+        raise ValueError("engine must be 'auto', 'f' or 'nc', not %r"
+                         % (choice,))
+    if isinstance(query, str) and supports_reverse_axes(query):
+        rewritten = rewrite_reverse_axes(query)
+        if rewritten is None:
+            return EmptyEngine()
+        query = rewritten
+    if isinstance(query, str):
+        from repro.xpath.parser import parse_query_set
+        branches = parse_query_set(query)
+        if len(branches) > 1:
+            return UnionEngine(branches, obs=obs, cache=cache)
+    if choice == "f":
+        return XSQEngine(query, obs=obs, cache=cache)
+    if choice == "nc":
+        return XSQEngineNC(query, obs=obs, cache=cache)
+    try:
+        return XSQEngineNC(query, obs=obs, cache=cache)
+    except ClosureNotSupportedError:
+        return XSQEngine(query, obs=obs, cache=cache)
+
+
+class CompiledQuery:
+    """One compiled query with a uniform run/iterate/stats surface.
+
+    Construct via :func:`compile`.  The underlying engine object stays
+    reachable as :attr:`engine` for anything engine-specific.
+    """
+
+    def __init__(self, query: QueryLike, engine: str = "auto", obs=None,
+                 cache=None):
+        self.text = query if isinstance(query, str) else (query.text or "")
+        self.engine = select_engine(query, engine, obs=obs, cache=cache)
+
+    @property
+    def engine_name(self) -> str:
+        """Which engine compilation selected (xsq-f, xsq-nc, ...)."""
+        return self.engine.name
+
+    @property
+    def query(self) -> Optional[Query]:
+        """The parsed query (None for empty-rewritten queries)."""
+        return getattr(self.engine, "query", None)
+
+    def run(self, source, sink=None) -> List[str]:
+        """Evaluate over ``source``; all engines accept the same call."""
+        return self.engine.run(source, sink=sink)
+
+    def iter_results(self, source) -> Iterator[str]:
+        """Yield results incrementally where the engine supports it."""
+        return self.engine.iter_results(source)
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        """Uniform :class:`RunStats` from the most recent run."""
+        return self.engine.stats
+
+    def explain(self) -> str:
+        return self.engine.explain()
+
+    def __repr__(self):
+        return "<CompiledQuery %r engine=%s>" % (self.text, self.engine.name)
+
+
+class CompiledQuerySet:
+    """Many queries compiled for grouped one-pass evaluation.
+
+    Construct via :func:`compile` with a list of queries.  ``run``
+    returns per-query result lists; ``iter_results`` interleaves
+    ``(query_index, value)`` pairs in stream order; ``stats`` is the
+    aggregate with per-query breakdowns on ``per_query_stats``.
+    """
+
+    def __init__(self, queries: Sequence[QueryLike], obs=None, cache=None,
+                 shared_dispatch: bool = True):
+        self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
+                                       shared_dispatch=shared_dispatch)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
+    @property
+    def queries(self) -> List[Query]:
+        return self.engine.queries
+
+    def __len__(self) -> int:
+        return self.engine.query_count
+
+    def run(self, source, sinks=None) -> List[List[str]]:
+        return self.engine.run(source, sinks=sinks)
+
+    def iter_results(self, source) -> Iterator[Tuple[int, object]]:
+        return self.engine.iter_results(source)
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        return self.engine.stats
+
+    @property
+    def per_query_stats(self) -> Optional[List[RunStats]]:
+        return self.engine.last_stats
+
+    def explain(self) -> str:
+        return self.engine.index.describe() if self.engine.index is not None \
+            else "<no dispatch index: shared_dispatch=False>"
+
+    def __repr__(self):
+        return "<CompiledQuerySet %d queries>" % len(self)
+
+
+def compile(query, *, engine: str = "auto", obs=None, cache=None):
+    """Compile ``query`` into a ready-to-run object.
+
+    ``query`` may be a query string, a parsed
+    :class:`~repro.xpath.ast.Query`, or a sequence of either — the
+    sequence form returns a :class:`CompiledQuerySet` evaluating every
+    member in one pass over the stream (shared tokenization *and*
+    shared event dispatch).
+
+    ``engine`` selects the single-query engine: ``"auto"`` (default,
+    XSQ-NC when the query allows), ``"f"`` or ``"nc"``.  Grouped sets
+    always run the XSQ-F runtime per member.  ``obs`` attaches an
+    :class:`~repro.obs.Observability` bundle; ``cache`` scopes or
+    disables the HPDT compile cache.
+
+    >>> import repro
+    >>> repro.compile("/pub/year/text()").run("<pub><year>2</year></pub>")
+    ['2']
+    >>> repro.compile("/r/a/text() | /r/b/text()").run(
+    ...     "<r><b>2</b><a>1</a></r>")
+    ['2', '1']
+    """
+    if isinstance(query, (str, Query)):
+        return CompiledQuery(query, engine=engine, obs=obs, cache=cache)
+    if engine != "auto":
+        raise ValueError(
+            "engine=%r cannot apply to a query set: grouped execution "
+            "always uses the XSQ-F runtime per member" % (engine,))
+    return CompiledQuerySet(query, obs=obs, cache=cache)

@@ -69,63 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-class _EmptyEngine:
-    """Stand-in when a rewrite proves the query matches nothing."""
-
-    name = "empty"
-    last_stats = None
-
-    def run(self, _source):
-        return []
-
-    def iter_results(self, _source):
-        return iter(())
-
-
-class _UnionEngine:
-    """Top-level union: grouped one-pass evaluation, doc-order merge."""
-
-    name = "xsq-union"
-    last_stats = None
-
-    def __init__(self, branches):
-        from repro.xsq.multiquery import MultiQueryEngine
-        self._engine = MultiQueryEngine(branches)
-
-    def run(self, source):
-        return self._engine.run_merged(source)
-
-    def iter_results(self, source):
-        # Document-order merging needs the full pass; union queries
-        # therefore emit at end of stream.
-        return iter(self.run(source))
-
-
 def pick_engine(query: str, choice: str):
     """Engine selection: NC when the query allows it and NC is eligible.
 
     Reverse-axis syntax (``parent::``, ``..``, ``self::``) is rewritten
     into forward-only form first (Section 5's cited technique); a
     rewrite that proves the query empty short-circuits entirely.
+    Delegates to :func:`repro.api.select_engine`, the facade's rules.
     """
-    if supports_reverse_axes(query):
-        rewritten = rewrite_reverse_axes(query)
-        if rewritten is None:
-            return _EmptyEngine()
-        query = rewritten
-    if isinstance(query, str):
-        from repro.xpath.parser import parse_query_set
-        branches = parse_query_set(query)
-        if len(branches) > 1:
-            return _UnionEngine(branches)
-    if choice == "f":
-        return XSQEngine(query)
-    if choice == "nc":
-        return XSQEngineNC(query)
-    try:
-        return XSQEngineNC(query)
-    except ClosureNotSupportedError:
-        return XSQEngine(query)
+    from repro.api import select_engine
+    return select_engine(query, choice)
 
 
 def _run_queries_file(args) -> int:
@@ -180,10 +133,11 @@ def build_trace_parser() -> argparse.ArgumentParser:
 
 def _pick_traced_engine(query: str, choice: str, obs):
     """Engine selection for ``xsq trace``: same rules, obs attached."""
+    from repro.api import EmptyEngine
     if supports_reverse_axes(query):
         rewritten = rewrite_reverse_axes(query)
         if rewritten is None:
-            return _EmptyEngine()
+            return EmptyEngine()
         query = rewritten
     from repro.xpath.parser import parse_query_set
     if len(parse_query_set(query)) > 1:

@@ -111,7 +111,7 @@ class _Parser:
             steps.append(parsed)
         if self.current.kind is TokenKind.PIPE:
             self.fail("top-level union '|': parse with parse_query_set() "
-                      "or run through MultiQueryEngine.from_union()")
+                      "or compile through repro.compile()")
         if self.current.kind is not TokenKind.END:
             self.fail("trailing input after query")
         if not steps:

@@ -15,7 +15,14 @@ See DESIGN.md for how the modules map onto the paper's sections.
 from repro.xsq.aggregates import StatBuffer, format_number
 from repro.xsq.bpdt import Bpdt
 from repro.xsq.buffers import BufferItem, BufferTrace, OutputQueue
+from repro.xsq.compile_cache import (
+    DEFAULT_CACHE,
+    HpdtCache,
+    clear_default_cache,
+    compile_hpdt,
+)
 from repro.xsq.depthvector import DepthVector
+from repro.xsq.dispatch import DispatchIndex
 from repro.xsq.engine import RunStats, XSQEngine
 from repro.xsq.hpdt import Hpdt
 from repro.xsq.matcher import MatcherRuntime, PredicateInstance
@@ -30,7 +37,12 @@ __all__ = [
     "BufferItem",
     "BufferTrace",
     "OutputQueue",
+    "DEFAULT_CACHE",
+    "HpdtCache",
+    "clear_default_cache",
+    "compile_hpdt",
     "DepthVector",
+    "DispatchIndex",
     "RunStats",
     "XSQEngine",
     "XSQEngineNC",

@@ -109,6 +109,44 @@ class Arc:
                                   self.dst.sid)
 
 
+def step_interest(step: LocationStep) -> Tuple[frozenset, bool]:
+    """Element tags whose events can drive this step's BPDT.
+
+    Returns ``(tags, wildcard)``: ``tags`` is every tag named by the
+    step's node test, its predicates' child tags, and its path
+    predicates' path components; ``wildcard`` is True when any of those
+    positions is ``*`` (the BPDT then has to see every begin event).
+    Events whose tag is outside this set can neither advance the BPDT
+    nor decide any of its predicates, which is what lets the shared
+    dispatch index (:mod:`repro.xsq.dispatch`) skip them wholesale.
+    """
+    tags = set()
+    wildcard = False
+
+    def visit(name: str) -> None:
+        nonlocal wildcard
+        if name == "*":
+            wildcard = True
+        else:
+            tags.add(name)
+
+    visit(step.node_test)
+    pending = list(step.predicates)
+    while pending:
+        predicate = pending.pop()
+        if isinstance(predicate, NotPredicate):
+            pending.append(predicate.inner)
+        elif isinstance(predicate, OrPredicate):
+            pending.extend(predicate.branches)
+        elif isinstance(predicate, (ChildExists, ChildAttrExists,
+                                    ChildAttrCompare, ChildTextCompare)):
+            visit(predicate.child)
+        elif isinstance(predicate, PathPredicate):
+            for name in predicate.path:
+                visit(name)
+    return frozenset(tags), wildcard
+
+
 class Bpdt:
     """One basic pushdown transducer generated from a location step."""
 

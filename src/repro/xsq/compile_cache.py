@@ -1,0 +1,197 @@
+"""Process-wide compile cache: query string → frozen HPDT.
+
+Compiled HPDTs are immutable once built — the runtimes only read the
+BPDT tree, and every per-run mutable object (frames, predicate
+instances, buffers) lives in :class:`~repro.xsq.matcher.MatcherRuntime`.
+That makes an HPDT safe to share across engines, engine kinds (XSQ-F
+and XSQ-NC compile the same structure), threads, and repeated
+registrations of the same query — the "millions of users" case where
+popular queries are compiled once per process, not once per session.
+
+:class:`HpdtCache` is a small thread-safe LRU keyed on the query text,
+with **pinning** (a pinned entry is never evicted — for a product's
+known-hot queries) and hit/miss/eviction counters that the engines
+export through :mod:`repro.obs`.  :func:`compile_hpdt` is the front
+door every engine uses; ``cache=False`` bypasses caching entirely and
+``cache=None`` uses the process-default instance.
+
+    >>> from repro.xsq.compile_cache import DEFAULT_CACHE, compile_hpdt
+    >>> first = compile_hpdt("/pub/book/name/text()")
+    >>> compile_hpdt("/pub/book/name/text()") is first
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from repro.xpath.ast import Query
+from repro.xpath.parser import parse_query
+from repro.xsq.hpdt import Hpdt
+
+
+class HpdtCache:
+    """Thread-safe LRU of compiled HPDTs with pin support.
+
+    ``maxsize`` bounds the number of *unpinned* entries; pinned entries
+    are held forever (until :meth:`unpin` or :meth:`clear`).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Hpdt]" = OrderedDict()
+        self._pinned: Dict[str, Hpdt] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(query: Union[str, Query]) -> Optional[str]:
+        """Cache key for a query; None means "not cacheable".
+
+        String queries key on their stripped text; parsed queries key on
+        the text the parser recorded.  Hand-built :class:`Query` objects
+        with no source text bypass the cache.
+        """
+        if isinstance(query, str):
+            text = query.strip()
+        else:
+            text = (query.text or "").strip()
+        return text or None
+
+    def get(self, query: Union[str, Query]) -> Optional[Hpdt]:
+        """The cached HPDT for ``query``, refreshing LRU order.
+
+        A ``str`` query is looked up by text alone (parsing is
+        deterministic, so the text determines the HPDT).  A parsed
+        :class:`Query` is additionally verified structurally against
+        the cached entry: synthesized queries (e.g. the schema
+        optimizer's closure expansions) may carry the same ``text``
+        with different steps, and must not alias each other.
+        """
+        key = self._key(query)
+        if key is None:
+            return None
+        check = query if isinstance(query, Query) else None
+        with self._lock:
+            hpdt = self._pinned.get(key)
+            if hpdt is None:
+                hpdt = self._entries.get(key)
+                if hpdt is not None:
+                    self._entries.move_to_end(key)
+            if hpdt is not None and (check is None or hpdt.query == check):
+                self.hits += 1
+                return hpdt
+            self.misses += 1
+            return None
+
+    def put(self, query: Union[str, Query], hpdt: Hpdt) -> None:
+        key = self._key(query)
+        if key is None:
+            return
+        with self._lock:
+            if key in self._pinned:
+                return
+            self._entries[key] = hpdt
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def pin(self, query: Union[str, Query]) -> Hpdt:
+        """Compile-and-hold: the entry survives any amount of churn."""
+        key = self._key(query)
+        if key is None:
+            raise ValueError("cannot pin a query with no source text")
+        with self._lock:
+            hpdt = self._pinned.get(key) or self._entries.pop(key, None)
+            if hpdt is None:
+                hpdt = Hpdt(parse_query(key))
+                self.misses += 1
+            else:
+                self.hits += 1
+            self._pinned[key] = hpdt
+            return hpdt
+
+    def unpin(self, query: Union[str, Query]) -> None:
+        key = self._key(query)
+        with self._lock:
+            hpdt = self._pinned.pop(key, None)
+            if hpdt is not None:
+                self._entries[key] = hpdt
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (pinned included) and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._pinned.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries) + len(self._pinned)
+
+    def __contains__(self, query: Union[str, Query]) -> bool:
+        key = self._key(query)
+        with self._lock:
+            return key in self._entries or key in self._pinned
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._entries) + len(self._pinned),
+                    "pinned": len(self._pinned)}
+
+    def __repr__(self):
+        return ("<HpdtCache size=%d/%d pinned=%d hits=%d misses=%d>"
+                % (len(self._entries), self.maxsize, len(self._pinned),
+                   self.hits, self.misses))
+
+
+#: The process-default cache every engine shares unless told otherwise.
+DEFAULT_CACHE = HpdtCache(maxsize=256)
+
+
+def compile_hpdt(query: Union[str, Query], cache=None, obs=None) -> Hpdt:
+    """Compile (or fetch) the HPDT for ``query``.
+
+    ``cache`` may be an :class:`HpdtCache`, ``None`` (use
+    :data:`DEFAULT_CACHE`), or ``False`` (always compile fresh).  With
+    an :class:`~repro.obs.Observability` bundle attached, each call
+    increments ``repro_compile_cache_total{result=hit|miss|bypass}``.
+    """
+    if cache is None or cache is True:
+        cache = DEFAULT_CACHE
+    if cache is False:
+        hpdt = Hpdt(parse_query(query) if isinstance(query, str) else query)
+        _record(obs, "bypass")
+        return hpdt
+    hpdt = cache.get(query)
+    if hpdt is not None:
+        _record(obs, "hit")
+        return hpdt
+    hpdt = Hpdt(parse_query(query) if isinstance(query, str) else query)
+    cache.put(query, hpdt)
+    _record(obs, "miss")
+    return hpdt
+
+
+def _record(obs, result: str) -> None:
+    if obs is not None:
+        obs.metrics.counter(
+            "repro_compile_cache_total",
+            "HPDT compile-cache lookups by result", result=result).inc()
+
+
+def clear_default_cache() -> None:
+    """Reset the process-default cache (tests, memory pressure)."""
+    DEFAULT_CACHE.clear()

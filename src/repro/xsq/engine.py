@@ -17,6 +17,7 @@ governing predicate resolves *and* it reaches the head of the queue).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.streaming.events import Event
@@ -25,7 +26,7 @@ from repro.xpath.ast import AggregateOutput, Query
 from repro.xpath.parser import parse_query
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.buffers import BufferTrace
-from repro.xsq.hpdt import Hpdt
+from repro.xsq.compile_cache import compile_hpdt
 from repro.xsq.matcher import MatcherRuntime
 
 
@@ -57,6 +58,28 @@ class RunStats:
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    @classmethod
+    def merged(cls, runs: Iterable["RunStats"]) -> "RunStats":
+        """Aggregate stats across engines sharing one pass.
+
+        Counters sum; peaks take the max; ``events`` takes the max
+        (each member of a grouped run already reports the full stream
+        length, so summing would double-count the shared pass).
+        """
+        total = cls()
+        for run in runs:
+            total.events = max(total.events, run.events)
+            total.enqueued += run.enqueued
+            total.cleared += run.cleared
+            total.emitted += run.emitted
+            total.flushed += run.flushed
+            total.uploaded += run.uploaded
+            total.peak_buffered_items = max(total.peak_buffered_items,
+                                            run.peak_buffered_items)
+            total.peak_instances = max(total.peak_instances,
+                                       run.peak_instances)
+        return total
+
     def __repr__(self):
         return "RunStats(%s)" % ", ".join(
             "%s=%d" % (k, v) for k, v in self.as_dict().items())
@@ -80,7 +103,12 @@ class XSQEngine:
     streaming = True
 
     def __init__(self, query: Union[str, Query], trace: bool = False,
-                 obs=None):
+                 obs=None, *, cache=None):
+        if trace:
+            warnings.warn(
+                "trace=True is deprecated; attach an Observability "
+                "bundle (obs=) for buffer-event tracing",
+                DeprecationWarning, stacklevel=2)
         self.obs = obs
         if obs is not None:
             with obs.span("compile", engine=self.name):
@@ -89,15 +117,12 @@ class XSQEngine:
                     with obs.span("tokenize"):
                         tokenize_query(query.strip())
                     with obs.span("parse"):
-                        self.query = parse_query(query)
-                else:
-                    self.query = query
+                        query = parse_query(query)
                 with obs.span("hpdt-compile"):
-                    self.hpdt = Hpdt(self.query)
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
         else:
-            self.query = parse_query(query) if isinstance(query, str) \
-                else query
-            self.hpdt = Hpdt(self.query)
+            self.hpdt = compile_hpdt(query, cache=cache)
+        self.query = self.hpdt.query
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
@@ -255,6 +280,11 @@ class XSQEngine:
     def explain(self) -> str:
         """Describe the compiled HPDT (the CLI's --explain output)."""
         return self.hpdt.describe()
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        """Stats from the most recent run (the facade's uniform name)."""
+        return self.last_stats
 
     def __repr__(self):
         return "<XSQEngine %r>" % (self.query.text,)

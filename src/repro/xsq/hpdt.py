@@ -33,7 +33,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.xpath.ast import Axis, Query
 from repro.xpath.parser import parse_query
-from repro.xsq.bpdt import Bpdt
+from repro.xsq.bpdt import Bpdt, step_interest
 
 BpdtId = Tuple[int, int]
 
@@ -129,6 +129,28 @@ class Hpdt:
         for known_true in statuses:
             k = (k << 1) | (1 if known_true else 0)
         return (len(statuses), k)
+
+    def tag_interest(self) -> Tuple[frozenset, bool]:
+        """Tags whose events can affect this HPDT, plus a wildcard flag.
+
+        The union of :func:`repro.xsq.bpdt.step_interest` over every
+        location step.  An event whose tag is outside the returned set
+        (when ``wildcard`` is False) cannot advance any BPDT, decide any
+        predicate, or produce a result — the shared dispatch index uses
+        this to route each stream event to only the machines that can
+        react to it.
+
+        >>> tags, wildcard = Hpdt("/pub[year>2000]/book/name/text()").tag_interest()
+        >>> sorted(tags), wildcard
+        (['book', 'name', 'pub', 'year'], False)
+        """
+        tags = set()
+        wildcard = False
+        for step in self.query.steps:
+            step_tags, step_wild = step_interest(step)
+            tags |= step_tags
+            wildcard = wildcard or step_wild
+        return frozenset(tags), wildcard
 
     # -- introspection -------------------------------------------------------
 

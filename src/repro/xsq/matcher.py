@@ -313,12 +313,16 @@ class Frame:
 
     __slots__ = ("tag", "depth", "contexts", "instances", "text_watch",
                  "child_begin_watch", "child_text_watch", "result_matches",
-                 "element_item", "serializer", "trackers")
+                 "element_item", "serializer", "trackers", "closure_down")
 
     def __init__(self, tag: str, depth: int):
         self.tag = tag
         self.depth = depth
         self.contexts: List[StepMatch] = []
+        # Lazily-cached subset of ``contexts`` that survives into a
+        # subtree the shared dispatch index skipped (closure contexts
+        # only); see MatcherRuntime._closure_down.
+        self.closure_down: Optional[List[StepMatch]] = None
         # step_index -> PredicateInstance | FAILED_INSTANCE
         self.instances: Dict[int, object] = {}
         # (instance, pred_index, predicate) triples still waiting.
@@ -382,6 +386,26 @@ class MatcherRuntime:
     def finish(self) -> None:
         self.queue.finish()
 
+    def _closure_down(self, frame: Frame) -> List[StepMatch]:
+        """Contexts that survive a subtree the dispatch index skipped.
+
+        When the shared dispatch (:mod:`repro.xsq.dispatch`) withholds
+        the events of elements this query cannot react to, the frames
+        it would have pushed for them all carry the same context list:
+        the parent's contexts filtered to those whose next step is a
+        closure (``//`` self-loop propagation).  The filter is
+        idempotent — every survivor's next step is a closure step, so
+        it survives again at any deeper skipped level — which is why a
+        gap of any depth collapses to this one cached list.
+        """
+        down = frame.closure_down
+        if down is None:
+            steps = self.steps
+            down = [sm for sm in frame.contexts
+                    if steps[sm.step_index + 1].axis is Axis.DESCENDANT]
+            frame.closure_down = down
+        return down
+
     # -- event handlers ----------------------------------------------------
 
     def _on_begin(self, event: Event) -> None:
@@ -389,11 +413,17 @@ class MatcherRuntime:
         tag = event.tag
         attrs = event.attrs
         frame = Frame(tag, event.depth)
+        # Under shared dispatch (repro.xsq.dispatch) events this runtime
+        # cannot react to are never delivered, so the stack is sparse:
+        # ``parent`` may be a strict ancestor rather than the document
+        # parent.  ``adjacent`` gates the direct-child semantics below;
+        # in dense (single-query) runs it is always True.
+        adjacent = parent.depth == event.depth - 1
 
         # (a) This begin event may decide category-3/4 predicates of the
         # parent element (Figures 7/8: NA -> TRUE on a passing <child>)
         # or advance a path tracker (category 6).
-        if parent.child_begin_watch:
+        if adjacent and parent.child_begin_watch:
             for entry in parent.child_begin_watch:
                 instance, pred_index, predicate = entry
                 if instance.status is not None or pred_index not in instance.pending:
@@ -409,7 +439,8 @@ class MatcherRuntime:
         # (the // self-transition on START states).
         contexts = frame.contexts
         steps = self.steps
-        for sm in parent.contexts:
+        for sm in (parent.contexts if adjacent
+                   else self._closure_down(parent)):
             next_index = sm.step_index + 1
             step = steps[next_index]
             if step.axis is Axis.DESCENDANT:
@@ -453,10 +484,13 @@ class MatcherRuntime:
             for tracker in self._trackers:
                 tracker.on_text(event.text, event.depth, self)
 
-        # Category-5 predicates of the parent element (Figure 9).
+        # Category-5 predicates of the parent element (Figure 9).  The
+        # depth check keeps sparse stacks (shared dispatch) honest: the
+        # watch only covers text in *direct* children of its element.
         if len(self.stack) >= 2:
             parent = self.stack[-2]
-            if parent.child_text_watch:
+            if parent.child_text_watch \
+                    and parent.depth == event.depth - 1:
                 for entry in parent.child_text_watch:
                     instance, pred_index, predicate = entry
                     if (instance.status is not None
@@ -509,6 +543,12 @@ class MatcherRuntime:
                 self._live_instances -= 1
                 if instance.status is None:
                     instance.resolve_at_end(self)
+
+    # The shared-dispatch driver (repro.xsq.multiquery) routes each
+    # event kind directly, having already branched on it once.
+    on_begin = _on_begin
+    on_text = _on_text
+    on_end = _on_end
 
     # -- helpers ----------------------------------------------------------
 

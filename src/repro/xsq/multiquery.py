@@ -2,44 +2,66 @@
 
 Section 5 of the paper: "the HPDT used by XSQ has a simple and regular
 structure, so that multiple HPDTs can be grouped using methods
-suggested by [YFilter]".  This module is that grouping: one event pass
-drives every compiled HPDT, so the parse — the dominant cost for
-streaming workloads — is paid once no matter how many queries are
-loaded, and each query still gets its own buffers, predicates and
-document-ordered output.
+suggested by [YFilter]".  This module is that grouping, in two layers:
 
-Two result modes:
+* **one parse** — a single event pass drives every compiled HPDT, so
+  tokenization (the dominant cost for streaming workloads) is paid once
+  no matter how many queries are loaded;
+* **one dispatch** — the BPDT transitions of all registered queries are
+  factored into a shared tag-keyed :class:`~repro.xsq.dispatch.DispatchIndex`,
+  so each ``B``/``T``/``E`` event is routed only to the machines whose
+  transitions can actually fire on it.  Per-event work is then bounded
+  by the fanout of the event's tag, not by the number of registered
+  queries — the YFilter shared-NFA property.
+
+Each query still gets its own buffers, predicate instances, depth
+vectors and document-ordered, exactly-once output; only the *routing*
+is shared.  ``shared_dispatch=False`` recovers the dense loop (every
+event to every runtime) for A/B measurement — the bench harness
+compares both against N independent engines.
+
+Three result modes:
 
 * :meth:`MultiQueryEngine.run` — per-query result lists (the
   subscription/dissemination shape);
-* :meth:`MultiQueryEngine.run_merged` — one union result list in global
-  document order, used by the schema-aware optimizer to evaluate a
-  closure query it has expanded into several closure-free paths.
-
-The merged mode stamps every buffered item from a *shared* sequence
-counter, so document order across the member queries is just item
-order.
+* :meth:`MultiQueryEngine.iter_results` — incremental
+  ``(query_index, value)`` pairs as results are determined;
+* merged (via :func:`repro.compile` on a union query, or the
+  schema-aware optimizer) — one union result list in global document
+  order.  The merged mode stamps every buffered item from a *shared*
+  sequence counter, so document order across the member queries is
+  just item order.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import UnsupportedFeatureError
 from repro.streaming.events import Event
 from repro.streaming.sax_source import parse_events
 from repro.xpath.ast import AggregateOutput, Query
-from repro.xpath.parser import parse_query
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.buffers import OutputQueue
+from repro.xsq.compile_cache import compile_hpdt
+from repro.xsq.dispatch import DispatchIndex
 from repro.xsq.engine import RunStats
 from repro.xsq.hpdt import Hpdt
 from repro.xsq.matcher import MatcherRuntime
 
 
 class MultiQueryEngine:
-    """One pass, many queries.
+    """One pass, many queries, shared event dispatch.
+
+    ``obs`` accepts an :class:`repro.obs.Observability` bundle (spans,
+    run stats, dispatch-index gauges and per-event fanout histograms).
+    ``cache`` is forwarded to :func:`repro.xsq.compile_cache.compile_hpdt`
+    (``None`` = process default, ``False`` = compile fresh).
+    ``shared_dispatch=False`` disables the tag index and feeds every
+    event to every runtime — the pre-index behaviour, kept as the
+    measured baseline.
 
     >>> engine = MultiQueryEngine(["/pub/book/name/text()",
     ...                            "/pub/year/text()"])
@@ -47,41 +69,64 @@ class MultiQueryEngine:
     [['N'], ['2002']]
     """
 
-    def __init__(self, queries: Sequence[Union[str, Query]], obs=None):
+    name = "multiquery"
+
+    def __init__(self, queries: Sequence[Union[str, Query]], obs=None, *,
+                 shared_dispatch: bool = True, cache=None):
         if not queries:
             raise ValueError("MultiQueryEngine needs at least one query")
         self.obs = obs
         if obs is not None:
-            with obs.span("compile", engine="multiquery",
-                          queries=len(queries)):
-                self.queries: List[Query] = [
-                    parse_query(q) if isinstance(q, str) else q
-                    for q in queries]
+            with obs.span("compile", engine=self.name, queries=len(queries)):
                 with obs.span("hpdt-compile"):
-                    self.hpdts: List[Hpdt] = [Hpdt(q) for q in self.queries]
+                    self.hpdts: List[Hpdt] = [
+                        compile_hpdt(q, cache=cache, obs=obs)
+                        for q in queries]
         else:
-            self.queries = [
-                parse_query(q) if isinstance(q, str) else q for q in queries]
-            self.hpdts = [Hpdt(q) for q in self.queries]
+            self.hpdts = [compile_hpdt(q, cache=cache) for q in queries]
+        self.queries: List[Query] = [h.query for h in self.hpdts]
+        self.index: Optional[DispatchIndex] = (
+            DispatchIndex(self.hpdts) if shared_dispatch else None)
         self.last_stats: Optional[List[RunStats]] = None
+        if obs is not None and self.index is not None:
+            shape = self.index.stats()
+            metrics = obs.metrics
+            metrics.gauge(
+                "repro_dispatch_tag_buckets",
+                "distinct element tags in the shared dispatch index",
+                engine=self.name).set(shape["buckets"])
+            metrics.gauge(
+                "repro_dispatch_greedy_queries",
+                "queries routed every event (wildcards, element output)",
+                engine=self.name).set(shape["greedy"])
+            metrics.gauge(
+                "repro_dispatch_max_bucket_queries",
+                "largest per-tag fanout in the shared dispatch index",
+                engine=self.name).set(shape["max_bucket"])
 
     @classmethod
     def from_union(cls, text: str) -> "MultiQueryEngine":
-        """Build from a top-level union expression ``q1 | q2 | ...``.
-
-        Evaluate with :meth:`run_merged` for XPath union semantics
-        (document order, one list).
-
-        >>> engine = MultiQueryEngine.from_union("/r/a/text() | /r/b/text()")
-        >>> engine.run_merged("<r><b>2</b><a>1</a></r>")
-        ['2', '1']
-        """
+        """Deprecated: use ``repro.compile(text)`` on the union query."""
+        warnings.warn(
+            "MultiQueryEngine.from_union is deprecated; use "
+            "repro.compile() which handles union queries directly",
+            DeprecationWarning, stacklevel=2)
         from repro.xpath.parser import parse_query_set
         return cls(parse_query_set(text))
 
     @property
     def query_count(self) -> int:
         return len(self.queries)
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        """Aggregate stats from the most recent run (uniform ``.stats``).
+
+        Per-query breakdowns stay available on :attr:`last_stats`.
+        """
+        if self.last_stats is None:
+            return None
+        return RunStats.merged(self.last_stats)
 
     # -- execution ----------------------------------------------------------
 
@@ -90,14 +135,17 @@ class MultiQueryEngine:
             return parse_events(source)
         return source
 
-    def _build_runtimes(self, shared_seq: bool):
+    def _build_runtimes(self, shared_seq: bool, sinks=None):
         counter = itertools.count() if shared_seq else None
+        if sinks is None:
+            sinks = [[] for _ in self.queries]
+        elif len(sinks) != len(self.queries):
+            raise ValueError("expected %d sinks, got %d"
+                             % (len(self.queries), len(sinks)))
         runtimes = []
-        sinks: List[List[str]] = []
         stats: List[Optional[StatBuffer]] = []
         queues: List[OutputQueue] = []
-        for query, hpdt in zip(self.queries, self.hpdts):
-            sink: List[str] = []
+        for query, hpdt, sink in zip(self.queries, self.hpdts, sinks):
             stat = (StatBuffer(query.output.name)
                     if isinstance(query.output, AggregateOutput) else None)
             queue = OutputQueue(
@@ -108,38 +156,102 @@ class MultiQueryEngine:
                 track_seqs=shared_seq)
             runtimes.append(MatcherRuntime(hpdt, sink, stat=stat,
                                            queue=queue))
-            sinks.append(sink)
             stats.append(stat)
             queues.append(queue)
         return runtimes, sinks, stats, queues
 
-    def _drive(self, source, shared_seq: bool):
-        obs = self.obs
-        stream_span = (obs.span("stream", engine="multiquery",
-                                queries=len(self.queries))
-                       if obs is not None else None)
-        runtimes, sinks, stats, queues = self._build_runtimes(shared_seq)
-        events = self._as_events(source)
-        feeds = [runtime.feed for runtime in runtimes]
+    def _pump(self, events, runtimes) -> int:
+        """Dense loop: every event to every runtime (the baseline)."""
         count = 0
-        if stream_span is None:
+        feeds = [runtime.feed for runtime in runtimes]
+        for event in events:
+            count += 1
+            for feed in feeds:
+                feed(event)
+        return count
+
+    def _pump_dispatch(self, events, runtimes) -> int:
+        """Sparse loop: route each event through the shared tag index.
+
+        ``TextEvent.tag`` is the *enclosing* element's tag and an end
+        event repeats its begin's tag, so one ``routes[tag]`` lookup
+        serves all three kinds and every runtime sees a begin/end-
+        balanced event subsequence (its sparse stack stays consistent).
+        """
+        count = 0
+        routes_get = self.index.routes.get
+        default = self.index.default
+        begins = [runtime.on_begin for runtime in runtimes]
+        texts = [runtime.on_text for runtime in runtimes]
+        ends = [runtime.on_end for runtime in runtimes]
+        for event in events:
+            count += 1
+            targets = routes_get(event.tag, default)
+            if targets:
+                kind = event.kind
+                table = (begins if kind == "begin"
+                         else ends if kind == "end" else texts)
+                for i in targets:
+                    table[i](event)
+        return count
+
+    def _pump_observed(self, events, runtimes, obs) -> int:
+        """Instrumented variants of the two loops above."""
+        count = 0
+        on_event = obs.events.on_event if obs.events is not None else None
+        if self.index is None:
+            feeds = [runtime.feed for runtime in runtimes]
             for event in events:
                 count += 1
+                if on_event is not None:
+                    on_event(event)
                 for feed in feeds:
                     feed(event)
+            return count
+        fanout = obs.metrics.histogram(
+            "repro_dispatch_fanout_queries",
+            "runtimes touched per stream event under shared dispatch",
+            engine=self.name)
+        routes_get = self.index.routes.get
+        default = self.index.default
+        begins = [runtime.on_begin for runtime in runtimes]
+        texts = [runtime.on_text for runtime in runtimes]
+        ends = [runtime.on_end for runtime in runtimes]
+        for event in events:
+            count += 1
+            if on_event is not None:
+                on_event(event)
+            targets = routes_get(event.tag, default)
+            fanout.observe(len(targets))
+            if targets:
+                kind = event.kind
+                table = (begins if kind == "begin"
+                         else ends if kind == "end" else texts)
+                for i in targets:
+                    table[i](event)
+        return count
+
+    def _drive(self, source, shared_seq: bool, sinks=None):
+        obs = self.obs
+        runtimes, sinks, stats, queues = self._build_runtimes(shared_seq,
+                                                              sinks)
+        events = self._as_events(source)
+        if obs is None:
+            if self.index is not None:
+                count = self._pump_dispatch(events, runtimes)
+            else:
+                count = self._pump(events, runtimes)
+            stream_span = None
         else:
-            on_event = (obs.events.on_event if obs.events is not None
-                        else None)
-            with stream_span:
-                for event in events:
-                    count += 1
-                    if on_event is not None:
-                        on_event(event)
-                    for feed in feeds:
-                        feed(event)
+            with obs.span("stream", engine=self.name,
+                          queries=len(self.queries)) as stream_span:
+                count = self._pump_observed(events, runtimes, obs)
         run_stats = []
         for runtime, queue in zip(runtimes, queues):
             runtime.finish()
+            # ``events`` is the *global* stream length for every member:
+            # all queries share the single pass even when the dispatch
+            # index withheld most events from their runtimes.
             run_stats.append(RunStats(
                 events=count,
                 enqueued=queue.enqueued_total,
@@ -152,19 +264,91 @@ class MultiQueryEngine:
         self.last_stats = run_stats
         if obs is not None:
             for run in run_stats:
-                obs.record_run("multiquery", run,
+                obs.record_run(self.name, run,
                                seconds=stream_span.duration)
         return sinks, stats, queues
 
-    def run(self, source) -> List[List[str]]:
-        """Per-query results from a single pass over ``source``."""
-        sinks, stats, _ = self._drive(source, shared_seq=False)[:3]
+    def run(self, source, sinks=None) -> List[List[str]]:
+        """Per-query results from a single pass over ``source``.
+
+        ``sinks`` optionally supplies one collector per query (anything
+        with ``append``), mirroring the single-query engines' ``sink=``;
+        results stream into them during the pass.
+        """
+        sinks, stats, _ = self._drive(source, shared_seq=False,
+                                      sinks=sinks)[:3]
         results = []
         for sink, stat in zip(sinks, stats):
             results.append([stat.render()] if stat is not None else sink)
         return results
 
-    def run_merged(self, source) -> List[str]:
+    def iter_results(self, source) -> Iterator[Tuple[int, object]]:
+        """Yield ``(query_index, value)`` pairs as they are determined.
+
+        Values for different queries interleave in stream order.
+        Aggregate members yield their single final value after the
+        stream ends (an aggregate is undetermined until then).
+        """
+        runtimes, sinks, stats, queues = self._build_runtimes(False)
+        events = self._as_events(source)
+        obs = self.obs
+        on_event = (obs.events.on_event
+                    if obs is not None and obs.events is not None else None)
+        index = self.index
+        if index is not None:
+            routes_get = index.routes.get
+            default = index.default
+            begins = [runtime.on_begin for runtime in runtimes]
+            texts = [runtime.on_text for runtime in runtimes]
+            ends = [runtime.on_end for runtime in runtimes]
+        count = 0
+        for event in events:
+            count += 1
+            if on_event is not None:
+                on_event(event)
+            if index is None:
+                targets = range(len(runtimes))
+                for runtime in runtimes:
+                    runtime.feed(event)
+            else:
+                targets = routes_get(event.tag, default)
+                if targets:
+                    kind = event.kind
+                    table = (begins if kind == "begin"
+                             else ends if kind == "end" else texts)
+                    for i in targets:
+                        table[i](event)
+            for i in targets:
+                sink = sinks[i]
+                if sink and stats[i] is None:
+                    for value in sink:
+                        yield (i, value)
+                    # Drain (don't retain) so unbounded streams run in
+                    # bounded memory.
+                    sink.clear()
+        for i, runtime in enumerate(runtimes):
+            runtime.finish()
+            stat = stats[i]
+            if stat is not None:
+                yield (i, stat.render())
+            else:
+                for value in sinks[i]:
+                    yield (i, value)
+                sinks[i].clear()
+        run_stats = []
+        for runtime, queue in zip(runtimes, queues):
+            run_stats.append(RunStats(
+                events=count,
+                enqueued=queue.enqueued_total,
+                cleared=queue.cleared_total,
+                emitted=queue.emitted_total,
+                peak_buffered_items=queue.peak_size,
+                peak_instances=runtime.peak_instances,
+                flushed=queue.flushed_total,
+                uploaded=queue.uploaded_total))
+        self.last_stats = run_stats
+
+    def _run_merged(self, source, sink=None) -> List[str]:
         """Union of all member queries' results, in document order.
 
         Member queries must not be aggregates (a merged union of scalar
@@ -174,14 +358,25 @@ class MultiQueryEngine:
         for query in self.queries:
             if isinstance(query.output, AggregateOutput):
                 raise UnsupportedFeatureError(
-                    "run_merged cannot merge aggregate query %r"
+                    "merged union cannot include aggregate query %r"
                     % (query.text,))
         sinks, _, queues = self._drive(source, shared_seq=True)
         tagged: List[Tuple[int, str]] = []
-        for sink, queue in zip(sinks, queues):
-            tagged.extend(zip(queue.emitted_seqs, sink))
+        for member_sink, queue in zip(sinks, queues):
+            tagged.extend(zip(queue.emitted_seqs, member_sink))
         tagged.sort(key=lambda pair: pair[0])
-        return [value for _, value in tagged]
+        if sink is None:
+            sink = []
+        sink.extend(value for _, value in tagged)
+        return sink
+
+    def run_merged(self, source) -> List[str]:
+        """Deprecated: use ``repro.compile()`` on a union query instead."""
+        warnings.warn(
+            "MultiQueryEngine.run_merged is deprecated; compile the "
+            "union with repro.compile() and call .run()",
+            DeprecationWarning, stacklevel=2)
+        return self._run_merged(source)
 
     def __repr__(self):
         return "<MultiQueryEngine %d queries>" % len(self.queries)

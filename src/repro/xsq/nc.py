@@ -25,6 +25,7 @@ they live on the shared ancestor path).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ClosureNotSupportedError
@@ -42,8 +43,8 @@ from repro.xpath.parser import parse_query
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.bpdt import Bpdt
 from repro.xsq.buffers import BufferItem, BufferTrace, OutputQueue
+from repro.xsq.compile_cache import compile_hpdt
 from repro.xsq.engine import RunStats, XSQEngine
-from repro.xsq.hpdt import Hpdt
 from repro.xpath.ast import NotPredicate, OrPredicate, PathPredicate
 from repro.xsq.matcher import Chain, PathTracker, PredicateInstance
 
@@ -311,7 +312,12 @@ class XSQEngineNC:
     streaming = True
 
     def __init__(self, query: Union[str, Query], trace: bool = False,
-                 obs=None):
+                 obs=None, *, cache=None):
+        if trace:
+            warnings.warn(
+                "trace=True is deprecated; attach an Observability "
+                "bundle (obs=) for buffer-event tracing",
+                DeprecationWarning, stacklevel=2)
         self.obs = obs
         if obs is not None:
             with obs.span("compile", engine=self.name):
@@ -320,29 +326,29 @@ class XSQEngineNC:
                     with obs.span("tokenize"):
                         tokenize_query(query.strip())
                     with obs.span("parse"):
-                        self.query = parse_query(query)
-                else:
-                    self.query = query
-                if self.query.has_closure:
-                    raise ClosureNotSupportedError(
-                        "XSQ-NC does not support the closure axis //; "
-                        "use XSQEngine (XSQ-F) for %r" % (self.query.text,))
+                        query = parse_query(query)
+                self._reject_closure(query)
                 with obs.span("hpdt-compile"):
-                    self.hpdt = Hpdt(self.query)
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
         else:
-            self.query = parse_query(query) if isinstance(query, str) \
-                else query
-            if self.query.has_closure:
-                raise ClosureNotSupportedError(
-                    "XSQ-NC does not support the closure axis //; "
-                    "use XSQEngine (XSQ-F) for %r" % (self.query.text,))
-            self.hpdt = Hpdt(self.query)
+            if isinstance(query, str):
+                query = parse_query(query)
+            self._reject_closure(query)
+            self.hpdt = compile_hpdt(query, cache=cache)
+        self.query = self.hpdt.query
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
             self.trace = BufferTrace() if trace else None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
+
+    @staticmethod
+    def _reject_closure(query: Query) -> None:
+        if query.has_closure:
+            raise ClosureNotSupportedError(
+                "XSQ-NC does not support the closure axis //; "
+                "use XSQEngine (XSQ-F) for %r" % (query.text,))
 
     def run(self, source, sink: Optional[List[str]] = None) -> List[str]:
         """Evaluate the query over ``source``; see :meth:`XSQEngine.run`."""
@@ -442,6 +448,11 @@ class XSQEngineNC:
 
     def explain(self) -> str:
         return self.hpdt.describe()
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        """Stats from the most recent run (the facade's uniform name)."""
+        return self.last_stats
 
     def __repr__(self):
         return "<XSQEngineNC %r>" % (self.query.text,)

@@ -262,12 +262,19 @@ def optimize(dtd: Dtd, query: Union[str, Query],
 
 
 def _step_bindings(dtd: Dtd, steps: Sequence[LocationStep]
-                   ) -> Optional[List[FrozenSet[str]]]:
-    """Per-step sets of tags the schema allows the step to bind to.
+                   ) -> Optional[List[Tuple[FrozenSet[str],
+                                            FrozenSet[str]]]]:
+    """Per-step ``(bound, matchable)`` tag sets under the schema.
 
-    None when some step can bind to nothing (statically empty query).
+    ``matchable`` is every tag the step's axis and node test can reach;
+    ``bound`` additionally requires each predicate to be satisfiable.
+    Emptiness and path propagation use ``bound``; predicate *dropping*
+    must quantify over ``matchable``, because removing a predicate
+    widens the step to every matchable tag — including the ones the
+    predicate itself excluded.  None when some step binds nothing
+    (statically empty query).
     """
-    bindings: List[FrozenSet[str]] = []
+    bindings: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
     context: FrozenSet[str] = frozenset()  # tags bound by previous step
     for index, step in enumerate(steps):
         if index == 0:
@@ -279,29 +286,31 @@ def _step_bindings(dtd: Dtd, steps: Sequence[LocationStep]
         else:
             pool = frozenset(itertools.chain.from_iterable(
                 dtd.reachable_tags(tag) for tag in context))
+        matchable = frozenset(_match_test(step.node_test, pool))
         bound = frozenset(
-            tag for tag in _match_test(step.node_test, pool)
+            tag for tag in matchable
             if all(_predicate_possible(dtd, tag, p)
                    for p in step.predicates))
         if not bound:
             return None
-        bindings.append(bound)
+        bindings.append((bound, matchable))
         context = bound
     return bindings
 
 
 def _simplify_predicates(dtd: Dtd, query: Query,
-                         bindings: List[FrozenSet[str]]
+                         bindings: List[Tuple[FrozenSet[str],
+                                              FrozenSet[str]]]
                          ) -> Tuple[Optional[Query], List[str]]:
     """Drop predicates the schema guarantees on every binding."""
     notes: List[str] = []
     new_steps: List[LocationStep] = []
     changed = False
-    for step, bound in zip(query.steps, bindings):
+    for step, (bound, matchable) in zip(query.steps, bindings):
         kept: List[Predicate] = []
         for predicate in step.predicates:
             if all(_predicate_guaranteed(dtd, tag, predicate)
-                   for tag in bound):
+                   for tag in matchable):
                 notes.append("dropped %r on %s%s: guaranteed by schema"
                              % (predicate, step.axis, step.node_test))
                 changed = True
@@ -456,7 +465,7 @@ class SchemaAwareEngine:
         if self.plan.empty:
             return self._empty_answer()
         if self._multi is not None:
-            return self._multi.run_merged(source)
+            return self._multi._run_merged(source)
         return self._engine.run(source)
 
     def _empty_answer(self) -> List[str]:

@@ -80,6 +80,25 @@ class TestPredicateElimination:
         engine = SchemaAwareEngine(query, BOOK_DTD)
         assert engine.run(DOC) == oracle(query, DOC) == ["A1"]
 
+    def test_wildcard_predicate_never_dropped_past_its_own_filter(self):
+        # [delta] is guaranteed for beta and gamma — but * also matches
+        # delta itself, which the predicate excludes.  Dropping it
+        # would widen //* to delta and surface delta's text.
+        dtd = parse_dtd("""
+            <!ELEMENT alpha (beta, gamma)>
+            <!ELEMENT beta (delta)>
+            <!ELEMENT gamma (delta)>
+            <!ELEMENT delta (#PCDATA)>
+        """, root="alpha")
+        xml = ("<alpha><beta><delta>1</delta></beta>"
+               "<gamma><delta>2</delta></gamma></alpha>")
+        query = "/alpha[beta]//*[delta]/text()"
+        assert oracle(query, xml) == []
+        plan = optimize(dtd, query)
+        assert not any("[delta]" in note and "dropped" in note
+                       for note in plan.notes), plan.describe()
+        assert SchemaAwareEngine(query, dtd).run(xml) == []
+
 
 class TestClosureElimination:
     def test_single_path_runs_deterministic(self):
