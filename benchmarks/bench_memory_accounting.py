@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Accountant-backed memory benchmark for the Figure 19/20 workloads.
+
+The figure benches (``bench_fig19_memory_dblp.py``,
+``bench_fig20_memory_recursive.py``) measure whole-process allocation
+peaks — right for cross-system comparisons, but noisy and blind to
+*what* the engine buffered.  This bench replaces that ad-hoc
+measurement for the XSQ engines with the resource accountant's own
+ledger: per-query peak buffer occupancy (items, bytes, live predicate
+instances) and emission-delay statistics, all on the deterministic
+event-count clock, with the buffer auditor running so every number is
+backed by a clean necessary-buffering audit.
+
+Writes a schema-versioned ``BENCH_memory.json`` at the repo root so
+the memory trajectory accumulates run over run, and with ``--check``
+gates CI: peak item occupancy for any workload present in the
+committed baseline must not regress by more than ``--regress-floor``
+(default 20%), and the audit must be clean.
+
+Usage::
+
+    python benchmarks/bench_memory_accounting.py                 # full run
+    python benchmarks/bench_memory_accounting.py --quick --check   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.xmlgen import generate_recursive
+from repro.obs import Observability
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+SCHEMA_VERSION = 1
+
+FIG19_QUERY = "/dblp/inproceedings[author]/title/text()"
+FIG20_QUERY = "//pub[year]//book[@id]/title/text()"
+
+#: The workload matrix: (figure, dataset, query, engines).  XSQ-NC is
+#: absent from Figure 20 — the paper's footnote: it cannot run closure
+#: queries at all.
+WORKLOADS = [
+    ("fig19", "dblp", FIG19_QUERY, ("f", "nc")),
+    ("fig20", "recursive", FIG20_QUERY, ("f",)),
+]
+
+ENGINES = {"f": XSQEngine, "nc": XSQEngineNC}
+
+GENERATORS = {
+    "dblp": lambda size: generate_dblp(target_bytes=size, seed=11),
+    "recursive": lambda size: generate_recursive(target_bytes=size, seed=23),
+}
+
+
+def run_workload(figure: str, dataset: str, query: str, engine_key: str,
+                 xml: str, target_bytes: int) -> Dict[str, object]:
+    obs = Observability(spans=False, events=False,
+                        accounting=True, audit=True)
+    engine = ENGINES[engine_key](query, obs=obs, cache=False)
+    results = engine.run(xml)
+    snapshot = obs.snapshot()
+    (account,) = snapshot["accounts"]
+    return {
+        "figure": figure,
+        "dataset": dataset,
+        "query": query,
+        "engine": engine.name,
+        "target_bytes": target_bytes,
+        "events": snapshot["clock"],
+        "results": len(results),
+        "peak_items": account["items_high_water"],
+        "peak_bytes": account["bytes_high_water"],
+        "peak_instances": account["instances_high_water"],
+        "delay_mean": account["delay"]["mean"],
+        "delay_max": account["delay"]["max"],
+        "audit_violations": len(obs.audit_violations),
+    }
+
+
+def workload_key(entry: Dict[str, object]) -> str:
+    return "%s/%s/%s/%s" % (entry["figure"], entry["dataset"],
+                            entry["target_bytes"], entry["engine"])
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Dict[str, object]]]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    if committed.get("bench") != "memory-accounting":
+        return None
+    return {workload_key(entry): entry
+            for entry in committed.get("workloads", ())}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="60000,250000,1000000",
+                        help="comma-separated target sizes in bytes "
+                             "(default %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest size only (CI smoke); the size "
+                             "stays in the full matrix so --check finds "
+                             "it in the committed baseline")
+    parser.add_argument("--out", default="BENCH_memory.json",
+                        help="JSON artifact path (default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if peak item occupancy regresses "
+                             "vs the committed artifact, or the audit "
+                             "finds violations")
+    parser.add_argument("--regress-floor", type=float, default=0.20,
+                        help="allowed fractional regression in peak "
+                             "items (default 0.20 = 20%%)")
+    args = parser.parse_args(argv)
+
+    sizes = sorted({int(size) for size in args.sizes.split(",")})
+    if args.quick:
+        sizes = sizes[:1]
+
+    baseline = load_baseline(args.out) if args.check else None
+    if args.check and baseline is None:
+        print("note: no committed %s baseline; --check gates audit only"
+              % args.out, file=sys.stderr)
+
+    entries: List[Dict[str, object]] = []
+    failures: List[str] = []
+    for figure, dataset, query, engines in WORKLOADS:
+        for size in sizes:
+            xml = GENERATORS[dataset](size)
+            for engine_key in engines:
+                entry = run_workload(figure, dataset, query, engine_key,
+                                     xml, size)
+                entries.append(entry)
+                print("%-6s %-10s %-8s %8d bytes  peak_items=%-4d "
+                      "peak_bytes=%-8d delay_max=%-5d audit=%s"
+                      % (figure, dataset, entry["engine"], size,
+                         entry["peak_items"], entry["peak_bytes"],
+                         entry["delay_max"],
+                         "ok" if not entry["audit_violations"]
+                         else "%d VIOLATIONS" % entry["audit_violations"]))
+                if entry["audit_violations"]:
+                    failures.append(
+                        "%s: %d buffer-audit violations"
+                        % (workload_key(entry), entry["audit_violations"]))
+                if baseline is not None:
+                    committed = baseline.get(workload_key(entry))
+                    if committed is None:
+                        continue
+                    ceiling = (committed["peak_items"]
+                               * (1.0 + args.regress_floor))
+                    if entry["peak_items"] > ceiling:
+                        failures.append(
+                            "%s: peak_items %d exceeds committed %d "
+                            "by more than %.0f%%"
+                            % (workload_key(entry), entry["peak_items"],
+                               committed["peak_items"],
+                               args.regress_floor * 100))
+
+    artifact = {
+        "bench": "memory-accounting",
+        "schema_version": SCHEMA_VERSION,
+        "sizes": sizes,
+        "workloads": entries,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    if args.check:
+        if failures:
+            for failure in failures:
+                print("CHECK FAILED: %s" % failure, file=sys.stderr)
+            return 1
+        print("checks passed: audit clean, peak occupancy within "
+              "%.0f%% of baseline" % (args.regress_floor * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

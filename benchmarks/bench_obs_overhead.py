@@ -29,6 +29,34 @@ def test_obs_disabled(benchmark, shake):
 
 
 @pytest.mark.benchmark(group="obs-overhead")
+def test_obs_accounting_off(benchmark, shake):
+    """A bundle attached but accounting off: the default, priced.
+
+    ``Observability()`` leaves ``accounting=None``, so the queue gets
+    no account and the engine uses the trace-only event hook — the
+    accountant must add nothing to this configuration.
+    """
+
+    def run():
+        obs = Observability(spans=False, events=False, metrics=False)
+        assert obs.accounting is None
+        return XSQEngine(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_accounting_on(benchmark, shake):
+    """The accountant alone: gauges + delay histogram, no trace."""
+
+    def run():
+        obs = Observability(spans=False, events=False, accounting=True)
+        return XSQEngine(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
 def test_obs_attached(benchmark, shake):
     """Spans + metrics + event trace recording every buffer op."""
 
@@ -76,3 +104,22 @@ def test_disabled_path_skips_instrumentation(shake):
     attached = best_of(
         lambda: XSQEngine(QUERY, obs=Observability()).run(shake))
     assert disabled < attached
+
+
+def test_accounting_off_attaches_nothing():
+    """Accounting off keeps the queue on the seed path by construction.
+
+    Without an accountant (and without a trace) the queue never tracks
+    ownership, never estimates bytes, and the ``if account is not
+    None`` branches in the buffer hot path all short-circuit — the
+    structural guarantee behind the "accounting=off within noise"
+    acceptance bound.
+    """
+    from repro.xsq.buffers import OutputQueue
+
+    obs = Observability(spans=False, events=False, metrics=False)
+    assert obs.accounting is None
+    assert obs.event_hook() is None
+    queue = OutputQueue([])
+    assert queue.account is None
+    assert queue.track_ownership is False

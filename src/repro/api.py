@@ -66,6 +66,7 @@ class UnionEngine:
     name = "xsq-union"
 
     def __init__(self, branches: Sequence[QueryLike], obs=None, cache=None):
+        self.obs = obs
         self._engine = MultiQueryEngine(branches, obs=obs, cache=cache)
 
     def run(self, source, sink=None):
@@ -85,7 +86,16 @@ class UnionEngine:
         return self._engine.stats
 
     def explain(self) -> str:
-        return "\n\n".join(h.describe() for h in self._engine.hpdts)
+        parts = [h.describe() for h in self._engine.hpdts]
+        index = self._engine.index
+        if index is not None:
+            shape = index.stats()
+            parts.append(
+                "shared dispatch: %d queries, %d tag buckets, "
+                "%d greedy, max fanout %d"
+                % (shape["queries"], shape["buckets"], shape["greedy"],
+                   shape["max_bucket"]))
+        return "\n\n".join(parts)
 
 
 def select_engine(query: QueryLike, choice: str = "auto", obs=None,
@@ -130,6 +140,7 @@ class CompiledQuery:
     def __init__(self, query: QueryLike, engine: str = "auto", obs=None,
                  cache=None):
         self.text = query if isinstance(query, str) else (query.text or "")
+        self.obs = obs
         self.engine = select_engine(query, engine, obs=obs, cache=cache)
 
     @property
@@ -155,6 +166,11 @@ class CompiledQuery:
         """Uniform :class:`RunStats` from the most recent run."""
         return self.engine.stats
 
+    @property
+    def audit_violations(self) -> list:
+        """Buffer-audit violations so far (``compile(..., audit=True)``)."""
+        return self.obs.audit_violations if self.obs is not None else []
+
     def explain(self) -> str:
         return self.engine.explain()
 
@@ -173,6 +189,7 @@ class CompiledQuerySet:
 
     def __init__(self, queries: Sequence[QueryLike], obs=None, cache=None,
                  shared_dispatch: bool = True):
+        self.obs = obs
         self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
                                        shared_dispatch=shared_dispatch)
 
@@ -201,6 +218,11 @@ class CompiledQuerySet:
     def per_query_stats(self) -> Optional[List[RunStats]]:
         return self.engine.last_stats
 
+    @property
+    def audit_violations(self) -> list:
+        """Buffer-audit violations so far (``compile(..., audit=True)``)."""
+        return self.obs.audit_violations if self.obs is not None else []
+
     def explain(self) -> str:
         return self.engine.index.describe() if self.engine.index is not None \
             else "<no dispatch index: shared_dispatch=False>"
@@ -209,7 +231,8 @@ class CompiledQuerySet:
         return "<CompiledQuerySet %d queries>" % len(self)
 
 
-def compile(query, *, engine: str = "auto", obs=None, cache=None):
+def compile(query, *, engine: str = "auto", obs=None, cache=None,
+            audit: bool = False):
     """Compile ``query`` into a ready-to-run object.
 
     ``query`` may be a query string, a parsed
@@ -224,6 +247,13 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None):
     :class:`~repro.obs.Observability` bundle; ``cache`` scopes or
     disables the HPDT compile cache.
 
+    ``audit=True`` turns on the buffer auditor
+    (:class:`~repro.obs.accounting.BufferAuditor`): every run checks
+    the paper's necessary-buffering discipline online, and violations
+    surface on ``.audit_violations`` (and in the bundle's metrics as
+    ``repro_buffer_audit_violations_total``).  An ``obs`` bundle is
+    created when none was passed.
+
     >>> import repro
     >>> repro.compile("/pub/year/text()").run("<pub><year>2</year></pub>")
     ['2']
@@ -231,6 +261,12 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None):
     ...     "<r><b>2</b><a>1</a></r>")
     ['2', '1']
     """
+    if audit:
+        if obs is None:
+            from repro.obs import Observability
+            obs = Observability(spans=False, events=False, audit=True)
+        else:
+            obs.enable_audit()
     if isinstance(query, (str, Query)):
         return CompiledQuery(query, engine=engine, obs=obs, cache=cache)
     if engine != "auto":

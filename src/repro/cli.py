@@ -15,6 +15,11 @@ Usage::
                                      # print each item's buffer journey
     xsq trace QUERY FILE --jsonl out.jsonl --metrics --explain --flame
 
+    xsq top QUERY [FILE]             # live per-query buffer occupancy,
+                                     # high-water marks and emission
+                                     # delays while the stream processes
+    xsq top QUERY FILE --audit       # + the necessary-buffering auditor
+
 Also available as ``python -m repro`` (so ``python -m repro trace ...``
 is the ``repro trace`` subcommand).
 """
@@ -24,11 +29,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ClosureNotSupportedError, ReproError
-from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
-from repro.xsq.engine import XSQEngine
+from repro.errors import ReproError
 from repro.xsq.hpdt import Hpdt
-from repro.xsq.nc import XSQEngineNC
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,25 +134,89 @@ def build_trace_parser() -> argparse.ArgumentParser:
 
 
 def _pick_traced_engine(query: str, choice: str, obs):
-    """Engine selection for ``xsq trace``: same rules, obs attached."""
-    from repro.api import EmptyEngine
-    if supports_reverse_axes(query):
-        rewritten = rewrite_reverse_axes(query)
-        if rewritten is None:
-            return EmptyEngine()
-        query = rewritten
-    from repro.xpath.parser import parse_query_set
-    if len(parse_query_set(query)) > 1:
-        raise ReproError("xsq trace does not support union queries; "
-                         "trace each branch separately")
-    if choice == "f":
-        return XSQEngine(query, obs=obs)
-    if choice == "nc":
-        return XSQEngineNC(query, obs=obs)
+    """Engine selection for ``xsq trace``: same rules, obs attached.
+
+    Union queries trace through the grouped engine (one pass, shared
+    dispatch); the ``--explain`` output then includes the dispatch-index
+    shape alongside each member HPDT.
+    """
+    from repro.api import select_engine
+    return select_engine(query, choice, obs=obs)
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq top",
+        description="Run a query with the resource accountant attached "
+                    "and render live per-query buffer occupancy, "
+                    "high-water marks, byte estimates and emission "
+                    "delays while the stream is processed.")
+    parser.add_argument("query", help="XPath query in the supported subset "
+                                      "(unions run grouped)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML file to query (default: stdin)")
+    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+                        default="auto",
+                        help="f = XSQ-F, nc = XSQ-NC, auto = nc when "
+                             "possible, else f")
+    parser.add_argument("--audit", action="store_true",
+                        help="also run the necessary-buffering auditor; "
+                             "exit 1 if it finds violations")
+    parser.add_argument("--refresh-events", type=int, default=2000,
+                        metavar="N",
+                        help="redraw the table every N stream events "
+                             "(default: 2000)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append snapshots instead of clearing the "
+                             "screen between redraws")
+    parser.add_argument("--results", action="store_true",
+                        help="print the query results after the table")
+    return parser
+
+
+def top_main(argv=None) -> int:
+    """The ``xsq top`` / ``repro top`` subcommand."""
+    from repro.api import select_engine
+    from repro.obs import Observability, format_top
+    from repro.streaming.sax_source import parse_events
+
+    args = build_top_parser().parse_args(argv)
     try:
-        return XSQEngineNC(query, obs=obs)
-    except ClosureNotSupportedError:
-        return XSQEngine(query, obs=obs)
+        # Events stay off: top must run in bounded memory on unbounded
+        # streams; the accountant (and auditor) don't need the trace.
+        obs = Observability(spans=False, events=False,
+                            accounting=True, audit=args.audit)
+        engine = select_engine(args.query, args.engine, obs=obs)
+        source = args.file if args.file is not None else sys.stdin
+        refresh = max(1, args.refresh_events)
+        clear = (not args.no_clear) and sys.stdout.isatty()
+
+        def render() -> None:
+            if clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(format_top(obs.snapshot()))
+            sys.stdout.flush()
+
+        def ticking(events):
+            for count, event in enumerate(events, 1):
+                yield event
+                if count % refresh == 0:
+                    render()
+
+        results = engine.run(ticking(parse_events(source)))
+        render()
+        print("# results (%d)" % len(results))
+        if args.results:
+            for value in results:
+                print(value)
+        auditor = obs.auditor
+        if auditor is not None:
+            print(auditor.report())
+            if not auditor.ok:
+                return 1
+        return 0
+    except ReproError as exc:
+        return _report_error(exc)
 
 
 def trace_main(argv=None) -> int:
@@ -218,6 +284,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:

@@ -36,6 +36,14 @@ from __future__ import annotations
 import json
 from typing import IO, Iterator, List, Optional, Union
 
+from repro.obs.accounting import (
+    AuditViolation,
+    BufferAuditor,
+    DELAY_BUCKETS,
+    QueryAccount,
+    ResourceAccountant,
+    format_top,
+)
 from repro.obs.events import BufferOp, EventTrace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -67,20 +75,30 @@ class Observability:
         obs = Observability()                        # spans+metrics+events
         obs = Observability(events=False)            # timings/metrics only
         obs = Observability(per_event_timing=True)   # + dispatch histogram
+        obs = Observability(accounting=True)         # + live buffer ledger
+        obs = Observability(audit=True)              # + discipline auditor
 
     Engines accept ``obs=`` at construction; ``None`` (the default)
     keeps their hot paths exactly as un-instrumented as before.
+    ``accounting`` attaches a :class:`~repro.obs.accounting.ResourceAccountant`
+    (live occupancy/byte/delay ledgers per query); ``audit`` implies
+    accounting and adds the :class:`~repro.obs.accounting.BufferAuditor`
+    that checks the paper's necessary-buffering discipline online.
     """
 
     enabled = True
 
     def __init__(self, spans: bool = True, metrics: bool = True,
-                 events: bool = True, per_event_timing: bool = False):
+                 events: bool = True, per_event_timing: bool = False,
+                 accounting: bool = False, audit: bool = False):
         self.tracer: Tracer = Tracer() if spans else NULL_TRACER
         self.metrics: MetricsRegistry = (MetricsRegistry() if metrics
                                          else NULL_METRICS)
         self.events: Optional[EventTrace] = EventTrace() if events else None
         self.per_event_timing = per_event_timing
+        self.accounting: Optional[ResourceAccountant] = (
+            ResourceAccountant(self.metrics, audit=audit)
+            if accounting or audit else None)
         # High-water mark into ``events.records`` already aggregated into
         # per-BPDT metrics, so several runs on one bundle don't double
         # count.
@@ -109,6 +127,57 @@ class Observability:
         return self.metrics.histogram(name, help, buckets=buckets, **labels)
 
     # -- engine hooks -----------------------------------------------------
+
+    def event_hook(self):
+        """Per-event callable combining the trace and the accountant.
+
+        Engines call the returned hook once per stream event (it feeds
+        the :class:`EventTrace` and advances the accountant's
+        event-count clock); ``None`` when neither pillar needs events.
+        """
+        trace_hook = self.events.on_event if self.events is not None else None
+        account = self.accounting
+        if account is None:
+            return trace_hook
+        acct_hook = account.on_event
+        if trace_hook is None:
+            return acct_hook
+
+        def hook(event):
+            trace_hook(event)
+            acct_hook(event)
+
+        return hook
+
+    def enable_audit(self) -> BufferAuditor:
+        """Attach (or return) the buffer auditor, creating the
+        accountant if accounting was off."""
+        if self.accounting is None:
+            self.accounting = ResourceAccountant(self.metrics, audit=True)
+        return self.accounting.enable_audit()
+
+    @property
+    def auditor(self) -> Optional[BufferAuditor]:
+        return self.accounting.auditor if self.accounting is not None \
+            else None
+
+    @property
+    def audit_violations(self) -> List[AuditViolation]:
+        """Violations found so far (empty when the auditor is off)."""
+        return self.accounting.violations if self.accounting is not None \
+            else []
+
+    def snapshot(self) -> dict:
+        """Point-in-time resource snapshot (the ``xsq top`` payload).
+
+        Requires ``accounting=True``; returns ``{"accounting": False}``
+        otherwise so callers can branch without try/except.
+        """
+        if self.accounting is None:
+            return {"accounting": False}
+        snap = self.accounting.snapshot()
+        snap["accounting"] = True
+        return snap
 
     def record_run(self, engine: str, stats, seconds: float = 0.0) -> None:
         """Fold one run's ``RunStats`` into the metrics registry."""
@@ -167,12 +236,18 @@ class Observability:
     # -- export ----------------------------------------------------------
 
     def jsonl_lines(self) -> Iterator[str]:
-        """Spans, then buffer ops, then one metrics snapshot line."""
+        """Spans, buffer ops, audit violations, accounting, metrics."""
         for line in self.tracer.jsonl_lines():
             yield line
         if self.events is not None:
             for line in self.events.jsonl_lines():
                 yield line
+        if self.accounting is not None:
+            for violation in self.accounting.violations:
+                yield json.dumps(violation.as_dict(), sort_keys=True)
+            yield json.dumps({"type": "accounting",
+                              "snapshot": self.accounting.snapshot()},
+                             sort_keys=True)
         if self.metrics.enabled:
             yield json.dumps({"type": "metrics",
                               "snapshot": self.metrics.as_dict()},
@@ -219,4 +294,10 @@ __all__ = [
     "LATENCY_BUCKETS",
     "EventTrace",
     "BufferOp",
+    "ResourceAccountant",
+    "QueryAccount",
+    "BufferAuditor",
+    "AuditViolation",
+    "DELAY_BUCKETS",
+    "format_top",
 ]

@@ -1,0 +1,547 @@
+"""Buffer & memory accounting: live occupancy, byte estimates, delays.
+
+The paper's headline memory claim (Section 6, Figures 19-20) is that
+XSQ buffers *only* items whose governing predicates are genuinely
+unresolved — the set any streaming XPath processor must retain.  The
+observability layer of ``repro.obs`` traces buffer *operations*; this
+module accounts for buffer *state*, continuously:
+
+* :class:`QueryAccount` — a live ledger per (engine, query): buffered
+  item count and byte estimate with monotone high-water marks, per-BPDT
+  occupancy, live predicate instances (the depth-vector cardinality of
+  the current state set), and an emission-delay histogram measured on
+  an **event-count clock** (stream events between enqueue and send), so
+  every number is deterministic and replayable from an
+  :class:`~repro.obs.events.EventTrace`;
+* :class:`ResourceAccountant` — the bundle-level registry of accounts
+  plus the shared clock, exposed as ``Observability(accounting=True)``
+  and snapshot via :meth:`ResourceAccountant.snapshot`;
+* :class:`BufferAuditor` — an online checker of the paper's discipline
+  (``Observability(audit=True)`` / ``repro.compile(..., audit=True)``):
+  every buffered item must be governed by at least one unresolved
+  predicate, flushes and clears must respect the output-marking rules,
+  sends must be in document order without duplicates, and the end of
+  the stream must leave every queue empty.  Breaches surface as
+  structured :class:`AuditViolation` records and a
+  ``repro_buffer_audit_violations_total`` counter — never as silently
+  wrong memory behavior.
+
+The accountant piggybacks on the hooks :class:`repro.xsq.buffers.OutputQueue`
+already exposes; engines attach a :class:`QueryAccount` per queue when
+the bundle enables accounting and otherwise pay a single ``is None``
+test per buffer operation (``benchmarks/bench_obs_overhead.py`` holds
+the accounting-off path to the seed hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.xsq.depthvector import packed_size
+
+#: Emission-delay bucket bounds, in *stream events* between an item's
+#: enqueue and its send.  Constant-delay enumeration (Muñoz & Riveros)
+#: predicts small values except when a predicate resolves late.
+DELAY_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+#: Flat per-item overhead estimate in bytes: one ``BufferItem`` (slots,
+#: queue links, sequence number) plus its ledger entry.  The absolute
+#: number matters less than charging it identically everywhere —
+#: regressions are read as ratios against ``BENCH_memory.json``.
+ITEM_OVERHEAD_BYTES = 96
+
+
+class AuditViolation:
+    """One breach of the buffer discipline, as structured data."""
+
+    __slots__ = ("kind", "account", "item_seq", "clock", "detail")
+
+    def __init__(self, kind: str, account: str, item_seq: Optional[int],
+                 clock: int, detail: str):
+        self.kind = kind
+        self.account = account
+        self.item_seq = item_seq
+        self.clock = clock
+        self.detail = detail
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "audit_violation",
+            "kind": self.kind,
+            "account": self.account,
+            "item": self.item_seq,
+            "clock": self.clock,
+            "detail": self.detail,
+        }
+
+    def __repr__(self):
+        return "<AuditViolation %s item=%r at event %d: %s>" % (
+            self.kind, self.item_seq, self.clock, self.detail)
+
+
+class BufferAuditor:
+    """Online checker of the paper's necessary-buffering claim.
+
+    The auditor never changes execution; it receives the same per-item
+    lifecycle the accountant sees and records violations:
+
+    ``buffered-without-predicate``
+        an item whose every governing predicate was already resolved at
+        enqueue survived into the next stream event without being
+        output-marked — it was buffered unnecessarily;
+    ``upload-downward``
+        an ownership hop moved an item *down* the HPDT tree (uploads
+        may only move items to ancestor BPDT buffers);
+    ``upload-after-resolution`` / ``clear-after-flush`` /
+    ``send-without-flush`` / ``*-unknown-item``
+        lifecycle transitions out of order (a cleared item re-used, an
+        output-marked item cleared, an emission with no prior flush);
+    ``out-of-order-send`` / ``duplicate-send``
+        document order or exactly-once emission broken;
+    ``retained-at-finish``
+        the stream ended — every predicate is resolved, so the HPDT
+        position says every queue must be empty — yet an item was still
+        buffered (the signature of a lost or corrupted flush).
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 max_violations: int = 10_000):
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.max_violations = max_violations
+        self.violations: List[AuditViolation] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation(self, kind: str, account: str, item_seq: Optional[int],
+                  clock: int, detail: str) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(
+                AuditViolation(kind, account, item_seq, clock, detail))
+        self.metrics.counter(
+            "repro_buffer_audit_violations_total",
+            "breaches of the paper's buffer discipline found by the "
+            "online auditor", kind=kind).inc()
+
+    def report(self) -> str:
+        if not self.violations:
+            return "audit: ok (0 violations)"
+        lines = ["audit: %d violation(s)" % len(self.violations)]
+        for violation in self.violations:
+            lines.append("  [%s] %s item=%r at event %d: %s" % (
+                violation.kind, violation.account, violation.item_seq,
+                violation.clock, violation.detail))
+        return "\n".join(lines)
+
+
+class _Entry:
+    """Ledger record for one currently buffered item."""
+
+    __slots__ = ("bytes", "enq_clock", "governed", "flushed", "owner")
+
+    def __init__(self, nbytes: int, enq_clock: int, governed: int,
+                 owner: Tuple[int, int]):
+        self.bytes = nbytes
+        self.enq_clock = enq_clock
+        self.governed = governed
+        self.flushed = False
+        self.owner = owner
+
+
+class QueryAccount:
+    """Live resource ledger for one (engine, query) output queue.
+
+    Hooks are called by :class:`~repro.xsq.buffers.OutputQueue` (buffer
+    operations) and the runtimes (live predicate-instance population).
+    All figures are maintained both as plain attributes (for cheap
+    :meth:`snapshot` / ``xsq top`` rendering) and as registry metrics
+    (gauges with ``track_max`` high-water companions, plus the
+    emission-delay histogram).
+    """
+
+    def __init__(self, accountant: "ResourceAccountant", engine: str,
+                 label: str):
+        self.accountant = accountant
+        self.engine = engine
+        self.label = label
+        metrics = accountant.metrics
+        labels = {"engine": engine, "query": label}
+        self._items_gauge = metrics.gauge(
+            "repro_buffer_items",
+            "currently buffered items awaiting resolution or emission",
+            **labels).track_max()
+        self._bytes_gauge = metrics.gauge(
+            "repro_buffer_bytes",
+            "estimated bytes held by buffered items",
+            **labels).track_max()
+        self._instances_gauge = metrics.gauge(
+            "repro_live_predicate_instances",
+            "live predicate instances (depth-vector cardinality of the "
+            "current state set)",
+            **labels).track_max()
+        self._delay_hist = metrics.histogram(
+            "repro_emission_delay_events",
+            "stream events between an item's enqueue and its emission",
+            buckets=DELAY_BUCKETS, **labels)
+        self._bpdt_gauges: Dict[Tuple[int, int], object] = {}
+        self.entries: Dict[int, _Entry] = {}
+        self.bpdt_items: Dict[Tuple[int, int], int] = {}
+        self.items = 0
+        self.items_high_water = 0
+        self.bytes = 0
+        self.bytes_high_water = 0
+        self.instances = 0
+        self.instances_high_water = 0
+        self.enqueued = 0
+        self.emitted = 0
+        self.cleared = 0
+        self.uploads = 0
+        self.delay_sum = 0
+        self.delay_max = 0
+        self.finishes = 0
+        self._last_sent_seq: Optional[int] = None
+        self._sent_seqs: set = set()
+        # Items enqueued this clock tick with zero unresolved governing
+        # predicates; the auditor checks them when the clock advances.
+        self._zero_governed: List[int] = []
+
+    # -- queue hooks -----------------------------------------------------
+
+    def on_enqueue(self, item, governed: int, depth_vector: tuple) -> None:
+        nbytes = (ITEM_OVERHEAD_BYTES
+                  + (len(item.value) if item.value is not None else 0)
+                  + packed_size(depth_vector))
+        self.entries[item.seq] = _Entry(nbytes, self.accountant.clock,
+                                        governed, item.owner)
+        self.enqueued += 1
+        self.items += 1
+        if self.items > self.items_high_water:
+            self.items_high_water = self.items
+        self.bytes += nbytes
+        if self.bytes > self.bytes_high_water:
+            self.bytes_high_water = self.bytes
+        self._items_gauge.inc()
+        self._bytes_gauge.inc(nbytes)
+        self._bpdt_delta(item.owner, 1)
+        if self.accountant.auditor is not None and governed == 0:
+            if not self._zero_governed:
+                self.accountant._tick_watch.append(self)
+            self._zero_governed.append(item.seq)
+
+    def on_value_final(self, item) -> None:
+        entry = self.entries.get(item.seq)
+        if entry is None or item.value is None:
+            return
+        delta = len(item.value)
+        entry.bytes += delta
+        self.bytes += delta
+        if self.bytes > self.bytes_high_water:
+            self.bytes_high_water = self.bytes
+        self._bytes_gauge.inc(delta)
+
+    def on_upload(self, item, old_owner: Tuple[int, int]) -> None:
+        entry = self.entries.get(item.seq)
+        auditor = self.accountant.auditor
+        if entry is None:
+            if auditor is not None:
+                auditor.violation(
+                    "upload-unknown-item", self.label, item.seq,
+                    self.accountant.clock,
+                    "upload for an item that is not buffered")
+            return
+        if auditor is not None:
+            if entry.flushed:
+                auditor.violation(
+                    "upload-after-resolution", self.label, item.seq,
+                    self.accountant.clock,
+                    "ownership hop on an already output-marked item")
+            if item.owner[0] > old_owner[0]:
+                auditor.violation(
+                    "upload-downward", self.label, item.seq,
+                    self.accountant.clock,
+                    "upload moved bpdt(%d,%d) -> bpdt(%d,%d), away from "
+                    "the root" % (old_owner + item.owner))
+        self.uploads += 1
+        self._bpdt_delta(old_owner, -1)
+        self._bpdt_delta(item.owner, 1)
+        entry.owner = item.owner
+
+    def on_flush(self, item) -> None:
+        entry = self.entries.get(item.seq)
+        if entry is None:
+            if self.accountant.auditor is not None:
+                auditor = self.accountant.auditor
+                auditor.violation(
+                    "flush-unknown-item", self.label, item.seq,
+                    self.accountant.clock,
+                    "flush for an item that is not buffered")
+            return
+        entry.flushed = True
+
+    def on_clear(self, item) -> None:
+        entry = self.entries.pop(item.seq, None)
+        auditor = self.accountant.auditor
+        if entry is None:
+            if auditor is not None:
+                auditor.violation(
+                    "clear-unknown-item", self.label, item.seq,
+                    self.accountant.clock,
+                    "clear for an item that is not buffered")
+            return
+        if auditor is not None and entry.flushed:
+            auditor.violation(
+                "clear-after-flush", self.label, item.seq,
+                self.accountant.clock,
+                "an output-marked item stays in the result even when "
+                "other embeddings fail (Example 2); it must not be "
+                "cleared")
+        self.cleared += 1
+        self._drop(item.seq, entry)
+
+    def on_send(self, item) -> None:
+        entry = self.entries.pop(item.seq, None)
+        auditor = self.accountant.auditor
+        clock = self.accountant.clock
+        if entry is None:
+            if auditor is not None:
+                auditor.violation(
+                    "send-unknown-item", self.label, item.seq, clock,
+                    "emission of an item that is not buffered")
+            return
+        if auditor is not None:
+            if not entry.flushed:
+                auditor.violation(
+                    "send-without-flush", self.label, item.seq, clock,
+                    "item reached the output without a flush: some "
+                    "governing predicate never resolved true")
+            if item.seq in self._sent_seqs:
+                auditor.violation(
+                    "duplicate-send", self.label, item.seq, clock,
+                    "item emitted more than once")
+            elif (self._last_sent_seq is not None
+                    and item.seq < self._last_sent_seq):
+                auditor.violation(
+                    "out-of-order-send", self.label, item.seq, clock,
+                    "item #%d emitted after item #%d: document order "
+                    "broken" % (item.seq, self._last_sent_seq))
+            self._sent_seqs.add(item.seq)
+        if self._last_sent_seq is None or item.seq > self._last_sent_seq:
+            self._last_sent_seq = item.seq
+        delay = clock - entry.enq_clock
+        self.emitted += 1
+        self.delay_sum += delay
+        if delay > self.delay_max:
+            self.delay_max = delay
+        self._delay_hist.observe(delay)
+        self._drop(item.seq, entry)
+
+    def on_finish(self, queue) -> None:
+        self.finishes += 1
+        auditor = self.accountant.auditor
+        if auditor is not None:
+            for seq, entry in sorted(self.entries.items()):
+                auditor.violation(
+                    "retained-at-finish", self.label, seq,
+                    self.accountant.clock,
+                    "item still buffered at end of stream (flushed=%s, "
+                    "governed=%d at enqueue): every predicate is "
+                    "resolved, the queue should have drained"
+                    % (entry.flushed, entry.governed))
+        # Drop whatever a (buggy) run left behind so the next run on the
+        # same account starts from an empty ledger.
+        for seq, entry in list(self.entries.items()):
+            self._drop(seq, entry)
+        self.entries.clear()
+        self._zero_governed = []
+        self._last_sent_seq = None
+        self._sent_seqs = set()
+
+    # -- runtime hooks ---------------------------------------------------
+
+    def set_instances(self, count: int) -> None:
+        """Live predicate-instance population (depth-vector cardinality)."""
+        self.instances = count
+        if count > self.instances_high_water:
+            self.instances_high_water = count
+        self._instances_gauge.set(count)
+
+    # -- auditor ---------------------------------------------------------
+
+    def check_tick(self) -> None:
+        """Necessary-buffering check, run when the event clock advances.
+
+        An item enqueued with zero unresolved governing predicates must
+        be output-marked before the *next* stream event (both engines
+        flush it in the same call stack); one that is not was buffered
+        without need — exactly what the paper claims never happens.
+        """
+        pending, self._zero_governed = self._zero_governed, []
+        auditor = self.accountant.auditor
+        if auditor is None:
+            return
+        for seq in pending:
+            entry = self.entries.get(seq)
+            if entry is not None and not entry.flushed:
+                auditor.violation(
+                    "buffered-without-predicate", self.label, seq,
+                    self.accountant.clock,
+                    "item buffered past its enqueue event although no "
+                    "governing predicate was unresolved")
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "engine": self.engine,
+            "query": self.label,
+            "items": self.items,
+            "items_high_water": self.items_high_water,
+            "bytes": self.bytes,
+            "bytes_high_water": self.bytes_high_water,
+            "live_instances": self.instances,
+            "instances_high_water": self.instances_high_water,
+            "enqueued": self.enqueued,
+            "emitted": self.emitted,
+            "cleared": self.cleared,
+            "uploads": self.uploads,
+            "delay": {
+                "count": self.emitted,
+                "sum": self.delay_sum,
+                "max": self.delay_max,
+                "mean": (self.delay_sum / self.emitted
+                         if self.emitted else 0.0),
+            },
+            "bpdt_items": {"(%d,%d)" % owner: count
+                           for owner, count in sorted(self.bpdt_items.items())
+                           if count},
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _drop(self, seq: int, entry: _Entry) -> None:
+        self.items -= 1
+        self.bytes -= entry.bytes
+        self._items_gauge.dec()
+        self._bytes_gauge.dec(entry.bytes)
+        self._bpdt_delta(entry.owner, -1)
+
+    def _bpdt_delta(self, owner: Tuple[int, int], delta: int) -> None:
+        self.bpdt_items[owner] = self.bpdt_items.get(owner, 0) + delta
+        gauge = self._bpdt_gauges.get(owner)
+        if gauge is None:
+            gauge = self.accountant.metrics.gauge(
+                "repro_bpdt_buffer_items",
+                "currently buffered items per owning BPDT buffer",
+                engine=self.engine, query=self.label,
+                bpdt="(%d,%d)" % owner).track_max()
+            self._bpdt_gauges[owner] = gauge
+        gauge.inc(delta)
+
+    def __repr__(self):
+        return "<QueryAccount %s %r items=%d hw=%d>" % (
+            self.engine, self.label, self.items, self.items_high_water)
+
+
+class ResourceAccountant:
+    """Bundle-level registry of :class:`QueryAccount` ledgers.
+
+    One accountant per :class:`~repro.obs.Observability` bundle; the
+    engines advance its event-count clock (via the bundle's event hook)
+    and request one account per (engine, query) at run start.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 audit: bool = False):
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.auditor: Optional[BufferAuditor] = (
+            BufferAuditor(self.metrics) if audit else None)
+        self.clock = 0
+        self.accounts: Dict[Tuple[str, str], QueryAccount] = {}
+        self._tick_watch: List[QueryAccount] = []
+
+    def enable_audit(self) -> BufferAuditor:
+        if self.auditor is None:
+            self.auditor = BufferAuditor(self.metrics)
+        return self.auditor
+
+    def on_event(self, event=None) -> None:
+        """Advance the event-count clock (called once per stream event)."""
+        if self._tick_watch:
+            watch, self._tick_watch = self._tick_watch, []
+            for account in watch:
+                account.check_tick()
+        self.clock += 1
+
+    def account(self, label: str, engine: str = "xsq") -> QueryAccount:
+        key = (engine, label)
+        account = self.accounts.get(key)
+        if account is None:
+            account = QueryAccount(self, engine, label)
+            self.accounts[key] = account
+        return account
+
+    @property
+    def violations(self) -> List[AuditViolation]:
+        return self.auditor.violations if self.auditor is not None else []
+
+    def snapshot(self) -> dict:
+        return {
+            "clock": self.clock,
+            "accounts": [account.snapshot()
+                         for account in self.accounts.values()],
+            "audit": {
+                "enabled": self.auditor is not None,
+                "violations": len(self.violations),
+            },
+        }
+
+    def __repr__(self):
+        return "<ResourceAccountant clock=%d accounts=%d audit=%s>" % (
+            self.clock, len(self.accounts), self.auditor is not None)
+
+
+def format_top(snapshot: dict, bytes_column: bool = True) -> str:
+    """Render an accountant snapshot as the ``xsq top`` table."""
+    header = "events=%d  queries=%d" % (snapshot.get("clock", 0),
+                                        len(snapshot.get("accounts", ())))
+    audit = snapshot.get("audit", {})
+    if audit.get("enabled"):
+        header += "  audit=%s" % ("OK" if not audit.get("violations")
+                                  else "%d VIOLATIONS" % audit["violations"])
+    columns = ["QUERY", "ENGINE", "ITEMS", "HIWAT"]
+    if bytes_column:
+        columns += ["BYTES", "BYTES-HW"]
+    columns += ["INST", "EMIT", "DELAY-AVG", "DELAY-MAX"]
+    rows = [columns]
+    for account in snapshot.get("accounts", ()):
+        row = [_clip(account["query"], 44), account["engine"],
+               str(account["items"]), str(account["items_high_water"])]
+        if bytes_column:
+            row += [_human_bytes(account["bytes"]),
+                    _human_bytes(account["bytes_high_water"])]
+        row += [str(account["live_instances"]),
+                str(account["emitted"]),
+                "%.1f" % account["delay"]["mean"],
+                str(account["delay"]["max"])]
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(columns))]
+    lines = [header]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _clip(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[:limit - 1] + "…"
+
+
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024 or unit == "GB":
+            return ("%d%s" % (count, unit) if unit == "B"
+                    else "%.1f%s" % (count, unit))
+        count /= 1024.0
+    return "%dB" % count

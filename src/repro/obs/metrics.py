@@ -26,6 +26,7 @@ attached (verified by ``benchmarks/bench_obs_overhead.py``).
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, IO, List, Optional, Sequence, Tuple
 
 #: Default occupancy-style bucket upper bounds (items); chosen to cover
@@ -73,21 +74,42 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time value; ``set_max`` tracks a high-water mark."""
+    """Point-in-time value; ``set_max`` tracks a high-water mark.
 
-    __slots__ = ("name", "labels", "value")
+    :meth:`track_max` turns on a monotone high-water companion: the
+    gauge additionally exposes its historical maximum as ``<name>_max``
+    (and via :attr:`high_water`), updated on every ``set``/``inc``.
+    """
+
+    __slots__ = ("name", "labels", "value", "_max")
     kind = "gauge"
 
     def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._max: Optional[float] = None
+
+    def track_max(self) -> "Gauge":
+        """Enable the monotone ``<name>_max`` companion; returns self."""
+        if self._max is None:
+            self._max = self.value
+        return self
+
+    @property
+    def high_water(self) -> float:
+        return self._max if self._max is not None else self.value
 
     def set(self, value: float) -> None:
         self.value = value
+        if self._max is not None and value > self._max:
+            self._max = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        value = self.value + amount
+        self.value = value
+        if self._max is not None and value > self._max:
+            self._max = value
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
@@ -95,9 +117,15 @@ class Gauge:
     def set_max(self, value: float) -> None:
         if value > self.value:
             self.value = value
+            if self._max is not None and value > self._max:
+                self._max = value
 
     def samples(self) -> List[Tuple[str, str, float]]:
-        return [(self.name, _format_labels(self.labels), self.value)]
+        rows = [(self.name, _format_labels(self.labels), self.value)]
+        if self._max is not None:
+            rows.append((self.name + "_max", _format_labels(self.labels),
+                         self._max))
+        return rows
 
 
 class Histogram:
@@ -230,14 +258,19 @@ class MetricsRegistry:
 
 
 class JsonlMetricsSink:
-    """Sink that appends one ``{"type": "metrics", ...}`` line per emit."""
+    """Sink that appends one ``{"type": "metrics", ...}`` line per emit.
+
+    Each record carries a ``ts`` field (Unix seconds at export time) so
+    repeated emits from a long-running process form a time series.
+    """
 
     def __init__(self, stream: IO[str]):
         self._stream = stream
 
     def export(self, registry: MetricsRegistry) -> None:
         self._stream.write(json.dumps(
-            {"type": "metrics", "snapshot": registry.as_dict()},
+            {"type": "metrics", "ts": time.time(),
+             "snapshot": registry.as_dict()},
             sort_keys=True) + "\n")
 
 
@@ -250,6 +283,7 @@ class _NullMetric:
     value = 0.0
     sum = 0.0
     count = 0
+    high_water = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -262,6 +296,9 @@ class _NullMetric:
 
     def set_max(self, value: float) -> None:
         pass
+
+    def track_max(self) -> "_NullMetric":
+        return self
 
     def observe(self, value: float) -> None:
         pass

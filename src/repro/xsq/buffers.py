@@ -101,9 +101,14 @@ class OutputQueue:
     def __init__(self, sink: List[str],
                  trace: Optional[BufferTrace] = None,
                  seq_source: Optional[Callable[[], int]] = None,
-                 track_seqs: bool = False):
+                 track_seqs: bool = False,
+                 account=None):
         self.sink = sink
         self.trace = trace
+        # Optional repro.obs.accounting.QueryAccount: a live ledger of
+        # buffer state (occupancy, bytes, delays) fed by the same call
+        # sites that feed the trace.
+        self.account = account
         self._head: Optional[BufferItem] = None
         self._tail: Optional[BufferItem] = None
         self._size = 0
@@ -118,11 +123,12 @@ class OutputQueue:
         self.cleared_total = 0
         self.emitted_total = 0
         self.flushed_total = 0
-        # Uploads are performed only when a trace (or the observability
-        # layer) is attached: ownership hops change no output, so the
-        # matcher skips the arithmetic otherwise.  The counter is
-        # therefore 0 in un-traced runs.
+        # Uploads are performed only when a trace or an account is
+        # attached (see track_ownership): ownership hops change no
+        # output, so the matcher skips the arithmetic otherwise.  The
+        # counter is therefore 0 in fully un-observed runs.
         self.uploaded_total = 0
+        self.track_ownership = trace is not None or account is not None
 
     def __len__(self) -> int:
         return self._size
@@ -130,8 +136,15 @@ class OutputQueue:
     def new_item(self, value: Optional[str], owner: Tuple[int, int],
                  value_ready: bool = True,
                  on_emit: Optional[Callable[[BufferItem], None]] = None,
-                 depth_vector: tuple = ()) -> BufferItem:
-        """Enqueue a fresh pending item at the tail."""
+                 depth_vector: tuple = (),
+                 governed: int = 0) -> BufferItem:
+        """Enqueue a fresh pending item at the tail.
+
+        ``governed`` is the number of unresolved predicates governing
+        the item at enqueue time; only the accountant consumes it (the
+        auditor's necessary-buffering check), so callers compute it
+        only when an account is attached.
+        """
         if self._seq_source is not None:
             seq = self._seq_source()
         else:
@@ -152,32 +165,41 @@ class OutputQueue:
         if self.trace is not None:
             self.trace.record("enqueue", owner, value, depth_vector,
                               item_seq=item.seq)
+        if self.account is not None:
+            self.account.on_enqueue(item, governed, depth_vector)
         return item
 
     def upload(self, item: BufferItem, new_owner: Tuple[int, int],
                depth_vector: tuple = ()) -> None:
         """Move the item to an ancestor BPDT's buffer (ownership only)."""
+        old_owner = item.owner
         item.owner = new_owner
         self.uploaded_total += 1
         if self.trace is not None:
             self.trace.record("upload", new_owner, item.value, depth_vector,
                               item_seq=item.seq)
+        if self.account is not None:
+            self.account.on_upload(item, old_owner)
 
     def mark_output(self, item: BufferItem, depth_vector: tuple = ()) -> None:
         """Some embedding satisfied all predicates: flush when possible.
 
         The item is emitted immediately only if it has reached the head
         of the queue and its value is final; otherwise it waits, marked,
-        exactly as Section 4.3 prescribes.
+        exactly as Section 4.3 prescribes.  The flush is counted (and
+        traced) once, on the first transition to OUTPUT — repeated
+        marks from other embeddings are no-ops.
         """
         if item.state in (DEAD, SENT):
             return
         if item.state != OUTPUT:
             self.flushed_total += 1
+            if self.trace is not None:
+                self.trace.record("flush", item.owner, item.value,
+                                  depth_vector, item_seq=item.seq)
+            if self.account is not None:
+                self.account.on_flush(item)
         item.state = OUTPUT
-        if self.trace is not None:
-            self.trace.record("flush", item.owner, item.value, depth_vector,
-                              item_seq=item.seq)
         self._advance()
 
     def mark_dead(self, item: BufferItem, depth_vector: tuple = ()) -> None:
@@ -191,18 +213,24 @@ class OutputQueue:
         if self.trace is not None:
             self.trace.record("clear", item.owner, item.value, depth_vector,
                               item_seq=item.seq)
+        if self.account is not None:
+            self.account.on_clear(item)
         self._unlink(item)
         self._advance()
 
     def value_finalized(self, item: BufferItem) -> None:
         """The item's value is now complete (catchall end event)."""
         item.value_ready = True
+        if self.account is not None:
+            self.account.on_value_final(item)
         if item.state == OUTPUT:
             self._advance()
 
     def finish(self) -> None:
         """End of stream: every predicate has resolved; drain the queue."""
         self._advance()
+        if self.account is not None:
+            self.account.on_finish(self)
 
     # -- internals -------------------------------------------------------
 
@@ -229,6 +257,8 @@ class OutputQueue:
             if self.trace is not None:
                 self.trace.record("send", head.owner, head.value, (),
                                   item_seq=head.seq)
+            if self.account is not None:
+                self.account.on_send(head)
             if head.on_emit is not None:
                 head.on_emit(head)
             else:

@@ -18,7 +18,26 @@ Append/remove/top/prefix tests are single bit operations.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterable, Iterator, Tuple
+
+
+def packed_size(depths: Iterable[int]) -> int:
+    """Bytes the packed bitmap for ``depths`` occupies (min 1).
+
+    Accepts a :class:`DepthVector` or any iterable of depths; the
+    bitmap's width is its largest depth, so the estimate is
+    ``ceil((max_depth + 1) / 8)``.  The resource accountant charges
+    this per buffered item so byte gauges reflect what depth vectors
+    actually cost in the packed representation.
+    """
+    if isinstance(depths, DepthVector):
+        top = depths.top()
+    else:
+        top = 0
+        for depth in depths:
+            if depth > top:
+                top = depth
+    return (top + 8) // 8
 
 
 class DepthVector:
@@ -88,8 +107,12 @@ class DepthVector:
             bits >>= 1
             depth += 1
 
-    def __len__(self) -> int:
-        return bin(self._bits).count("1")
+    if hasattr(int, "bit_count"):  # 3.10+: one popcount opcode
+        def __len__(self) -> int:
+            return self._bits.bit_count()
+    else:
+        def __len__(self) -> int:
+            return bin(self._bits).count("1")
 
     def __eq__(self, other):
         return isinstance(other, DepthVector) and self._bits == other._bits

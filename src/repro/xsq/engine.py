@@ -34,9 +34,11 @@ class RunStats:
     """Counters from one engine run, used by tests and the bench harness.
 
     ``enqueued``/``cleared``/``flushed``/``uploaded`` are the paper's
-    four buffer operations (Section 3.3); ``uploaded`` is populated only
-    when a trace or observability bundle is attached, because ownership
-    hops are otherwise skipped entirely (they affect no output).
+    four buffer operations (Section 3.3), each counted exactly once, in
+    ``buffers.py`` (``tests/test_obs.py`` asserts stats, trace, and
+    metrics agree).  ``uploaded`` is populated only when a trace or an
+    account is attached, because ownership hops are otherwise skipped
+    entirely (they affect no output).
     """
 
     __slots__ = ("events", "enqueued", "cleared", "emitted",
@@ -177,7 +179,7 @@ class XSQEngine:
         count = 0
         feed = runtime.feed
         queue = runtime.queue
-        on_event = obs.events.on_event if obs.events is not None else None
+        on_event = obs.event_hook()
         occupancy = obs.metrics.histogram(
             "repro_buffer_occupancy_items",
             "output-queue occupancy sampled after each event",
@@ -218,8 +220,7 @@ class XSQEngine:
         sink: List[str] = []
         runtime, stat = self._new_runtime(sink, streaming_agg=True)
         obs = self.obs
-        on_event = (obs.events.on_event
-                    if obs is not None and obs.events is not None else None)
+        on_event = obs.event_hook() if obs is not None else None
         count = 0
         for event in events:
             count += 1
@@ -258,8 +259,12 @@ class XSQEngine:
         if isinstance(self.query.output, AggregateOutput):
             stat = StatBuffer(self.query.output.name,
                               track_snapshots=streaming_agg)
+        account = None
+        if self.obs is not None and self.obs.accounting is not None:
+            account = self.obs.accounting.account(self.query.text,
+                                                  engine=self.name)
         runtime = MatcherRuntime(self.hpdt, sink, trace=self.trace,
-                                 stat=stat)
+                                 stat=stat, account=account)
         return runtime, stat
 
     def _capture_stats(self, runtime: MatcherRuntime, events: int,

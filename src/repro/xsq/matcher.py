@@ -291,9 +291,10 @@ class Chain:
         if self.pending == 0:
             runtime.queue.mark_output(self.item, depth_vector=self.dv)
             return
-        if runtime.queue.trace is not None:
+        if runtime.queue.track_ownership:
             # Ownership hops (Section 4.3's uploads) are observable
-            # only through the trace; skip the arithmetic otherwise.
+            # only through the trace or the accountant's per-BPDT
+            # gauges; skip the arithmetic otherwise.
             owner = self.owner_id(runtime.hpdt)
             if owner is not None and owner != self.item.owner:
                 runtime.queue.upload(self.item, owner,
@@ -345,7 +346,8 @@ class MatcherRuntime:
     def __init__(self, hpdt: Hpdt, sink: List[str],
                  trace: Optional[BufferTrace] = None,
                  stat: Optional[StatBuffer] = None,
-                 queue: Optional[OutputQueue] = None):
+                 queue: Optional[OutputQueue] = None,
+                 account=None):
         self.hpdt = hpdt
         self.query: Query = hpdt.query
         self.steps = hpdt.query.steps
@@ -354,7 +356,8 @@ class MatcherRuntime:
         self.sink = sink
         self.stat = stat
         self.queue = queue if queue is not None \
-            else OutputQueue(sink, trace=trace)
+            else OutputQueue(sink, trace=trace, account=account)
+        self.account = self.queue.account
         root_sm = StepMatch(-1, 0, None, None)
         root_frame = Frame("", 0)
         root_frame.contexts = [root_sm]
@@ -543,6 +546,8 @@ class MatcherRuntime:
                 self._live_instances -= 1
                 if instance.status is None:
                     instance.resolve_at_end(self)
+        if self.account is not None and frame.instances:
+            self.account.set_instances(self._live_instances)
 
     # The shared-dispatch driver (repro.xsq.multiquery) routes each
     # event kind directly, having already branched on it once.
@@ -580,6 +585,8 @@ class MatcherRuntime:
         self._live_instances += 1
         if self._live_instances > self.peak_instances:
             self.peak_instances = self._live_instances
+        if self.account is not None:
+            self.account.set_instances(self._live_instances)
         return instance
 
     def _register_watcher(self, frame: Frame, instance: PredicateInstance,
@@ -647,11 +654,11 @@ class MatcherRuntime:
         """Buffer one output unit with one chain per live embedding.
 
         Depth vectors and buffer-ownership hops exist for the trace
-        facility (the paper's worked examples); when no trace is
-        attached they are skipped — the chain bookkeeping alone decides
-        emission.
+        facility (the paper's worked examples) and the resource
+        accountant; when neither is attached they are skipped — the
+        chain bookkeeping alone decides emission.
         """
-        tracing = self.queue.trace is not None
+        tracking = self.queue.track_ownership
         chain_specs = []
         for sm in result_matches:
             instances: List[PredicateInstance] = []
@@ -669,14 +676,24 @@ class MatcherRuntime:
             instances.reverse()
             chain_specs.append(
                 (tuple(instances),
-                 sm.depth_vector() if tracing else ()))
+                 sm.depth_vector() if tracking else ()))
         if not chain_specs:
             return None
         first_instances, first_dv = chain_specs[0]
-        owner = (self._creation_owner(first_instances) if tracing
+        owner = (self._creation_owner(first_instances) if tracking
                  else (len(first_instances), 0))
+        governed = 0
+        if self.account is not None:
+            # Unresolved predicates governing the item: the *minimum*
+            # over embeddings (any one chain resolving outputs the
+            # item), consumed by the auditor's necessary-buffering
+            # check.
+            governed = min(
+                sum(1 for inst in instances if inst.status is None)
+                for instances, _dv in chain_specs)
         item = self.queue.new_item(value, owner, value_ready=value_ready,
-                                   on_emit=on_emit, depth_vector=first_dv)
+                                   on_emit=on_emit, depth_vector=first_dv,
+                                   governed=governed)
         item.live_chains = len(chain_specs)
         for instances, dv in chain_specs:
             pending = [inst for inst in instances if inst.status is None]
@@ -690,7 +707,7 @@ class MatcherRuntime:
             # No chain satisfied yet; record the first upload hop (the
             # item logically moves from the lowest layer to the deepest
             # still-NA ancestor's buffer, Section 4.3's upload rule).
-            if tracing:
+            if tracking:
                 target = Chain(item, 0, first_instances,
                                first_dv).owner_id(self.hpdt)
                 if target is not None and target != item.owner:

@@ -145,7 +145,20 @@ class MultiQueryEngine:
         runtimes = []
         stats: List[Optional[StatBuffer]] = []
         queues: List[OutputQueue] = []
-        for query, hpdt, sink in zip(self.queries, self.hpdts, sinks):
+        accounting = (self.obs.accounting if self.obs is not None else None)
+        account_labels: List[str] = []
+        if accounting is not None:
+            # Duplicate member queries must not share a ledger (each
+            # queue numbers its items independently).
+            seen: dict = {}
+            for query in self.queries:
+                n = seen.get(query.text, 0)
+                seen[query.text] = n + 1
+                account_labels.append(
+                    query.text if n == 0
+                    else "%s #%d" % (query.text, n + 1))
+        for index, (query, hpdt, sink) in enumerate(
+                zip(self.queries, self.hpdts, sinks)):
             stat = (StatBuffer(query.output.name)
                     if isinstance(query.output, AggregateOutput) else None)
             queue = OutputQueue(
@@ -153,7 +166,10 @@ class MultiQueryEngine:
                 trace=(self.obs.events if self.obs is not None else None),
                 seq_source=(counter.__next__ if counter is not None
                             else None),
-                track_seqs=shared_seq)
+                track_seqs=shared_seq,
+                account=(accounting.account(account_labels[index],
+                                            engine=self.name)
+                         if accounting is not None else None))
             runtimes.append(MatcherRuntime(hpdt, sink, stat=stat,
                                            queue=queue))
             stats.append(stat)
@@ -198,7 +214,7 @@ class MultiQueryEngine:
     def _pump_observed(self, events, runtimes, obs) -> int:
         """Instrumented variants of the two loops above."""
         count = 0
-        on_event = obs.events.on_event if obs.events is not None else None
+        on_event = obs.event_hook()
         if self.index is None:
             feeds = [runtime.feed for runtime in runtimes]
             for event in events:
@@ -292,8 +308,7 @@ class MultiQueryEngine:
         runtimes, sinks, stats, queues = self._build_runtimes(False)
         events = self._as_events(source)
         obs = self.obs
-        on_event = (obs.events.on_event
-                    if obs is not None and obs.events is not None else None)
+        on_event = obs.event_hook() if obs is not None else None
         index = self.index
         if index is not None:
             routes_get = index.routes.get

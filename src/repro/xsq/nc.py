@@ -71,7 +71,8 @@ class _NCRuntime:
 
     def __init__(self, engine: "XSQEngineNC", sink: List[str],
                  stat: Optional[StatBuffer],
-                 trace: Optional[BufferTrace]):
+                 trace: Optional[BufferTrace],
+                 account=None):
         self.engine = engine
         self.hpdt = engine.hpdt
         self.steps = engine.query.steps
@@ -79,7 +80,8 @@ class _NCRuntime:
         self.output = engine.query.output
         self.sink = sink
         self.stat = stat
-        self.queue = OutputQueue(sink, trace=trace)
+        self.queue = OutputQueue(sink, trace=trace, account=account)
+        self.account = account
         self.frames: List[_NCFrame] = []
         self._trackers: List[PathTracker] = []
         self._live_instances = 0
@@ -145,6 +147,8 @@ class _NCRuntime:
         self._live_instances += 1
         if self._live_instances > self.peak_instances:
             self.peak_instances = self._live_instances
+        if self.account is not None:
+            self.account.set_instances(self._live_instances)
         if depth == self.n:
             self._on_result_begin(frame, event)
 
@@ -223,6 +227,8 @@ class _NCRuntime:
             frame.element_item.value = frame.serializer.getvalue()
             self.queue.value_finalized(frame.element_item)
         self._live_instances -= 1
+        if self.account is not None:
+            self.account.set_instances(self._live_instances)
         if frame.instance.status is None:
             frame.instance.resolve_at_end(self)
 
@@ -270,7 +276,7 @@ class _NCRuntime:
     def _make_item(self, value: Optional[str], value_ready: bool = True,
                    on_emit: Optional[Callable] = None) -> BufferItem:
         """Buffer one output unit against the single current embedding."""
-        tracing = self.queue.trace is not None
+        tracking = self.queue.track_ownership
         instances = tuple(frame.instance for frame in self.frames)
         if any(inst.status is False for inst in instances):
             # A negated predicate was witnessed mid-element: the whole
@@ -281,9 +287,9 @@ class _NCRuntime:
         owner = (self.hpdt.id_for_statuses(
             tuple([True] + [inst.status is True
                             for inst in instances[:-1]]))
-            if tracing else (len(instances), 0))
+            if tracking else (len(instances), 0))
         item = self.queue.new_item(value, owner, value_ready=value_ready,
-                                   on_emit=on_emit)
+                                   on_emit=on_emit, governed=len(pending))
         item.live_chains = 1
         chain = Chain(item, len(pending), instances, ())
         if not pending:
@@ -291,7 +297,7 @@ class _NCRuntime:
         else:
             for instance in pending:
                 instance.chain_watchers.append(chain)
-            if tracing:
+            if tracking:
                 target = chain.owner_id(self.hpdt)
                 if target is not None and target != item.owner:
                     self.queue.upload(item, target)
@@ -358,7 +364,7 @@ class XSQEngineNC:
         if obs is None:
             events = self._as_events(source)
             stat = self._new_stat(False)
-            runtime = _NCRuntime(self, sink, stat, self.trace)
+            runtime = self._new_runtime(sink, stat)
             count = 0
             feed = runtime.feed
             for event in events:
@@ -373,7 +379,7 @@ class XSQEngineNC:
             with obs.span("stream", engine=self.name) as stream_span:
                 events = self._as_events(source)
                 stat = self._new_stat(False)
-                runtime = _NCRuntime(self, sink, stat, self.trace)
+                runtime = self._new_runtime(sink, stat)
                 count = self._pump_observed(events, runtime, obs)
                 runtime.finish()
         self._capture_stats(runtime, count, stat)
@@ -391,10 +397,9 @@ class XSQEngineNC:
         events = self._as_events(source)
         sink: List[str] = []
         stat = self._new_stat(True)
-        runtime = _NCRuntime(self, sink, stat, self.trace)
+        runtime = self._new_runtime(sink, stat)
         obs = self.obs
-        on_event = (obs.events.on_event
-                    if obs is not None and obs.events is not None else None)
+        on_event = obs.event_hook() if obs is not None else None
         count = 0
         for event in events:
             count += 1
@@ -430,6 +435,14 @@ class XSQEngineNC:
             return StatBuffer(self.query.output.name,
                               track_snapshots=streaming)
         return None
+
+    def _new_runtime(self, sink: List[str],
+                     stat: Optional[StatBuffer]) -> _NCRuntime:
+        account = None
+        if self.obs is not None and self.obs.accounting is not None:
+            account = self.obs.accounting.account(self.query.text,
+                                                  engine=self.name)
+        return _NCRuntime(self, sink, stat, self.trace, account=account)
 
     def _capture_stats(self, runtime: _NCRuntime, events: int,
                        stat: Optional[StatBuffer]) -> None:

@@ -1,0 +1,361 @@
+"""The buffer & memory accountant (repro.obs.accounting).
+
+Three layers of coverage:
+
+* the metric primitives the accountant leans on (``Gauge.track_max``,
+  the timestamped JSONL sink, the allocation-free null registry);
+* the per-query accounts — occupancy, high-water marks, byte
+  estimates, emission delays, per-BPDT gauges, and the determinism of
+  the event-count clock;
+* the necessary-buffering auditor: a property-style sweep over every
+  predicate category, closure queries and generated workloads must
+  report zero violations on both engines, and a mutation test that
+  corrupts ``flush`` proves the auditor actually fires.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro.errors import ClosureNotSupportedError
+from repro.obs import Observability, format_top
+from repro.obs.accounting import (DELAY_BUCKETS, ITEM_OVERHEAD_BYTES,
+                                  BufferAuditor, ResourceAccountant)
+from repro.obs.metrics import (JsonlMetricsSink, MetricsRegistry,
+                               _NullMetricsRegistry)
+from repro.datagen import generate_dblp, generate_predicate_probe
+from repro.datagen.queries import QueryWorkloadGenerator, TagGraph
+from repro.xsq.buffers import OutputQueue
+from repro.xsq.engine import XSQEngine
+from repro.xsq.nc import XSQEngineNC
+
+FIG10_XML = ("<root>"
+             "<pub><name>Early</name><year>2003</year><name>Late</name></pub>"
+             "<pub><name>Reject</name><year>1999</year></pub>"
+             "</root>")
+FIG10_QUERY = "//pub[year>2000]//name/text()"
+
+#: One query per predicate category (mirrors the predicate ablation).
+CATEGORY_QUERIES = {
+    "cat0-none": "/root/g/n/text()",
+    "cat1-attr": "/root/g[@id]/n/text()",
+    "cat2-text": "/root/g[text()]/n/text()",
+    "cat3-child": "/root/g[k]/n/text()",
+    "cat4-child-attr": "/root/g[k@a=1]/n/text()",
+    "cat5-child-text": "/root/g[k=5]/n/text()",
+    "cat6-path": "/root/g[sub/leaf=5]/n/text()",
+    "or": "/root/g[k=5 or zzz]/n/text()",
+    "not": "/root/g[not(k=7)]/n/text()",
+}
+
+CLOSURE_QUERIES = [
+    "//g[k=5]//leaf/text()",
+    "//g[@id]/n/text()",
+    "//sub//leaf/text()",
+    "//g[sub/leaf=5]//n/text()",
+]
+
+
+def accounting_obs(audit=False):
+    return Observability(spans=False, events=False,
+                         accounting=True, audit=audit)
+
+
+class TestGaugeTrackMax:
+    def test_high_water_is_monotone(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert gauge.track_max() is gauge
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 5
+        gauge.inc(10)
+        gauge.dec(11)
+        assert gauge.value == 1
+        assert gauge.high_water == 12
+
+    def test_untracked_gauge_has_no_max_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("plain").set(3)
+        text = registry.render_prometheus()
+        assert "plain 3" in text
+        assert "plain_max" not in text
+
+    def test_tracked_gauge_exports_max_sample(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", engine="xsq-f").track_max()
+        gauge.set(7)
+        gauge.set(1)
+        text = registry.render_prometheus()
+        assert 'depth{engine="xsq-f"} 1' in text
+        assert 'depth_max{engine="xsq-f"} 7' in text
+
+    def test_null_registry_absorbs_track_max(self):
+        registry = _NullMetricsRegistry()
+        first = registry.gauge("a").track_max()
+        second = registry.gauge("b").track_max()
+        # Allocation-free: every null metric is the same singleton.
+        assert first is second
+        assert first.high_water == 0.0
+        first.set(9)
+        assert first.high_water == 0.0
+
+
+class TestJsonlSinkTimestamp:
+    def test_export_record_carries_wall_clock(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total").inc(3)
+        stream = io.StringIO()
+        JsonlMetricsSink(stream).export(registry)
+        record = json.loads(stream.getvalue())
+        assert record["type"] == "metrics"
+        assert isinstance(record["ts"], float)
+        assert record["ts"] > 1_000_000_000
+        assert record["snapshot"]["repro_events_total"] == 3
+
+
+class TestQueryAccount:
+    def run_fig10(self, audit=False):
+        obs = accounting_obs(audit=audit)
+        results = XSQEngine(FIG10_QUERY, obs=obs).run(FIG10_XML)
+        assert results == ["Early", "Late"]
+        return obs
+
+    def test_snapshot_counts_the_fig10_run(self):
+        snap = self.run_fig10().snapshot()
+        assert snap["accounting"] is True
+        assert snap["clock"] == 21  # event-count clock: one tick per event
+        (account,) = snap["accounts"]
+        assert account["engine"] == "xsq-f"
+        assert account["query"] == FIG10_QUERY
+        assert account["enqueued"] == 3
+        assert account["emitted"] == 2
+        assert account["cleared"] == 1
+        # Drained at end of stream: live occupancy returns to zero but
+        # the high-water marks survive.
+        assert account["items"] == 0
+        assert account["bytes"] == 0
+        assert account["items_high_water"] >= 1
+        assert account["bytes_high_water"] > ITEM_OVERHEAD_BYTES
+        assert account["delay"]["count"] == 2
+        assert account["delay"]["max"] >= 1
+        assert account["delay"]["mean"] == pytest.approx(
+            account["delay"]["sum"] / 2)
+
+    def test_event_count_clock_is_deterministic(self):
+        first = self.run_fig10().snapshot()
+        second = self.run_fig10().snapshot()
+        assert first == second
+
+    def test_bpdt_occupancy_drains_by_end_of_stream(self):
+        (account,) = self.run_fig10().snapshot()["accounts"]
+        # on_finish resets the per-run ledger, so no BPDT may report a
+        # lingering item after a complete run.
+        assert all(count == 0 for count in account["bpdt_items"].values())
+
+    def test_gauges_and_high_water_reach_prometheus(self):
+        text = self.run_fig10().metrics.render_prometheus()
+        assert 'repro_buffer_items{' in text
+        assert 'repro_buffer_items_max{' in text
+        assert 'repro_buffer_bytes_max{' in text
+        assert 'repro_live_predicate_instances_max{' in text
+        assert 'repro_bpdt_buffer_items{' in text
+        assert 'repro_emission_delay_events_bucket{' in text
+
+    def test_account_is_reusable_across_runs(self):
+        obs = accounting_obs()
+        engine = XSQEngine(FIG10_QUERY, obs=obs)
+        engine.run(FIG10_XML)
+        engine.run(FIG10_XML)
+        (account,) = obs.snapshot()["accounts"]
+        assert account["enqueued"] == 6
+        assert account["emitted"] == 4
+        assert account["items"] == 0
+
+    def test_nc_engine_accounts_too(self):
+        obs = accounting_obs()
+        results = XSQEngineNC("/root/pub[year>2000]/name/text()",
+                              obs=obs).run(FIG10_XML)
+        assert results == ["Early", "Late"]
+        (account,) = obs.snapshot()["accounts"]
+        assert account["engine"] == "xsq-nc"
+        assert account["enqueued"] == 3
+        assert account["emitted"] == 2
+        assert account["items"] == 0
+
+    def test_delay_buckets_are_sorted_and_start_at_zero(self):
+        assert DELAY_BUCKETS[0] == 0
+        assert list(DELAY_BUCKETS) == sorted(set(DELAY_BUCKETS))
+
+    def test_snapshot_off_by_default(self):
+        obs = Observability(spans=False, events=False)
+        assert obs.accounting is None
+        assert obs.snapshot() == {"accounting": False}
+
+    def test_format_top_renders_the_table(self):
+        out = format_top(self.run_fig10(audit=True).snapshot())
+        assert "events=21" in out
+        assert "queries=1" in out
+        assert "audit=OK" in out
+        assert "QUERY" in out and "HIWAT" in out
+        assert FIG10_QUERY in out
+
+
+class TestZeroCostWhenDisabled:
+    def test_queue_without_obs_stays_on_seed_path(self):
+        queue = OutputQueue([])
+        assert queue.account is None
+        assert queue.trace is None
+        assert queue.track_ownership is False
+
+    def test_account_alone_enables_ownership_tracking(self):
+        account = accounting_obs().accounting.account("q")
+        queue = OutputQueue([], account=account)
+        assert queue.track_ownership is True
+
+    def test_engine_without_obs_has_no_accountant(self):
+        engine = XSQEngine(FIG10_QUERY)
+        assert engine.run(FIG10_XML) == ["Early", "Late"]
+        assert engine.obs is None
+
+
+class TestAuditorCleanRuns:
+    """Property: the paper's buffering discipline holds, so the auditor
+    must stay silent on every clean run — all predicate categories,
+    closures, and generated workloads, on both engines."""
+
+    @pytest.fixture(scope="class")
+    def probe(self):
+        return generate_predicate_probe(target_bytes=20_000, seed=31)
+
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return generate_dblp(target_bytes=30_000, seed=11)
+
+    def assert_clean(self, engine_cls, query, document):
+        obs = accounting_obs(audit=True)
+        engine = engine_cls(query, obs=obs)
+        engine.run(document)
+        auditor = obs.auditor
+        assert auditor.ok, "%s on %s: %s" % (
+            engine.name, query, auditor.report())
+        assert obs.audit_violations == []
+
+    @pytest.mark.parametrize("case", sorted(CATEGORY_QUERIES))
+    def test_xsq_f_predicate_categories(self, case, probe):
+        self.assert_clean(XSQEngine, CATEGORY_QUERIES[case], probe)
+
+    @pytest.mark.parametrize("case", sorted(CATEGORY_QUERIES))
+    def test_xsq_nc_predicate_categories(self, case, probe):
+        self.assert_clean(XSQEngineNC, CATEGORY_QUERIES[case], probe)
+
+    @pytest.mark.parametrize("query", CLOSURE_QUERIES)
+    def test_xsq_f_closure_queries(self, query, probe):
+        self.assert_clean(XSQEngine, query, probe)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_generated_workloads(self, seed, dblp):
+        graph = TagGraph.from_document(dblp)
+        queries = [q + "/text()" for q in QueryWorkloadGenerator(
+            graph, seed=seed, max_depth=4, closure_probability=0.15,
+            wildcard_probability=0.0,
+            predicate_probability=0.3).workload(6, unique=False)]
+        for query in queries:
+            self.assert_clean(XSQEngine, query, dblp)
+            try:
+                self.assert_clean(XSQEngineNC, query, dblp)
+            except ClosureNotSupportedError:
+                pass
+
+    def test_fig10_both_engines(self):
+        self.assert_clean(XSQEngine, FIG10_QUERY, FIG10_XML)
+        self.assert_clean(XSQEngineNC,
+                          "/root/pub[year>2000]/name/text()", FIG10_XML)
+
+
+class TestAuditorMutation:
+    """Corrupt the flush path: the auditor must notice."""
+
+    @pytest.mark.parametrize("engine_cls,query", [
+        (XSQEngine, FIG10_QUERY),
+        (XSQEngineNC, "/root/pub[year>2000]/name/text()"),
+    ])
+    def test_dropped_flush_is_detected(self, engine_cls, query, monkeypatch):
+        monkeypatch.setattr(OutputQueue, "mark_output",
+                            lambda self, item, depth_vector=(): None)
+        obs = accounting_obs(audit=True)
+        engine_cls(query, obs=obs).run(FIG10_XML)
+        auditor = obs.auditor
+        assert not auditor.ok
+        kinds = {violation.kind for violation in auditor.violations}
+        assert "retained-at-finish" in kinds
+        assert "violation" in auditor.report()
+        text = obs.metrics.render_prometheus()
+        assert "repro_buffer_audit_violations_total" in text
+
+    def test_violations_surface_in_jsonl(self, monkeypatch):
+        monkeypatch.setattr(OutputQueue, "mark_output",
+                            lambda self, item, depth_vector=(): None)
+        obs = accounting_obs(audit=True)
+        XSQEngine(FIG10_QUERY, obs=obs).run(FIG10_XML)
+        records = [json.loads(line) for line in obs.jsonl_lines()]
+        kinds = {record["type"] for record in records}
+        assert "audit_violation" in kinds
+        assert "accounting" in kinds
+        violations = [r for r in records if r["type"] == "audit_violation"]
+        assert {v["kind"] for v in violations} >= {"retained-at-finish"}
+        assert all(v["clock"] >= 0 for v in violations)
+
+    def test_auditor_caps_recorded_violations(self):
+        auditor = BufferAuditor(max_violations=2)
+        for seq in range(5):
+            auditor.violation("retained-at-finish", "q", seq, 0, "x")
+        assert len(auditor.violations) == 2
+        assert not auditor.ok
+
+
+class TestCompileFacadeAudit:
+    def test_single_query_audit(self):
+        q = repro.compile(FIG10_QUERY, audit=True)
+        assert q.run(FIG10_XML) == ["Early", "Late"]
+        assert q.audit_violations == []
+        assert q.obs.auditor is not None and q.obs.auditor.ok
+
+    def test_query_set_audit(self):
+        qs = repro.compile(["/root/pub/name/text()",
+                            "/root/pub/year/text()"], audit=True)
+        results = qs.run(FIG10_XML)
+        assert results == [["Early", "Late", "Reject"], ["2003", "1999"]]
+        assert qs.audit_violations == []
+        snap = qs.obs.snapshot()
+        assert len(snap["accounts"]) == 2
+
+    def test_audit_reuses_caller_obs(self):
+        obs = accounting_obs()
+        q = repro.compile(FIG10_QUERY, obs=obs, audit=True)
+        assert q.obs is obs
+        assert obs.auditor is not None
+
+    def test_union_query_audit(self):
+        q = repro.compile("/root/pub/name/text() | /root/pub/year/text()",
+                          audit=True)
+        assert len(q.run(FIG10_XML)) == 5
+        assert q.audit_violations == []
+        assert len(q.obs.snapshot()["accounts"]) == 2
+
+
+class TestResourceAccountant:
+    def test_duplicate_labels_share_one_account(self):
+        accountant = ResourceAccountant()
+        assert accountant.account("q") is accountant.account("q")
+        assert accountant.account("q", engine="other") is not \
+            accountant.account("q")
+
+    def test_clock_ticks_once_per_event(self):
+        accountant = ResourceAccountant()
+        for _ in range(7):
+            accountant.on_event(None)
+        assert accountant.clock == 7
+        assert accountant.snapshot()["clock"] == 7

@@ -262,3 +262,50 @@ class TestMultiQueryObservability:
         assert results[1] == ["2003", "1999"]
         snapshot = obs.metrics.as_dict()
         assert snapshot.get('repro_runs_total{engine="multiquery"}') == 2
+
+
+class TestCountOnceBufferStats:
+    """flushed/uploaded are counted exactly once, in buffers.py.
+
+    RunStats, the event trace, and the metrics counters must agree —
+    this pins the count-once consolidation (the flush trace record and
+    counter both live inside the first-transition guard of
+    ``OutputQueue.mark_output``).
+    """
+
+    NC_QUERY = "/root/pub[year>2000]/name/text()"
+
+    @pytest.mark.parametrize("engine_cls,query", [
+        (XSQEngine, FIG10_QUERY),
+        (XSQEngineNC, NC_QUERY),
+    ])
+    def test_stats_trace_and_metrics_agree(self, engine_cls, query):
+        obs = Observability()
+        engine = engine_cls(query, obs=obs)
+        engine.run(FIG10_XML)
+        stats = engine.last_stats
+        assert stats.flushed == len(obs.events.ops("flush"))
+        assert stats.uploaded == len(obs.events.ops("upload"))
+        assert stats.enqueued == len(obs.events.ops("enqueue"))
+        assert stats.cleared == len(obs.events.ops("clear"))
+        snapshot = obs.metrics.as_dict()
+        name = engine.name
+        assert snapshot[
+            'repro_buffer_ops_total{engine="%s",op="flush"}'
+            % name] == stats.flushed
+        assert snapshot[
+            'repro_buffer_ops_total{engine="%s",op="upload"}'
+            % name] == stats.uploaded
+
+    def test_repeated_mark_output_counts_one_flush(self):
+        from repro.xsq.buffers import BufferTrace, OutputQueue
+        sink = []
+        trace = BufferTrace()
+        queue = OutputQueue(sink, trace=trace)
+        item = queue.new_item("v", (1, 0), value_ready=False)
+        queue.mark_output(item)
+        queue.mark_output(item)  # second embedding resolves later
+        assert queue.flushed_total == 1
+        assert len(trace.ops("flush")) == 1
+        queue.value_finalized(item)
+        assert sink == ["v"]

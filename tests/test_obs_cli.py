@@ -1,10 +1,10 @@
-"""The ``xsq trace`` / ``repro trace`` explain-my-query subcommand."""
+"""The ``xsq trace`` / ``xsq top`` observability subcommands."""
 
 import json
 
 import pytest
 
-from repro.cli import main, trace_main
+from repro.cli import main, top_main, trace_main
 
 
 @pytest.fixture
@@ -80,9 +80,20 @@ class TestTraceSubcommand:
         assert trace_main(["/a/b/text()"]) == 0
         assert "# results (1)" in capsys.readouterr().out
 
-    def test_union_query_rejected(self, doc, capsys):
-        assert trace_main(["/a/text()|/b/text()", doc]) == 2
-        assert "union" in capsys.readouterr().err
+    def test_union_query_traces_grouped(self, doc, capsys):
+        query = "/root/pub/name/text() | /root/pub/year/text()"
+        assert trace_main([query, doc]) == 0
+        out = capsys.readouterr().out
+        assert "# results (5)" in out
+        assert "# buffer journeys" in out
+
+    def test_union_explain_includes_dispatch_stats(self, doc, capsys):
+        query = "/root/pub/name/text() | /root/pub/year/text()"
+        assert trace_main([query, doc, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "shared dispatch: 2 queries" in out
+        assert "tag buckets" in out
+        assert "max fanout" in out
 
     def test_rewrite_proved_empty(self, doc, capsys):
         assert trace_main(["/pub/year/parent::name/text()", doc]) == 0
@@ -105,3 +116,47 @@ class TestTraceSubcommand:
         assert trace_main([QUERY, doc, "--jsonl", str(target)]) == 2
         err = capsys.readouterr().err
         assert "xsq: error: cannot write" in err
+
+
+class TestTopSubcommand:
+    def test_main_dispatches_top(self, doc, capsys):
+        assert main(["top", QUERY, doc]) == 0
+        out = capsys.readouterr().out
+        assert "# results (2)" in out
+        assert "QUERY" in out and "HIWAT" in out
+        assert QUERY in out
+
+    def test_periodic_refresh(self, doc, capsys):
+        assert top_main([QUERY, doc, "--refresh-events", "5",
+                         "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        # The Shakespeare-sized header line appears once per redraw plus
+        # the final render; 21 events / 5 => at least 5 tables.
+        assert out.count("events=") >= 5
+
+    def test_audit_clean_run(self, doc, capsys):
+        assert top_main([QUERY, doc, "--audit", "--results"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: ok (0 violations)" in out
+        assert "Early" in out and "Late" in out
+
+    def test_union_query_grouped(self, doc, capsys):
+        query = "/root/pub/name/text() | /root/pub/year/text()"
+        assert top_main([query, doc, "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "# results (5)" in out
+        assert "queries=2" in out
+
+    def test_audit_violation_exit_code(self, doc, capsys, monkeypatch):
+        # Corrupt mark_output into a no-op: flushes are lost, items are
+        # retained at finish, and the auditor must fail the run.
+        from repro.xsq.buffers import OutputQueue
+        monkeypatch.setattr(OutputQueue, "mark_output",
+                            lambda self, item, depth_vector=(): None)
+        assert top_main([QUERY, doc, "--audit"]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+
+    def test_syntax_error_reported(self, doc, capsys):
+        assert top_main(["//a[", doc]) == 2
+        assert "xsq: error:" in capsys.readouterr().err
