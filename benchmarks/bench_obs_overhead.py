@@ -11,6 +11,7 @@ import pytest
 
 from repro.obs import Observability
 from repro.xsq.engine import XSQEngine
+from repro.xsq.fastpath import XSQEngineFast
 
 QUERY = "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()"
 
@@ -104,6 +105,97 @@ def test_disabled_path_skips_instrumentation(shake):
     attached = best_of(
         lambda: XSQEngine(QUERY, obs=Observability()).run(shake))
     assert disabled < attached
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_fastpath_disabled(benchmark, shake):
+    """The compiled fast path with no bundle: the new throughput floor."""
+    engine = XSQEngineFast(QUERY)
+    results = benchmark(engine.run, shake)
+    assert results
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_fastpath_spans_metrics(benchmark, shake):
+    """Fast path with the obs it accepts: spans + run-level metrics.
+
+    Everything per-event is rejected at construction (the engine falls
+    back), so the only instrumentation cost here is per *run* — a few
+    span records and one stats export — which must be invisible at
+    stream scale.
+    """
+
+    def run():
+        obs = Observability(spans=True, events=False)
+        return XSQEngineFast(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="tag-interning")
+def test_tag_interning_cost(benchmark, shake):
+    """Price ``sys.intern`` at the parser boundary (its consumers —
+    dict probes on tag/attr names throughout the engines — get pointer
+    comparisons in exchange)."""
+    import sys
+
+    with open(shake, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    tags = [line.split(">", 1)[0].strip("</")
+            for line in text.split("<")[1:2048]]
+
+    def intern_all():
+        interned = [sys.intern(tag) for tag in tags]
+        return interned
+
+    assert benchmark(intern_all)
+
+
+def test_fastpath_rejects_per_event_instrumentation():
+    """The fast path stays branch-free by *construction*: per-event obs
+    cannot attach, it forces the interpreted fallback instead."""
+    from repro.errors import FastPathUnsupportedError
+
+    with pytest.raises(FastPathUnsupportedError):
+        XSQEngineFast(QUERY, obs=Observability())  # event trace on
+    with pytest.raises(FastPathUnsupportedError):
+        XSQEngineFast(QUERY, obs=Observability(
+            spans=False, events=False, accounting=True))
+    with pytest.raises(FastPathUnsupportedError):
+        XSQEngineFast(QUERY, obs=Observability(per_event_timing=True))
+
+
+def test_uninstrumented_runs_bind_plain_methods():
+    """Satellite check: the per-event None-tests are hoisted to setup.
+
+    An un-instrumented :class:`OutputQueue` binds the ``_plain``
+    method variants once in ``__init__``; an instrumented one keeps the
+    class methods.  Likewise :class:`MatcherRuntime` binds the plain
+    end-handler when no accountant is attached.  If these bindings
+    disappear, every buffer op and end event pays the None-checks
+    again — the regression the benchmark group above would then show.
+    """
+    from repro.obs.accounting import ResourceAccountant
+    from repro.xsq.buffers import BufferTrace, OutputQueue
+    from repro.xsq.hpdt import Hpdt
+    from repro.xsq.matcher import MatcherRuntime
+
+    plain = OutputQueue([])
+    assert plain.new_item.__func__ is OutputQueue._new_item_plain
+    assert plain.mark_output.__func__ is OutputQueue._mark_output_plain
+    assert plain.mark_dead.__func__ is OutputQueue._mark_dead_plain
+    assert plain.finish.__func__ is OutputQueue._finish_plain
+
+    traced = OutputQueue([], trace=BufferTrace())
+    assert traced.new_item.__func__ is OutputQueue.new_item
+    assert traced.mark_output.__func__ is OutputQueue.mark_output
+
+    hpdt = Hpdt("/a/b/text()")
+    runtime = MatcherRuntime(hpdt, [])
+    assert runtime.on_end.__func__ is MatcherRuntime._on_end_plain
+    account = ResourceAccountant().account("/a/b/text()", engine="xsq-f")
+    observed = MatcherRuntime(hpdt, [], account=account)
+    assert observed.on_end.__func__ is MatcherRuntime._on_end
 
 
 def test_accounting_off_attaches_nothing():

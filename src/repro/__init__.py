@@ -37,6 +37,7 @@ from repro.api import (
 )
 from repro.errors import (
     ClosureNotSupportedError,
+    FastPathUnsupportedError,
     NotWellFormedError,
     ReproError,
     StreamError,
@@ -56,6 +57,7 @@ from repro.xsq import (
     Hpdt,
     StatBuffer,
     XSQEngine,
+    XSQEngineFast,
     XSQEngineNC,
 )
 from repro.obs import EventTrace, MetricsRegistry, Observability, Tracer
@@ -72,6 +74,7 @@ __all__ = [
     "HpdtCache",
     "DispatchIndex",
     "XSQEngine",
+    "XSQEngineFast",
     "XSQEngineNC",
     "MultiQueryEngine",
     "SchemaAwareEngine",
@@ -92,6 +95,7 @@ __all__ = [
     "XPathSyntaxError",
     "UnsupportedFeatureError",
     "ClosureNotSupportedError",
+    "FastPathUnsupportedError",
     "NotWellFormedError",
     "StreamError",
     "__version__",

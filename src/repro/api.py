@@ -33,10 +33,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ClosureNotSupportedError
+from repro.errors import ClosureNotSupportedError, FastPathUnsupportedError
 from repro.xpath.ast import Query
 from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
 from repro.xsq.engine import RunStats, XSQEngine
+from repro.xsq.fastpath import XSQEngineFast
 from repro.xsq.multiquery import MultiQueryEngine
 from repro.xsq.nc import XSQEngineNC
 
@@ -98,18 +99,48 @@ class UnionEngine:
         return "\n\n".join(parts)
 
 
+def _record_selection(obs, engine_name: str, mode: str,
+                      reason: Optional[str] = None) -> None:
+    """Export the selection decision to the metrics registry.
+
+    ``mode`` is ``selected`` (auto picked the fast path), ``fallback``
+    (auto wanted the fast path but could not use it) or ``forced`` (the
+    caller named an engine).  On fallback the first unsupported
+    feature's slug is counted separately so dashboards can see *why*
+    streams run interpreted.
+    """
+    if obs is None:
+        return
+    obs.metrics.counter(
+        "repro_engine_selection_total",
+        "engine chosen at compile time, by selection mode",
+        engine=engine_name, fastpath=mode).inc()
+    if reason is not None:
+        obs.metrics.counter(
+            "repro_fastpath_fallback_total",
+            "auto-selection fell back from the compiled fast path, "
+            "by first unsupported feature",
+            reason=reason).inc()
+
+
 def select_engine(query: QueryLike, choice: str = "auto", obs=None,
                   cache=None):
     """The raw engine :func:`compile` would wrap for ``query``.
 
-    Applies the reverse-axis rewrite, detects top-level unions, and
-    picks XSQ-NC over XSQ-F when ``choice="auto"`` allows it.  Returns
-    an :class:`XSQEngine`, :class:`XSQEngineNC`, :class:`UnionEngine`
-    or :class:`EmptyEngine`.
+    Applies the reverse-axis rewrite, detects top-level unions, and —
+    with ``choice="auto"`` — prefers the compiled fast path
+    (:class:`~repro.xsq.fastpath.XSQEngineFast`), falling back to
+    XSQ-NC and then XSQ-F when the query needs features the faster
+    engines lack.  A fallback is never silent: the chosen engine's
+    ``explain()`` carries a ``fast path not selected: <reason>`` line
+    and the decision is counted in ``repro_engine_selection_total`` /
+    ``repro_fastpath_fallback_total``.  Returns an
+    :class:`~repro.xsq.fastpath.XSQEngineFast`, :class:`XSQEngine`,
+    :class:`XSQEngineNC`, :class:`UnionEngine` or :class:`EmptyEngine`.
     """
-    if choice not in ("auto", "f", "nc"):
-        raise ValueError("engine must be 'auto', 'f' or 'nc', not %r"
-                         % (choice,))
+    if choice not in ("auto", "f", "nc", "fast"):
+        raise ValueError("engine must be 'auto', 'f', 'nc' or 'fast', "
+                         "not %r" % (choice,))
     if isinstance(query, str) and supports_reverse_axes(query):
         rewritten = rewrite_reverse_axes(query)
         if rewritten is None:
@@ -119,15 +150,40 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
         from repro.xpath.parser import parse_query_set
         branches = parse_query_set(query)
         if len(branches) > 1:
+            if choice == "fast":
+                raise FastPathUnsupportedError(
+                    "the fast path runs single queries; a top-level "
+                    "union compiles to grouped interpreted runtimes",
+                    reason="union")
             return UnionEngine(branches, obs=obs, cache=cache)
     if choice == "f":
-        return XSQEngine(query, obs=obs, cache=cache)
+        engine = XSQEngine(query, obs=obs, cache=cache)
+        _record_selection(obs, engine.name, "forced")
+        return engine
     if choice == "nc":
-        return XSQEngineNC(query, obs=obs, cache=cache)
+        engine = XSQEngineNC(query, obs=obs, cache=cache)
+        _record_selection(obs, engine.name, "forced")
+        return engine
+    if choice == "fast":
+        engine = XSQEngineFast(query, obs=obs, cache=cache)
+        _record_selection(obs, engine.name, "forced")
+        return engine
+    # auto: compiled fast path when supported, else the deterministic
+    # interpreted runtime, else full XSQ-F.
     try:
-        return XSQEngineNC(query, obs=obs, cache=cache)
+        engine = XSQEngineFast(query, obs=obs, cache=cache)
+        _record_selection(obs, engine.name, "selected")
+        return engine
+    except FastPathUnsupportedError as exc:
+        reason = exc.reason
+        note = "fast path not selected: %s (%s)" % (exc.reason, exc)
+    try:
+        engine = XSQEngineNC(query, obs=obs, cache=cache)
     except ClosureNotSupportedError:
-        return XSQEngine(query, obs=obs, cache=cache)
+        engine = XSQEngine(query, obs=obs, cache=cache)
+    engine.selection_note = note
+    _record_selection(obs, engine.name, "fallback", reason=reason)
+    return engine
 
 
 class CompiledQuery:

@@ -46,10 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every query in FILE (one per line, "
                              "#-comments allowed) in a single pass over "
                              "the input, printing results per query")
-    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
                         default="auto",
                         help="f = XSQ-F (full), nc = XSQ-NC (no closures), "
-                             "auto = nc when possible, else f")
+                             "fast = compiled fast path, auto = fast when "
+                             "possible, else nc, else f")
     parser.add_argument("--explain", action="store_true",
                         help="print the compiled HPDT and exit")
     parser.add_argument("--dot", action="store_true",
@@ -116,10 +117,11 @@ def build_trace_parser() -> argparse.ArgumentParser:
     parser.add_argument("query", help="XPath query in the supported subset")
     parser.add_argument("file", nargs="?", default=None,
                         help="XML file to query (default: stdin)")
-    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
                         default="auto",
-                        help="f = XSQ-F, nc = XSQ-NC, auto = nc when "
-                             "possible, else f")
+                        help="f = XSQ-F, nc = XSQ-NC, fast = compiled "
+                             "fast path, auto = fast when possible, "
+                             "else nc, else f")
     parser.add_argument("--jsonl", default=None, metavar="OUT",
                         help="write spans, buffer operations, and a "
                              "metrics snapshot as JSON lines to OUT "
@@ -155,10 +157,11 @@ def build_top_parser() -> argparse.ArgumentParser:
                                       "(unions run grouped)")
     parser.add_argument("file", nargs="?", default=None,
                         help="XML file to query (default: stdin)")
-    parser.add_argument("--engine", choices=("f", "nc", "auto"),
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
                         default="auto",
-                        help="f = XSQ-F, nc = XSQ-NC, auto = nc when "
-                             "possible, else f")
+                        help="f = XSQ-F, nc = XSQ-NC, fast = compiled "
+                             "fast path, auto = fast when possible, "
+                             "else nc, else f")
     parser.add_argument("--audit", action="store_true",
                         help="also run the necessary-buffering auditor; "
                              "exit 1 if it finds violations")

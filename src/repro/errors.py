@@ -47,6 +47,23 @@ class NotWellFormedError(ReproError):
     """
 
 
+class FastPathUnsupportedError(UnsupportedFeatureError):
+    """The compiled fast path cannot run this query or configuration.
+
+    Raised by :class:`repro.xsq.fastpath.XSQEngineFast` at construction.
+    ``reason`` is a short stable slug (``closure-axis``,
+    ``element-output``, ``not-predicate``, ``or-predicate``,
+    ``path-predicate``, ``observability``, ``union``) naming the *first*
+    unsupported feature; ``engine="auto"`` catches this error, falls
+    back to an interpreted runtime, and surfaces the slug in
+    ``.explain()`` and the ``repro_fastpath_fallback_total`` metric.
+    """
+
+    def __init__(self, message, reason="unsupported"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ClosureNotSupportedError(UnsupportedFeatureError):
     """Raised by XSQ-NC when the query contains the closure axis ``//``.
 

@@ -15,6 +15,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+#: Integer event kinds for the batched tuple representation used by the
+#: compiled fast path (:mod:`repro.xsq.fastpath`).  A batched event is a
+#: plain tuple ``(kind, tag_id, payload, depth)`` where ``kind`` is one
+#: of these small ints (cheaper to compare than the kind strings),
+#: ``tag_id`` is the tag interned in a :class:`repro.xsq.fastpath.TagTable`,
+#: and ``payload`` is the attrs dict (begin), the text (text), or None
+#: (end).
+BEGIN = 0
+TEXT = 1
+END = 2
+
 
 class BeginEvent:
     """Begin event ``(tag, attrs, depth)`` for an opening tag."""
@@ -113,6 +124,37 @@ def iter_with_depth(events: Iterable[Event]) -> Iterator[Event]:
             depth -= 1
         else:
             yield TextEvent(event.tag, event.text, depth)
+
+
+def batch_events(events: Iterable[Event], tags,
+                 batch_size: int = 2048) -> Iterator[list]:
+    """Convert an :class:`Event` iterable into batched-tuple chunks.
+
+    The adapter the fast path uses when a caller hands it pre-built
+    events (tests, composed validators) instead of raw XML: each yielded
+    list holds up to ``batch_size`` ``(kind, tag_id, payload, depth)``
+    tuples with tags interned through ``tags`` (a
+    :class:`repro.xsq.fastpath.TagTable`).  The parser-backed sources
+    build these tuples directly (:meth:`SaxEventSource.batches`,
+    :meth:`TextEventSource.batches`) and skip Event allocation entirely.
+    """
+    intern_tag = tags.intern
+    batch: list = []
+    append = batch.append
+    for event in events:
+        kind = event.kind
+        if kind == "begin":
+            append((BEGIN, intern_tag(event.tag), event.attrs, event.depth))
+        elif kind == "end":
+            append((END, intern_tag(event.tag), None, event.depth))
+        else:
+            append((TEXT, intern_tag(event.tag), event.text, event.depth))
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
 
 
 def events_from_pairs(pairs: Iterable[Tuple[str, object]]) -> List[Event]:

@@ -22,10 +22,19 @@ from __future__ import annotations
 
 import io
 import re
+import sys
 from typing import IO, Iterator, List, Union
 
 from repro.errors import StreamError
-from repro.streaming.events import BeginEvent, EndEvent, Event, TextEvent
+from repro.streaming.events import (
+    BEGIN,
+    END,
+    TEXT,
+    BeginEvent,
+    EndEvent,
+    Event,
+    TextEvent,
+)
 
 _NAME = r"[A-Za-z_:][A-Za-z0-9_.:\-]*"
 _ATTR_RE = re.compile(
@@ -66,7 +75,10 @@ def _decode_entities(text: str) -> str:
 def _parse_attrs(raw: str) -> dict:
     attrs = {}
     for match in _ATTR_RE.finditer(raw):
-        name = match.group(1)
+        # sys.intern: attribute names recur on every element of a
+        # dataset, and interned keys make the engines' dict probes
+        # pointer comparisons instead of character scans.
+        name = sys.intern(match.group(1))
         value = match.group(2)[1:-1]
         attrs[name] = _decode_entities(value)
     return attrs
@@ -149,6 +161,64 @@ class TextEventSource:
         if tag_stack:
             raise StreamError("document ended with open elements: %s"
                               % "/".join(tag_stack))
+
+    def batches(self, tags, batch_size: int = 2048) -> Iterator[list]:
+        """Yield chunks of ``(kind, tag_id, payload, depth)`` tuples.
+
+        The pure-Python twin of
+        :meth:`repro.streaming.sax_source.SaxEventSource.batches`: same
+        tuples, same order, tags interned once into ``tags`` (a
+        :class:`repro.xsq.fastpath.TagTable`), no Event allocation.
+        """
+        intern_tag = tags.intern
+        self._buf = ""
+        self._pos = 0
+        self._eof = False
+        depth = 0
+        tid_stack: List[int] = []
+        batch: list = []
+        try:
+            while True:
+                try:
+                    token = self._next_token(bool(tid_stack))
+                except _Starved:
+                    self._read_more()
+                    continue
+                if token is None:
+                    break
+                kind, payload = token
+                if kind == "text":
+                    if tid_stack:
+                        batch.append((TEXT, tid_stack[-1], payload, depth))
+                    elif payload.strip():
+                        raise StreamError("text outside document element")
+                elif kind == "begin":
+                    tag, attrs, self_closing = payload
+                    depth += 1
+                    tid = intern_tag(tag)
+                    batch.append((BEGIN, tid, attrs, depth))
+                    if self_closing:
+                        batch.append((END, tid, None, depth))
+                        depth -= 1
+                    else:
+                        tid_stack.append(tid)
+                elif kind == "end":
+                    if not tid_stack:
+                        raise StreamError(
+                            "close tag %r with no open element" % payload)
+                    batch.append((END, tid_stack.pop(), None, depth))
+                    depth -= 1
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+        finally:
+            self._stream.close()
+        if tid_stack:
+            raise StreamError("document ended with open elements: %s"
+                              % "/".join(tags.names[tid]
+                                         for tid in tid_stack))
+        if batch:
+            yield batch
 
     def _read_more(self) -> bool:
         """Append one chunk to the buffer; return False at end of input."""
@@ -238,14 +308,18 @@ class TextEventSource:
                     raise StreamError(
                         "malformed close tag near %r" % buf[pos:pos + 40])
                 self._pos = match.end()
-                return ("end", match.group(1))
+                return ("end", sys.intern(match.group(1)))
 
             match = _OPEN_TAG_RE.match(buf, pos)
             if match is None:
                 if buf.find(">", pos) == -1 and not self._eof:
                     raise _Starved()
                 raise StreamError("malformed tag near %r" % buf[pos:pos + 40])
-            tag = match.group(1)
+            # Interned tags collapse every downstream tag comparison
+            # (step matching, dispatch routing, TagTable probes) to a
+            # pointer check; a dataset has few distinct tags, so the
+            # intern table stays tiny.
+            tag = sys.intern(match.group(1))
             attrs = _parse_attrs(match.group(2)) if match.group(2) else {}
             self._pos = match.end()
             return ("begin", (tag, attrs, bool(match.group(3))))

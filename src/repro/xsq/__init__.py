@@ -6,6 +6,8 @@ Public entry points:
   predicates, aggregations).
 * :class:`XSQEngineNC` — XSQ-NC, the faster deterministic engine that
   rejects closures.
+* :class:`XSQEngineFast` — the compiled fast path: the deterministic
+  HPDT lowered to integer-indexed transition tables at compile time.
 * :class:`Hpdt` / :class:`Bpdt` — the compiled automata, inspectable
   (``describe()``, ``to_dot()``).
 
@@ -24,6 +26,13 @@ from repro.xsq.compile_cache import (
 from repro.xsq.depthvector import DepthVector
 from repro.xsq.dispatch import DispatchIndex
 from repro.xsq.engine import RunStats, XSQEngine
+from repro.xsq.fastpath import (
+    FastPlan,
+    FastRuntime,
+    TagTable,
+    XSQEngineFast,
+    compile_fastplan,
+)
 from repro.xsq.hpdt import Hpdt
 from repro.xsq.matcher import MatcherRuntime, PredicateInstance
 from repro.xsq.multiquery import MultiQueryEngine
@@ -45,7 +54,12 @@ __all__ = [
     "DispatchIndex",
     "RunStats",
     "XSQEngine",
+    "XSQEngineFast",
     "XSQEngineNC",
+    "FastPlan",
+    "FastRuntime",
+    "TagTable",
+    "compile_fastplan",
     "MultiQueryEngine",
     "SchemaAwareEngine",
     "Plan",

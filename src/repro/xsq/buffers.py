@@ -129,6 +129,17 @@ class OutputQueue:
         # counter is therefore 0 in fully un-observed runs.
         self.uploaded_total = 0
         self.track_ownership = trace is not None or account is not None
+        if not self.track_ownership:
+            # Un-instrumented runs bind the plain variants once, here,
+            # instead of testing ``trace``/``account`` against None on
+            # every buffer operation.  The class has no __slots__
+            # precisely so this per-instance rebinding works.
+            self.new_item = self._new_item_plain
+            self.mark_output = self._mark_output_plain
+            self.mark_dead = self._mark_dead_plain
+            self.value_finalized = self._value_finalized_plain
+            self.finish = self._finish_plain
+            self._advance = self._advance_plain
 
     def __len__(self) -> int:
         return self._size
@@ -231,6 +242,79 @@ class OutputQueue:
         self._advance()
         if self.account is not None:
             self.account.on_finish(self)
+
+    # -- plain (uninstrumented) variants ---------------------------------
+    #
+    # Bound over the instrumented methods in __init__ when neither a
+    # trace nor an account is attached: byte-for-byte the same counter
+    # and linked-list mutations, minus the per-operation None-checks.
+    # Keep these in lockstep with their instrumented twins above — the
+    # obs-overhead benchmark's structural test asserts the bindings and
+    # the equivalence suite asserts identical RunStats either way.
+
+    def _new_item_plain(self, value: Optional[str], owner: Tuple[int, int],
+                        value_ready: bool = True,
+                        on_emit: Optional[Callable[[BufferItem], None]] = None,
+                        depth_vector: tuple = (),
+                        governed: int = 0) -> BufferItem:
+        if self._seq_source is not None:
+            seq = self._seq_source()
+        else:
+            seq = self._next_seq
+            self._next_seq += 1
+        item = BufferItem(value, seq, owner,
+                          value_ready=value_ready, on_emit=on_emit)
+        if self._tail is None:
+            self._head = self._tail = item
+        else:
+            item.prev = self._tail
+            self._tail.next = item
+            self._tail = item
+        self._size += 1
+        self.enqueued_total += 1
+        if self._size > self.peak_size:
+            self.peak_size = self._size
+        return item
+
+    def _mark_output_plain(self, item: BufferItem,
+                           depth_vector: tuple = ()) -> None:
+        if item.state in (DEAD, SENT):
+            return
+        if item.state != OUTPUT:
+            self.flushed_total += 1
+        item.state = OUTPUT
+        self._advance()
+
+    def _mark_dead_plain(self, item: BufferItem,
+                         depth_vector: tuple = ()) -> None:
+        if item.state in (DEAD, SENT, OUTPUT):
+            return
+        item.state = DEAD
+        self.cleared_total += 1
+        self._unlink(item)
+        self._advance()
+
+    def _value_finalized_plain(self, item: BufferItem) -> None:
+        item.value_ready = True
+        if item.state == OUTPUT:
+            self._advance()
+
+    def _finish_plain(self) -> None:
+        self._advance()
+
+    def _advance_plain(self) -> None:
+        head = self._head
+        while head is not None and head.state == OUTPUT and head.value_ready:
+            self._unlink(head)
+            head.state = SENT
+            self.emitted_total += 1
+            if self.track_seqs:
+                self.emitted_seqs.append(head.seq)
+            if head.on_emit is not None:
+                head.on_emit(head)
+            else:
+                self.sink.append(head.value if head.value is not None else "")
+            head = self._head
 
     # -- internals -------------------------------------------------------
 

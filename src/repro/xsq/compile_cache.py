@@ -15,6 +15,13 @@ export through :mod:`repro.obs`.  :func:`compile_hpdt` is the front
 door every engine uses; ``cache=False`` bypasses caching entirely and
 ``cache=None`` uses the process-default instance.
 
+The fast path's lowered transition tables ride along: the first
+:func:`repro.xsq.fastpath.compile_fastplan` call memoizes its
+:class:`~repro.xsq.fastpath.FastPlan` on the HPDT (``hpdt._fastplan``),
+so a cache hit skips both the HPDT build *and* the lowering.  The memo
+is derived purely from the query, which is what keeps it safe on shared
+instances.
+
     >>> from repro.xsq.compile_cache import DEFAULT_CACHE, compile_hpdt
     >>> first = compile_hpdt("/pub/book/name/text()")
     >>> compile_hpdt("/pub/book/name/text()") is first

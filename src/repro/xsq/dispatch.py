@@ -78,6 +78,21 @@ class DispatchIndex:
         """Indices of the queries that must see events for ``tag``."""
         return self.routes.get(tag, self.default)
 
+    def id_routes(self, tags) -> Tuple[Dict[int, Tuple[int, ...]],
+                                       Tuple[int, ...]]:
+        """The routing table re-keyed by interned tag id.
+
+        ``tags`` is the shared :class:`repro.xsq.fastpath.TagTable` the
+        batched parsers stamp events with; the fast multi-query pump
+        routes on ``event[1]`` (an int) instead of a tag string, so the
+        per-event lookup skips string hashing entirely.  Interning here
+        also pre-registers every bucketed tag, keeping ids stable no
+        matter which tag the stream mentions first.
+        """
+        return ({tags.intern(tag): members
+                 for tag, members in self.routes.items()},
+                self.default)
+
     # -- introspection ----------------------------------------------------
 
     @property

@@ -131,6 +131,9 @@ class XSQEngine:
             self.trace = BufferTrace() if trace else None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
+        # Set by repro.api.select_engine when engine="auto" fell back
+        # here from the compiled fast path; surfaced by explain().
+        self.selection_note: Optional[str] = None
 
     # -- running -----------------------------------------------------------
 
@@ -284,7 +287,11 @@ class XSQEngine:
 
     def explain(self) -> str:
         """Describe the compiled HPDT (the CLI's --explain output)."""
-        return self.hpdt.describe()
+        lines = [self.hpdt.describe(), "",
+                 "runtime: xsq-f (nondeterministic interpreted runtime)"]
+        if self.selection_note:
+            lines.append(self.selection_note)
+        return "\n".join(lines)
 
     @property
     def stats(self) -> Optional[RunStats]:

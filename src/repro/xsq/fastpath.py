@@ -1,0 +1,735 @@
+"""Compiled HPDT fast path: transition tables + a slot interpreter.
+
+The interpreted runtimes pay per-event Python overhead the paper's
+C/Java systems never would: ``isinstance``-chained predicate dispatch,
+string tag comparison, per-element object allocation.  For the query
+class where the HPDT is *deterministic* — child-axis-only paths, the
+paper's plain predicate categories 1–5 — all of that work is a function
+of the query alone, so this module freezes it at compile time, the way
+Koch et al. freeze their stream schedule:
+
+* **Tag interning** (:class:`TagTable`): every distinct tag name maps to
+  a small int once, at the parser boundary; the runtime then routes on
+  ints.  The table is shared with the multi-query
+  :class:`~repro.xsq.dispatch.DispatchIndex` so shared-dispatch routing
+  uses the same ids.
+* **Transition tables** (:class:`FastPlan`): per HPDT state (= number of
+  matched leading steps, the deterministic engine's single current
+  position) an int-keyed dict maps a begin event's tag id to the
+  *complete* action list for that event — category-3/4 witness tests
+  for the parent step and/or the match program for the next step — with
+  every predicate lowered to a precompiled closure (no ``isinstance``,
+  no attribute walks).  Text and child-text deciding events get the
+  same treatment.
+* **Slot interpreter** (:class:`FastRuntime`): one preallocated
+  predicate-instance stack, integer depth gating, batched event feed
+  (``(kind, tag_id, payload, depth)`` tuples from
+  :meth:`~repro.streaming.sax_source.SaxEventSource.batches`), no Event
+  objects, no per-event attribute dispatch.
+
+Semantics are *identical* to the interpreted engines — the fast path
+reuses :class:`~repro.xsq.matcher.PredicateInstance`,
+:class:`~repro.xsq.matcher.Chain` and
+:class:`~repro.xsq.buffers.OutputQueue` unchanged, so results, document
+order and the buffer-operation counters (RunStats) are byte-for-byte
+the same, which ``tests/test_fastpath_equivalence.py`` proves
+differentially.  Queries outside the supported class (closure axis,
+``not()``/``or()``, nested-path predicates, element output) raise
+:class:`~repro.errors.FastPathUnsupportedError` naming the first
+unsupported feature; ``engine="auto"`` catches it and falls back to an
+interpreted runtime with the reason surfaced in ``.explain()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import FastPathUnsupportedError
+from repro.streaming.events import BEGIN, END, TEXT, batch_events
+from repro.xpath.ast import (
+    AggregateOutput,
+    AttrExists,
+    AttrOutput,
+    Axis,
+    ChildAttrExists,
+    ChildExists,
+    ElementOutput,
+    NotPredicate,
+    OrPredicate,
+    PathPredicate,
+    Query,
+    TextExists,
+    TextOutput,
+    compare,
+)
+from repro.xpath.parser import parse_query
+from repro.xsq.aggregates import StatBuffer
+from repro.xsq.buffers import BufferItem, OutputQueue
+from repro.xsq.compile_cache import compile_hpdt
+from repro.xsq.engine import RunStats
+from repro.xsq.hpdt import Hpdt
+from repro.xsq.matcher import Chain, PredicateInstance
+
+
+class TagTable:
+    """Bidirectional tag-name ↔ small-int interner.
+
+    One table per engine run family: the parser boundary interns each
+    distinct tag once (``sys.intern``-ed names make the dict lookups
+    pointer comparisons in the common case) and every downstream
+    consumer — the fast runtime's transition rows, the dispatch index's
+    id routes — keys on the resulting ints.
+    """
+
+    __slots__ = ("ids", "names")
+
+    def __init__(self):
+        self.ids: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def intern(self, tag: str) -> int:
+        tid = self.ids.get(tag)
+        if tid is None:
+            tid = len(self.names)
+            self.ids[tag] = tid
+            self.names.append(tag)
+        return tid
+
+    def get(self, tag: str) -> Optional[int]:
+        """The id for ``tag`` if already interned (compile-time lookup)."""
+        return self.ids.get(tag)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self):
+        return "<TagTable %d tags>" % len(self.names)
+
+
+def unsupported_reason(query: Query) -> Optional[Tuple[str, str]]:
+    """Why the fast path cannot run ``query`` — or None if it can.
+
+    Returns ``(slug, message)`` for the *first* unsupported feature in
+    query order (steps left to right, predicates in order, output
+    last), which is what ``.explain()`` reports after a fallback.
+    """
+    for index, step in enumerate(query.steps):
+        where = "step %d (%s)" % (index + 1, step.node_test)
+        if step.axis is Axis.DESCENDANT:
+            return ("closure-axis",
+                    "closure axis // at %s needs the nondeterministic "
+                    "runtime" % where)
+        for predicate in step.predicates:
+            if isinstance(predicate, NotPredicate):
+                return ("not-predicate",
+                        "not() predicate at %s" % where)
+            if isinstance(predicate, OrPredicate):
+                return ("or-predicate",
+                        "or disjunction at %s" % where)
+            if isinstance(predicate, PathPredicate):
+                return ("path-predicate",
+                        "nested path predicate at %s" % where)
+    if isinstance(query.output, ElementOutput):
+        return ("element-output",
+                "element (catchall) output needs subtree serialization")
+    return None
+
+
+# -- predicate lowering ----------------------------------------------------
+
+def _attr_test(predicate) -> Callable[[dict], bool]:
+    """Category-1 predicate → closure over an attrs dict."""
+    if isinstance(predicate, AttrExists):
+        attr = predicate.attr
+
+        def test(attrs, _attr=attr):
+            return _attr in attrs
+        return test
+    attr, op, value = predicate.attr, predicate.op, predicate.value
+
+    def test(attrs, _attr=attr, _op=op, _value=value):
+        found = attrs.get(_attr)
+        return found is not None and compare(found, _op, _value)
+    return test
+
+
+def _text_test(predicate) -> Callable[[str], bool]:
+    """Category-2 predicate → closure over the element's text."""
+    if isinstance(predicate, TextExists):
+        def test(text):
+            return bool(text.strip())
+        return test
+    op, value = predicate.op, predicate.value
+
+    def test(text, _op=op, _value=value):
+        return compare(text, _op, _value)
+    return test
+
+
+def _child_attr_test(predicate) -> Optional[Callable[[dict], bool]]:
+    """Category-3/4 predicate → closure over the child's attrs.
+
+    ``None`` means the child's begin event alone is the witness
+    (category 3: bare ``[child]``).
+    """
+    if isinstance(predicate, ChildExists):
+        return None
+    if isinstance(predicate, ChildAttrExists):
+        attr = predicate.attr
+
+        def test(attrs, _attr=attr):
+            return _attr in attrs
+        return test
+    attr, op, value = predicate.attr, predicate.op, predicate.value
+
+    def test(attrs, _attr=attr, _op=op, _value=value):
+        found = attrs.get(_attr)
+        return found is not None and compare(found, _op, _value)
+    return test
+
+
+def _child_text_test(predicate) -> Callable[[str], bool]:
+    """Category-5 predicate → closure over the child's text."""
+    op, value = predicate.op, predicate.value
+
+    def test(text, _op=op, _value=value):
+        return compare(text, _op, _value)
+    return test
+
+
+def _compile_match(step):
+    """Lower one location step's begin-event decision to ``(prog, const,
+    undecided)``.
+
+    ``prog(attrs)`` evaluates the category-1 predicates and returns
+    ``False`` (dead), or ``const``; when there are none, ``prog`` is
+    ``None`` and the verdict is the constant directly.  ``const`` is
+    ``True`` when no deciding events are pending and ``None`` (enter
+    NA) otherwise; ``undecided`` are the pending predicate indices.
+    """
+    cat1_tests = []
+    undecided = []
+    for index, predicate in enumerate(step.predicates):
+        if predicate.resolves_at_begin:
+            cat1_tests.append(_attr_test(predicate))
+        else:
+            undecided.append(index)
+    const = True if not undecided else None
+    if not cat1_tests:
+        return None, const, tuple(undecided)
+    tests = tuple(cat1_tests)
+
+    def prog(attrs, _tests=tests, _const=const):
+        for test in _tests:
+            if not test(attrs):
+                return False
+        return _const
+    return prog, const, tuple(undecided)
+
+
+class FastPlan:
+    """The HPDT lowered to integer-indexed transition rows.
+
+    State ``m`` (0..n) is "the first ``m`` location steps are matched
+    by the currently open path" — the deterministic engine's single
+    current position.  Each row answers, for one event kind at the only
+    depths that can matter, "what is the complete action list?":
+
+    ``begin_named[m]``
+        tag id → ``(watches, match)`` for a begin event at depth
+        ``m+1``: ``watches`` are the category-3/4 witness tests of step
+        ``m-1`` listening for this child tag, ``match`` the lowered
+        begin decision of step ``m`` (or None when the tag doesn't
+        match it).
+    ``begin_default[m]``
+        the entry for tags not named in the row (wildcard watches
+        and/or a wildcard node test), or None — in which case an
+        unnamed begin event falls through in O(1).
+    ``text_tests[m]``
+        category-2 tests of step ``m-1`` for a text event at depth
+        ``m``.
+    ``child_text_named[m]`` / ``child_text_default[m]``
+        category-5 tests of step ``m-1`` keyed by the child's tag id,
+        for a text event at depth ``m+1``.
+    """
+
+    __slots__ = ("query", "tags", "n", "begin_named", "begin_default",
+                 "text_tests", "child_text_named", "child_text_default",
+                 "out_attr", "out_kind")
+
+    def __init__(self, query: Query, tags: TagTable):
+        self.query = query
+        self.tags = tags
+        steps = query.steps
+        n = self.n = len(steps)
+        intern = tags.intern
+
+        matches = [_compile_match(step) for step in steps]
+        self.begin_named: List[Dict[int, tuple]] = []
+        self.begin_default: List[Optional[tuple]] = []
+        self.text_tests: List[tuple] = [()] * (n + 1)
+        self.child_text_named: List[Dict[int, tuple]] = \
+            [dict() for _ in range(n + 1)]
+        self.child_text_default: List[tuple] = [()] * (n + 1)
+
+        for m in range(n + 1):
+            # Deciding-event watches of the deepest matched step (m-1).
+            named_watches: Dict[int, list] = {}
+            wild_watches: list = []
+            text_tests: list = []
+            ct_named: Dict[int, list] = {}
+            ct_wild: list = []
+            if m >= 1:
+                step = steps[m - 1]
+                for pred_index, predicate in enumerate(step.predicates):
+                    if predicate.resolves_at_begin:
+                        continue
+                    category = predicate.category
+                    if category == 2:
+                        text_tests.append((pred_index,
+                                           _text_test(predicate)))
+                    elif category in (3, 4):
+                        entry = (pred_index, _child_attr_test(predicate))
+                        if predicate.child == "*":
+                            wild_watches.append(entry)
+                        else:
+                            named_watches.setdefault(
+                                intern(predicate.child), []).append(entry)
+                    else:  # category 5
+                        entry = (pred_index, _child_text_test(predicate))
+                        if predicate.child == "*":
+                            ct_wild.append(entry)
+                        else:
+                            ct_named.setdefault(
+                                intern(predicate.child), []).append(entry)
+            self.text_tests[m] = tuple(text_tests)
+            self.child_text_default[m] = tuple(ct_wild)
+            self.child_text_named[m] = {
+                tid: tuple(entries) + tuple(ct_wild)
+                for tid, entries in ct_named.items()}
+
+            # The match decision for step m, fused into the same row.
+            match = None
+            match_tid = None
+            wildcard_step = False
+            if m < n:
+                match = matches[m]
+                if steps[m].node_test == "*":
+                    wildcard_step = True
+                else:
+                    match_tid = intern(steps[m].node_test)
+
+            keys = set(named_watches)
+            if match_tid is not None:
+                keys.add(match_tid)
+            row: Dict[int, tuple] = {}
+            for tid in keys:
+                watches = tuple(named_watches.get(tid, ())) \
+                    + tuple(wild_watches)
+                row_match = match if (wildcard_step or tid == match_tid) \
+                    else None
+                row[tid] = (watches, row_match)
+            default = None
+            if wild_watches or wildcard_step:
+                default = (tuple(wild_watches),
+                           match if wildcard_step else None)
+            self.begin_named.append(row)
+            self.begin_default.append(default)
+
+        output = query.output
+        self.out_attr: Optional[str] = None
+        if isinstance(output, TextOutput):
+            self.out_kind = "text"
+        elif isinstance(output, AttrOutput):
+            self.out_kind = "attr"
+            self.out_attr = output.attr
+        elif isinstance(output, AggregateOutput):
+            self.out_kind = "count" if output.name == "count" else "agg"
+        else:  # pragma: no cover - compile_fastplan rejects ElementOutput
+            raise FastPathUnsupportedError(
+                "element output is not fast-path compilable",
+                reason="element-output")
+
+    def describe(self) -> str:
+        """Table-shape summary for ``.explain()``."""
+        rows = sum(len(row) for row in self.begin_named)
+        watches = sum(
+            len(entries)
+            for row in self.begin_named for entries, _ in row.values())
+        return ("compiled transition tables: %d states, %d interned tags, "
+                "%d begin-row entries (%d watch hooks), output=%s"
+                % (self.n + 1, len(self.tags), rows, watches,
+                   self.out_kind))
+
+
+def compile_fastplan(hpdt: Hpdt, tags: Optional[TagTable] = None) -> FastPlan:
+    """Lower ``hpdt`` to a :class:`FastPlan`, or raise
+    :class:`FastPathUnsupportedError` naming the first blocker.
+
+    With ``tags=None`` the plan is memoized on the HPDT itself
+    (``hpdt._fastplan``), so it rides the process-wide HPDT compile
+    cache: a query compiled once per process is *lowered* once per
+    process too.  Passing an explicit shared ``tags`` table (the
+    multi-query path, where every member must agree on tag ids)
+    bypasses the memo.
+    """
+    reason = unsupported_reason(hpdt.query)
+    if reason is not None:
+        slug, message = reason
+        raise FastPathUnsupportedError(message, reason=slug)
+    if tags is None:
+        plan = hpdt._fastplan
+        if plan is None:
+            plan = FastPlan(hpdt.query, TagTable())
+            hpdt._fastplan = plan
+        return plan
+    return FastPlan(hpdt.query, tags)
+
+
+class FastRuntime:
+    """One table-driven deterministic pass over one document.
+
+    Mirrors :class:`repro.xsq.nc._NCRuntime`'s depth-gated logic —
+    including its sparse-feed safety under shared dispatch (at any
+    moment the open element at depth ``matched`` is *the* matched one,
+    so withheld events can never desynchronize the gate) — but consumes
+    batched tuples and dispatches through the compiled rows.  The
+    buffer discipline is the shared one: ``PredicateInstance``,
+    ``Chain`` and ``OutputQueue`` are reused unchanged, which is what
+    makes results, order, and RunStats counters identical to the
+    interpreted engines.
+    """
+
+    def __init__(self, plan: FastPlan, hpdt: Hpdt, sink: list,
+                 stat: Optional[StatBuffer] = None,
+                 queue: Optional[OutputQueue] = None):
+        self.plan = plan
+        self.hpdt = hpdt
+        self.sink = sink
+        self.stat = stat
+        self.queue = queue if queue is not None else OutputQueue(sink)
+        if self.queue.track_ownership:
+            raise FastPathUnsupportedError(
+                "the fast path runs without per-operation instrumentation; "
+                "trace/accounting-bearing queues need an interpreted "
+                "runtime", reason="observability")
+        self.n = plan.n
+        self.matched = 0
+        #: Preallocated instance stack: slot m holds the activation of
+        #: step m for the currently matched path (valid for m < matched).
+        self.inst_stack: List[Optional[PredicateInstance]] = [None] * plan.n
+        self._live = 0
+        self.peak_instances = 0
+        out_kind = plan.out_kind
+        self._out_begin = (self._out_begin_attr if out_kind == "attr"
+                           else self._out_begin_count if out_kind == "count"
+                           else None)
+        self._out_text = (self._out_text_value if out_kind == "text"
+                          else self._out_text_agg if out_kind == "agg"
+                          else None)
+
+    # -- driving -----------------------------------------------------------
+
+    def run_batch(self, batch) -> None:
+        """Interpret one chunk of ``(kind, tag_id, payload, depth)``."""
+        matched = self.matched
+        n = self.n
+        inst_stack = self.inst_stack
+        plan = self.plan
+        begin_named = plan.begin_named
+        begin_default = plan.begin_default
+        text_tests = plan.text_tests
+        ct_named = plan.child_text_named
+        ct_default = plan.child_text_default
+        out_begin = self._out_begin
+        out_text = self._out_text
+        live = self._live
+        peak = self.peak_instances
+
+        for event in batch:
+            kind = event[0]
+            if kind == BEGIN:
+                if event[3] != matched + 1:
+                    continue
+                entry = begin_named[matched].get(event[1],
+                                                 begin_default[matched])
+                if entry is None:
+                    continue
+                watches, match = entry
+                if watches and matched:
+                    instance = inst_stack[matched - 1]
+                    if instance.status is None:
+                        pending = instance.pending
+                        attrs = event[2]
+                        for pred_index, test in watches:
+                            if pred_index in pending and (
+                                    test is None or test(attrs)):
+                                instance.witness(pred_index, self)
+                if match is None:
+                    continue
+                prog, const, undecided = match
+                verdict = prog(event[2]) if prog is not None else const
+                if verdict is False:
+                    continue
+                if verdict is True:
+                    instance = PredicateInstance(matched + 1, None)
+                else:
+                    instance = PredicateInstance(matched + 1,
+                                                 set(undecided))
+                inst_stack[matched] = instance
+                matched += 1
+                live += 1
+                if live > peak:
+                    peak = live
+                if matched == n and out_begin is not None:
+                    self.matched = matched
+                    out_begin(event)
+            elif kind == END:
+                if event[3] == matched and matched:
+                    matched -= 1
+                    live -= 1
+                    instance = inst_stack[matched]
+                    if instance.status is None:
+                        instance.resolve_at_end(self)
+            else:  # TEXT
+                depth = event[3]
+                if depth == matched and matched:
+                    tests = text_tests[matched]
+                    if tests:
+                        instance = inst_stack[matched - 1]
+                        if instance.status is None:
+                            pending = instance.pending
+                            text = event[2]
+                            for pred_index, test in tests:
+                                if pred_index in pending and test(text):
+                                    instance.witness(pred_index, self)
+                    if matched == n and out_text is not None:
+                        self.matched = matched
+                        out_text(event)
+                elif depth == matched + 1 and matched:
+                    entries = ct_named[matched].get(event[1],
+                                                    ct_default[matched])
+                    if entries:
+                        instance = inst_stack[matched - 1]
+                        if instance.status is None:
+                            pending = instance.pending
+                            text = event[2]
+                            for pred_index, test in entries:
+                                if pred_index in pending and test(text):
+                                    instance.witness(pred_index, self)
+
+        self.matched = matched
+        self._live = live
+        self.peak_instances = peak
+
+    def feed(self, event) -> None:
+        """Single-tuple feed (the batched form is the hot path)."""
+        self.run_batch((event,))
+
+    def finish(self) -> None:
+        self.queue.finish()
+
+    # -- result production -------------------------------------------------
+
+    def _out_begin_attr(self, event) -> None:
+        value = event[2].get(self.plan.out_attr)
+        if value is not None:
+            self._make_item(value)
+
+    def _out_begin_count(self, event) -> None:
+        self._make_item("1", on_emit=self._agg_emitter(1.0))
+
+    def _out_text_value(self, event) -> None:
+        self._make_item(event[2])
+
+    def _out_text_agg(self, event) -> None:
+        try:
+            value = float(event[2].strip())
+        except ValueError:
+            return
+        self._make_item(event[2], on_emit=self._agg_emitter(value))
+
+    def _agg_emitter(self, value: float) -> Callable[[BufferItem], None]:
+        stat = self.stat
+
+        def emit(_item: BufferItem) -> None:
+            stat.update(value)
+
+        return emit
+
+    def _make_item(self, value: Optional[str],
+                   on_emit: Optional[Callable] = None) -> BufferItem:
+        """Buffer one output unit against the single current embedding.
+
+        Matches ``_NCRuntime._make_item`` exactly for untracked queues
+        (the only kind the fast path accepts): owner ``(n, 0)``, one
+        chain, governed = still-NA ancestor count.
+        """
+        instances = tuple(self.inst_stack)
+        pending = [inst for inst in instances if inst.status is None]
+        item = self.queue.new_item(value, (self.n, 0),
+                                   on_emit=on_emit,
+                                   governed=len(pending))
+        item.live_chains = 1
+        if not pending:
+            self.queue.mark_output(item)
+        else:
+            chain = Chain(item, len(pending), instances, ())
+            for instance in pending:
+                instance.chain_watchers.append(chain)
+        return item
+
+
+class XSQEngineFast:
+    """The compiled fast path behind ``repro.compile(..., engine="auto")``.
+
+    Same surface as the interpreted engines (``run`` / ``iter_results``
+    / ``stats`` / ``explain``), same results, order and buffer
+    counters; construction raises
+    :class:`~repro.errors.FastPathUnsupportedError` when the query or
+    the observability configuration needs an interpreted runtime.
+    ``obs`` bundles carrying only spans and metrics are accepted (run
+    stats and phase spans are recorded); per-event instrumentation
+    (event trace, accounting, per-event timing) forces the fallback —
+    by design, the fast path has no per-event hook points.
+    """
+
+    name = "xsq-fast"
+    supports_predicates = True
+    supports_closures = False
+    supports_aggregates = True
+    streaming = True
+
+    def __init__(self, query: Union[str, Query], obs=None, *, cache=None):
+        if obs is not None and (obs.events is not None
+                                or obs.accounting is not None
+                                or obs.per_event_timing):
+            raise FastPathUnsupportedError(
+                "per-event observability (event trace, accounting, "
+                "per-event timing) needs an interpreted runtime",
+                reason="observability")
+        self.obs = obs
+        if obs is not None:
+            with obs.span("compile", engine=self.name):
+                if isinstance(query, str):
+                    with obs.span("parse"):
+                        query = parse_query(query)
+                with obs.span("hpdt-compile"):
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
+                with obs.span("fastplan-lower"):
+                    self.plan = compile_fastplan(self.hpdt)
+        else:
+            self.hpdt = compile_hpdt(query, cache=cache)
+            self.plan = compile_fastplan(self.hpdt)
+        self.query = self.hpdt.query
+        self.trace = None
+        self.last_stats: Optional[RunStats] = None
+        self.last_stat_buffer: Optional[StatBuffer] = None
+        self.selection_note: Optional[str] = None
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, source, sink: Optional[list] = None) -> list:
+        """Evaluate the query over ``source``; see :meth:`XSQEngine.run`."""
+        if sink is None:
+            sink = []
+        obs = self.obs
+        if obs is None:
+            count, runtime, stat = self._drive(source, sink)
+        else:
+            with obs.span("run", engine=self.name, query=self.query.text):
+                with obs.span("stream", engine=self.name) as stream_span:
+                    count, runtime, stat = self._drive(source, sink)
+            obs.record_run(self.name, self.last_stats,
+                           seconds=stream_span.duration)
+        if stat is not None:
+            return [stat.render()]
+        return sink
+
+    def _drive(self, source, sink):
+        stat = self._new_stat(False)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        count = 0
+        run_batch = runtime.run_batch
+        for batch in self._as_batches(source):
+            count += len(batch)
+            run_batch(batch)
+        runtime.finish()
+        self._capture_stats(runtime, count, stat)
+        return count, runtime, stat
+
+    def iter_results(self, source) -> Iterator[str]:
+        """Yield results incrementally, with batch granularity.
+
+        The fast path drains the sink between *batches* rather than
+        between events — the same values in the same order, surfacing
+        at worst one batch later than the interpreted engines.
+        """
+        sink: list = []
+        stat = self._new_stat(True)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        count = 0
+        for batch in self._as_batches(source):
+            count += len(batch)
+            runtime.run_batch(batch)
+            if stat is not None:
+                for value in stat.drain_snapshots():
+                    yield value
+            elif sink:
+                for value in sink:
+                    yield value
+                sink.clear()
+        runtime.finish()
+        self._capture_stats(runtime, count, stat)
+        if self.obs is not None:
+            self.obs.record_run(self.name, self.last_stats)
+        if stat is not None:
+            yield stat.render()
+        else:
+            for value in sink:
+                yield value
+            sink.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _as_batches(self, source):
+        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
+            from repro.streaming.sax_source import parse_events_batched
+            return parse_events_batched(source, self.plan.tags)
+        return batch_events(source, self.plan.tags)
+
+    def _new_stat(self, streaming: bool) -> Optional[StatBuffer]:
+        if isinstance(self.query.output, AggregateOutput):
+            return StatBuffer(self.query.output.name,
+                              track_snapshots=streaming)
+        return None
+
+    def _capture_stats(self, runtime: FastRuntime, events: int,
+                       stat: Optional[StatBuffer]) -> None:
+        queue = runtime.queue
+        self.last_stats = RunStats(
+            events=events,
+            enqueued=queue.enqueued_total,
+            cleared=queue.cleared_total,
+            emitted=queue.emitted_total,
+            peak_buffered_items=queue.peak_size,
+            peak_instances=runtime.peak_instances,
+            flushed=queue.flushed_total,
+            uploaded=queue.uploaded_total,
+        )
+        self.last_stat_buffer = stat
+
+    def explain(self) -> str:
+        lines = [self.hpdt.describe(), "",
+                 "runtime: xsq-fast (%s)" % self.plan.describe()]
+        if self.selection_note:
+            lines.append(self.selection_note)
+        return "\n".join(lines)
+
+    @property
+    def stats(self) -> Optional[RunStats]:
+        """Stats from the most recent run (the facade's uniform name)."""
+        return self.last_stats
+
+    def __repr__(self):
+        return "<XSQEngineFast %r>" % (self.query.text,)

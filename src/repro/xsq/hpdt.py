@@ -48,6 +48,11 @@ class Hpdt:
         self.closure_levels = frozenset(
             i + 1 for i, step in enumerate(self.query.steps)
             if step.axis is Axis.DESCENDANT)
+        # Memo slot for the fast path's lowered transition tables
+        # (:func:`repro.xsq.fastpath.compile_fastplan`).  Compute-once
+        # and derived purely from ``query``, so it is safe to carry on
+        # instances shared through the HPDT compile cache.
+        self._fastplan = None
         self._build()
 
     def _build(self) -> None:

@@ -367,6 +367,12 @@ class MatcherRuntime:
         # Peak simultaneously-open instances: the runtime memory metric.
         self._live_instances = 0
         self.peak_instances = 0
+        if self.account is None:
+            # The accountant tail in _on_end is the runtime's only
+            # per-event obs branch; pay the None-check once per run by
+            # binding the plain handler (feed() and the shared-dispatch
+            # driver both go through self.on_end).
+            self.on_end = self._on_end_plain
 
     # -- public driving --------------------------------------------------
 
@@ -380,11 +386,11 @@ class MatcherRuntime:
     def feed(self, event: Event) -> None:
         kind = event.kind
         if kind == "begin":
-            self._on_begin(event)
+            self.on_begin(event)
         elif kind == "end":
-            self._on_end(event)
+            self.on_end(event)
         else:
-            self._on_text(event)
+            self.on_text(event)
 
     def finish(self) -> None:
         self.queue.finish()
@@ -548,6 +554,37 @@ class MatcherRuntime:
                     instance.resolve_at_end(self)
         if self.account is not None and frame.instances:
             self.account.set_instances(self._live_instances)
+
+    def _on_end_plain(self, event: Event) -> None:
+        """:meth:`_on_end` minus the accountant tail.
+
+        Bound as ``self.on_end`` when no account is attached (see
+        ``__init__``).  Keep in lockstep with :meth:`_on_end` — only
+        the final accountant block may differ.
+        """
+        if self._serializing:
+            for holder in self._serializing:
+                holder.serializer.feed(event)
+        frame = self.stack.pop()
+        if frame.element_item is not None:
+            frame.element_item.value = frame.serializer.getvalue()
+            self._serializing.remove(frame)
+            self.queue.value_finalized(frame.element_item)
+        if self._trackers:
+            if frame.trackers:
+                # The anchor element closed: its trackers are finished.
+                for tracker in frame.trackers:
+                    tracker.done = True
+                self._trackers = [t for t in self._trackers if not t.done]
+            for tracker in self._trackers:
+                tracker.on_end(event.depth)
+        # NA -> START: every still-undecided activation is now false
+        # (all children seen, none satisfied the predicate).
+        for instance in frame.instances.values():
+            if instance is not FAILED_INSTANCE:
+                self._live_instances -= 1
+                if instance.status is None:
+                    instance.resolve_at_end(self)
 
     # The shared-dispatch driver (repro.xsq.multiquery) routes each
     # event kind directly, having already branched on it once.

@@ -39,8 +39,8 @@ import itertools
 import warnings
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import UnsupportedFeatureError
-from repro.streaming.events import Event
+from repro.errors import FastPathUnsupportedError, UnsupportedFeatureError
+from repro.streaming.events import Event, batch_events
 from repro.streaming.sax_source import parse_events
 from repro.xpath.ast import AggregateOutput, Query
 from repro.xsq.aggregates import StatBuffer
@@ -48,6 +48,7 @@ from repro.xsq.buffers import OutputQueue
 from repro.xsq.compile_cache import compile_hpdt
 from repro.xsq.dispatch import DispatchIndex
 from repro.xsq.engine import RunStats
+from repro.xsq.fastpath import FastRuntime, TagTable, compile_fastplan
 from repro.xsq.hpdt import Hpdt
 from repro.xsq.matcher import MatcherRuntime
 
@@ -87,6 +88,12 @@ class MultiQueryEngine:
         self.queries: List[Query] = [h.query for h in self.hpdts]
         self.index: Optional[DispatchIndex] = (
             DispatchIndex(self.hpdts) if shared_dispatch else None)
+        # Whole-group fast path: when every member lowers to a FastPlan
+        # against one shared TagTable (and nothing demands per-event
+        # instrumentation), run() partitions each parser batch through
+        # the id-keyed routes and drives compiled FastRuntimes instead
+        # of the interpreted matchers.
+        self._fast = self._try_fastplans()
         self.last_stats: Optional[List[RunStats]] = None
         if obs is not None and self.index is not None:
             shape = self.index.stats()
@@ -134,6 +141,89 @@ class MultiQueryEngine:
         if isinstance(source, (str, bytes)) or hasattr(source, "read"):
             return parse_events(source)
         return source
+
+    def _as_batches(self, source, tags: TagTable):
+        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
+            from repro.streaming.sax_source import parse_events_batched
+            return parse_events_batched(source, tags)
+        return batch_events(source, tags)
+
+    def _try_fastplans(self):
+        """Lower every member for the grouped fast path, or None.
+
+        All members must share one :class:`TagTable` so the dispatch
+        index's id routes agree with every plan's transition-row keys;
+        a single unsupported member (closure, not()/or(), path
+        predicate, element output) keeps the whole group interpreted —
+        mixing runtimes would reorder nothing but complicate the
+        invariants for no measured win on real workloads, where grouped
+        queries are structurally alike.
+        """
+        if self.obs is not None or self.index is None:
+            return None
+        tags = TagTable()
+        plans = []
+        try:
+            for hpdt in self.hpdts:
+                plans.append(compile_fastplan(hpdt, tags))
+        except FastPathUnsupportedError:
+            return None
+        routes, default = self.index.id_routes(tags)
+        return tags, plans, routes, default
+
+    def _run_fast(self, source, sinks):
+        """run() on compiled runtimes: batch, partition by tag id, drive.
+
+        Events are partitioned into per-runtime sub-batches with one
+        int-keyed route lookup each, then each runtime interprets its
+        sub-batch in one call — the per-event Python dispatch of
+        ``_pump_dispatch`` collapses into ``len(batch)`` appends plus a
+        handful of ``run_batch`` calls per chunk.
+        """
+        tags, plans, routes, default = self._fast
+        if sinks is None:
+            sinks = [[] for _ in self.queries]
+        elif len(sinks) != len(self.queries):
+            raise ValueError("expected %d sinks, got %d"
+                             % (len(self.queries), len(sinks)))
+        runtimes: List[FastRuntime] = []
+        stats: List[Optional[StatBuffer]] = []
+        for plan, hpdt, query, sink in zip(plans, self.hpdts,
+                                           self.queries, sinks):
+            stat = (StatBuffer(query.output.name)
+                    if isinstance(query.output, AggregateOutput) else None)
+            runtimes.append(FastRuntime(plan, hpdt, sink, stat=stat))
+            stats.append(stat)
+        routes_get = routes.get
+        subs: List[list] = [[] for _ in runtimes]
+        count = 0
+        for batch in self._as_batches(source, tags):
+            count += len(batch)
+            for event in batch:
+                for i in routes_get(event[1], default):
+                    subs[i].append(event)
+            for i, sub in enumerate(subs):
+                if sub:
+                    runtimes[i].run_batch(sub)
+                    del sub[:]
+        run_stats = []
+        for runtime in runtimes:
+            runtime.finish()
+            queue = runtime.queue
+            run_stats.append(RunStats(
+                events=count,
+                enqueued=queue.enqueued_total,
+                cleared=queue.cleared_total,
+                emitted=queue.emitted_total,
+                peak_buffered_items=queue.peak_size,
+                peak_instances=runtime.peak_instances,
+                flushed=queue.flushed_total,
+                uploaded=queue.uploaded_total))
+        self.last_stats = run_stats
+        results = []
+        for sink, stat in zip(sinks, stats):
+            results.append([stat.render()] if stat is not None else sink)
+        return results
 
     def _build_runtimes(self, shared_seq: bool, sinks=None):
         counter = itertools.count() if shared_seq else None
@@ -291,6 +381,8 @@ class MultiQueryEngine:
         with ``append``), mirroring the single-query engines' ``sink=``;
         results stream into them during the pass.
         """
+        if self._fast is not None:
+            return self._run_fast(source, sinks)
         sinks, stats, _ = self._drive(source, shared_seq=False,
                                       sinks=sinks)[:3]
         results = []

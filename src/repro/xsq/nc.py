@@ -348,6 +348,9 @@ class XSQEngineNC:
             self.trace = BufferTrace() if trace else None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
+        # Set by repro.api.select_engine when engine="auto" fell back
+        # here from the compiled fast path; surfaced by explain().
+        self.selection_note: Optional[str] = None
 
     @staticmethod
     def _reject_closure(query: Query) -> None:
@@ -460,7 +463,11 @@ class XSQEngineNC:
         self.last_stat_buffer = stat
 
     def explain(self) -> str:
-        return self.hpdt.describe()
+        lines = [self.hpdt.describe(), "",
+                 "runtime: xsq-nc (deterministic interpreted runtime)"]
+        if self.selection_note:
+            lines.append(self.selection_note)
+        return "\n".join(lines)
 
     @property
     def stats(self) -> Optional[RunStats]:

@@ -82,6 +82,7 @@ def render_figures() -> str:
     parts.append("GraphViz rendering of the same HPDT: run "
                  "`xsq --dot \"%s\"`.\n" % FIGURE11_QUERY)
     parts.append(MEMORY_FIGURES_SECTION)
+    parts.append(THROUGHPUT_FIGURES_SECTION)
     return "\n".join(parts)
 
 
@@ -102,6 +103,19 @@ item at every input size, and Figure 20's closure workload stays
 bounded by the largest element (~100 items) instead of growing with
 the document.  Watch either live with
 `xsq top QUERY FILE --audit`.
+"""
+
+#: Figures 15-17 are likewise measured; the throughput pipeline and
+#: the compiled fast path that carries it are documented separately.
+THROUGHPUT_FIGURES_SECTION = """\
+## Figures 15-17 — throughput
+
+The throughput figures are carried by the compiled fast path — these
+same automata lowered to integer-indexed transition tables (see
+[PERFORMANCE.md](PERFORMANCE.md)).  `benchmarks/bench_throughput.py`
+measures the Figure 15 corpora with each one's evaluation query and
+records fast / XSQ-NC / XSQ-F / parse-only MB/s into the committed
+`BENCH_throughput.json`.
 """
 
 

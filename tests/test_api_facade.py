@@ -9,6 +9,7 @@ import repro
 from repro.errors import ClosureNotSupportedError, UnsupportedFeatureError
 from repro.xsq.compile_cache import DEFAULT_CACHE, HpdtCache, compile_hpdt
 from repro.xsq.engine import RunStats, XSQEngine
+from repro.xsq.fastpath import XSQEngineFast
 from repro.xsq.hpdt import Hpdt
 from repro.xsq.multiquery import MultiQueryEngine
 from repro.xsq.nc import XSQEngineNC
@@ -17,11 +18,16 @@ XML = "<pub><book><name>N</name><year>2002</year></book></pub>"
 
 
 class TestCompileFacade:
-    def test_auto_prefers_nc(self):
+    def test_auto_prefers_fast_path(self):
         q = repro.compile("/pub/book/name/text()")
-        assert isinstance(q.engine, XSQEngineNC)
-        assert q.engine_name == "xsq-nc"
+        assert isinstance(q.engine, XSQEngineFast)
+        assert q.engine_name == "xsq-fast"
         assert q.run(XML) == ["N"]
+
+    def test_auto_falls_back_to_nc_on_element_output(self):
+        q = repro.compile("/pub/book/name")
+        assert isinstance(q.engine, XSQEngineNC)
+        assert "fast path not selected: element-output" in q.explain()
 
     def test_auto_falls_back_to_f_on_closure(self):
         q = repro.compile("//name/text()")
@@ -58,7 +64,7 @@ class TestCompileFacade:
         assert isinstance(repro.compile("/a/b/..").run(XML), list)
 
     def test_uniform_stats(self):
-        for text, kind in [("/pub/book/name/text()", XSQEngineNC),
+        for text, kind in [("/pub/book/name/text()", XSQEngineFast),
                            ("//name/text()", XSQEngine)]:
             q = repro.compile(text)
             assert q.stats is None
