@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Multi-core bulk-execution scaling over a Figure 15 document corpus.
+
+Shards a corpus of generated documents (the Figure 15 dataset families,
+many seeds) through :func:`repro.parallel.run_bulk` at ``--workers``
+1, 2 and 4, and measures documents/s and MB/s per worker count plus the
+speedup over the serial (``workers=1``) run.  Two properties gate CI
+(``--quick --check``):
+
+* agreement, always: every worker count must produce byte-identical
+  per-document results and aggregated RunStats to the serial run;
+* scaling, only on machines with >= 4 CPUs: the ``workers=4`` run must
+  reach ``--min-speedup`` x the serial throughput (the acceptance floor
+  is 2.5x for full runs; ``--quick`` gates at 1.5x because its corpus
+  is small enough that pool startup is a visible fraction).
+
+Writes a schema-versioned ``BENCH_parallel.json`` at the repo root; the
+artifact records ``cpu_count`` so a 1-core CI runner's numbers are
+never mistaken for a scaling regression.
+
+Usage::
+
+    python benchmarks/bench_parallel.py                   # full run
+    python benchmarks/bench_parallel.py --quick --check   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.datagen import generate_dblp, generate_shake
+from repro.parallel import run_bulk
+
+SCHEMA_VERSION = 1
+
+WORKER_COUNTS = [1, 2, 4]
+
+#: dataset -> (generator, query); the queries are the Figure 15/17
+#: family used by bench_throughput.py.
+WORKLOADS = {
+    "shake": (generate_shake, "/PLAY/ACT/SCENE/SPEECH/SPEAKER/text()"),
+    "dblp": (generate_dblp, "/dblp/inproceedings[author]/title/text()"),
+}
+
+
+def build_corpus(dataset: str, docs: int, doc_bytes: int) -> List[bytes]:
+    generator, _ = WORKLOADS[dataset]
+    return [generator(target_bytes=doc_bytes, seed=100 + i).encode("utf-8")
+            for i in range(docs)]
+
+
+def timed_bulk(query: str, corpus: List[bytes], workers: int,
+               repeats: int):
+    """Best-of-N wall time for one worker count; returns results too."""
+    best = None
+    captured = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        bulk = run_bulk(query, corpus, workers=workers, chunk_size=2)
+        results = bulk.results()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+            captured = (results, bulk.stats.as_dict())
+    return best, captured
+
+
+def run_workload(dataset: str, docs: int, doc_bytes: int, repeats: int
+                 ) -> Dict[str, object]:
+    _, query = WORKLOADS[dataset]
+    corpus = build_corpus(dataset, docs, doc_bytes)
+    total_mb = sum(len(doc) for doc in corpus) / 1e6
+    entry: Dict[str, object] = {
+        "dataset": dataset,
+        "query": query,
+        "docs": docs,
+        "doc_bytes": doc_bytes,
+        "total_mbytes": round(total_mb, 3),
+        "workers": {},
+    }
+    serial = None
+    agree = True
+    for workers in WORKER_COUNTS:
+        elapsed, captured = timed_bulk(query, corpus, workers, repeats)
+        if workers == 1:
+            serial = captured
+        else:
+            agree = agree and captured == serial
+        cell = {
+            "seconds": round(elapsed, 4),
+            "docs_per_s": round(docs / elapsed, 2),
+            "mb_per_s": round(total_mb / elapsed, 3),
+        }
+        if workers > 1:
+            base = entry["workers"]["1"]["seconds"]
+            cell["speedup_vs_serial"] = round(base / elapsed, 3)
+        entry["workers"][str(workers)] = cell
+    entry["results_agree"] = agree
+    entry["results_total"] = sum(len(r) for r in serial[0])
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=32,
+                        help="documents per dataset (default %(default)s)")
+    parser.add_argument("--doc-bytes", type=int, default=200_000,
+                        help="target size per document "
+                             "(default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N per worker count "
+                             "(default %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus, one dataset (CI smoke)")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="JSON artifact path (default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any worker count disagrees with "
+                             "serial results, or (>= 4 CPUs only) if "
+                             "workers=4 misses the speedup floor")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required workers=4 speedup on >= 4-CPU "
+                             "machines (default: 2.5, or 1.5 with "
+                             "--quick)")
+    args = parser.parse_args(argv)
+
+    docs, doc_bytes, repeats = args.docs, args.doc_bytes, args.repeats
+    datasets = list(WORKLOADS)
+    if args.quick:
+        docs, doc_bytes, repeats = 12, 60_000, 2
+        datasets = ["shake"]
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 1.5 if args.quick else 2.5
+    cpu_count = os.cpu_count() or 1
+
+    entries: List[Dict[str, object]] = []
+    failures: List[str] = []
+    for dataset in datasets:
+        entry = run_workload(dataset, docs, doc_bytes, repeats)
+        entries.append(entry)
+        cells = entry["workers"]
+        print("%-6s %2d docs x %7d bytes  w1=%-7.2f w2=%-7.2f w4=%-7.2f "
+              "MB/s  speedup(w4)=%.2fx  agree=%s"
+              % (dataset, docs, doc_bytes,
+                 cells["1"]["mb_per_s"], cells["2"]["mb_per_s"],
+                 cells["4"]["mb_per_s"],
+                 cells["4"]["speedup_vs_serial"],
+                 entry["results_agree"]))
+        if not entry["results_agree"]:
+            failures.append("%s: parallel results differ from serial"
+                            % dataset)
+        if cpu_count >= 4 \
+                and cells["4"]["speedup_vs_serial"] < min_speedup:
+            failures.append(
+                "%s: workers=4 speedup %.2fx below the %.1fx floor "
+                "(%d CPUs)" % (dataset,
+                               cells["4"]["speedup_vs_serial"],
+                               min_speedup, cpu_count))
+
+    artifact = {
+        "bench": "parallel",
+        "schema_version": SCHEMA_VERSION,
+        "cpu_count": cpu_count,
+        "docs": docs,
+        "doc_bytes": doc_bytes,
+        "repeats": repeats,
+        "workloads": entries,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    if args.check:
+        if failures:
+            for failure in failures:
+                print("CHECK FAILED: %s" % failure, file=sys.stderr)
+            return 1
+        if cpu_count >= 4:
+            print("checks passed: results agree at every worker count, "
+                  "workers=4 speedup >= %.1fx" % min_speedup)
+        else:
+            print("checks passed: results agree at every worker count "
+                  "(scaling floor skipped: %d CPU%s)"
+                  % (cpu_count, "" if cpu_count == 1 else "s"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ Main entry points:
 * :mod:`repro.baselines` — the paper's comparison systems
 * :mod:`repro.datagen` — SHAKE/NASA/DBLP/PSD-like dataset generators
 * :mod:`repro.bench` — throughput/memory measurement harness
+* :mod:`repro.parallel` — multi-core bulk execution over document
+  corpora (:func:`repro.run_bulk`, ``compile(...).run_bulk``)
 """
 
 from repro.api import (
@@ -61,11 +63,16 @@ from repro.xsq import (
     XSQEngineNC,
 )
 from repro.obs import EventTrace, MetricsRegistry, Observability, Tracer
+from repro.parallel import BulkResult, DocumentResult, TaskPool, run_bulk
 
 __version__ = "1.0.0"
 
 __all__ = [
     "compile",
+    "run_bulk",
+    "BulkResult",
+    "DocumentResult",
+    "TaskPool",
     "CompiledQuery",
     "CompiledQuerySet",
     "select_engine",

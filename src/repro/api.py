@@ -197,6 +197,10 @@ class CompiledQuery:
                  cache=None):
         self.text = query if isinstance(query, str) else (query.text or "")
         self.obs = obs
+        # Kept for run_bulk: workers re-run the same selection on the
+        # *original* spec, so per-worker engines match this one.
+        self.engine_choice = engine
+        self._bulk_spec = query
         self.engine = select_engine(query, engine, obs=obs, cache=cache)
 
     @property
@@ -216,6 +220,20 @@ class CompiledQuery:
     def iter_results(self, source) -> Iterator[str]:
         """Yield results incrementally where the engine supports it."""
         return self.engine.iter_results(source)
+
+    def run_bulk(self, sources, *, workers: Optional[int] = None, **kwargs):
+        """Evaluate over a whole corpus, sharded across worker processes.
+
+        ``sources`` is any iterable of paths / XML text / bytes /
+        readable streams; returns a
+        :class:`~repro.parallel.bulk.BulkResult` yielding per-document
+        results in submission order, identical to looping :meth:`run`.
+        See :func:`repro.parallel.run_bulk` for the keyword options.
+        """
+        from repro.parallel.bulk import run_bulk
+        kwargs.setdefault("obs", self.obs)
+        return run_bulk(self._bulk_spec, sources, workers=workers,
+                        engine=self.engine_choice, **kwargs)
 
     @property
     def stats(self) -> Optional[RunStats]:
@@ -246,6 +264,8 @@ class CompiledQuerySet:
     def __init__(self, queries: Sequence[QueryLike], obs=None, cache=None,
                  shared_dispatch: bool = True):
         self.obs = obs
+        self._bulk_spec = list(queries)
+        self.shared_dispatch = shared_dispatch
         self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
                                        shared_dispatch=shared_dispatch)
 
@@ -265,6 +285,18 @@ class CompiledQuerySet:
 
     def iter_results(self, source) -> Iterator[Tuple[int, object]]:
         return self.engine.iter_results(source)
+
+    def run_bulk(self, sources, *, workers: Optional[int] = None, **kwargs):
+        """Grouped evaluation over a corpus, sharded across workers.
+
+        Each yielded :class:`~repro.parallel.bulk.DocumentResult`
+        carries per-query result lists (the shape :meth:`run` returns),
+        in submission order.  See :func:`repro.parallel.run_bulk`.
+        """
+        from repro.parallel.bulk import run_bulk
+        kwargs.setdefault("obs", self.obs)
+        return run_bulk(self._bulk_spec, sources, workers=workers,
+                        shared_dispatch=self.shared_dispatch, **kwargs)
 
     @property
     def stats(self) -> Optional[RunStats]:

@@ -2,7 +2,11 @@
 
 ``all`` runs every experiment in order.  ``--scale`` shrinks dataset
 sizes (0.25 = quarter-size inputs), ``--repeat`` takes the best of N
-timed runs, ``--data-dir`` relocates the dataset cache.
+timed runs, ``--data-dir`` relocates the dataset cache, ``--jobs N``
+runs independent experiments through the worker pool
+(:mod:`repro.parallel`) — per-figure output and the ``--json`` dump are
+identical to ``--jobs 1`` because the pool's ordered merge reports
+experiments in the same order the serial loop would.
 """
 
 from __future__ import annotations
@@ -11,8 +15,34 @@ import argparse
 import json
 import sys
 
-from repro.bench.datasets import DatasetCache
 from repro.bench.figures import EXPERIMENTS
+
+
+class _ExperimentSpec:
+    """Per-worker runner for ``--jobs``: one experiment per task.
+
+    Each worker owns a :class:`~repro.bench.datasets.DatasetCache` view
+    of the same directory; concurrent first-time generation is safe
+    because the cache writes through pid-unique temp files.  Results
+    ship home as plain dicts (report text + structured rows), never as
+    live experiment objects.
+    """
+
+    def __init__(self, data_dir, scale: float, repeat: int):
+        self.data_dir = data_dir
+        self.scale = scale
+        self.repeat = repeat
+
+    def setup(self, worker_id: int):
+        from repro.bench.datasets import DatasetCache
+        cache = DatasetCache(directory=self.data_dir, scale=self.scale)
+
+        def run(name):
+            result = EXPERIMENTS[name](cache=cache, repeat=self.repeat)
+            return {"report": result.report(), "title": result.title,
+                    "rows": result.rows, "notes": result.notes}, None
+
+        return run
 
 
 def main(argv=None) -> int:
@@ -28,23 +58,32 @@ def main(argv=None) -> int:
                         help="timed repetitions, best-of (default 1)")
     parser.add_argument("--data-dir", default=None,
                         help="dataset cache directory")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run independent experiments in N worker "
+                             "processes (default 1 = serial; output and "
+                             "JSON are identical either way)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also dump structured rows to this file "
                              "(for regenerating EXPERIMENTS.md)")
     args = parser.parse_args(argv)
 
-    cache = DatasetCache(directory=args.data_dir, scale=args.scale)
     names = (sorted(EXPERIMENTS) if args.experiment == "all"
              else [args.experiment])
+    from repro.parallel.pool import Task, TaskPool
+    spec = _ExperimentSpec(args.data_dir, args.scale, args.repeat)
+    pool = TaskPool(spec, workers=max(1, min(args.jobs, len(names))),
+                    chunk_size=1)
     dump = {}
-    for name in names:
-        result = EXPERIMENTS[name](cache=cache, repeat=args.repeat)
-        print(result.report())
+    for outcome in pool.run(Task(name, name) for name in names):
+        if outcome.error is not None:
+            print("bench: %s" % outcome.error, file=sys.stderr)
+            return 1
+        print(outcome.result["report"])
         print()
-        dump[name] = {
-            "title": result.title,
-            "rows": result.rows,
-            "notes": result.notes,
+        dump[outcome.label] = {
+            "title": outcome.result["title"],
+            "rows": outcome.result["rows"],
+            "notes": outcome.result["notes"],
         }
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as out:

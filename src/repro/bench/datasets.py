@@ -80,7 +80,10 @@ class DatasetCache:
         filename = "%s_%d%s.xml" % (name, size, suffix)
         path = os.path.join(self.directory, filename)
         if not os.path.exists(path):
-            tmp = path + ".tmp"
+            # pid-unique temp name: concurrent generators (bench --jobs)
+            # each build their own copy; the atomic replace makes the
+            # last writer win with identical content.
+            tmp = "%s.tmp.%d" % (path, os.getpid())
             generator(size, path=tmp, **generator_kwargs)
             os.replace(tmp, path)
         return path
@@ -89,7 +92,7 @@ class DatasetCache:
         """Delete all cached files; returns how many were removed."""
         removed = 0
         for filename in os.listdir(self.directory):
-            if filename.endswith(".xml") or filename.endswith(".tmp"):
+            if filename.endswith(".xml") or ".xml.tmp" in filename:
                 os.remove(os.path.join(self.directory, filename))
                 removed += 1
         return removed

@@ -20,6 +20,11 @@ Usage::
                                      # delays while the stream processes
     xsq top QUERY FILE --audit       # + the necessary-buffering auditor
 
+    xsq bulk QUERY FILE [FILE ...]   # evaluate the query over a corpus,
+                                     # sharded across worker processes;
+                                     # output order == argument order
+    xsq bulk QUERY --sources-from list.txt --workers 8 --stats
+
 Also available as ``python -m repro`` (so ``python -m repro trace ...``
 is the ``repro trace`` subcommand).
 """
@@ -177,6 +182,139 @@ def build_top_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# Mirrored so the parser help stays importable without repro.parallel.
+_DEFAULT_CHUNK_SIZE = 4
+
+
+def build_bulk_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq bulk",
+        description="Evaluate one query (or a query file) over a corpus "
+                    "of XML documents, sharded across worker processes "
+                    "with results printed in argument order — identical "
+                    "to running xsq once per file.")
+    parser.add_argument("query", nargs="?", default=None,
+                        help="XPath query in the supported subset")
+    parser.add_argument("files", nargs="*", default=[],
+                        help="XML files to query")
+    parser.add_argument("--queries-file", default=None, metavar="FILE",
+                        help="run every query in FILE (one per line, "
+                             "#-comments allowed) over every document, "
+                             "grouped in a single pass per document")
+    parser.add_argument("--sources-from", default=None, metavar="LIST",
+                        help="read additional source paths from LIST, one "
+                             "per line ('-' for stdin; #-comments allowed)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes (default: cpu count; "
+                             "1 = serial in-process)")
+    parser.add_argument("--chunk-docs", type=int, default=None, metavar="N",
+                        help="documents per work chunk (default: %d; "
+                             "smaller = finer work stealing)"
+                             % _DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
+                        default="auto",
+                        help="engine forced in every worker (default: "
+                             "auto = fast when possible, else nc, else f)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="report failing documents and continue "
+                             "(default: stop at the first failure)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print aggregated run statistics to stderr")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a Prometheus-style snapshot of the "
+                             "repro_parallel_* metrics to stderr")
+    return parser
+
+
+def _bulk_sources(args) -> list:
+    sources = list(args.files)
+    if args.sources_from is not None:
+        if args.sources_from == "-":
+            listing = sys.stdin.read()
+        else:
+            with open(args.sources_from, "r", encoding="utf-8") as handle:
+                listing = handle.read()
+        for line in listing.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                sources.append(line)
+    return sources
+
+
+def bulk_main(argv=None) -> int:
+    """The ``xsq bulk`` / ``repro bulk`` subcommand."""
+    from repro.parallel import DEFAULT_CHUNK_SIZE, run_bulk
+
+    # Intermixed parsing: flags may appear between/after the file list
+    # (``xsq bulk Q a.xml b.xml --workers 8`` and ``xsq bulk Q
+    # --workers 8 a.xml b.xml`` both work).
+    args = build_bulk_parser().parse_intermixed_args(argv)
+    if args.queries_file is not None:
+        with open(args.queries_file, "r", encoding="utf-8") as handle:
+            queries = [line.strip() for line in handle
+                       if line.strip() and not line.lstrip().startswith("#")]
+        if not queries:
+            print("xsq: error: %s contains no queries" % args.queries_file,
+                  file=sys.stderr)
+            return 2
+        spec = queries
+        # The query positional is actually the first file when the
+        # queries come from a file (the positional slots shift).
+        if args.query is not None:
+            args.files.insert(0, args.query)
+    elif args.query is None:
+        build_bulk_parser().error(
+            "a query (or --queries-file) is required")
+    else:
+        spec = args.query
+        queries = None
+    sources = _bulk_sources(args)
+    if not sources:
+        build_bulk_parser().error(
+            "at least one source file (or --sources-from) is required")
+    obs = None
+    if args.metrics:
+        from repro.obs import Observability
+        obs = Observability(spans=False, events=False)
+    try:
+        bulk = run_bulk(
+            spec, sources, workers=args.workers, engine=args.engine,
+            chunk_size=(args.chunk_docs if args.chunk_docs
+                        else DEFAULT_CHUNK_SIZE),
+            obs=obs, on_error="skip" if args.keep_going else "raise")
+        failed = 0
+        for document in bulk:
+            if document.error is not None:
+                failed += 1
+                print("# %s FAILED: %s: %s"
+                      % (document.source, document.error.exc_type,
+                         document.error.message), file=sys.stderr)
+                continue
+            if queries is None:
+                print("# %s (%d results)"
+                      % (document.source, len(document.results)))
+                for value in document.results:
+                    print(value)
+            else:
+                print("# %s" % document.source)
+                for query, values in zip(queries, document.results):
+                    print("## %s (%d results)" % (query, len(values)))
+                    for value in values:
+                        print(value)
+        if args.stats:
+            print("# documents=%d workers=%s %s"
+                  % (bulk.documents,
+                     ",".join("%d:%d" % (wid, summary.get("docs", 0))
+                              for wid, summary
+                              in sorted(bulk.worker_stats.items())),
+                     bulk.stats), file=sys.stderr)
+        if obs is not None:
+            print(obs.metrics_text(), end="", file=sys.stderr)
+        return 1 if failed else 0
+    except ReproError as exc:
+        return _report_error(exc)
+
+
 def top_main(argv=None) -> int:
     """The ``xsq top`` / ``repro top`` subcommand."""
     from repro.api import select_engine
@@ -289,6 +427,8 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "top":
         return top_main(argv[1:])
+    if argv and argv[0] == "bulk":
+        return bulk_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:

@@ -74,3 +74,50 @@ class ClosureNotSupportedError(UnsupportedFeatureError):
 
 class StreamError(ReproError):
     """An event source produced an invalid or inconsistent event stream."""
+
+
+class TaskFailedError(ReproError):
+    """One bulk-execution task (usually: one document) failed.
+
+    Raised (or collected, with ``on_error="skip"``) by
+    :mod:`repro.parallel`.  The pool keeps the failure structured
+    instead of letting a worker's traceback die with the process:
+
+    Attributes
+    ----------
+    source:
+        Label of the failing source (the file path, or ``<doc #n>`` for
+        in-memory documents).
+    index:
+        The task's submission index (document order).
+    exc_type / message / traceback_text:
+        The original worker-side exception, stringified so it crosses
+        the process boundary losslessly.
+    """
+
+    def __init__(self, source, index, exc_type, message, traceback_text=""):
+        super().__init__("%s failed on %s: %s: %s"
+                         % ("bulk task #%d" % index, source, exc_type,
+                            message))
+        self.source = source
+        self.index = index
+        self.exc_type = exc_type
+        self.message = message
+        self.traceback_text = traceback_text
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died without reporting a result.
+
+    Covers hard deaths the in-process exception path cannot: segfaults,
+    ``os._exit``, the OOM killer.  ``source`` names the first unfinished
+    task of the chunk the worker held, when one is known.
+    """
+
+    def __init__(self, message, worker_id=None, exitcode=None, source=None,
+                 traceback_text=""):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+        self.source = source
+        self.traceback_text = traceback_text

@@ -1,0 +1,68 @@
+"""Multi-core bulk execution: a sharded worker-pool runtime.
+
+The paper's workload model — many documents, many queries — is
+embarrassingly parallel at document granularity, and PR 4's compiled
+fast path left cross-core scaling as the remaining headroom.  This
+package shards a corpus across worker processes while keeping the
+serial contract intact: output order, per-document results, and
+aggregated :class:`~repro.xsq.engine.RunStats` are identical to a
+serial loop (differentially tested in ``tests/test_parallel.py``).
+
+Two layers:
+
+* :mod:`repro.parallel.pool` — :class:`TaskPool`, the generic runtime:
+  one shared chunked task queue (small chunks double as work stealing),
+  byte-based submission backpressure, an ordered merge on the results,
+  and structured worker-crash detection.  The bench runner's
+  ``--jobs N`` reuses it for whole experiments.
+* :mod:`repro.parallel.bulk` — :func:`run_bulk` and the facade's
+  ``CompiledQuery.run_bulk`` / ``CompiledQuerySet.run_bulk``: per-worker
+  engine compilation (pre-warming the HPDT compile cache and fast-path
+  plans once per process), serial-equivalent engine selection, and
+  per-document stats shipped home for aggregation.
+
+Typical use::
+
+    import repro
+
+    bulk = repro.compile("//book[price<11]/author/text()") \\
+               .run_bulk(paths, workers=8)
+    for doc in bulk:                       # submission order, streamed
+        print(doc.source, doc.results)
+    print(bulk.stats)                      # == serial totals
+
+See ``docs/PARALLEL.md`` for the architecture and tuning guidance.
+"""
+
+from repro.errors import TaskFailedError, WorkerCrashError
+from repro.parallel.bulk import (
+    BulkResult,
+    DocumentResult,
+    QueryRunnerSpec,
+    normalize_source,
+    run_bulk,
+)
+from repro.parallel.pool import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_INFLIGHT_BYTES,
+    Task,
+    TaskOutcome,
+    TaskPool,
+)
+
+__all__ = [
+    "run_bulk",
+    "BulkResult",
+    "DocumentResult",
+    "QueryRunnerSpec",
+    "normalize_source",
+    "TaskPool",
+    "Task",
+    "TaskOutcome",
+    "TaskFailedError",
+    "WorkerCrashError",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_MAX_INFLIGHT_BYTES",
+]

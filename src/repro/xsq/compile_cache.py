@@ -15,6 +15,14 @@ export through :mod:`repro.obs`.  :func:`compile_hpdt` is the front
 door every engine uses; ``cache=False`` bypasses caching entirely and
 ``cache=None`` uses the process-default instance.
 
+Caches are **fork-safe**: every instance registers with an
+``os.register_at_fork`` handler that hands the child a freshly-created
+lock, so a fork taken while another thread holds a cache lock (the
+worker pool's startup pattern) can never deadlock the child.  Entries
+are kept by default — they are immutable and pre-warm the child — but
+``HpdtCache(clear_on_fork=True)`` drops them instead, for caches whose
+contents must stay process-private.
+
 The fast path's lowered transition tables ride along: the first
 :func:`repro.xsq.fastpath.compile_fastplan` call memoizes its
 :class:`~repro.xsq.fastpath.FastPlan` on the HPDT (``hpdt._fastplan``),
@@ -30,7 +38,9 @@ instances.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Dict, Optional, Union
 
@@ -38,24 +48,60 @@ from repro.xpath.ast import Query
 from repro.xpath.parser import parse_query
 from repro.xsq.hpdt import Hpdt
 
+#: Every live cache, so the at-fork handler can reach them all.  Weak:
+#: registration must not keep short-lived test caches alive.
+_ALL_CACHES: "weakref.WeakSet[HpdtCache]" = weakref.WeakSet()
+_fork_hook_installed = False
+_registry_lock = threading.Lock()
+
+
+def _register(cache: "HpdtCache") -> None:
+    global _fork_hook_installed
+    with _registry_lock:
+        _ALL_CACHES.add(cache)
+        if not _fork_hook_installed and hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=_after_fork_in_child)
+            _fork_hook_installed = True
+
+
+def _after_fork_in_child() -> None:
+    """Make every cache usable in the child, whatever the parent's
+    threads were doing at fork time.
+
+    The forked child inherits each cache's lock *state* but only the
+    forking thread — a lock held by any other parent thread would stay
+    locked forever.  A brand-new lock is always safe here because the
+    child is single-threaded at this point.
+    """
+    for cache in list(_ALL_CACHES):
+        cache._lock = threading.Lock()
+        if cache.clear_on_fork:
+            cache._entries.clear()
+            cache._pinned.clear()
+            cache.hits = cache.misses = cache.evictions = 0
+
 
 class HpdtCache:
     """Thread-safe LRU of compiled HPDTs with pin support.
 
     ``maxsize`` bounds the number of *unpinned* entries; pinned entries
     are held forever (until :meth:`unpin` or :meth:`clear`).
+    ``clear_on_fork=True`` empties the cache in forked children (the
+    default keeps the immutable entries as a pre-warmed copy).
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, clear_on_fork: bool = False):
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        self.clear_on_fork = clear_on_fork
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Hpdt]" = OrderedDict()
         self._pinned: Dict[str, Hpdt] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        _register(self)
 
     @staticmethod
     def _key(query: Union[str, Query]) -> Optional[str]:

@@ -82,6 +82,34 @@ class RunStats:
                                        run.peak_instances)
         return total
 
+    @classmethod
+    def totals(cls, runs: Iterable[Union["RunStats", dict]]) -> "RunStats":
+        """Aggregate stats across *independent* runs (one per document).
+
+        Unlike :meth:`merged` — which models engines sharing a single
+        pass and therefore maxes ``events`` — here every run is its own
+        stream, so every counter (``events`` included) sums and only
+        the peaks take the max.  Accepts ``as_dict()`` payloads too,
+        which is how worker processes ship their stats home; the fold
+        is order-independent, so a sharded corpus totals identically to
+        a serial one.
+        """
+        total = cls()
+        for run in runs:
+            if isinstance(run, dict):
+                run = cls(**run)
+            total.events += run.events
+            total.enqueued += run.enqueued
+            total.cleared += run.cleared
+            total.emitted += run.emitted
+            total.flushed += run.flushed
+            total.uploaded += run.uploaded
+            total.peak_buffered_items = max(total.peak_buffered_items,
+                                            run.peak_buffered_items)
+            total.peak_instances = max(total.peak_instances,
+                                       run.peak_instances)
+        return total
+
     def __repr__(self):
         return "RunStats(%s)" % ", ".join(
             "%s=%d" % (k, v) for k, v in self.as_dict().items())

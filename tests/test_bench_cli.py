@@ -1,6 +1,7 @@
 """The experiment-runner CLI (python -m repro.bench)."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -42,3 +43,59 @@ class TestBenchMain:
                      "--data-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "peak_buffered" in out
+
+    def test_jobs_flag_on_one_experiment(self, capsys, tmp_path):
+        """--jobs larger than the experiment count degrades to serial."""
+        assert main(["fig14", "--jobs", "4",
+                     "--data-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "XSQ-F" in out
+
+
+class FakeExperimentResult:
+    def __init__(self, name):
+        self.title = "title-%s" % name
+        self.rows = [{"name": name, "value": len(name)}]
+        self.notes = ["note-%s" % name]
+        self._name = name
+
+    def report(self):
+        return "report-%s" % self._name
+
+
+def _fake_experiments():
+    return {name: (lambda name=name: (
+        lambda cache, repeat: FakeExperimentResult(name)))()
+        for name in ("figA", "figB", "figC")}
+
+
+@pytest.mark.skipif(multiprocessing.get_start_method() != "fork",
+                    reason="fake experiments are inherited, not pickled")
+class TestBenchJobs:
+    """``--jobs N`` must not change output or JSON vs ``--jobs 1``."""
+
+    def _run(self, monkeypatch, capsys, tmp_path, jobs):
+        import repro.bench.__main__ as bench_main
+        monkeypatch.setattr(bench_main, "EXPERIMENTS",
+                            _fake_experiments())
+        target = tmp_path / ("out-%d.json" % jobs)
+        assert bench_main.main(["all", "--jobs", str(jobs),
+                                "--data-dir", str(tmp_path),
+                                "--json", str(target)]) == 0
+        return capsys.readouterr().out, json.loads(target.read_text())
+
+    def test_jobs_output_identical_to_serial(self, monkeypatch, capsys,
+                                             tmp_path):
+        serial_out, serial_json = self._run(monkeypatch, capsys,
+                                            tmp_path, jobs=1)
+        pooled_out, pooled_json = self._run(monkeypatch, capsys,
+                                            tmp_path, jobs=2)
+        assert "report-figA" in serial_out
+        # Reports print in name order regardless of completion order,
+        # and the structured dump is byte-identical.
+        assert [line for line in pooled_out.splitlines()
+                if line.startswith("report-")] \
+            == [line for line in serial_out.splitlines()
+                if line.startswith("report-")]
+        assert pooled_json["experiments"] == serial_json["experiments"]
+        assert list(pooled_json["experiments"]) == ["figA", "figB", "figC"]

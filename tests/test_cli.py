@@ -153,3 +153,76 @@ class TestQueriesFile:
     def test_missing_query_without_file_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBulkSubcommand:
+    @pytest.fixture
+    def docs(self, tmp_path):
+        paths = []
+        for i in range(3):
+            path = tmp_path / ("doc%d.xml" % i)
+            path.write_text("<pub><year>%d</year>"
+                            "<book><name>n%d</name></book></pub>"
+                            % (2000 + i, i))
+            paths.append(str(path))
+        return paths
+
+    def test_bulk_over_files(self, docs, capsys):
+        assert main(["bulk", "/pub/year/text()", "--workers", "2",
+                     "--chunk-docs", "1"] + docs) == 0
+        out = capsys.readouterr().out
+        # Argument order, one header per document.
+        assert out.index("2000") < out.index("2001") < out.index("2002")
+        for path in docs:
+            assert "# %s (1 results)" % path in out
+
+    def test_bulk_serial_matches_pool(self, docs, capsys):
+        assert main(["bulk", "/pub/year/text()", "--workers", "1"]
+                    + docs) == 0
+        serial = capsys.readouterr().out
+        assert main(["bulk", "/pub/year/text()", "--workers", "2",
+                     "--chunk-docs", "1"] + docs) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_bulk_sources_from(self, docs, tmp_path, capsys):
+        listing = tmp_path / "list.txt"
+        listing.write_text("# corpus\n%s\n" % "\n".join(docs[1:]))
+        assert main(["bulk", "/pub/year/text()", docs[0],
+                     "--sources-from", str(listing)]) == 0
+        out = capsys.readouterr().out
+        assert "2000" in out and "2001" in out and "2002" in out
+
+    def test_bulk_queries_file(self, docs, tmp_path, capsys):
+        qfile = tmp_path / "queries.txt"
+        qfile.write_text("/pub/year/text()\n//name/text()\n")
+        assert main(["bulk", "--queries-file", str(qfile),
+                     docs[0], docs[1]]) == 0
+        out = capsys.readouterr().out
+        assert "## /pub/year/text() (1 results)" in out
+        assert "n0" in out and "n1" in out
+
+    def test_bulk_stats_flag(self, docs, capsys):
+        assert main(["bulk", "/pub/year/text()", "--stats",
+                     "--workers", "2"] + docs) == 0
+        err = capsys.readouterr().err
+        assert "documents=3" in err and "RunStats" in err
+
+    def test_bulk_keep_going(self, docs, tmp_path, capsys):
+        bad = tmp_path / "broken.xml"
+        bad.write_text("<unclosed>")
+        argv = ["bulk", "/pub/year/text()", docs[0], str(bad), docs[1],
+                "--keep-going", "--workers", "2"]
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "2000" in captured.out and "2001" in captured.out
+
+    def test_bulk_failure_stops_by_default(self, docs, tmp_path, capsys):
+        bad = tmp_path / "broken.xml"
+        bad.write_text("<unclosed>")
+        assert main(["bulk", "/pub/year/text()", docs[0], str(bad)]) == 2
+        assert "xsq: error" in capsys.readouterr().err
+
+    def test_bulk_requires_sources(self):
+        with pytest.raises(SystemExit):
+            main(["bulk", "/pub/year/text()"])
