@@ -215,3 +215,75 @@ def test_accounting_off_attaches_nothing():
     queue = OutputQueue([])
     assert queue.account is None
     assert queue.track_ownership is False
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_profile_interpreted(benchmark, shake):
+    """Full profiled pump on the interpreted engine.
+
+    Every event pays two extra clock reads (the consecutive-timestamp
+    pump) plus the queue proxy on buffer ops — the price of exact,
+    unsampled attribution.
+    """
+
+    def run():
+        obs = Observability(spans=False, events=False, profile=True)
+        return XSQEngine(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_fastpath_profile_sampled(benchmark, shake):
+    """Sampled profiling on the fast path: the <=5% acceptance bound.
+
+    Batches are timed at batch boundaries (four clock reads per ~2048
+    events) and only every 64th batch runs event-at-a-time, so the 2x
+    throughput floor over the interpreted engines must survive with
+    the profiler attached.
+    """
+
+    def run():
+        obs = Observability(spans=False, events=False, profile=True)
+        return XSQEngineFast(QUERY, obs=obs).run(shake)
+
+    assert benchmark(run)
+
+
+def test_profiler_off_skips_instrumentation(shake):
+    """Profiler-off is the seed pump, structurally.
+
+    A default bundle carries no profiler, so ``run()`` takes the
+    un-profiled branch: no queue proxy is installed, no per-event
+    clock reads happen, and no profile phases accumulate.  An attached
+    profiler on the same engine does accumulate them — the pair makes
+    "profiling off costs nothing" falsifiable without a timing race.
+    """
+    from repro.obs.profile import Profiler
+
+    obs = Observability(spans=False, events=False)
+    assert obs.profiler is None
+    XSQEngine(QUERY, obs=obs).run(shake)
+
+    prof = Profiler()
+    obs_on = Observability(spans=False, events=False, profile=prof)
+    XSQEngine(QUERY, obs=obs_on).run(shake)
+    assert prof.events > 0
+    assert prof.phases["parse"][0] > 0
+    assert prof.phases["automaton"][0] > 0
+
+
+def test_profiler_off_fastpath_accepts_bundle(shake):
+    """The fast path accepts a profiler-free bundle and stays batched.
+
+    Construction only falls back for per-event observability; a bundle
+    with spans/metrics and no profiler must keep the compiled engine,
+    and attaching a profiler must not change results.
+    """
+    plain = XSQEngineFast(QUERY).run(shake)
+    obs = Observability(events=False)
+    assert obs.profiler is None
+    assert XSQEngineFast(QUERY, obs=obs).run(shake) == plain
+    obs_on = Observability(events=False, profile=True)
+    assert XSQEngineFast(QUERY, obs=obs_on).run(shake) == plain
+    assert obs_on.profiler.sampling

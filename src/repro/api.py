@@ -240,6 +240,25 @@ class CompiledQuery:
         """Uniform :class:`RunStats` from the most recent run."""
         return self.engine.stats
 
+    def profile(self, source, sample_interval: Optional[int] = None):
+        """EXPLAIN ANALYZE: one measured evaluation over ``source``.
+
+        Runs the query under the execution profiler
+        (:mod:`repro.obs.profile`) with the same engine selection as
+        this compiled query, and returns a
+        :class:`~repro.obs.profile.ProfileReport` — per-phase wall
+        times (parse/automaton/predicate/buffer/output), hot HPDT
+        states and tags, folded stacks and the paper's Fig 18 split.
+        This is a measurement pass: results are discarded, ``.stats``
+        is untouched, and the engine's fast path (when selected) is
+        profiled by batch-level timing plus per-event *sampling*.
+        """
+        from repro.obs.profile import DEFAULT_SAMPLE_INTERVAL, profile_query
+        return profile_query(
+            self._bulk_spec, source, engine=self.engine_choice,
+            sample_interval=(sample_interval if sample_interval
+                             else DEFAULT_SAMPLE_INTERVAL))
+
     @property
     def audit_violations(self) -> list:
         """Buffer-audit violations so far (``compile(..., audit=True)``)."""
@@ -301,6 +320,18 @@ class CompiledQuerySet:
     @property
     def stats(self) -> Optional[RunStats]:
         return self.engine.stats
+
+    def profile(self, source, sample_interval: Optional[int] = None):
+        """EXPLAIN ANALYZE for the grouped run; per-query attribution.
+
+        See :meth:`CompiledQuery.profile`; the report's ``queries``
+        table splits dispatch time across the set's members.
+        """
+        from repro.obs.profile import DEFAULT_SAMPLE_INTERVAL, profile_query
+        return profile_query(
+            list(self._bulk_spec), source, engine="auto",
+            sample_interval=(sample_interval if sample_interval
+                             else DEFAULT_SAMPLE_INTERVAL))
 
     @property
     def per_query_stats(self) -> Optional[List[RunStats]]:

@@ -7,6 +7,11 @@ runs independent experiments through the worker pool
 (:mod:`repro.parallel`) — per-figure output and the ``--json`` dump are
 identical to ``--jobs 1`` because the pool's ordered merge reports
 experiments in the same order the serial loop would.
+
+``python -m repro.bench diff`` is the perf-regression ledger: it
+compares BENCH_*.json artifacts (working tree vs git HEAD by default)
+and appends the outcome to BENCH_HISTORY.jsonl — see
+:mod:`repro.bench.ledger`.
 """
 
 from __future__ import annotations
@@ -46,6 +51,13 @@ class _ExperimentSpec:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "diff":
+        # Perf-regression ledger: not an experiment, so dispatch before
+        # argparse pins ``experiment`` to the figure list.
+        from repro.bench.ledger import main as diff_main
+        return diff_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")

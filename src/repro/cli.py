@@ -25,6 +25,16 @@ Usage::
                                      # output order == argument order
     xsq bulk QUERY --sources-from list.txt --workers 8 --stats
 
+    xsq profile QUERY FILE           # EXPLAIN ANALYZE: per-phase and
+                                     # per-hot-entity wall-time report
+    xsq profile QUERY FILE --fig18 --json --folded --compare f
+
+    xsq serve-metrics QUERY FILE     # run the query with /metrics,
+                                     # /healthz and /snapshot served
+                                     # over HTTP while (and after) the
+                                     # stream processes
+    xsq serve-metrics QUERY FILE --port 9099 --duration 60
+
 Also available as ``python -m repro`` (so ``python -m repro trace ...``
 is the ``repro trace`` subcommand).
 """
@@ -32,6 +42,7 @@ is the ``repro trace`` subcommand).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import ReproError
@@ -333,9 +344,12 @@ def top_main(argv=None) -> int:
         clear = (not args.no_clear) and sys.stdout.isatty()
 
         def render() -> None:
-            if clear:
-                sys.stdout.write("\x1b[2J\x1b[H")
-            print(format_top(obs.snapshot()))
+            # One snapshot (taken under the accountant's lock), one
+            # write: metric updates arriving mid-refresh can neither
+            # tear a row nor interleave two redraws in --no-clear mode.
+            table = format_top(obs.snapshot())
+            prefix = "\x1b[2J\x1b[H" if clear else ""
+            sys.stdout.write(prefix + table + "\n")
             sys.stdout.flush()
 
         def ticking(events):
@@ -409,6 +423,158 @@ def trace_main(argv=None) -> int:
         return _report_error(exc)
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq profile",
+        description="EXPLAIN ANALYZE for a streaming run: attribute "
+                    "wall time per phase (parse, automaton, predicate, "
+                    "buffer, output) and per hot entity (HPDT state, "
+                    "tag, query in a set), reproducing the paper's "
+                    "Fig 18 phase breakdown from live attribution.")
+    parser.add_argument("query", help="XPath query (unions run grouped)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML file to query (default: stdin)")
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
+                        default="auto",
+                        help="f = XSQ-F, nc = XSQ-NC, fast = compiled "
+                             "fast path, auto = fast when possible, "
+                             "else nc, else f")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of text")
+    parser.add_argument("--folded", action="store_true",
+                        help="print folded stacks (flamegraph input) "
+                             "instead of the table")
+    parser.add_argument("--fig18", action="store_true",
+                        help="print the paper's Fig 18 parse/automaton/"
+                             "buffer percentage split")
+    parser.add_argument("--compare", choices=("f", "nc", "fast"),
+                        default=None, metavar="ENGINE",
+                        help="differential mode: profile a second run "
+                             "on ENGINE and print the phase-by-phase "
+                             "delta (stdin input is not replayable; "
+                             "needs a FILE)")
+    parser.add_argument("--sample-interval", type=int, default=None,
+                        metavar="N",
+                        help="fast path: per-event attribution on every "
+                             "N-th batch (default: 64; 1 = every batch)")
+    parser.add_argument("--top", type=int, default=8, metavar="N",
+                        help="rows per hot-entity table (default: 8)")
+    return parser
+
+
+def profile_main(argv=None) -> int:
+    """The ``xsq profile`` / ``repro profile`` subcommand."""
+    import json as json_mod
+
+    from repro.obs.profile import DEFAULT_SAMPLE_INTERVAL, profile_query
+
+    args = build_profile_parser().parse_args(argv)
+    if args.compare is not None and args.file is None:
+        build_profile_parser().error(
+            "--compare re-runs the stream and cannot replay stdin; "
+            "pass a FILE")
+    source = args.file if args.file is not None else sys.stdin
+    interval = (args.sample_interval if args.sample_interval
+                else DEFAULT_SAMPLE_INTERVAL)
+    try:
+        report = profile_query(args.query, source, engine=args.engine,
+                               sample_interval=interval)
+        if args.json:
+            print(json_mod.dumps(report.as_dict(), sort_keys=True,
+                                 indent=2))
+        elif args.folded:
+            print(report.folded())
+        else:
+            print(report.render(top=args.top))
+        if args.fig18:
+            print()
+            print(report.render_fig18())
+        if args.compare is not None:
+            other = profile_query(args.query, args.file,
+                                  engine=args.compare,
+                                  sample_interval=interval)
+            print()
+            print(report.diff(other))
+        return 0
+    except ReproError as exc:
+        return _report_error(exc)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq serve-metrics",
+        description="Run a query with the resource accountant attached "
+                    "and serve /metrics (Prometheus text), /healthz and "
+                    "/snapshot over HTTP while the stream processes — "
+                    "and afterwards, until --duration elapses (or "
+                    "forever without it).")
+    parser.add_argument("query", help="XPath query (unions run grouped)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML file to query (default: stdin)")
+    parser.add_argument("--engine", choices=("f", "nc", "fast", "auto"),
+                        default="auto",
+                        help="f = XSQ-F, nc = XSQ-NC, fast = compiled "
+                             "fast path, auto = fast when possible, "
+                             "else nc, else f")
+    parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                        help="TCP port to bind (default: 0 = ephemeral; "
+                             "the bound port is printed to stderr)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--audit", action="store_true",
+                        help="also run the necessary-buffering auditor")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="keep serving this long after the run "
+                             "completes, then exit (default: serve "
+                             "until interrupted)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress query results on stdout")
+    return parser
+
+
+def serve_main(argv=None) -> int:
+    """The ``xsq serve-metrics`` / ``repro serve-metrics`` subcommand."""
+    import time
+
+    from repro.api import select_engine
+    from repro.obs import Observability
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        # Accounting on so /snapshot carries the xsq top payload;
+        # events off so unbounded streams run in bounded memory.
+        obs = Observability(spans=False, events=False, accounting=True,
+                            audit=args.audit)
+        server = obs.serve(port=args.port, host=args.host)
+        print("serving metrics on %s (routes: /metrics /healthz "
+              "/snapshot)" % server.url, file=sys.stderr)
+        engine = select_engine(args.query, args.engine, obs=obs)
+        source = args.file if args.file is not None else sys.stdin
+        results = engine.run(source)
+        if not args.quiet:
+            for value in results:
+                print(value)
+        print("# results (%d); serving%s" %
+              (len(results),
+               " for %gs" % args.duration if args.duration is not None
+               else " until interrupted (Ctrl-C to exit)"),
+              file=sys.stderr)
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+    except ReproError as exc:
+        return _report_error(exc)
+
+
 def _report_error(exc: ReproError) -> int:
     print("xsq: error: %s" % exc, file=sys.stderr)
     position = getattr(exc, "position", None)
@@ -423,12 +589,28 @@ def _report_error(exc: ReproError) -> int:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Downstream (e.g. ``| head``) closed the pipe; not an error.
+        # Re-point stdout at devnull so the interpreter's shutdown
+        # flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv) -> int:
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "top":
         return top_main(argv[1:])
     if argv and argv[0] == "bulk":
         return bulk_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    if argv and argv[0] == "serve-metrics":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:

@@ -47,7 +47,9 @@ from repro.obs.accounting import (
 from repro.obs.events import BufferOp, EventTrace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    FANOUT_BUCKETS,
     LATENCY_BUCKETS,
+    SMALL_COUNT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -55,6 +57,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
 )
+from repro.obs.profile import ProfileReport, Profiler, profile_query
 from repro.obs.spans import NULL_TRACER, Span, Tracer
 
 #: Canonical buffer-operation names, mapped from ``RunStats`` fields.
@@ -77,6 +80,8 @@ class Observability:
         obs = Observability(per_event_timing=True)   # + dispatch histogram
         obs = Observability(accounting=True)         # + live buffer ledger
         obs = Observability(audit=True)              # + discipline auditor
+        obs = Observability(profile=True)            # + phase profiler
+        obs = Observability(serve=9099)              # + HTTP /metrics
 
     Engines accept ``obs=`` at construction; ``None`` (the default)
     keeps their hot paths exactly as un-instrumented as before.
@@ -90,7 +95,8 @@ class Observability:
 
     def __init__(self, spans: bool = True, metrics: bool = True,
                  events: bool = True, per_event_timing: bool = False,
-                 accounting: bool = False, audit: bool = False):
+                 accounting: bool = False, audit: bool = False,
+                 profile=False, serve: Optional[int] = None):
         self.tracer: Tracer = Tracer() if spans else NULL_TRACER
         self.metrics: MetricsRegistry = (MetricsRegistry() if metrics
                                          else NULL_METRICS)
@@ -99,6 +105,18 @@ class Observability:
         self.accounting: Optional[ResourceAccountant] = (
             ResourceAccountant(self.metrics, audit=audit)
             if accounting or audit else None)
+        # ``profile`` accepts True (default sampling) or a configured
+        # :class:`~repro.obs.profile.Profiler`; ``None`` keeps engines'
+        # un-profiled pumps.
+        if profile is True:
+            self.profiler: Optional[Profiler] = Profiler()
+        elif profile:
+            self.profiler = profile
+        else:
+            self.profiler = None
+        self.server = None
+        if serve is not None:
+            self.serve(serve)
         # High-water mark into ``events.records`` already aggregated into
         # per-BPDT metrics, so several runs on one bundle don't double
         # count.
@@ -148,6 +166,19 @@ class Observability:
             acct_hook(event)
 
         return hook
+
+    def serve(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start (or return) the HTTP metrics endpoint for this bundle.
+
+        Exposes ``/metrics`` (Prometheus text), ``/healthz`` and
+        ``/snapshot`` on a daemon thread; ``port=0`` binds an ephemeral
+        port (read it back from ``obs.server.port``).
+        """
+        if self.server is None:
+            from repro.obs.serve import MetricsServer
+            self.server = MetricsServer(self, port=port, host=host)
+            self.server.start()
+        return self.server
 
     def enable_audit(self) -> BufferAuditor:
         """Attach (or return) the buffer auditor, creating the
@@ -222,7 +253,7 @@ class Observability:
         dv_histogram = metrics.histogram(
             "repro_depth_vector_len",
             "depth-vector length at enqueue (embedding depth)",
-            buckets=(0, 1, 2, 3, 4, 6, 8, 12, 16), engine=engine)
+            buckets=SMALL_COUNT_BUCKETS, engine=engine)
         for record in records[self._aggregated_ops:]:
             metrics.counter(
                 "repro_bpdt_ops_total",
@@ -247,6 +278,9 @@ class Observability:
                 yield json.dumps(violation.as_dict(), sort_keys=True)
             yield json.dumps({"type": "accounting",
                               "snapshot": self.accounting.snapshot()},
+                             sort_keys=True)
+        if self.profiler is not None and self.profiler.events:
+            yield json.dumps(self.profiler.report().as_dict(),
                              sort_keys=True)
         if self.metrics.enabled:
             yield json.dumps({"type": "metrics",
@@ -292,6 +326,11 @@ __all__ = [
     "NULL_METRICS",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",
+    "FANOUT_BUCKETS",
+    "SMALL_COUNT_BUCKETS",
+    "Profiler",
+    "ProfileReport",
+    "profile_query",
     "EventTrace",
     "BufferOp",
     "ResourceAccountant",

@@ -35,15 +35,17 @@ the accounting-off path to the seed hot path).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
+# Emission-delay bucket bounds, in *stream events* between an item's
+# enqueue and its send, live in the shared bucket-ladder table in
+# :mod:`repro.obs.metrics` (re-exported here for compatibility).
+# Constant-delay enumeration (Muñoz & Riveros) predicts small values
+# except when a predicate resolves late.
+from repro.obs.metrics import DELAY_BUCKETS  # noqa: F401  (re-export)
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.xsq.depthvector import packed_size
-
-#: Emission-delay bucket bounds, in *stream events* between an item's
-#: enqueue and its send.  Constant-delay enumeration (Muñoz & Riveros)
-#: predicts small values except when a predicate resolves late.
-DELAY_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
 
 #: Flat per-item overhead estimate in bytes: one ``BufferItem`` (slots,
 #: queue links, sequence number) plus its ledger entry.  The absolute
@@ -460,6 +462,11 @@ class ResourceAccountant:
         self.clock = 0
         self.accounts: Dict[Tuple[str, str], QueryAccount] = {}
         self._tick_watch: List[QueryAccount] = []
+        # Guards account registration and snapshots (the per-event clock
+        # stays lock-free).  ``xsq top`` and the HTTP endpoint read
+        # whole snapshots under this lock so rows never interleave with
+        # a run registering accounts mid-refresh.
+        self._lock = threading.RLock()
 
     def enable_audit(self) -> BufferAuditor:
         if self.auditor is None:
@@ -476,10 +483,11 @@ class ResourceAccountant:
 
     def account(self, label: str, engine: str = "xsq") -> QueryAccount:
         key = (engine, label)
-        account = self.accounts.get(key)
-        if account is None:
-            account = QueryAccount(self, engine, label)
-            self.accounts[key] = account
+        with self._lock:
+            account = self.accounts.get(key)
+            if account is None:
+                account = QueryAccount(self, engine, label)
+                self.accounts[key] = account
         return account
 
     @property
@@ -487,10 +495,11 @@ class ResourceAccountant:
         return self.auditor.violations if self.auditor is not None else []
 
     def snapshot(self) -> dict:
+        with self._lock:
+            accounts = list(self.accounts.values())
         return {
             "clock": self.clock,
-            "accounts": [account.snapshot()
-                         for account in self.accounts.values()],
+            "accounts": [account.snapshot() for account in accounts],
             "audit": {
                 "enabled": self.auditor is not None,
                 "violations": len(self.violations),

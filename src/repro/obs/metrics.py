@@ -26,8 +26,13 @@ attached (verified by ``benchmarks/bench_obs_overhead.py``).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Dict, IO, List, Optional, Sequence, Tuple
+
+# Standard bucket families.  Every histogram in the repo draws its
+# bounds from one of these four ladders (count-style ladders are powers
+# of two), so exposition stays comparable across metrics and PRs.
 
 #: Default occupancy-style bucket upper bounds (items); chosen to cover
 #: the paper's datasets, where peak buffered items stay small unless a
@@ -38,15 +43,42 @@ DEFAULT_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 #: dispatch timing.
 LATENCY_BUCKETS = (1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 1e-1)
 
+#: Emission-delay bucket upper bounds (events between enqueue and
+#: emit/clear) — the power-of-two ladder DEFAULT_BUCKETS uses, extended
+#: one rung for the late-resolution tail.  Canonical home of what
+#: ``repro.obs.accounting`` historically defined ad hoc.
+DELAY_BUCKETS = DEFAULT_BUCKETS + (4096,)
+
+#: Small-count bucket upper bounds for fanout-style histograms (queries
+#: matched per dispatched event, children per frame): a dense low range
+#: because fanout beyond a handful of queries is already the story.
+FANOUT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
+
+#: Alias for structural small counts (depth-vector lengths etc.).
+SMALL_COUNT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
 
 def _labels_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping for label values."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus text-format escaping for HELP lines."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    return "{%s}" % ",".join('%s="%s"' % pair for pair in labels)
+    return "{%s}" % ",".join(
+        '%s="%s"' % (key, _escape_label_value(value))
+        for key, value in labels)
 
 
 def _format_value(value: float) -> str:
@@ -71,6 +103,10 @@ class Counter:
 
     def samples(self) -> List[Tuple[str, str, float]]:
         return [(self.name, _format_labels(self.labels), self.value)]
+
+    def families(self) -> List[Tuple[str, str, List[Tuple[str, str, float]]]]:
+        """``(family_name, type, samples)`` groups for exposition."""
+        return [(self.name, self.kind, self.samples())]
 
 
 class Gauge:
@@ -127,6 +163,17 @@ class Gauge:
                          self._max))
         return rows
 
+    def families(self) -> List[Tuple[str, str, List[Tuple[str, str, float]]]]:
+        """The ``_max`` companion is its own metric family: exposing it
+        under the base gauge's TYPE block is a lint error (sample name
+        would not match the family name)."""
+        plain = _format_labels(self.labels)
+        out = [(self.name, self.kind, [(self.name, plain, self.value)])]
+        if self._max is not None:
+            out.append((self.name + "_max", self.kind,
+                        [(self.name + "_max", plain, self._max)]))
+        return out
+
 
 class Histogram:
     """Fixed-bucket histogram (cumulative buckets, Prometheus layout)."""
@@ -172,6 +219,9 @@ class Histogram:
         rows.append((self.name + "_count", plain, self.count))
         return rows
 
+    def families(self) -> List[Tuple[str, str, List[Tuple[str, str, float]]]]:
+        return [(self.name, self.kind, self.samples())]
+
 
 class MetricsRegistry:
     """Named metric store with Prometheus-style exposition.
@@ -187,15 +237,22 @@ class MetricsRegistry:
         self._metrics: Dict[tuple, object] = {}
         self._help: Dict[str, str] = {}
         self._sinks: List[object] = []
+        # One lock for registration and snapshots: readers (``as_dict``,
+        # ``render_prometheus``, the HTTP endpoint, ``xsq top``) see a
+        # consistent point-in-time registry even while engine threads
+        # register new series mid-refresh.  Individual inc/observe calls
+        # stay lock-free (they mutate one metric object).
+        self._lock = threading.RLock()
 
     # -- creation --------------------------------------------------------
 
     def _get(self, cls, name: str, help: str, labels: dict, **extra):
         key = (name, _labels_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, _labels_key(labels), **extra)
-            self._metrics[key] = metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, _labels_key(labels), **extra)
+                self._metrics[key] = metric
             if help and name not in self._help:
                 self._help[name] = help
         return metric
@@ -225,30 +282,56 @@ class MetricsRegistry:
     # -- export ----------------------------------------------------------
 
     def metrics(self) -> List[object]:
-        return list(self._metrics.values())
+        with self._lock:
+            return list(self._metrics.values())
 
     def as_dict(self) -> dict:
         """Flat ``name{labels} -> value`` snapshot (histograms expand)."""
         snapshot = {}
-        for metric in self._metrics.values():
+        for metric in self.metrics():
             for name, labels, value in metric.samples():
                 snapshot[name + labels] = value
         return snapshot
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format, grouped by metric name."""
-        by_name: Dict[str, List[object]] = {}
-        for metric in self._metrics.values():
-            by_name.setdefault(metric.name, []).append(metric)
+        """Prometheus text exposition format, grouped by metric family.
+
+        Lint-clean by construction: exactly one ``# TYPE`` per family
+        (a gauge's ``_max`` companion is its own family), ``# HELP``
+        before ``# TYPE``, label values escaped, and both family order
+        and sample order deterministic (sorted) regardless of
+        registration order.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+            help_map = dict(self._help)
+        # family name -> (type, [(labelset_sort_key, sample_block)]).
+        # Blocks keep each metric's internal sample order (histogram
+        # buckets must stay in ascending ``le`` order); blocks
+        # themselves sort by labelset so output is deterministic.
+        families: Dict[str, Tuple[str, List[tuple]]] = {}
+        for metric in metrics:
+            for fam_name, kind, samples in metric.families():
+                block_key = samples[0][1] if samples else ""
+                entry = families.get(fam_name)
+                if entry is None:
+                    families[fam_name] = (kind, [(block_key, samples)])
+                else:
+                    entry[1].append((block_key, samples))
         lines: List[str] = []
-        for name in sorted(by_name):
-            group = by_name[name]
-            help_text = self._help.get(name)
+        for fam_name in sorted(families):
+            kind, blocks = families[fam_name]
+            help_text = help_map.get(fam_name)
+            if help_text is None and fam_name.endswith("_max"):
+                base_help = help_map.get(fam_name[:-4])
+                if base_help:
+                    help_text = base_help + " (high-water mark)"
             if help_text:
-                lines.append("# HELP %s %s" % (name, help_text))
-            lines.append("# TYPE %s %s" % (name, group[0].kind))
-            for metric in group:
-                for sample, labels, value in metric.samples():
+                lines.append("# HELP %s %s"
+                             % (fam_name, _escape_help(help_text)))
+            lines.append("# TYPE %s %s" % (fam_name, kind))
+            for _key, samples in sorted(blocks, key=lambda b: b[0]):
+                for sample, labels, value in samples:
                     lines.append("%s%s %s"
                                  % (sample, labels, _format_value(value)))
         return "\n".join(lines) + ("\n" if lines else "")

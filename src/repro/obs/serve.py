@@ -1,0 +1,127 @@
+"""Stdlib-only HTTP surface for live metrics and health.
+
+:class:`MetricsServer` mounts three read-only routes on a daemon
+thread, backed entirely by an :class:`~repro.obs.Observability` bundle:
+
+========== ==========================================================
+``/metrics``  Prometheus text exposition (``text/plain; version=0.0.4``)
+``/healthz``  liveness JSON: ``{"status": "ok", "uptime_seconds", ...}``
+``/snapshot`` the ``xsq top`` payload (``Observability.snapshot()``)
+========== ==========================================================
+
+Because :meth:`~repro.parallel.bulk.run_bulk` folds worker stats into
+the *parent* bundle's registry, pointing the server at that bundle
+aggregates across all forked workers for free — scrape one port, see
+the whole pool.  This is the observability front-end the push-mode
+"XSQ as a service" north star will mount.
+
+Start it three ways::
+
+    obs = Observability(serve=9099)          # at construction
+    obs.serve(port=0)                        # later; 0 = ephemeral port
+    xsq serve-metrics QUERY file.xml         # from the command line
+
+The server is intentionally not general-purpose: no TLS, no auth,
+binds loopback by default.  Expose it beyond localhost deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Content type Prometheus scrapers expect for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve one Observability bundle's registry over HTTP."""
+
+    def __init__(self, obs, port: int = 0, host: str = "127.0.0.1"):
+        self.obs = obs
+        self.host = host
+        self._started = time.time()
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server", daemon=True)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "MetricsServer":
+        if not self._thread.is_alive():
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    # -- payloads --------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "pid": os.getpid(),
+            "metrics": len(self.obs.metrics.metrics()),
+        }
+
+    def _routes(self):
+        obs = self.obs
+        return {
+            "/metrics": lambda: (PROMETHEUS_CONTENT_TYPE,
+                                 obs.metrics.render_prometheus()),
+            "/healthz": lambda: ("application/json",
+                                 json.dumps(self.health(),
+                                            sort_keys=True) + "\n"),
+            "/snapshot": lambda: ("application/json",
+                                  json.dumps(obs.snapshot(),
+                                             sort_keys=True) + "\n"),
+        }
+
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                route = server._routes().get(self.path.split("?", 1)[0])
+                if route is None:
+                    body = json.dumps(
+                        {"error": "not found",
+                         "routes": sorted(server._routes())}) + "\n"
+                    self._reply(404, "application/json", body)
+                    return
+                try:
+                    content_type, body = route()
+                except Exception as exc:  # pragma: no cover - defensive
+                    self._reply(500, "application/json",
+                                json.dumps({"error": str(exc)}) + "\n")
+                    return
+                self._reply(200, content_type, body)
+
+            def _reply(self, status, content_type, body):
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, format, *args):
+                pass  # stay silent; this shares stdout with xsq output
+
+        return Handler
+
+    def __repr__(self):
+        return "<MetricsServer %s>" % self.url

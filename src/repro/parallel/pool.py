@@ -195,15 +195,15 @@ class TaskPool:
 
     def run(self, tasks: Iterable[Task]) -> Iterator[TaskOutcome]:
         """Yield one :class:`TaskOutcome` per task, in submission order."""
-        if self.workers <= 1:
-            yield from self._run_serial(tasks)
-            return
         obs = self.obs
+        drive = self._run_serial if self.workers <= 1 else self._run_pool
         if obs is None:
-            yield from self._run_pool(tasks)
+            yield from drive(tasks)
             return
-        with obs.span("bulk-run", workers=self.workers):
-            yield from self._run_pool(tasks)
+        # Serial and pooled runs share the span shape: bulk-worker
+        # summaries always nest under one bulk-run root.
+        with obs.span("bulk-run", workers=max(1, self.workers)):
+            yield from drive(tasks)
 
     def _run_pool(self, tasks: Iterable[Task]) -> Iterator[TaskOutcome]:
         context = multiprocessing.get_context(self.start_method)

@@ -144,6 +144,16 @@ class OutputQueue:
     def __len__(self) -> int:
         return self._size
 
+    def ops_total(self) -> dict:
+        """Lifetime operation counters as one dict (profiler/obs export)."""
+        return {
+            "enqueued": self.enqueued_total,
+            "cleared": self.cleared_total,
+            "emitted": self.emitted_total,
+            "flushed": self.flushed_total,
+            "uploaded": self.uploaded_total,
+        }
+
     def new_item(self, value: Optional[str], owner: Tuple[int, int],
                  value_ready: bool = True,
                  on_emit: Optional[Callable[[BufferItem], None]] = None,

@@ -195,8 +195,15 @@ class XSQEngine:
             with obs.span("stream", engine=self.name) as stream_span:
                 events = self._as_events(source)
                 runtime, stat = self._new_runtime(sink)
-                count = self._pump_observed(events, runtime, obs)
-                runtime.finish()
+                profiler = obs.profiler
+                if profiler is not None:
+                    count = profiler.pump_events(
+                        self.name, events, runtime,
+                        on_event=obs.event_hook())
+                    profiler.timed_finish(runtime)
+                else:
+                    count = self._pump_observed(events, runtime, obs)
+                    runtime.finish()
         self._capture_stats(runtime, count, stat)
         obs.record_run(self.name, self.last_stats,
                        seconds=stream_span.duration)

@@ -367,6 +367,10 @@ class MatcherRuntime:
         # Peak simultaneously-open instances: the runtime memory metric.
         self._live_instances = 0
         self.peak_instances = 0
+        # Execution profiler (repro.obs.profile); set by the profiled
+        # pump, read inside the watch-scan branches only — un-profiled
+        # runs pay one None-test per *watched* event, never per event.
+        self.prof = None
         if self.account is None:
             # The accountant tail in _on_end is the runtime's only
             # per-event obs branch; pay the None-check once per run by
@@ -394,6 +398,13 @@ class MatcherRuntime:
 
     def finish(self) -> None:
         self.queue.finish()
+
+    def profile_state(self) -> int:
+        """Automaton progress for profiler attribution: the deepest
+        match frontier (count of matched location steps) at the top of
+        the stack — the nondeterministic analogue of an HPDT state id."""
+        top = self.stack[-1]
+        return max((sm.step_index for sm in top.contexts), default=-1) + 1
 
     def _closure_down(self, frame: Frame) -> List[StepMatch]:
         """Contexts that survive a subtree the dispatch index skipped.
@@ -433,12 +444,17 @@ class MatcherRuntime:
         # parent element (Figures 7/8: NA -> TRUE on a passing <child>)
         # or advance a path tracker (category 6).
         if adjacent and parent.child_begin_watch:
+            prof = self.prof
+            t0 = prof.clock() if prof is not None else 0.0
             for entry in parent.child_begin_watch:
                 instance, pred_index, predicate = entry
                 if instance.status is not None or pred_index not in instance.pending:
                     continue
                 if Bpdt.child_begin_verdict(predicate, tag, attrs):
                     instance.witness(pred_index, self)
+            if prof is not None:
+                prof.add_phase("predicate", prof.clock() - t0,
+                               len(parent.child_begin_watch))
         if self._trackers:
             for tracker in self._trackers:
                 tracker.on_begin(tag, attrs, event.depth, self)
@@ -481,12 +497,17 @@ class MatcherRuntime:
 
         # Category-2 predicates of this element (Figure 6).
         if frame.text_watch:
+            prof = self.prof
+            t0 = prof.clock() if prof is not None else 0.0
             for entry in frame.text_watch:
                 instance, pred_index, predicate = entry
                 if instance.status is not None or pred_index not in instance.pending:
                     continue
                 if Bpdt.text_verdict(predicate, event.text):
                     instance.witness(pred_index, self)
+            if prof is not None:
+                prof.add_phase("predicate", prof.clock() - t0,
+                               len(frame.text_watch))
 
         # Path trackers watching a terminal element's text (category 6).
         if self._trackers:
@@ -500,6 +521,8 @@ class MatcherRuntime:
             parent = self.stack[-2]
             if parent.child_text_watch \
                     and parent.depth == event.depth - 1:
+                prof = self.prof
+                t0 = prof.clock() if prof is not None else 0.0
                 for entry in parent.child_text_watch:
                     instance, pred_index, predicate = entry
                     if (instance.status is not None
@@ -508,6 +531,9 @@ class MatcherRuntime:
                     if Bpdt.child_text_verdict(predicate, frame.tag,
                                                event.text):
                         instance.witness(pred_index, self)
+                if prof is not None:
+                    prof.add_phase("predicate", prof.clock() - t0,
+                                   len(parent.child_text_watch))
 
         # Result values carried by text events.
         if frame.result_matches:

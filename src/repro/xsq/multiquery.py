@@ -314,10 +314,11 @@ class MultiQueryEngine:
                 for feed in feeds:
                     feed(event)
             return count
+        from repro.obs.metrics import FANOUT_BUCKETS
         fanout = obs.metrics.histogram(
             "repro_dispatch_fanout_queries",
             "runtimes touched per stream event under shared dispatch",
-            engine=self.name)
+            buckets=FANOUT_BUCKETS, engine=self.name)
         routes_get = self.index.routes.get
         default = self.index.default
         begins = [runtime.on_begin for runtime in runtimes]
@@ -351,10 +352,27 @@ class MultiQueryEngine:
         else:
             with obs.span("stream", engine=self.name,
                           queries=len(self.queries)) as stream_span:
-                count = self._pump_observed(events, runtimes, obs)
+                profiler = obs.profiler
+                if profiler is not None:
+                    # Profiled grouped pump: same routing as
+                    # _pump_dispatch, plus per-query attribution.
+                    labels = [query.text for query in self.queries]
+                    routes_get = (self.index.routes.get
+                                  if self.index is not None else None)
+                    default = (self.index.default
+                               if self.index is not None else None)
+                    count = profiler.pump_dispatch(
+                        self.name, events, runtimes, labels,
+                        routes_get, default, on_event=obs.event_hook())
+                else:
+                    count = self._pump_observed(events, runtimes, obs)
         run_stats = []
+        profiler = obs.profiler if obs is not None else None
         for runtime, queue in zip(runtimes, queues):
-            runtime.finish()
+            if profiler is not None:
+                profiler.timed_finish(runtime)
+            else:
+                runtime.finish()
             # ``events`` is the *global* stream length for every member:
             # all queries share the single pass even when the dispatch
             # index withheld most events from their runtimes.

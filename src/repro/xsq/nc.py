@@ -86,6 +86,8 @@ class _NCRuntime:
         self._trackers: List[PathTracker] = []
         self._live_instances = 0
         self.peak_instances = 0
+        # Execution profiler (repro.obs.profile); see MatcherRuntime.
+        self.prof = None
 
     # -- event handlers ----------------------------------------------------
 
@@ -100,6 +102,11 @@ class _NCRuntime:
 
     def finish(self) -> None:
         self.queue.finish()
+
+    def profile_state(self) -> int:
+        """Automaton progress for profiler attribution: the HPDT is
+        deterministic, so the frame count *is* the current state."""
+        return len(self.frames)
 
     def _on_begin(self, event: Event) -> None:
         frames = self.frames
@@ -118,11 +125,16 @@ class _NCRuntime:
         # A direct child of the deepest matched element may decide its
         # category-3/4 predicates, matched or not.
         if matched and frames[-1].child_begin_watch:
+            prof = self.prof
+            t0 = prof.clock() if prof is not None else 0.0
             for instance, pred_index, predicate in frames[-1].child_begin_watch:
                 if instance.status is None and pred_index in instance.pending:
                     if Bpdt.child_begin_verdict(predicate, event.tag,
                                                 event.attrs):
                         instance.witness(pred_index, self)
+            if prof is not None:
+                prof.add_phase("predicate", prof.clock() - t0,
+                               len(frames[-1].child_begin_watch))
         if depth > self.n:
             return
         step = self.steps[depth - 1]
@@ -192,22 +204,32 @@ class _NCRuntime:
         if depth == matched and frames:
             frame = frames[-1]
             if frame.text_watch:
+                prof = self.prof
+                t0 = prof.clock() if prof is not None else 0.0
                 for instance, pred_index, predicate in frame.text_watch:
                     if (instance.status is None
                             and pred_index in instance.pending
                             and Bpdt.text_verdict(predicate, event.text)):
                         instance.witness(pred_index, self)
+                if prof is not None:
+                    prof.add_phase("predicate", prof.clock() - t0,
+                                   len(frame.text_watch))
             if matched == self.n:
                 self._on_result_text(event)
         elif depth == matched + 1 and frames and frames[-1].child_text_watch:
             # Text inside a direct child of the deepest matched element
             # may decide its category-5 predicates.
+            prof = self.prof
+            t0 = prof.clock() if prof is not None else 0.0
             for instance, pred_index, predicate in frames[-1].child_text_watch:
                 if (instance.status is None
                         and pred_index in instance.pending
                         and Bpdt.child_text_verdict(predicate, event.tag,
                                                     event.text)):
                     instance.witness(pred_index, self)
+            if prof is not None:
+                prof.add_phase("predicate", prof.clock() - t0,
+                               len(frames[-1].child_text_watch))
 
     def _on_end(self, event: Event) -> None:
         frames = self.frames
@@ -383,8 +405,15 @@ class XSQEngineNC:
                 events = self._as_events(source)
                 stat = self._new_stat(False)
                 runtime = self._new_runtime(sink, stat)
-                count = self._pump_observed(events, runtime, obs)
-                runtime.finish()
+                profiler = obs.profiler
+                if profiler is not None:
+                    count = profiler.pump_events(
+                        self.name, events, runtime,
+                        on_event=obs.event_hook())
+                    profiler.timed_finish(runtime)
+                else:
+                    count = self._pump_observed(events, runtime, obs)
+                    runtime.finish()
         self._capture_stats(runtime, count, stat)
         obs.record_run(self.name, self.last_stats,
                        seconds=stream_span.duration)

@@ -83,6 +83,7 @@ def render_figures() -> str:
                  "`xsq --dot \"%s\"`.\n" % FIGURE11_QUERY)
     parts.append(MEMORY_FIGURES_SECTION)
     parts.append(THROUGHPUT_FIGURES_SECTION)
+    parts.append(PHASE_FIGURE_SECTION)
     return "\n".join(parts)
 
 
@@ -116,6 +117,22 @@ same automata lowered to integer-indexed transition tables (see
 measures the Figure 15 corpora with each one's evaluation query and
 records fast / XSQ-NC / XSQ-F / parse-only MB/s into the committed
 `BENCH_throughput.json`.
+"""
+
+#: Figure 18 is measured two ways: the bench harness's phase timers
+#: and the execution profiler's live attribution.
+PHASE_FIGURE_SECTION = """\
+## Figure 18 — where the time goes
+
+Figure 18's parse / automaton / buffer breakdown is reproducible two
+ways: offline by the bench harness's phase timers (`python -m
+repro.bench fig18`), and live from the execution profiler —
+`xsq profile QUERY FILE --fig18` attributes the actual run's wall
+time per phase (exactly on the interpreted engines, by batch-sampling
+on the compiled fast path) and reports the same three shares, so the
+figure can be re-derived from any single profiled run instead of a
+dedicated bench pass.  See
+[OBSERVABILITY.md](OBSERVABILITY.md#execution-profiler-reproobsprofile--explain-analyze).
 """
 
 

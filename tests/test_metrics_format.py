@@ -1,0 +1,174 @@
+"""Prometheus exposition format conformance for ``render_prometheus``.
+
+Checks the invariants the prometheus lint tool (``promtool check
+metrics``) enforces: exactly one HELP/TYPE pair per family, samples of
+a family contiguous, histogram ``le`` buckets ascending and cumulative
+with ``+Inf == _count``, label-value escaping, and a deterministic
+byte-identical rendering for a given registry state.
+"""
+
+import re
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DELAY_BUCKETS,
+    FANOUT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SMALL_COUNT_BUCKETS,
+)
+
+
+def parse_families(text):
+    """``name -> {"help": str, "type": str, "samples": [(line_no, line)]}``.
+
+    Also asserts the structural rules: HELP then TYPE then samples,
+    each family announced exactly once, every sample belonging to the
+    most recently announced family.
+    """
+    families = {}
+    current = None
+    for lineno, line in enumerate(text.splitlines()):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, "duplicate HELP for %s" % name
+            families[name] = {"help": help_text, "type": None,
+                              "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, "TYPE not adjacent to HELP"
+            assert families[name]["type"] is None, "duplicate TYPE"
+            families[name]["type"] = kind
+        else:
+            sample_name = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+            assert sample_name, "unparsable sample line: %r" % line
+            base = sample_name.group(0)
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix) and base[:-len(suffix)] == current:
+                    base = base[:-len(suffix)]
+                    break
+            assert base == current, (
+                "sample %r outside its family block (%r)" % (line, current))
+            families[current]["samples"].append((lineno, line))
+    return families
+
+
+class TestExpositionStructure:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "operations", op="enqueue").inc(3)
+        registry.counter("repro_ops_total", "operations", op="clear").inc()
+        gauge = registry.gauge("repro_depth", "stack depth").track_max()
+        gauge.set(4)
+        gauge.set(2)
+        hist = registry.histogram("repro_delay", "buffer delay",
+                                  buckets=(0, 1, 2))
+        for value in (0, 0.5, 1.5, 99):
+            hist.observe(value)
+        return registry
+
+    def test_every_family_has_help_and_type(self):
+        families = parse_families(self.build().render_prometheus())
+        for name, family in families.items():
+            assert family["type"] in ("counter", "gauge", "histogram"), name
+            assert family["help"], name
+            assert family["samples"], name
+
+    def test_gauge_max_is_its_own_family(self):
+        families = parse_families(self.build().render_prometheus())
+        assert "repro_depth" in families
+        assert "repro_depth_max" in families
+        assert families["repro_depth_max"]["type"] == "gauge"
+        assert "high-water" in families["repro_depth_max"]["help"]
+        # The live value decayed to 2; the high-water mark kept 4.
+        assert families["repro_depth"]["samples"][0][1].endswith(" 2")
+        assert families["repro_depth_max"]["samples"][0][1].endswith(" 4")
+
+    def test_histogram_buckets_ascending_cumulative_inf(self):
+        families = parse_families(self.build().render_prometheus())
+        samples = [line for _, line in families["repro_delay"]["samples"]]
+        buckets = [line for line in samples if "_bucket" in line]
+        les, counts = [], []
+        for line in buckets:
+            les.append(re.search(r'le="([^"]+)"', line).group(1))
+            counts.append(float(line.rsplit(" ", 1)[1]))
+        assert les == ["0", "1", "2", "+Inf"]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        count_line = [line for line in samples
+                      if line.startswith("repro_delay_count")][0]
+        assert counts[-1] == float(count_line.rsplit(" ", 1)[1])
+        sum_line = [line for line in samples
+                    if line.startswith("repro_delay_sum")][0]
+        assert float(sum_line.rsplit(" ", 1)[1]) == 0 + 0.5 + 1.5 + 99
+
+    def test_counter_label_sets_sorted_deterministically(self):
+        samples = parse_families(self.build().render_prometheus())[
+            "repro_ops_total"]["samples"]
+        lines = [line for _, line in samples]
+        assert lines == sorted(lines)
+        assert any('op="clear"' in line for line in lines)
+        assert any('op="enqueue"' in line for line in lines)
+
+    def test_rendering_is_deterministic(self):
+        # Same metric state created in a different order renders
+        # byte-identically: families sorted, label sets sorted.
+        first = MetricsRegistry()
+        first.counter("a_total", "a", k="1").inc()
+        first.counter("z_total", "z").inc()
+        second = MetricsRegistry()
+        second.counter("z_total", "z").inc()
+        second.counter("a_total", "a", k="1").inc()
+        assert first.render_prometheus() == second.render_prometheus()
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", "queries",
+                         query='//a[text()="x\\y\n"]').inc()
+        text = registry.render_prometheus()
+        line = [l for l in text.splitlines() if l.startswith("q_total{")][0]
+        assert '\\\\' in line and '\\"' in line and "\\n" in line
+        assert "\n\"" not in line  # no raw newline inside the label
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("h_total", "line one\nline two \\ done").inc()
+        help_line = [l for l in registry.render_prometheus().splitlines()
+                     if l.startswith("# HELP h_total")][0]
+        assert "\\n" in help_line and "\\\\" in help_line
+
+    def test_help_backfilled_from_later_registration(self):
+        registry = MetricsRegistry()
+        registry.counter("late_total").inc()
+        registry.counter("late_total", "documented later").inc()
+        families = parse_families(registry.render_prometheus())
+        assert families["late_total"]["help"] == "documented later"
+
+
+class TestBucketLadders:
+    def test_shared_ladders_are_sorted_and_distinct(self):
+        for ladder in (DEFAULT_BUCKETS, LATENCY_BUCKETS, DELAY_BUCKETS,
+                       FANOUT_BUCKETS, SMALL_COUNT_BUCKETS):
+            assert list(ladder) == sorted(ladder)
+            assert len(set(ladder)) == len(ladder)
+
+    def test_delay_buckets_extend_default(self):
+        assert DELAY_BUCKETS[:len(DEFAULT_BUCKETS)] == DEFAULT_BUCKETS
+        assert DELAY_BUCKETS[-1] == 4096
+
+    def test_engine_run_renders_lint_clean(self):
+        # End-to-end: a real engine run through Observability must
+        # produce structurally valid exposition.
+        from repro.obs import Observability
+        from repro.api import select_engine
+        obs = Observability(accounting=True)
+        engine = select_engine("//book/name/text()", obs=obs)
+        engine.run("<pub><book><name>First</name></book></pub>")
+        families = parse_families(obs.metrics.render_prometheus())
+        assert families  # at least one family emitted
+        for name, family in families.items():
+            assert family["type"] is not None, name

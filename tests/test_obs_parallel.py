@@ -1,0 +1,133 @@
+"""Observability across ``run_bulk`` forked workers.
+
+Satellite coverage for the observability PR: span nesting around bulk
+runs (``bulk-worker`` spans nest under ``bulk-run``), and metric
+aggregation — the ``repro_parallel_*`` family totals recorded for a
+``workers=2`` run must equal the serial run's totals, with per-worker
+labels present for every worker that ran.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.parallel import run_bulk
+
+
+QUERY = "//book[price<10]/title/text()"
+
+
+def corpus(n=8):
+    docs = []
+    for i in range(n):
+        docs.append(
+            "<pub><book><title>t%d</title><price>%d</price></book>"
+            "<book><title>skip%d</title><price>99</price></book></pub>"
+            % (i, 5 + (i % 8), i))
+    return docs
+
+
+def metric_values(obs, name):
+    """``labels-dict-as-tuple -> value`` for one metric family."""
+    out = {}
+    for metric in obs.metrics.metrics():
+        if metric.name == name:
+            out[metric.labels] = getattr(metric, "value", None)
+    return out
+
+
+class TestSpanNesting:
+    def run(self, workers):
+        obs = Observability()
+        result = run_bulk(QUERY, corpus(), workers=workers, obs=obs)
+        results = result.results()
+        return obs, results
+
+    def test_worker_spans_nest_under_bulk_run(self):
+        obs, _ = self.run(workers=2)
+        roots = obs.tracer.roots
+        bulk = [span for span in roots if span.name == "bulk-run"]
+        assert len(bulk) == 1
+        assert bulk[0].attrs["workers"] == 2
+        workers = [child for child in bulk[0].children
+                   if child.name == "bulk-worker"]
+        assert len(workers) == 2
+        assert sorted(span.attrs["worker"] for span in workers) == [0, 1]
+        assert sum(span.attrs["docs"] for span in workers) == len(corpus())
+        for span in workers:
+            assert span.parent is bulk[0]
+
+    def test_serial_run_same_span_shape(self):
+        # The serial baseline nests identically: one bulk-run root with
+        # a single worker summary under it.
+        obs, _ = self.run(workers=1)
+        bulk = [span for span in obs.tracer.roots
+                if span.name == "bulk-run"][0]
+        assert bulk.attrs["workers"] == 1
+        workers = [child for child in bulk.children
+                   if child.name == "bulk-worker"]
+        assert len(workers) == 1
+        assert workers[0].attrs["docs"] == len(corpus())
+
+    def test_spans_serialize_to_jsonl(self):
+        obs, _ = self.run(workers=2)
+        records = [json.loads(line) for line in obs.tracer.jsonl_lines()]
+        names = [record["name"] for record in records]
+        assert "bulk-run" in names
+        assert names.count("bulk-worker") == 2
+        for record in records:
+            if record["name"] == "bulk-worker":
+                assert record["parent"] == "bulk-run"
+
+
+class TestMetricAggregation:
+    def totals(self, workers):
+        obs = Observability()
+        result = run_bulk(QUERY, corpus(), workers=workers, obs=obs)
+        results = result.results()
+        return obs, results, result
+
+    def test_parallel_totals_equal_serial(self):
+        serial_obs, serial_results, _ = self.totals(workers=1)
+        par_obs, par_results, _ = self.totals(workers=2)
+        assert par_results == serial_results
+        for name in ("repro_parallel_docs_total",
+                     "repro_parallel_bytes_total"):
+            serial = sum(metric_values(serial_obs, name).values() or [0])
+            parallel = sum(metric_values(par_obs, name).values() or [0])
+            assert parallel == serial, name
+            assert serial > 0, name
+        # Chunking only exists in pooled mode; the counter must cover
+        # every document there, but has no serial counterpart.
+        chunks = sum(
+            metric_values(par_obs, "repro_parallel_chunks_total").values())
+        assert chunks >= 1
+
+    def test_per_worker_labels_present(self):
+        obs, _, _ = self.totals(workers=2)
+        docs = metric_values(obs, "repro_parallel_worker_docs_total")
+        labels = {dict(key)["worker"] for key in docs}
+        assert labels == {"0", "1"}
+        assert sum(docs.values()) == len(corpus())
+        busy = metric_values(obs, "repro_parallel_worker_busy_seconds")
+        assert {dict(key)["worker"] for key in busy} == {"0", "1"}
+        assert all(value >= 0 for value in busy.values())
+
+    def test_worker_gauge_reflects_pool_size(self):
+        obs, _, _ = self.totals(workers=2)
+        values = metric_values(obs, "repro_parallel_workers")
+        assert list(values.values()) == [2]
+
+    def test_run_stats_identical_across_worker_counts(self):
+        _, _, serial = self.totals(workers=1)
+        _, _, parallel = self.totals(workers=2)
+        assert serial.stats is not None and parallel.stats is not None
+        assert serial.stats.as_dict() == parallel.stats.as_dict()
+
+    def test_prometheus_includes_parallel_family(self):
+        obs, _, _ = self.totals(workers=2)
+        text = obs.metrics.render_prometheus()
+        assert "# TYPE repro_parallel_worker_docs_total counter" in text
+        assert 'repro_parallel_worker_docs_total{worker="0"}' in text
+        assert 'repro_parallel_worker_docs_total{worker="1"}' in text

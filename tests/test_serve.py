@@ -1,0 +1,122 @@
+"""Live metrics endpoint: /metrics, /healthz, /snapshot over HTTP.
+
+Stdlib-only server on an ephemeral port; every test starts its own
+instance and tears it down.  The exposition route must serve exactly
+what ``render_prometheus`` produces, with the Prometheus content type.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import select_engine
+from repro.obs import Observability
+from repro.obs.serve import PROMETHEUS_CONTENT_TYPE, MetricsServer
+
+
+DOC = "<pub><book><name>First</name><price>5</price></book></pub>"
+QUERY = "/pub/book/name/text()"
+
+
+@pytest.fixture
+def served():
+    obs = Observability(accounting=True)
+    select_engine(QUERY, choice="f", obs=obs).run(DOC)
+    server = obs.serve(port=0)
+    yield obs, server
+    server.close()
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_metrics_route_serves_exposition(self, served):
+        obs, server = served
+        status, ctype, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE" in body
+        assert "repro_" in body
+        # The route serves the registry's own rendering, not a copy.
+        assert body == obs.metrics.render_prometheus()
+
+    def test_healthz_route(self, served):
+        _, server = served
+        status, ctype, body = fetch(server.url + "/healthz")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+        assert health["metrics"] > 0
+
+    def test_snapshot_route_is_xsq_top_json(self, served):
+        _, server = served
+        status, _, body = fetch(server.url + "/snapshot")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert isinstance(snapshot, dict)
+
+    def test_unknown_route_404_lists_routes(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(server.url + "/nope")
+        assert err.value.code == 404
+        payload = json.loads(err.value.read().decode("utf-8"))
+        assert "/metrics" in payload["routes"]
+        assert "/healthz" in payload["routes"]
+
+    def test_query_string_ignored(self, served):
+        _, server = served
+        status, _, _ = fetch(server.url + "/metrics?foo=bar")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_assigned(self):
+        obs = Observability()
+        server = MetricsServer(obs, port=0)
+        server.start()
+        try:
+            assert server.port > 0
+            assert str(server.port) in server.url
+        finally:
+            server.close()
+
+    def test_serve_is_idempotent_per_bundle(self):
+        obs = Observability()
+        server = obs.serve(port=0)
+        try:
+            assert obs.serve(port=0) is server
+        finally:
+            server.close()
+
+    def test_serve_kwarg_on_construction(self):
+        obs = Observability(serve=0)
+        try:
+            assert obs.server is not None
+            status, _, _ = fetch(obs.server.url + "/healthz")
+            assert status == 200
+        finally:
+            obs.server.close()
+
+    def test_metrics_update_between_scrapes(self, served):
+        obs, server = served
+        _, _, before = fetch(server.url + "/metrics")
+        select_engine(QUERY, choice="f", obs=obs).run(DOC)
+        _, _, after = fetch(server.url + "/metrics")
+        assert before != after
+
+    def test_close_stops_serving(self):
+        obs = Observability()
+        server = obs.serve(port=0)
+        url = server.url
+        server.close()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            fetch(url + "/healthz")
