@@ -7,16 +7,17 @@ which a ``pub`` contains a ``book`` that contains another ``pub``.  The
 one of the three embeddings satisfies both predicates — the engine must
 keep "Z" buffered while the other two embeddings fail around it.
 
-With ``trace=True`` the engine records every buffer operation
-(enqueue / upload / flush / clear / send) with the owning BPDT's
-``(level, k)`` id, so you can watch the paper's Figure 11 machinery
-run.
+With an :class:`~repro.obs.Observability` bundle attached, its event
+trace records every buffer operation (enqueue / upload / flush /
+clear / send) with the owning BPDT's ``(level, k)`` id, so you can
+watch the paper's Figure 11 machinery run.
 
 Run with::
 
     python examples/recursive_bibliography.py
 """
 
+from repro.obs import Observability
 from repro.xsq import XSQEngine
 
 # Figure 2 of the paper (the outer <root> wrapper there is the SAX
@@ -48,7 +49,7 @@ def main() -> None:
     print("query:", QUERY)
     print("data: Figure 2 of the paper (recursive pub/book nesting)")
 
-    engine = XSQEngine(QUERY, trace=True)
+    engine = XSQEngine(QUERY, obs=Observability(spans=False, metrics=False))
     results = engine.run(DATA)
 
     print("\nresults (document order, no duplicates):")

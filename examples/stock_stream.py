@@ -1,44 +1,59 @@
-"""Streaming aggregation over an unbounded feed.
+"""Streaming aggregation over an unbounded feed, push-mode.
 
 The paper motivates streaming XPath with data that "occurs natively in
 streaming form (e.g., stock market updates)" and notes that XSQ's
-``stat.update`` emits a new aggregate value whenever it changes, "useful
-when we process aggregation queries over unbounded streams"
+``stat.update`` emits a new aggregate value whenever it changes,
+"useful when we process aggregation queries over unbounded streams"
 (Section 4.4).
 
-This example simulates a ticker feed as an *infinite* generator of SAX
-events — no document ever materializes — and shows XSQ computing a
-running aggregate with bounded memory, stopping after a fixed number of
-updates only because examples must terminate.
+This example simulates a ticker as an endless producer of raw XML
+*chunks* — deliberately split mid-tag, the way bytes arrive off a
+socket — and pushes them through ``CompiledQuery.feed()``.  No document
+ever materializes, ``finish()`` is never called (the feed has no end),
+and each running aggregate value is returned by the very ``feed`` call
+whose bytes determined it.  Memory stays bounded throughout.
 
 Run with::
 
     python examples/stock_stream.py [n_updates]
 """
 
-import itertools
 import random
 import sys
 
-from repro.streaming.events import BeginEvent, EndEvent, TextEvent
-from repro.xsq import XSQEngine
+import repro
 
 SYMBOLS = ("XSQ", "PDT", "HPDT", "SAX", "XML")
 
 
-def ticker_events(seed: int = 42):
-    """Infinite stream: <feed> <quote symbol=S><price>P</price></quote>…"""
+def ticker_chunks(seed: int = 42, chunk_size: int = 17):
+    """Endless raw-XML chunks: <feed><quote symbol=S><price>P</price>…
+
+    Re-chunked to a fixed byte size so splits land mid-tag and
+    mid-number — push mode must not care.
+    """
     rng = random.Random(seed)
-    yield BeginEvent("feed", {}, 1)
     prices = {symbol: 100.0 for symbol in SYMBOLS}
+    pending = "<feed>"
     while True:
         symbol = rng.choice(SYMBOLS)
         prices[symbol] = max(1.0, prices[symbol] + rng.uniform(-2, 2))
-        yield BeginEvent("quote", {"symbol": symbol}, 2)
-        yield BeginEvent("price", {}, 3)
-        yield TextEvent("price", "%.2f" % prices[symbol], 3)
-        yield EndEvent("price", 3)
-        yield EndEvent("quote", 2)
+        pending += ("<quote symbol=\"%s\"><price>%.2f</price></quote>"
+                    % (symbol, prices[symbol]))
+        while len(pending) >= chunk_size:
+            yield pending[:chunk_size]
+            pending = pending[chunk_size:]
+
+
+def run_streaming(query_text: str, n_updates: int, seed: int = 42):
+    """Push chunks until the aggregate has produced n_updates values."""
+    query = repro.compile(query_text)
+    query.push(streaming_agg=True)   # running values, iter_results-shape
+    updates = []
+    for chunk in ticker_chunks(seed):
+        updates += query.feed(chunk)
+        if len(updates) >= n_updates:
+            return updates[:n_updates]
 
 
 def main() -> None:
@@ -46,23 +61,18 @@ def main() -> None:
 
     # Running maximum price of one symbol, over the unbounded feed.
     query = "/feed/quote[@symbol='XSQ']/price/max()"
-    engine = XSQEngine(query)
     print("query:", query)
-    for i, value in enumerate(
-            itertools.islice(engine.iter_results(ticker_events()),
-                             n_updates)):
+    for i, value in enumerate(run_streaming(query, n_updates)):
         print("  update %2d: running max = %s" % (i + 1, value))
 
     # Count quotes for another symbol on a fresh feed.
     count_query = "/feed/quote[@symbol='PDT']/count()"
-    engine = XSQEngine(count_query)
     print("\nquery:", count_query)
-    updates = list(itertools.islice(engine.iter_results(ticker_events()),
-                                    n_updates))
-    print("  running counts:", updates)
+    print("  running counts:", run_streaming(count_query, n_updates))
 
     print("\nmemory stays bounded: the engine never buffers the feed, "
-          "only undetermined candidates (here: none).")
+          "only undetermined candidates (here: none), and each value "
+          "came out of the feed() call that completed its quote.")
 
 
 if __name__ == "__main__":

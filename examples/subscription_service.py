@@ -1,19 +1,22 @@
-"""A selective-dissemination service, end to end.
+"""A selective-dissemination service, end to end — on the broker.
 
 The paper situates XSQ against filtering systems (XFilter/YFilter)
 built for exactly this workload: many users register queries, documents
-stream through, each user gets their results.  This example composes
-the reproduction's pieces into that service:
+stream through, each user gets their results.  This example runs that
+service on :class:`repro.serve.SubscriptionBroker` — the same core
+behind ``xsq serve``, here used in-process:
 
 1. subscriptions are sampled from the corpus schema
    (:mod:`repro.datagen.queries`) — some path-only, some with
-   predicates;
-2. a YFilter shared NFA routes each incoming document to the
-   subscriptions it *might* satisfy (path-only pre-filter, one cheap
-   pass);
-3. the matched subscriptions' full queries — predicates and all — run
-   as one grouped XSQ pass (:class:`repro.xsq.multiquery
-   .MultiQueryEngine`) to extract the actual results per subscriber.
+   predicates — and registered *hot* per tenant, against a quota;
+2. every subscription compiles into one grouped engine with shared
+   event dispatch (the YFilter idea, inside the engine), rebuilt only
+   when the registry changes;
+3. documents arrive as raw chunks (``stream.feed``), and each
+   ``(subscription, value)`` result is delivered from the chunk whose
+   bytes determined it — mid-document, no end-of-document wait;
+4. the registry changes between documents (one tenant unsubscribes),
+   and the next document is evaluated against the new snapshot.
 
 Run with::
 
@@ -22,19 +25,15 @@ Run with::
 
 import sys
 
-from repro.baselines.yfilter import YFilterEngine
 from repro.datagen import generate_dblp
 from repro.datagen.queries import QueryWorkloadGenerator, TagGraph
-from repro.xpath.parser import parse_query
-from repro.xpath.ast import Axis, LocationStep, Query
-from repro.xsq.multiquery import MultiQueryEngine
+from repro.obs import Observability
+from repro.serve import SubscriptionBroker
 
 
-def path_skeleton(query: Query) -> str:
-    """The predicate-free location path, for the routing pre-filter."""
-    steps = [LocationStep(step.axis, step.node_test)
-             for step in query.steps]
-    return "".join("%s%s" % (s.axis, s.node_test) for s in steps)
+def chunked(text: str, size: int = 4096):
+    for offset in range(0, len(text), size):
+        yield text[offset:offset + size]
 
 
 def main() -> None:
@@ -46,42 +45,51 @@ def main() -> None:
                                        seed=11, max_depth=4,
                                        closure_probability=0.25,
                                        predicate_probability=0.5)
-    subscriptions = [q + "/text()" for q in generator.workload(8)]
+    obs = Observability(spans=False, events=False)
+    broker = SubscriptionBroker(obs=obs, max_subscriptions_per_tenant=4)
+    owners = {}
     print("subscriptions:")
-    for sid, query in enumerate(subscriptions):
-        print("  [%d] %s" % (sid, query))
+    for i, query in enumerate(generator.workload(8)):
+        tenant = "user-%d" % (i % 3)
+        sid = broker.subscribe(query + "/text()", tenant=tenant)
+        owners[sid] = tenant
+        print("  [%s -> %s] %s" % (sid, tenant, query + "/text()"))
 
-    # --- routing pre-filter: one shared NFA over the path skeletons -----
-    router = YFilterEngine(
-        [path_skeleton(parse_query(q)) for q in subscriptions])
-
+    # --- documents stream through as chunks -----------------------------
     total_routed = 0
     total_delivered = 0
     for doc_id in range(n_documents):
         document = generate_dblp(15_000, seed=100 + doc_id)
-        candidates = sorted(router.matches(document))
-        total_routed += len(candidates)
-        if not candidates:
-            print("doc %d: no candidate subscriptions" % doc_id)
-            continue
-        # --- full evaluation, one grouped pass for this document --------
-        engine = MultiQueryEngine([subscriptions[sid]
-                                   for sid in candidates])
-        per_query = engine.run(document)
-        delivered = {sid: results
-                     for sid, results in zip(candidates, per_query)
-                     if results}
-        total_delivered += sum(len(r) for r in delivered.values())
-        print("doc %d: %d candidates -> %d subscriptions with results"
-              % (doc_id, len(candidates), len(delivered)))
-        for sid, results in sorted(delivered.items()):
-            print("    [%d] %d results, first: %.40s"
-                  % (sid, len(results), results[0]))
+        stream = broker.open_stream()
+        delivered = {}
+        for chunk in chunked(document):
+            for sid, value in stream.feed(chunk):
+                delivered.setdefault(sid, []).append(value)
+        for sid, value in stream.finish():
+            delivered.setdefault(sid, []).append(value)
+        total_routed += len(stream.subscription_ids)
+        total_delivered += sum(len(v) for v in delivered.values())
+        print("doc %d: %d standing queries -> %d subscriptions "
+              "with results"
+              % (doc_id, len(stream.subscription_ids), len(delivered)))
+        for sid in sorted(delivered, key=lambda s: int(s[1:])):
+            results = delivered[sid]
+            print("    [%s -> %s] %d results, first: %.40s"
+                  % (sid, owners[sid], len(results), results[0]))
+        if doc_id == 0 and delivered:
+            # Hot unsubscribe between documents: the current document
+            # was evaluated against its snapshot; the next one is not.
+            gone = sorted(delivered, key=lambda s: int(s[1:]))[0]
+            broker.unsubscribe(gone)
+            print("    (%s unsubscribed; takes effect next document)"
+                  % gone)
 
     print("\nrouted %d (subscription, document) pairs; delivered %d "
           "results total" % (total_routed, total_delivered))
-    print("the pre-filter is sound: a subscription never matches a "
-          "document its path skeleton rejected.")
+    print("per-tenant accounting (repro_serve_* metrics):")
+    for line in obs.metrics_text().splitlines():
+        if line.startswith("repro_serve_results_total"):
+            print("  " + line)
 
 
 if __name__ == "__main__":

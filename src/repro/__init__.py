@@ -27,12 +27,16 @@ Main entry points:
 * :mod:`repro.bench` — throughput/memory measurement harness
 * :mod:`repro.parallel` — multi-core bulk execution over document
   corpora (:func:`repro.run_bulk`, ``compile(...).run_bulk``)
+* :mod:`repro.serve` — the asyncio subscription server behind
+  ``xsq serve``: persistent queries, incremental chunk feeds, result
+  fan-out (``compile(...).feed(chunk)`` is the library-level push API)
 """
 
 from repro.api import (
     CompiledQuery,
     CompiledQuerySet,
     EmptyEngine,
+    PushSession,
     UnionEngine,
     compile,
     select_engine,
@@ -75,6 +79,7 @@ __all__ = [
     "TaskPool",
     "CompiledQuery",
     "CompiledQuerySet",
+    "PushSession",
     "select_engine",
     "EmptyEngine",
     "UnionEngine",

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ClosureNotSupportedError, FastPathUnsupportedError
+from repro.errors import (ClosureNotSupportedError, FastPathUnsupportedError,
+                          StreamError)
 from repro.xpath.ast import Query
 from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
 from repro.xsq.engine import RunStats, XSQEngine
@@ -57,6 +58,10 @@ class EmptyEngine:
     def iter_results(self, _source):
         return iter(())
 
+    def push(self, streaming_agg: bool = False):
+        from repro.xsq.push import NullPushHandle
+        return NullPushHandle()
+
     def explain(self) -> str:
         return "(empty query: the reverse-axis rewrite proved no matches)"
 
@@ -77,6 +82,11 @@ class UnionEngine:
         # Document-order merging needs the full pass; union queries
         # therefore emit at end of stream.
         return iter(self.run(source))
+
+    def push(self, streaming_agg: bool = False):
+        # Same end-of-stream constraint in push mode: feeds return
+        # nothing, finish() returns the merged union.
+        return self._engine.push(merged=True)
 
     @property
     def last_stats(self) -> Optional[RunStats]:
@@ -186,6 +196,96 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
     return engine
 
 
+class PushSession:
+    """One document fed incrementally through a compiled query (or set).
+
+    The push-mode inverse of :meth:`CompiledQuery.run`: the caller owns
+    the input loop and hands over raw chunks (``feed``) or pre-built
+    events (``feed_events``) as they arrive — a socket, a tail, a
+    message bus — and each call returns the results those bytes
+    determined under the paper's buffering discipline.  No EOF is
+    needed until ``finish()``, and the concatenation of every call's
+    results is byte-identical to ``run()`` over the same document, for
+    any chunking (``tests/test_push_equivalence.py``).
+
+    A session is single-document and single-representation: the first
+    call fixes chunk mode or event mode, and ``finish()`` closes it.
+    Chunks may be ``str`` or ``bytes`` and may split the document
+    anywhere — mid-tag, mid-entity, mid-CDATA; the resumable expat
+    parser (:mod:`repro.streaming.push`) buffers the partial state.
+    For a :class:`CompiledQuerySet` the results are
+    ``(query_index, value)`` pairs; for a single query, values.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self._parser = None
+        self._feed_parsed = None
+        self._mode: Optional[str] = None
+        self.closed = False
+
+    @property
+    def events_fed(self) -> int:
+        """Stream events consumed so far (chunk feeds count parsed events)."""
+        return self._handle.events_fed
+
+    def _open_chunk_parser(self) -> None:
+        feed_mode = self._handle.feed_mode
+        if feed_mode == "batch":
+            from repro.streaming.push import PushBatchParser
+            self._parser = PushBatchParser(self._handle.tags)
+            self._feed_parsed = self._handle.feed_batch
+        elif feed_mode == "events":
+            from repro.streaming.push import PushEventParser
+            self._parser = PushEventParser()
+            self._feed_parsed = self._handle.feed_events
+        # feed_mode == "none" (empty-rewritten query): chunks are
+        # accepted and discarded unparsed, matching run()'s behaviour
+        # of never touching the source.
+
+    def feed(self, chunk) -> list:
+        """Parse one raw chunk; return the results it determined."""
+        if self.closed:
+            raise StreamError("push session already finished")
+        if self._mode is None:
+            self._mode = "chunks"
+            self._open_chunk_parser()
+        elif self._mode != "chunks":
+            raise StreamError("this session was fed events; a push "
+                              "session cannot mix feed() and "
+                              "feed_events()")
+        if self._parser is None:
+            return []
+        return self._feed_parsed(self._parser.feed(chunk))
+
+    def feed_events(self, events) -> list:
+        """Feed pre-built events; return the results they determined."""
+        if self.closed:
+            raise StreamError("push session already finished")
+        if self._mode is None:
+            self._mode = "events"
+        elif self._mode != "events":
+            raise StreamError("this session was fed raw chunks; a push "
+                              "session cannot mix feed() and "
+                              "feed_events()")
+        return self._handle.feed_events(events)
+
+    def finish(self) -> list:
+        """End the document; return the tail results and close."""
+        if self.closed:
+            return []
+        self.closed = True
+        out: list = []
+        if self._parser is not None:
+            out.extend(self._feed_parsed(self._parser.finish()))
+        out.extend(self._handle.finish())
+        return out
+
+    def __repr__(self):
+        state = "closed" if self.closed else (self._mode or "fresh")
+        return "<PushSession %s>" % state
+
+
 class CompiledQuery:
     """One compiled query with a uniform run/iterate/stats surface.
 
@@ -201,6 +301,7 @@ class CompiledQuery:
         # *original* spec, so per-worker engines match this one.
         self.engine_choice = engine
         self._bulk_spec = query
+        self._push_session: Optional[PushSession] = None
         self.engine = select_engine(query, engine, obs=obs, cache=cache)
 
     @property
@@ -220,6 +321,44 @@ class CompiledQuery:
     def iter_results(self, source) -> Iterator[str]:
         """Yield results incrementally where the engine supports it."""
         return self.engine.iter_results(source)
+
+    def push(self, streaming_agg: bool = False) -> PushSession:
+        """Open an explicit :class:`PushSession` for one document.
+
+        With ``streaming_agg=True`` aggregate queries return
+        intermediate values from each feed (the :meth:`iter_results`
+        shape) instead of only the final value at ``finish()``.  The
+        session also becomes the implicit one, so subsequent
+        :meth:`feed` / :meth:`finish` calls on the query address it.
+        """
+        self._push_session = PushSession(
+            self.engine.push(streaming_agg=streaming_agg))
+        return self._push_session
+
+    def feed(self, chunk) -> List[str]:
+        """Feed one raw chunk of the current document; return results.
+
+        Convenience over :meth:`push`: the first ``feed`` after
+        construction (or after :meth:`finish`) opens an implicit
+        session.  ``chunk`` is ``str`` or ``bytes`` and may split the
+        document anywhere.
+        """
+        if self._push_session is None or self._push_session.closed:
+            self._push_session = self.push()
+        return self._push_session.feed(chunk)
+
+    def feed_events(self, events) -> List[str]:
+        """Feed pre-built events into the implicit push session."""
+        if self._push_session is None or self._push_session.closed:
+            self._push_session = self.push()
+        return self._push_session.feed_events(events)
+
+    def finish(self) -> List[str]:
+        """End the implicitly-fed document; return the tail results."""
+        if self._push_session is None:
+            return []
+        session, self._push_session = self._push_session, None
+        return session.finish()
 
     def run_bulk(self, sources, *, workers: Optional[int] = None, **kwargs):
         """Evaluate over a whole corpus, sharded across worker processes.
@@ -285,6 +424,7 @@ class CompiledQuerySet:
         self.obs = obs
         self._bulk_spec = list(queries)
         self.shared_dispatch = shared_dispatch
+        self._push_session: Optional[PushSession] = None
         self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
                                        shared_dispatch=shared_dispatch)
 
@@ -304,6 +444,36 @@ class CompiledQuerySet:
 
     def iter_results(self, source) -> Iterator[Tuple[int, object]]:
         return self.engine.iter_results(source)
+
+    def push(self) -> PushSession:
+        """Open an explicit :class:`PushSession` over all member queries.
+
+        Feeds return ``(query_index, value)`` pairs in stream order
+        (the :meth:`iter_results` shape); aggregate members surface
+        their final value at ``finish()``.  The session also becomes
+        the implicit one addressed by :meth:`feed` / :meth:`finish`.
+        """
+        self._push_session = PushSession(self.engine.push())
+        return self._push_session
+
+    def feed(self, chunk) -> List[Tuple[int, object]]:
+        """Feed one raw chunk; return ``(query_index, value)`` pairs."""
+        if self._push_session is None or self._push_session.closed:
+            self._push_session = self.push()
+        return self._push_session.feed(chunk)
+
+    def feed_events(self, events) -> List[Tuple[int, object]]:
+        """Feed pre-built events into the implicit push session."""
+        if self._push_session is None or self._push_session.closed:
+            self._push_session = self.push()
+        return self._push_session.feed_events(events)
+
+    def finish(self) -> List[Tuple[int, object]]:
+        """End the implicitly-fed document; return the tail pairs."""
+        if self._push_session is None:
+            return []
+        session, self._push_session = self._push_session, None
+        return session.finish()
 
     def run_bulk(self, sources, *, workers: Optional[int] = None, **kwargs):
         """Grouped evaluation over a corpus, sharded across workers.

@@ -35,6 +35,12 @@ Usage::
                                      # stream processes
     xsq serve-metrics QUERY FILE --port 9099 --duration 60
 
+    xsq serve                        # XSQ as a service: persistent
+                                     # XPath subscriptions over a
+                                     # JSON-lines TCP protocol, chunks
+                                     # pushed in, results fanned out
+    xsq serve --port 9090 --metrics-port 9099 --max-subs-per-tenant 100
+
 Also available as ``python -m repro`` (so ``python -m repro trace ...``
 is the ``repro trace`` subcommand).
 """
@@ -113,7 +119,7 @@ def _run_queries_file(args) -> int:
     # args.query, when present alongside --queries-file, is actually the
     # input file (the positional slots shift).
     source = args.query if args.query is not None else (
-        args.file if args.file is not None else sys.stdin)
+        args.file if args.file is not None else _stdin_source())
     engine = MultiQueryEngine(queries)
     all_results = engine.run(source)
     for query, results in zip(queries, all_results):
@@ -339,7 +345,7 @@ def top_main(argv=None) -> int:
         obs = Observability(spans=False, events=False,
                             accounting=True, audit=args.audit)
         engine = select_engine(args.query, args.engine, obs=obs)
-        source = args.file if args.file is not None else sys.stdin
+        source = args.file if args.file is not None else _stdin_source()
         refresh = max(1, args.refresh_events)
         clear = (not args.no_clear) and sys.stdout.isatty()
 
@@ -382,7 +388,7 @@ def trace_main(argv=None) -> int:
     try:
         obs = Observability()
         engine = _pick_traced_engine(args.query, args.engine, obs)
-        source = args.file if args.file is not None else sys.stdin
+        source = args.file if args.file is not None else _stdin_source()
         results = engine.run(source)
         print("# results (%d)" % len(results))
         for value in results:
@@ -473,10 +479,10 @@ def profile_main(argv=None) -> int:
         build_profile_parser().error(
             "--compare re-runs the stream and cannot replay stdin; "
             "pass a FILE")
-    source = args.file if args.file is not None else sys.stdin
     interval = (args.sample_interval if args.sample_interval
                 else DEFAULT_SAMPLE_INTERVAL)
     try:
+        source = args.file if args.file is not None else _stdin_source()
         report = profile_query(args.query, source, engine=args.engine,
                                sample_interval=interval)
         if args.json:
@@ -550,7 +556,7 @@ def serve_main(argv=None) -> int:
         print("serving metrics on %s (routes: /metrics /healthz "
               "/snapshot)" % server.url, file=sys.stderr)
         engine = select_engine(args.query, args.engine, obs=obs)
-        source = args.file if args.file is not None else sys.stdin
+        source = args.file if args.file is not None else _stdin_source()
         results = engine.run(source)
         if not args.quiet:
             for value in results:
@@ -573,6 +579,101 @@ def serve_main(argv=None) -> int:
         return 0
     except ReproError as exc:
         return _report_error(exc)
+
+
+def build_push_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq serve",
+        description="Run the XSQ subscription server: persistent XPath "
+                    "subscriptions registered hot over a JSON-lines TCP "
+                    "protocol, documents pushed in as chunks, and "
+                    "results fanned out to each subscription's owner "
+                    "the moment the buffering discipline determines "
+                    "them.")
+    parser.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                        help="TCP port (default: 0 = ephemeral; the "
+                             "bound port is announced as a JSON line "
+                             "on stdout)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="also serve /metrics, /healthz and "
+                             "/snapshot over HTTP on this port "
+                             "(0 = ephemeral)")
+    parser.add_argument("--max-subs-per-tenant", type=int, default=None,
+                        metavar="N",
+                        help="per-tenant standing-query quota "
+                             "(default: unlimited)")
+    parser.add_argument("--queue-size", type=int, default=None, metavar="N",
+                        help="outbound results buffered per connection "
+                             "before the overflow policy applies "
+                             "(default: 256)")
+    parser.add_argument("--overflow", choices=("block", "drop"),
+                        default="block",
+                        help="slow-subscriber policy: block = end-to-end "
+                             "backpressure (default), drop = shed and "
+                             "count")
+    return parser
+
+
+def push_serve_main(argv=None) -> int:
+    """The ``xsq serve`` / ``repro serve`` subcommand."""
+    import asyncio
+    import json as json_mod
+
+    from repro.serve import DEFAULT_QUEUE_SIZE
+    from repro.serve import serve as serve_coro
+
+    args = build_push_serve_parser().parse_args(argv)
+
+    def announce(server, metrics_server) -> None:
+        # One machine-readable line so scripts can discover an
+        # ephemeral port (the serve-smoke CI job does exactly this).
+        line = {"event": "listening", "host": server.host,
+                "port": server.port}
+        if metrics_server is not None:
+            line["metrics"] = metrics_server.url
+        print(json_mod.dumps(line), flush=True)
+        print("xsq serve: listening on %s:%d (Ctrl-C to exit)"
+              % (server.host, server.port), file=sys.stderr)
+
+    try:
+        asyncio.run(serve_coro(
+            args.host, args.port,
+            metrics_port=args.metrics_port,
+            queue_size=(args.queue_size if args.queue_size
+                        else DEFAULT_QUEUE_SIZE),
+            overflow=args.overflow,
+            max_subscriptions_per_tenant=args.max_subs_per_tenant,
+            announce=announce))
+    except KeyboardInterrupt:
+        print("xsq serve: interrupted; shut down cleanly",
+              file=sys.stderr)
+    except OSError as exc:
+        print("xsq: error: cannot bind %s:%d: %s"
+              % (args.host, args.port, exc.strerror or exc),
+              file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        return _report_error(exc)
+    return 0
+
+
+def _stdin_source():
+    """stdin as a query source — unless it is an interactive terminal.
+
+    Every pull-mode subcommand defaults FILE to stdin; invoked from a
+    terminal with nothing piped in, that used to hang waiting for input
+    (then die in the parser on Ctrl-D).  Fail fast with the push-mode
+    alternatives instead.
+    """
+    if sys.stdin.isatty():
+        raise ReproError(
+            "stdin is a terminal and no FILE was given; pipe a document "
+            "in, pass a FILE, or push chunks incrementally instead "
+            "(`xsq serve`, or CompiledQuery.feed() from Python)")
+    return sys.stdin
 
 
 def _report_error(exc: ReproError) -> int:
@@ -611,6 +712,8 @@ def _dispatch(argv) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "serve-metrics":
         return serve_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return push_serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:
@@ -622,7 +725,7 @@ def _dispatch(argv) -> int:
             print(hpdt.to_dot() if args.dot else hpdt.describe())
             return 0
         engine = pick_engine(args.query, args.engine)
-        source = args.file if args.file is not None else sys.stdin
+        source = args.file if args.file is not None else _stdin_source()
         if args.dtd or args.check:
             # Compose validators into the same single pass the engine
             # reads: events flow parser -> PDA -> DTD validator -> HPDT.

@@ -76,6 +76,21 @@ class StreamError(ReproError):
     """An event source produced an invalid or inconsistent event stream."""
 
 
+class QuotaExceededError(ReproError):
+    """A subscription-service tenant hit a configured resource quota.
+
+    Raised by :class:`repro.serve.SubscriptionBroker` when a tenant
+    tries to register more subscriptions than
+    ``max_subscriptions_per_tenant`` allows.  ``tenant`` and ``quota``
+    carry the offending tenant label and the configured limit.
+    """
+
+    def __init__(self, message, tenant=None, quota=None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+
+
 class TaskFailedError(ReproError):
     """One bulk-execution task (usually: one document) failed.
 

@@ -86,13 +86,17 @@ def _payload_source(payload):
 def normalize_source(source, index: int):
     """One corpus entry → (payload, label, byte cost).
 
-    Accepts what the serial engines accept, with the stream caveat:
-    file-like objects are read *in the parent* (a worker cannot inherit
-    an open handle portably), so an iterator of streams works but pays
-    the bytes through the task queue; prefer paths for large corpora.
-    The path/markup distinction mirrors
-    :func:`repro.streaming.sax_source._open_xml_input`.
+    Classification delegates to
+    :func:`repro.streaming.coerce_source`, so bulk accepts exactly what
+    the serial engines accept — path, XML text, bytes, a file-like
+    object, or an iterable of raw chunks — minus pre-built event
+    iterables (a worker needs replayable bytes, and events already
+    dropped whitespace).  Non-path sources are materialized *in the
+    parent* (a worker cannot inherit an open handle portably) and pay
+    their bytes through the task queue; prefer paths for large corpora.
     """
+    from repro.streaming.source import EVENTS, coerce_source
+
     if isinstance(source, bytes):
         return ("bytes", source), "<doc #%d>" % index, len(source)
     if isinstance(source, str):
@@ -107,16 +111,22 @@ def normalize_source(source, index: int):
         except OSError:
             cost = 1
         return ("path", source), source, max(1, cost)
-    if hasattr(source, "read"):
-        data = source.read()
-        if isinstance(data, str):
-            data = data.encode("utf-8")
-        label = getattr(source, "name", None)
-        if not isinstance(label, str):
-            label = "<stream #%d>" % index
-        return ("bytes", data), label, len(data)
-    raise StreamError("unsupported bulk source type at #%d: %r"
-                      % (index, type(source)))
+    try:
+        coerced = coerce_source(source)
+    except StreamError:
+        raise StreamError("unsupported bulk source type at #%d: %r"
+                          % (index, type(source)))
+    if coerced.kind == EVENTS:
+        raise StreamError(
+            "bulk source #%d is an event iterable; bulk workers need "
+            "replayable bytes — pass a path, XML text, bytes, a "
+            "file-like object, or an iterable of raw chunks" % index)
+    data = coerced.read_bytes()
+    label = getattr(source, "name", None)
+    if not isinstance(label, str):
+        label = ("<stream #%d>" if hasattr(source, "read")
+                 else "<doc #%d>") % index
+    return ("bytes", data), label, max(1, len(data))
 
 
 class DocumentResult:

@@ -1,0 +1,273 @@
+"""The subscription registry and fan-out core of ``xsq serve``.
+
+The paper frames XSQ as a building block for *data dissemination*: many
+standing queries, one pass over each arriving document.
+:class:`SubscriptionBroker` is that shape as a long-lived service core,
+independent of any transport:
+
+* **persistent queries** — ``subscribe()`` / ``unsubscribe()`` register
+  XPath subscriptions hot, per tenant, against configurable quotas.
+  Compiled HPDTs are shared through the process compile cache, and the
+  grouped engine (one shared
+  :class:`~repro.xsq.dispatch.DispatchIndex`) is rebuilt lazily, only
+  when the registry actually changed.
+* **incremental documents** — :meth:`open_stream` starts one document;
+  the returned :class:`BrokerStream` accepts raw chunks (``feed``) and
+  returns ``(subscription_id, value)`` results the moment the paper's
+  buffering discipline determines them — no EOF needed.
+* **registry snapshots** — a stream binds the registry at open time;
+  subscriptions added mid-document take effect from the next document,
+  so every document is evaluated against one consistent query set.
+
+Per-tenant accounting flows into an optional
+:class:`~repro.obs.Observability` bundle as ``repro_serve_*`` metrics
+(subscriptions gauge, results/documents/chunks/bytes counters, all
+labelled by tenant), scrapeable through the bundle's ``/metrics``
+endpoint.  The asyncio front-end in :mod:`repro.serve.server` wraps
+this class; it is equally usable in-process::
+
+    broker = SubscriptionBroker()
+    sid = broker.subscribe("//book[price<11]/title/text()")
+    stream = broker.open_stream()
+    for chunk in chunks:
+        for sub_id, value in stream.feed(chunk):
+            deliver(sub_id, value)
+    stream.finish()
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QuotaExceededError, StreamError
+
+DEFAULT_TENANT = "default"
+
+
+class Subscription:
+    """One registered standing query."""
+
+    __slots__ = ("sid", "text", "tenant", "results", "documents")
+
+    def __init__(self, sid: str, text: str, tenant: str):
+        self.sid = sid
+        self.text = text
+        self.tenant = tenant
+        self.results = 0
+        self.documents = 0
+
+    def as_dict(self) -> dict:
+        return {"sub": self.sid, "query": self.text, "tenant": self.tenant,
+                "results": self.results, "documents": self.documents}
+
+
+class SubscriptionBroker:
+    """Hot-swappable registry of standing queries + per-document streams.
+
+    ``max_subscriptions_per_tenant`` bounds each tenant's standing
+    queries (:class:`~repro.errors.QuotaExceededError` beyond it);
+    ``obs`` attaches an :class:`~repro.obs.Observability` bundle for
+    the ``repro_serve_*`` metrics.  Thread-safe: registry mutations and
+    engine rebuilds are locked; each :class:`BrokerStream` is owned by
+    its caller (feed one stream from one thread at a time).
+    """
+
+    def __init__(self, obs=None, *,
+                 max_subscriptions_per_tenant: Optional[int] = None,
+                 cache=None):
+        self.obs = obs
+        self.max_subscriptions_per_tenant = max_subscriptions_per_tenant
+        self._cache = cache
+        self._lock = threading.Lock()
+        self._subs: Dict[str, Subscription] = {}
+        self._by_tenant: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._generation = 0
+        # (generation, [sid...], MultiQueryEngine|None) of the last build.
+        self._compiled: Optional[Tuple[int, List[str], object]] = None
+
+    # -- registry ----------------------------------------------------------
+
+    def subscribe(self, query: str, tenant: str = DEFAULT_TENANT) -> str:
+        """Register a standing query; returns its subscription id.
+
+        The query is parsed eagerly so syntax errors surface here, not
+        on the first document.  Takes effect for streams opened after
+        this call.
+        """
+        from repro.xpath.parser import parse_query
+        parsed = parse_query(query)
+        with self._lock:
+            quota = self.max_subscriptions_per_tenant
+            held = self._by_tenant.get(tenant, 0)
+            if quota is not None and held >= quota:
+                raise QuotaExceededError(
+                    "tenant %r already holds %d subscriptions "
+                    "(quota %d)" % (tenant, held, quota),
+                    tenant=tenant, quota=quota)
+            sid = "s%d" % next(self._ids)
+            self._subs[sid] = Subscription(sid, parsed.text or query, tenant)
+            self._by_tenant[tenant] = held + 1
+            self._generation += 1
+        self._gauge_subscriptions(tenant)
+        return sid
+
+    def unsubscribe(self, sid: str) -> bool:
+        """Remove a standing query; returns whether it existed.
+
+        Streams already opened keep evaluating their snapshot; the
+        subscription stops matching from the next document.
+        """
+        with self._lock:
+            sub = self._subs.pop(sid, None)
+            if sub is None:
+                return False
+            self._by_tenant[sub.tenant] -= 1
+            self._generation += 1
+        self._gauge_subscriptions(sub.tenant)
+        return True
+
+    def get(self, sid: str) -> Optional[Subscription]:
+        return self._subs.get(sid)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subs)
+
+    def describe(self) -> List[dict]:
+        """Registry snapshot for the server's ``stats`` op."""
+        with self._lock:
+            return [sub.as_dict() for sub in self._subs.values()]
+
+    # -- evaluation --------------------------------------------------------
+
+    def _snapshot_engine(self):
+        """The grouped engine over the current registry, rebuilt only
+        when the registry's generation moved."""
+        with self._lock:
+            generation = self._generation
+            if self._compiled is not None and \
+                    self._compiled[0] == generation:
+                return self._compiled[1], self._compiled[2]
+            sids = list(self._subs)
+            if sids:
+                from repro.xsq.multiquery import MultiQueryEngine
+                engine = MultiQueryEngine(
+                    [self._subs[sid].text for sid in sids],
+                    cache=self._cache)
+            else:
+                engine = None
+            self._compiled = (generation, sids, engine)
+            return sids, engine
+
+    def open_stream(self, tenant: str = DEFAULT_TENANT) -> "BrokerStream":
+        """Start one document against the current registry snapshot."""
+        sids, engine = self._snapshot_engine()
+        return BrokerStream(self, sids, engine, tenant)
+
+    # -- metrics -----------------------------------------------------------
+
+    def _gauge_subscriptions(self, tenant: str) -> None:
+        if self.obs is None:
+            return
+        self.obs.metrics.gauge(
+            "repro_serve_subscriptions",
+            "standing queries currently registered, by tenant",
+            tenant=tenant).set(self._by_tenant.get(tenant, 0))
+
+    def _count(self, name: str, help: str, tenant: str, n: int = 1) -> None:
+        if self.obs is None or n == 0:
+            return
+        self.obs.metrics.counter(name, help, tenant=tenant).inc(n)
+
+
+class BrokerStream:
+    """One document fed incrementally through every registered query.
+
+    Results are ``(subscription_id, value)`` pairs, returned from the
+    ``feed`` call whose bytes determined them.  ``finish()`` flushes
+    the engines' buffer discipline and closes the stream.  When the
+    registry snapshot was empty, chunks are still parsed (a malformed
+    document errors identically with or without subscribers).
+    """
+
+    def __init__(self, broker: SubscriptionBroker, sids: List[str],
+                 engine, tenant: str):
+        self._broker = broker
+        self._sids = sids
+        self._tenant = tenant
+        self._bytes = 0
+        self._chunks = 0
+        self.closed = False
+        from repro.streaming.push import PushEventParser
+        self._parser = PushEventParser()
+        self._handle = engine.push() if engine is not None else None
+
+    @property
+    def subscription_ids(self) -> List[str]:
+        """The registry snapshot this stream evaluates."""
+        return list(self._sids)
+
+    def _route(self, pairs) -> List[Tuple[str, str]]:
+        if not pairs:
+            return []
+        sids = self._sids
+        subs = self._broker._subs
+        out = []
+        per_tenant: Dict[str, int] = {}
+        for index, value in pairs:
+            sid = sids[index]
+            out.append((sid, value))
+            sub = subs.get(sid)
+            if sub is not None:
+                sub.results += 1
+                per_tenant[sub.tenant] = per_tenant.get(sub.tenant, 0) + 1
+        for tenant, n in per_tenant.items():
+            self._broker._count(
+                "repro_serve_results_total",
+                "subscription results delivered, by owning tenant",
+                tenant, n)
+        return out
+
+    def feed(self, chunk) -> List[Tuple[str, str]]:
+        """Parse one raw chunk; return newly determined results."""
+        if self.closed:
+            raise StreamError("stream already finished")
+        self._chunks += 1
+        self._bytes += len(chunk)
+        events = self._parser.feed(chunk)
+        if self._handle is None:
+            return []
+        return self._route(self._handle.feed_events(events))
+
+    def finish(self) -> List[Tuple[str, str]]:
+        """End the document; return tail results and record accounting."""
+        if self.closed:
+            return []
+        self.closed = True
+        events = self._parser.finish()
+        out: List[Tuple[str, str]] = []
+        if self._handle is not None:
+            out = self._route(self._handle.feed_events(events)
+                              + self._handle.finish())
+        broker = self._broker
+        for sid in self._sids:
+            sub = broker._subs.get(sid)
+            if sub is not None:
+                sub.documents += 1
+        broker._count("repro_serve_documents_total",
+                      "documents streamed to completion, by feeding tenant",
+                      self._tenant)
+        broker._count("repro_serve_chunks_total",
+                      "raw chunks fed, by feeding tenant",
+                      self._tenant, self._chunks)
+        broker._count("repro_serve_bytes_total",
+                      "raw bytes fed, by feeding tenant",
+                      self._tenant, self._bytes)
+        return out
+
+    @property
+    def events_fed(self) -> int:
+        return self._handle.events_fed if self._handle is not None else 0

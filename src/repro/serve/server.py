@@ -1,0 +1,401 @@
+"""``xsq serve``: the asyncio network front-end over the broker.
+
+One TCP listener, JSON-lines protocol, any number of concurrent
+subscriber/feeder connections sharing one
+:class:`~repro.serve.broker.SubscriptionBroker`.  Every connection can
+register standing queries and/or stream documents; results fan out to
+whichever connection *owns* each matching subscription the moment they
+are determined — the "XSQ as a service" shape the paper's
+dissemination framing points at.
+
+Client → server ops (one JSON object per line)::
+
+    {"op": "hello", "tenant": "alice"}      bind this connection's tenant
+    {"op": "subscribe", "query": "//a/text()"}
+    {"op": "unsubscribe", "sub": "s3"}
+    {"op": "open"}                          start a document (optional;
+                                            the first chunk auto-opens)
+    {"op": "chunk", "data": "<pub><boo"}    any split, no ack (results
+                                            are the acknowledgement)
+    {"op": "close"}                         end the document, flush tails
+    {"op": "stats"}                         registry + connection counters
+    {"op": "ping"}
+
+Server → client lines: op acknowledgements ``{"ok": true, "op": ...}``
+(or ``{"ok": false, "error": ...}``), and asynchronous events::
+
+    {"event": "result", "sub": "s3", "value": "..."}
+    {"event": "dropped", "n": 12}           overflow="drop" only
+
+**Backpressure.**  Each connection owns a bounded outbound queue
+drained by a writer task.  With ``overflow="block"`` (default) a full
+subscriber queue suspends the *feeding* coroutine — the slow consumer
+throttles the producer end to end, classic flow control.  With
+``overflow="drop"`` results to a full queue are counted and dropped
+(``repro_serve_dropped_total``), and the subscriber is told how many it
+lost.  Ops' acknowledgements share the same queue, so a client always
+observes its acks ordered against its results.
+
+The server is transport only: all query semantics live in the broker
+and the engines' push handles, so everything here is testable without
+sockets too (see ``tests/test_serve_push.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.serve.broker import DEFAULT_TENANT, SubscriptionBroker
+
+#: Outbound results/acks buffered per connection before backpressure.
+DEFAULT_QUEUE_SIZE = 256
+
+#: Refuse protocol lines beyond this size (one op; chunk data included).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class _Connection:
+    """Per-socket state: tenant, owned subscriptions, outbound queue."""
+
+    def __init__(self, server: "XsqServer", writer: asyncio.StreamWriter,
+                 name: str):
+        self.server = server
+        self.writer = writer
+        self.name = name
+        self.tenant = DEFAULT_TENANT
+        self.owned: set = set()
+        self.stream = None
+        self.doc_results = 0
+        self.results_sent = 0
+        self.dropped = 0
+        self._closed = False
+        self.outbox: asyncio.Queue = asyncio.Queue(
+            maxsize=server.queue_size)
+        self._writer_task: Optional[asyncio.Task] = None
+
+    def start_writer(self) -> None:
+        self._writer_task = asyncio.get_running_loop().create_task(
+            self._drain_outbox())
+
+    async def _drain_outbox(self) -> None:
+        writer = self.writer
+        try:
+            while True:
+                payload = await self.outbox.get()
+                if payload is None:
+                    break
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def send(self, message: dict) -> None:
+        """Queue one line; blocks (backpressures) when the queue is full."""
+        payload = (json.dumps(message, separators=(",", ":")) + "\n").encode()
+        if self.server.overflow == "drop" and message.get("event") == "result":
+            try:
+                self.outbox.put_nowait(payload)
+            except asyncio.QueueFull:
+                self.dropped += 1
+                self.server._count_dropped(self.tenant)
+            return
+        await self.outbox.put(payload)
+
+    async def flush_drops(self) -> None:
+        """Tell the client how many results overflow dropped, then reset."""
+        if self.dropped:
+            n, self.dropped = self.dropped, 0
+            await self.send({"event": "dropped", "n": n})
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._writer_task is not None:
+                await self.outbox.put(None)
+                await self._writer_task
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+class XsqServer:
+    """The asyncio subscription server; one broker, many connections.
+
+    ``overflow`` is the fan-out policy for slow subscribers:
+    ``"block"`` (end-to-end backpressure) or ``"drop"`` (shed + count).
+    Pass an existing ``broker`` to share a registry, or let the server
+    build one with ``max_subscriptions_per_tenant``/``obs`` applied.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 broker: Optional[SubscriptionBroker] = None, obs=None,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 overflow: str = "block",
+                 max_subscriptions_per_tenant: Optional[int] = None):
+        if overflow not in ("block", "drop"):
+            raise ValueError("overflow must be 'block' or 'drop', not %r"
+                             % (overflow,))
+        self.host = host
+        self.port = port
+        self.obs = obs if obs is not None else (
+            broker.obs if broker is not None else None)
+        self.broker = broker if broker is not None else SubscriptionBroker(
+            obs=self.obs,
+            max_subscriptions_per_tenant=max_subscriptions_per_tenant)
+        self.queue_size = queue_size
+        self.overflow = overflow
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Dict[str, _Connection] = {}
+        self._owners: Dict[str, _Connection] = {}
+        self._handlers: set = set()
+        self._conn_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "XsqServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections.values()):
+            await conn.close()
+        # Let the per-connection handler tasks observe EOF and unwind,
+        # so shutdown leaves no pending tasks behind.
+        handlers = [t for t in self._handlers if not t.done()]
+        for task in handlers:
+            task.cancel()
+        if handlers:
+            await asyncio.gather(*handlers, return_exceptions=True)
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_seq += 1
+        conn = _Connection(self, writer, "c%d" % self._conn_seq)
+        conn.tenant = "tenant-%s" % conn.name
+        self._connections[conn.name] = conn
+        conn.start_writer()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("op must be a JSON object")
+                except ValueError as exc:
+                    await conn.send({"ok": False,
+                                     "error": "bad JSON: %s" % exc})
+                    continue
+                await self._dispatch(conn, message)
+        finally:
+            self._disconnect(conn)
+            await conn.close()
+
+    def _disconnect(self, conn: _Connection) -> None:
+        self._connections.pop(conn.name, None)
+        # A connection's standing queries die with it.
+        for sid in list(conn.owned):
+            self._owners.pop(sid, None)
+            self.broker.unsubscribe(sid)
+        conn.owned.clear()
+        if conn.stream is not None and not conn.stream.closed:
+            try:
+                conn.stream.finish()
+            except ReproError:
+                pass
+            conn.stream = None
+
+    # -- op dispatch ---------------------------------------------------------
+
+    async def _dispatch(self, conn: _Connection, message: dict) -> None:
+        op = message.get("op")
+        handler = getattr(self, "_op_%s" % op, None) if isinstance(
+            op, str) and not op.startswith("_") else None
+        if handler is None:
+            await conn.send({"ok": False, "op": op,
+                             "error": "unknown op %r" % (op,)})
+            return
+        try:
+            await handler(conn, message)
+        except ReproError as exc:
+            await conn.send({"ok": False, "op": op,
+                             "error": "%s: %s"
+                             % (type(exc).__name__, exc)})
+
+    async def _op_hello(self, conn: _Connection, message: dict) -> None:
+        tenant = message.get("tenant")
+        if tenant:
+            conn.tenant = str(tenant)
+        await conn.send({"ok": True, "op": "hello", "tenant": conn.tenant,
+                         "server": "xsq-serve"})
+
+    async def _op_ping(self, conn: _Connection, message: dict) -> None:
+        await conn.send({"ok": True, "op": "ping"})
+
+    async def _op_subscribe(self, conn: _Connection, message: dict) -> None:
+        query = message.get("query")
+        if not query:
+            await conn.send({"ok": False, "op": "subscribe",
+                             "error": "subscribe needs 'query'"})
+            return
+        sid = self.broker.subscribe(str(query), tenant=conn.tenant)
+        conn.owned.add(sid)
+        self._owners[sid] = conn
+        await conn.send({"ok": True, "op": "subscribe", "sub": sid,
+                         "query": str(query)})
+
+    async def _op_unsubscribe(self, conn: _Connection,
+                              message: dict) -> None:
+        sid = message.get("sub")
+        sub = self.broker.get(sid) if sid else None
+        if sub is not None and sub.tenant != conn.tenant:
+            await conn.send({"ok": False, "op": "unsubscribe",
+                             "error": "subscription %r belongs to another "
+                             "tenant" % (sid,)})
+            return
+        removed = self.broker.unsubscribe(sid) if sid else False
+        if removed:
+            conn.owned.discard(sid)
+            self._owners.pop(sid, None)
+        await conn.send({"ok": True, "op": "unsubscribe", "sub": sid,
+                         "removed": removed})
+
+    async def _op_open(self, conn: _Connection, message: dict) -> None:
+        if conn.stream is not None and not conn.stream.closed:
+            await conn.send({"ok": False, "op": "open",
+                             "error": "a document is already open; "
+                             "close it first"})
+            return
+        conn.stream = self.broker.open_stream(tenant=conn.tenant)
+        conn.doc_results = 0
+        await conn.send({"ok": True, "op": "open",
+                         "subscriptions": len(conn.stream.subscription_ids)})
+
+    async def _op_chunk(self, conn: _Connection, message: dict) -> None:
+        data = message.get("data")
+        if data is None:
+            await conn.send({"ok": False, "op": "chunk",
+                             "error": "chunk needs 'data'"})
+            return
+        if conn.stream is None or conn.stream.closed:
+            # First chunk auto-opens against the current registry.
+            conn.stream = self.broker.open_stream(tenant=conn.tenant)
+            conn.doc_results = 0
+        conn.doc_results += await self._deliver(conn.stream.feed(data))
+
+    async def _op_close(self, conn: _Connection, message: dict) -> None:
+        if conn.stream is None or conn.stream.closed:
+            await conn.send({"ok": False, "op": "close",
+                             "error": "no open document"})
+            return
+        stream, conn.stream = conn.stream, None
+        # A truncated/malformed tail raises ReproError out of finish();
+        # _dispatch turns it into an error reply and the connection
+        # (with its subscriptions) stays alive.
+        conn.doc_results += await self._deliver(stream.finish())
+        await conn.send({"ok": True, "op": "close",
+                         "events": stream.events_fed,
+                         "results": conn.doc_results})
+
+    async def _op_stats(self, conn: _Connection, message: dict) -> None:
+        await conn.send({
+            "ok": True, "op": "stats",
+            "tenant": conn.tenant,
+            "connections": self.connection_count,
+            "subscriptions": self.broker.describe(),
+        })
+
+    # -- fan-out -------------------------------------------------------------
+
+    async def _deliver(self, results) -> int:
+        """Route ``(sid, value)`` pairs to their owning connections."""
+        delivered = 0
+        for sid, value in results:
+            owner = self._owners.get(sid)
+            if owner is None:
+                continue
+            await owner.send({"event": "result", "sub": sid,
+                              "value": value})
+            owner.results_sent += 1
+            delivered += 1
+        for sid, _ in results:
+            owner = self._owners.get(sid)
+            if owner is not None and owner.dropped:
+                await owner.flush_drops()
+        return delivered
+
+    def _count_dropped(self, tenant: str) -> None:
+        if self.obs is None:
+            return
+        self.obs.metrics.counter(
+            "repro_serve_dropped_total",
+            "results shed to slow subscribers under overflow='drop'",
+            tenant=tenant).inc()
+
+
+async def serve(host: str = "127.0.0.1", port: int = 0, *,
+                obs=None, metrics_port: Optional[int] = None,
+                queue_size: int = DEFAULT_QUEUE_SIZE,
+                overflow: str = "block",
+                max_subscriptions_per_tenant: Optional[int] = None,
+                announce=None) -> None:
+    """Run the subscription server until cancelled (the CLI entry).
+
+    ``metrics_port`` mounts the bundle's
+    :class:`~repro.obs.serve.MetricsServer` (``/metrics``, ``/healthz``,
+    ``/snapshot``) next to the subscription listener.  ``announce`` is
+    called once with the started :class:`XsqServer` — the CLI prints
+    the bound ports from it so scripts can discover an ephemeral port.
+    """
+    if obs is None and metrics_port is not None:
+        from repro.obs import Observability
+        obs = Observability(spans=False, events=False)
+    server = XsqServer(
+        host, port, obs=obs, queue_size=queue_size, overflow=overflow,
+        max_subscriptions_per_tenant=max_subscriptions_per_tenant)
+    await server.start()
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = obs.serve(port=metrics_port, host=host)
+    if announce is not None:
+        announce(server, metrics_server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

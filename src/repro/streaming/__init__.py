@@ -13,6 +13,15 @@ Event *sources* turn XML text into such sequences incrementally:
   (expat), the analogue of the paper's Xerces-based parser.
 * :class:`TextEventSource` — a self-contained pure-Python incremental
   parser, the analogue of the paper's second (Expat/C) PureParser.
+* :class:`PushEventParser` / :class:`PushBatchParser`
+  (:mod:`repro.streaming.push`) — resumable *push-mode* parsers behind
+  the engines' ``feed(chunk)`` API: the caller owns the input loop and
+  chunk boundaries are invisible.
+
+:func:`coerce_source` (:mod:`repro.streaming.source`) is the single
+classification point for everything the engines accept: path, markup
+string, bytes, file-like object, iterable of raw chunks, or iterable
+of events.
 
 :class:`WellFormednessPDA` is the simple pushdown automaton of
 Section 3.1 / Figure 4(a) that checks tag balance, and
@@ -29,6 +38,13 @@ from repro.streaming.events import (
     iter_with_depth,
 )
 from repro.streaming.sax_source import SaxEventSource, parse_events
+from repro.streaming.source import CoercedSource, coerce_source, open_xml_input
+from repro.streaming.push import (
+    PushBatchParser,
+    PushEventParser,
+    batches_from_chunks,
+    events_from_chunks,
+)
 from repro.streaming.textparser import TextEventSource, tokenize_xml
 from repro.streaming.wellformed import WellFormednessPDA, check_well_formed
 from repro.streaming.serialize import (
@@ -40,6 +56,13 @@ from repro.streaming.serialize import (
 )
 
 __all__ = [
+    "CoercedSource",
+    "coerce_source",
+    "open_xml_input",
+    "PushEventParser",
+    "PushBatchParser",
+    "events_from_chunks",
+    "batches_from_chunks",
     "BeginEvent",
     "EndEvent",
     "TextEvent",

@@ -1,0 +1,245 @@
+"""Push-mode parsing: resumable expat parsers behind ``feed(chunk)``.
+
+The pull sources in :mod:`repro.streaming.sax_source` own their input
+loop: they read a finite stream until EOF and yield events.  Push mode
+inverts that control — the *caller* owns the loop and hands the parser
+arbitrary byte/str chunks as they arrive (a socket, a tail -f, a
+message bus), and the parser returns whatever events those bytes
+completed::
+
+    parser = PushEventParser()
+    events = parser.feed(b"<pub><year>20")   # [Begin(pub), Begin(year)]
+    events += parser.feed(b"02</year>")      # [] — text waits for a tag
+    events += parser.feed(b"</pub>")         # [Text, End, End]
+    events += parser.finish()                # []
+
+Both parsers drive one ``pyexpat`` instance in resumable mode
+(``Parse(chunk, False)``), so chunk boundaries are invisible: expat
+buffers partial tags, entities and CDATA sections internally, and text
+runs are flushed only at element boundaries — exactly the coalescing
+and whitespace-drop rules of the pull sources.  The differential suite
+(``tests/test_push_equivalence.py``) splits documents at every byte
+offset and proves the event stream is identical to a single-shot parse.
+
+* :class:`PushEventParser` — yields :class:`~repro.streaming.events.Event`
+  objects (the interpreted engines' feed granularity).
+* :class:`PushBatchParser` — yields ``(kind, tag_id, payload, depth)``
+  tuples with tags interned through a
+  :class:`~repro.xsq.fastpath.TagTable` (the compiled fast path's feed
+  granularity).
+
+``finish()`` ends the document: it gives expat its final empty parse
+(which is where "unexpected end of document" truncation errors
+surface), returns any tail events, and marks the parser closed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import StreamError
+from repro.streaming.events import (
+    BEGIN,
+    END,
+    TEXT,
+    BeginEvent,
+    EndEvent,
+    Event,
+    TextEvent,
+)
+
+Chunk = Union[str, bytes]
+
+
+class _PushBase:
+    """Shared expat lifecycle: feed/finish state, error wrapping."""
+
+    def __init__(self):
+        from xml.parsers import expat
+        self._expat_error = expat.ExpatError
+        self._parser = expat.ParserCreate()
+        # Coalesce character data inside expat where it can; the manual
+        # flush at element boundaries covers the splits it cannot see
+        # (comments, PIs, CDATA edges, chunk boundaries).
+        self._parser.buffer_text = True
+        self._out: list = []
+        self._text_parts: List[str] = []
+        self._depth = 0
+        self._finished = False
+        self._install_handlers()
+
+    def _install_handlers(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _parse(self, data, final: bool) -> None:
+        try:
+            self._parser.Parse(data, final)
+        except self._expat_error as exc:
+            raise StreamError("XML parse error: %s" % exc) from exc
+
+    def _drain(self) -> list:
+        # Copy-and-clear (not rebind): the expat handlers hold a bound
+        # ``append`` to this exact list.
+        out = self._out
+        drained = list(out)
+        del out[:]
+        return drained
+
+    def feed(self, chunk: Chunk) -> list:
+        """Parse one chunk; return the events it completed.
+
+        ``chunk`` may be ``bytes`` or ``str`` (str is encoded UTF-8, the
+        same normalization the pull sources apply to markup strings);
+        the two may be mixed freely across calls.  Chunks may split the
+        document anywhere — mid-tag, mid-entity, mid-CDATA.
+        """
+        if self._finished:
+            raise StreamError("push parser already finished; create a new "
+                              "one per document")
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
+        self._parse(chunk, False)
+        return self._drain()
+
+    def finish(self) -> list:
+        """End the document; return any tail events.
+
+        Raises :class:`~repro.errors.StreamError` if the document is
+        truncated (expat reports "no element found"/unclosed tags here).
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        self._parse(b"", True)
+        return self._drain()
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+
+class PushEventParser(_PushBase):
+    """Push parser yielding depth-annotated :class:`Event` objects.
+
+    The event stream is identical to
+    :func:`repro.streaming.sax_source.parse_events` over the
+    concatenated chunks, for every possible chunking.
+    """
+
+    def _install_handlers(self) -> None:
+        out = self._out.append
+        text_parts = self._text_parts
+        tag_stack: List[str] = []
+        self._tag_stack = tag_stack
+
+        def start(name, attrs):
+            if text_parts:
+                text = "".join(text_parts)
+                del text_parts[:]
+                if tag_stack and text.strip():
+                    out(TextEvent(tag_stack[-1], text, self._depth))
+            self._depth += 1
+            tag_stack.append(name)
+            out(BeginEvent(name, attrs, self._depth))
+
+        def end(name):
+            if text_parts:
+                text = "".join(text_parts)
+                del text_parts[:]
+                if text.strip():
+                    out(TextEvent(tag_stack[-1], text, self._depth))
+            out(EndEvent(tag_stack.pop(), self._depth))
+            self._depth -= 1
+
+        self._parser.StartElementHandler = start
+        self._parser.EndElementHandler = end
+        self._parser.CharacterDataHandler = text_parts.append
+
+    def feed(self, chunk: Chunk) -> List[Event]:
+        return super().feed(chunk)
+
+    def finish(self) -> List[Event]:
+        return super().finish()
+
+
+class PushBatchParser(_PushBase):
+    """Push parser yielding batched ``(kind, tag_id, payload, depth)``
+    tuples — the compiled fast path's feed representation.
+
+    ``tags`` is the :class:`~repro.xsq.fastpath.TagTable` the consuming
+    :class:`~repro.xsq.fastpath.FastPlan` was lowered against, so tag
+    ids agree with the plan's transition-row keys.  The tuple stream is
+    identical to :meth:`~repro.streaming.sax_source.SaxEventSource.batches`
+    over the concatenated chunks.
+    """
+
+    def __init__(self, tags):
+        self.tags = tags
+        super().__init__()
+
+    def _install_handlers(self) -> None:
+        out = self._out.append
+        text_parts = self._text_parts
+        intern_tag = self.tags.intern
+        tid_stack: List[int] = []
+        self._tid_stack = tid_stack
+
+        def start(name, attrs):
+            if text_parts:
+                text = "".join(text_parts)
+                del text_parts[:]
+                if tid_stack and text.strip():
+                    out((TEXT, tid_stack[-1], text, self._depth))
+            self._depth += 1
+            tid = intern_tag(name)
+            tid_stack.append(tid)
+            out((BEGIN, tid, attrs, self._depth))
+
+        def end(name):
+            if text_parts:
+                text = "".join(text_parts)
+                del text_parts[:]
+                if text.strip():
+                    out((TEXT, tid_stack[-1], text, self._depth))
+            out((END, tid_stack.pop(), None, self._depth))
+            self._depth -= 1
+
+        self._parser.StartElementHandler = start
+        self._parser.EndElementHandler = end
+        self._parser.CharacterDataHandler = text_parts.append
+
+
+def events_from_chunks(chunks):
+    """Lazily parse an iterable of raw XML chunks into events.
+
+    The adapter :func:`repro.streaming.coerce_source` uses when a pull
+    engine is handed an iterable of str/bytes chunks: each chunk is fed
+    to one resumable :class:`PushEventParser` and completed events are
+    yielded as they appear, so an engine can pull from a chunked source
+    (a socket reader, a chunk generator) with bounded memory.
+    """
+    parser = PushEventParser()
+    for chunk in chunks:
+        for event in parser.feed(chunk):
+            yield event
+    for event in parser.finish():
+        yield event
+
+
+def batches_from_chunks(chunks, tags, batch_size: int = 2048):
+    """Batched-tuple variant of :func:`events_from_chunks`.
+
+    Tuples accumulate across small chunks until ``batch_size`` so the
+    fast path's batch loop keeps its granularity even on byte-sized
+    feeds.
+    """
+    parser = PushBatchParser(tags)
+    pending: list = []
+    for chunk in chunks:
+        pending.extend(parser.feed(chunk))
+        if len(pending) >= batch_size:
+            yield pending
+            pending = []
+    pending.extend(parser.finish())
+    if pending:
+        yield pending

@@ -16,13 +16,12 @@ Two entry points:
 
 from __future__ import annotations
 
-import io
-import os
 import xml.sax
 from collections import deque
 from typing import IO, Iterable, Iterator, Union
 
 from repro.errors import StreamError
+from repro.streaming.source import open_xml_input
 from repro.streaming.events import (
     BEGIN,
     END,
@@ -96,7 +95,7 @@ class SaxEventSource:
 
     def __init__(self, source: Union[str, bytes, IO],
                  chunk_size: int = DEFAULT_CHUNK_SIZE):
-        self._stream = _open_xml_input(source)
+        self._stream = open_xml_input(source)
         self._chunk_size = chunk_size
 
     def __iter__(self) -> Iterator[Event]:
@@ -201,31 +200,9 @@ class SaxEventSource:
             yield out
 
 
-def _open_xml_input(source: Union[str, bytes, IO]) -> IO:
-    """Normalize the accepted input kinds to a readable binary/text stream.
-
-    A ``str`` is a file path if such a file exists, otherwise it is taken
-    to be XML text itself (the common case in tests and examples, where
-    documents are inline literals).
-    """
-    if isinstance(source, bytes):
-        return io.BytesIO(source)
-    if isinstance(source, str):
-        looks_like_markup = source.lstrip()[:1] == "<"
-        if not looks_like_markup and os.path.exists(source):
-            if source.endswith(".gz"):
-                import gzip
-                return gzip.open(source, "rb")
-            return open(source, "rb")
-        if looks_like_markup:
-            return io.BytesIO(source.encode("utf-8"))
-        if os.path.exists(source):
-            return open(source, "rb")
-        raise StreamError("input is neither XML text nor an existing file: %r"
-                          % source[:80])
-    if hasattr(source, "read"):
-        return source
-    raise StreamError("unsupported XML input type: %r" % type(source))
+# The classification logic lives in repro.streaming.source now; the
+# old private name stays importable for downstream callers.
+_open_xml_input = open_xml_input
 
 
 def parse_events(source: Union[str, bytes, IO],

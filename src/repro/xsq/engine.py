@@ -17,11 +17,9 @@ governing predicate resolves *and* it reaches the head of the queue).
 
 from __future__ import annotations
 
-import warnings
 from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.streaming.events import Event
-from repro.streaming.sax_source import parse_events
 from repro.xpath.ast import AggregateOutput, Query
 from repro.xpath.parser import parse_query
 from repro.xsq.aggregates import StatBuffer
@@ -132,13 +130,13 @@ class XSQEngine:
     supports_aggregates = True
     streaming = True
 
-    def __init__(self, query: Union[str, Query], trace: bool = False,
-                 obs=None, *, cache=None):
-        if trace:
-            warnings.warn(
-                "trace=True is deprecated; attach an Observability "
-                "bundle (obs=) for buffer-event tracing",
-                DeprecationWarning, stacklevel=2)
+    def __init__(self, query: Union[str, Query], obs=None, *,
+                 cache=None, trace=None):
+        if trace is not None:
+            raise DeprecationWarning(
+                "trace= was removed; attach an Observability bundle "
+                "(obs=Observability(events=EventTrace())) for "
+                "buffer-event tracing")
         self.obs = obs
         if obs is not None:
             with obs.span("compile", engine=self.name):
@@ -156,7 +154,7 @@ class XSQEngine:
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
-            self.trace = BufferTrace() if trace else None
+            self.trace = None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
         # Set by repro.api.select_engine when engine="auto" fell back
@@ -285,12 +283,31 @@ class XSQEngine:
                 yield value
             sink.clear()
 
+    def push(self, streaming_agg: bool = False):
+        """Open a push handle for one incrementally-fed document.
+
+        The returned :class:`~repro.xsq.push.EventPushHandle` exposes
+        ``feed_events(events) -> results`` and ``finish() -> results``;
+        the caller owns the input loop (see
+        :meth:`repro.api.CompiledQuery.feed` for the chunk-level
+        façade).  With ``streaming_agg=True`` aggregate queries emit
+        intermediate values per feed (the :meth:`iter_results` shape)
+        instead of only the final value at ``finish()``.
+        """
+        from repro.xsq.push import EventPushHandle
+        sink: List[str] = []
+        runtime, stat = self._new_runtime(sink, streaming_agg=streaming_agg)
+        obs = self.obs
+        on_event = obs.event_hook() if obs is not None else None
+        return EventPushHandle(self, runtime, sink, stat=stat,
+                               streaming_agg=streaming_agg,
+                               on_event=on_event)
+
     # -- internals -----------------------------------------------------------
 
     def _as_events(self, source) -> Iterable[Event]:
-        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
-            return parse_events(source)
-        return source
+        from repro.streaming.source import coerce_source
+        return coerce_source(source).events()
 
     def _new_runtime(self, sink: List[str], streaming_agg: bool = False):
         stat = None

@@ -45,7 +45,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import FastPathUnsupportedError
-from repro.streaming.events import BEGIN, END, TEXT, batch_events
+from repro.streaming.events import BEGIN, END, TEXT
 from repro.xpath.ast import (
     AggregateOutput,
     AttrExists,
@@ -738,13 +738,27 @@ class XSQEngineFast:
                 yield value
             sink.clear()
 
+    def push(self, streaming_agg: bool = False):
+        """Open a push handle for one incrementally-fed document.
+
+        The returned :class:`~repro.xsq.push.FastPushHandle` consumes
+        batched tuples (``feed_batch``) produced by a
+        :class:`~repro.streaming.push.PushBatchParser` sharing this
+        plan's :class:`TagTable`, or plain events (``feed_events``);
+        semantics match :meth:`XSQEngine.push`.
+        """
+        from repro.xsq.push import FastPushHandle
+        sink: list = []
+        stat = self._new_stat(streaming_agg)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        return FastPushHandle(self, runtime, sink, stat=stat,
+                              streaming_agg=streaming_agg)
+
     # -- internals ---------------------------------------------------------
 
     def _as_batches(self, source):
-        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
-            from repro.streaming.sax_source import parse_events_batched
-            return parse_events_batched(source, self.plan.tags)
-        return batch_events(source, self.plan.tags)
+        from repro.streaming.source import coerce_source
+        return coerce_source(source).batches(self.plan.tags)
 
     def _new_stat(self, streaming: bool) -> Optional[StatBuffer]:
         if isinstance(self.query.output, AggregateOutput):

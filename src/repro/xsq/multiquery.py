@@ -36,12 +36,10 @@ Three result modes:
 from __future__ import annotations
 
 import itertools
-import warnings
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import FastPathUnsupportedError, UnsupportedFeatureError
-from repro.streaming.events import Event, batch_events
-from repro.streaming.sax_source import parse_events
+from repro.streaming.events import Event
 from repro.xpath.ast import AggregateOutput, Query
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.buffers import OutputQueue
@@ -113,13 +111,10 @@ class MultiQueryEngine:
 
     @classmethod
     def from_union(cls, text: str) -> "MultiQueryEngine":
-        """Deprecated: use ``repro.compile(text)`` on the union query."""
-        warnings.warn(
-            "MultiQueryEngine.from_union is deprecated; use "
-            "repro.compile() which handles union queries directly",
-            DeprecationWarning, stacklevel=2)
-        from repro.xpath.parser import parse_query_set
-        return cls(parse_query_set(text))
+        """Removed: use ``repro.compile(text)`` on the union query."""
+        raise DeprecationWarning(
+            "MultiQueryEngine.from_union was removed; use repro.compile() "
+            "which handles union queries directly")
 
     @property
     def query_count(self) -> int:
@@ -138,15 +133,12 @@ class MultiQueryEngine:
     # -- execution ----------------------------------------------------------
 
     def _as_events(self, source) -> Iterable[Event]:
-        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
-            return parse_events(source)
-        return source
+        from repro.streaming.source import coerce_source
+        return coerce_source(source).events()
 
     def _as_batches(self, source, tags: TagTable):
-        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
-            from repro.streaming.sax_source import parse_events_batched
-            return parse_events_batched(source, tags)
-        return batch_events(source, tags)
+        from repro.streaming.source import coerce_source
+        return coerce_source(source).batches(tags)
 
     def _try_fastplans(self):
         """Lower every member for the grouped fast path, or None.
@@ -496,12 +488,29 @@ class MultiQueryEngine:
         return sink
 
     def run_merged(self, source) -> List[str]:
-        """Deprecated: use ``repro.compile()`` on a union query instead."""
-        warnings.warn(
-            "MultiQueryEngine.run_merged is deprecated; compile the "
-            "union with repro.compile() and call .run()",
-            DeprecationWarning, stacklevel=2)
-        return self._run_merged(source)
+        """Removed: use ``repro.compile()`` on a union query instead."""
+        raise DeprecationWarning(
+            "MultiQueryEngine.run_merged was removed; compile the union "
+            "with repro.compile() and call .run()")
+
+    def push(self, merged: bool = False):
+        """Open a push handle over all member queries for one document.
+
+        The returned :class:`~repro.xsq.push.MultiPushHandle` exposes
+        ``feed_events(events)`` yielding ``(query_index, value)`` pairs
+        incrementally (the :meth:`iter_results` shape), or — with
+        ``merged=True`` — buffering for a document-order union returned
+        by ``finish()`` (the merged shape).  Merged mode rejects
+        aggregate members for the same reason :meth:`_run_merged` does.
+        """
+        if merged:
+            for query in self.queries:
+                if isinstance(query.output, AggregateOutput):
+                    raise UnsupportedFeatureError(
+                        "merged union cannot include aggregate query %r"
+                        % (query.text,))
+        from repro.xsq.push import MultiPushHandle
+        return MultiPushHandle(self, merged=merged)
 
     def __repr__(self):
         return "<MultiQueryEngine %d queries>" % len(self.queries)

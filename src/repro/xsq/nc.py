@@ -25,12 +25,10 @@ they live on the shared ancestor path).
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import ClosureNotSupportedError
 from repro.streaming.events import Event
-from repro.streaming.sax_source import parse_events
 from repro.streaming.serialize import EventSerializer
 from repro.xpath.ast import (
     AggregateOutput,
@@ -339,13 +337,13 @@ class XSQEngineNC:
     supports_aggregates = True
     streaming = True
 
-    def __init__(self, query: Union[str, Query], trace: bool = False,
-                 obs=None, *, cache=None):
-        if trace:
-            warnings.warn(
-                "trace=True is deprecated; attach an Observability "
-                "bundle (obs=) for buffer-event tracing",
-                DeprecationWarning, stacklevel=2)
+    def __init__(self, query: Union[str, Query], obs=None, *,
+                 cache=None, trace=None):
+        if trace is not None:
+            raise DeprecationWarning(
+                "trace= was removed; attach an Observability bundle "
+                "(obs=Observability(events=EventTrace())) for "
+                "buffer-event tracing")
         self.obs = obs
         if obs is not None:
             with obs.span("compile", engine=self.name):
@@ -367,7 +365,7 @@ class XSQEngineNC:
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
-            self.trace = BufferTrace() if trace else None
+            self.trace = None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
         # Set by repro.api.select_engine when engine="auto" fell back
@@ -458,9 +456,22 @@ class XSQEngineNC:
             sink.clear()
 
     def _as_events(self, source) -> Iterable[Event]:
-        if isinstance(source, (str, bytes)) or hasattr(source, "read"):
-            return parse_events(source)
-        return source
+        from repro.streaming.source import coerce_source
+        return coerce_source(source).events()
+
+    def push(self, streaming_agg: bool = False):
+        """Open a push handle for one incrementally-fed document; see
+        :meth:`XSQEngine.push` — the handle type and semantics are
+        identical, over the deterministic runtime."""
+        from repro.xsq.push import EventPushHandle
+        sink: List[str] = []
+        stat = self._new_stat(streaming_agg)
+        runtime = self._new_runtime(sink, stat)
+        obs = self.obs
+        on_event = obs.event_hook() if obs is not None else None
+        return EventPushHandle(self, runtime, sink, stat=stat,
+                               streaming_agg=streaming_agg,
+                               on_event=on_event)
 
     def _new_stat(self, streaming: bool) -> Optional[StatBuffer]:
         if isinstance(self.query.output, AggregateOutput):

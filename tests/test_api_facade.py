@@ -232,21 +232,23 @@ class TestHpdtCache:
 
 
 class TestDeprecations:
-    def test_run_merged_warns(self):
+    """The PR-2 shims are gone: each raises pointing at its replacement."""
+
+    def test_run_merged_raises(self):
         engine = MultiQueryEngine(["/a/text()"])
-        with pytest.warns(DeprecationWarning, match="run_merged"):
-            assert engine.run_merged("<a>x</a>") == ["x"]
+        with pytest.raises(DeprecationWarning, match="repro.compile"):
+            engine.run_merged("<a>x</a>")
+        # The replacement: compile the union text.
+        assert repro.compile("/a/text()").run("<a>x</a>") == ["x"]
 
-    def test_from_union_warns(self):
-        with pytest.warns(DeprecationWarning, match="from_union"):
-            engine = MultiQueryEngine.from_union("/r/a/text() | /r/b/text()")
-        assert engine.query_count == 2
+    def test_from_union_raises(self):
+        with pytest.raises(DeprecationWarning, match="repro.compile"):
+            MultiQueryEngine.from_union("/r/a/text() | /r/b/text()")
 
-    def test_trace_kwarg_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="trace"):
-            engine = XSQEngine("/a/text()", trace=True)
-        assert engine.run("<a>x</a>") == ["x"]
-        with pytest.warns(DeprecationWarning, match="trace"):
+    def test_trace_kwarg_raises(self):
+        with pytest.raises(DeprecationWarning, match="Observability"):
+            XSQEngine("/a/text()", trace=True)
+        with pytest.raises(DeprecationWarning, match="Observability"):
             XSQEngineNC("/a/text()", trace=True)
 
     def test_new_paths_do_not_warn(self):

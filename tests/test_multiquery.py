@@ -59,13 +59,13 @@ class TestMergedResults:
     def test_merge_preserves_document_order(self, fig1):
         # year comes after both books in fig1.
         merged = MultiQueryEngine(["/pub/year/text()",
-                                   "/pub/book/name/text()"]).run_merged(fig1)
+                                   "/pub/book/name/text()"])._run_merged(fig1)
         assert merged == ["First", "Second", "2002"]
 
     def test_merge_interleaved(self):
         xml = "<r><a>1</a><b>2</b><a>3</a><b>4</b></r>"
         merged = MultiQueryEngine(["/r/a/text()",
-                                   "/r/b/text()"]).run_merged(xml)
+                                   "/r/b/text()"])._run_merged(xml)
         assert merged == ["1", "2", "3", "4"]
 
     def test_merge_with_buffered_predicates(self):
@@ -73,12 +73,12 @@ class TestMergedResults:
         xml = ("<r><g><a>1</a><b>2</b><ok/></g>"
                "<g><a>3</a><b>4</b><ok/></g></r>")
         merged = MultiQueryEngine(["/r/g[ok]/a/text()",
-                                   "/r/g[ok]/b/text()"]).run_merged(xml)
+                                   "/r/g[ok]/b/text()"])._run_merged(xml)
         assert merged == ["1", "2", "3", "4"]
 
     def test_merge_equals_union_oracle(self, fig2):
         queries = ["//book/name/text()", "//pub/year/text()"]
-        merged = MultiQueryEngine(queries).run_merged(fig2)
+        merged = MultiQueryEngine(queries)._run_merged(fig2)
         # The union in document order, computed independently: fig2's
         # text values in stream order restricted to the two queries.
         assert merged == ["X", "Y", "Z", "1999", "2002"]
@@ -87,7 +87,7 @@ class TestMergedResults:
         engine = MultiQueryEngine(["/pub/book/count()",
                                    "/pub/year/text()"])
         with pytest.raises(UnsupportedFeatureError):
-            engine.run_merged(fig1)
+            engine._run_merged(fig1)
 
     def test_merged_disjoint_closure_paths(self):
         # The schema optimizer's use case: union of expanded paths.
@@ -95,5 +95,5 @@ class TestMergedResults:
                "<box><book><t>B</t></book></box></lib>")
         merged = MultiQueryEngine(["/lib/shelf/book/t/text()",
                                    "/lib/box/book/t/text()"]
-                                  ).run_merged(xml)
+                                  )._run_merged(xml)
         assert merged == ["A", "B"]

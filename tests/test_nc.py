@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ClosureNotSupportedError
+from repro.obs import Observability
 from repro.xsq.engine import XSQEngine
 from repro.xsq.nc import XSQEngineNC
 
@@ -125,13 +126,13 @@ class TestNCTrace:
     def test_trace_mode_preserves_results(self, fig1):
         query = "/pub[year=2002]/book[price<11]/author"
         plain = XSQEngineNC(query).run(fig1)
-        traced_engine = XSQEngineNC(query, trace=True)
+        traced_engine = XSQEngineNC(query, obs=Observability(spans=False, metrics=False))
         assert traced_engine.run(fig1) == plain
         ops = [op for op, *_ in traced_engine.trace.operations]
         assert "enqueue" in ops and "send" in ops
 
     def test_trace_records_clears(self, fig1):
         engine = XSQEngineNC("/pub[year=2003]/book/name/text()",
-                             trace=True)
+                             obs=Observability(spans=False, metrics=False))
         assert engine.run(fig1) == []
         assert engine.trace.ops("clear")

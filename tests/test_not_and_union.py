@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro
 from repro.errors import UnsupportedFeatureError, XPathSyntaxError
 from repro.xpath.ast import NotPredicate
 from repro.xpath.parser import parse_query, parse_query_set
@@ -147,15 +148,14 @@ class TestUnions:
             parse_query("/a | /b")
         assert "union" in str(err.value)
 
-    def test_from_union_merged_document_order(self):
-        engine = MultiQueryEngine.from_union(
-            "/r/b/n/text() | /r/b/author/text()")
-        assert engine.run_merged(DOC) == \
+    def test_union_merged_document_order(self):
+        compiled = repro.compile("/r/b/n/text() | /r/b/author/text()")
+        assert compiled.run(DOC) == \
             ["A", "with", "without", "attr", "B", "both"]
 
     def test_union_matches_oracle_union(self, fig1):
         union = "/pub/book/name/text() | /pub/year/text()"
-        merged = MultiQueryEngine.from_union(union).run_merged(fig1)
+        merged = repro.compile(union).run(fig1)
         left = oracle("/pub/book/name/text()", fig1)
         right = oracle("/pub/year/text()", fig1)
         assert sorted(merged) == sorted(left + right)

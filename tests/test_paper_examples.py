@@ -7,6 +7,7 @@ it, what gets cleared), using the engine's trace facility.
 
 import pytest
 
+from repro.obs import Observability
 from repro.xsq.engine import XSQEngine
 from repro.xsq.nc import XSQEngineNC
 
@@ -35,7 +36,7 @@ class TestExample1:
     def test_emission_waits_for_year(self, fig1):
         # The A of book 1 satisfies [price<11] early but cannot be
         # emitted until the year element arrives at the very end.
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         engine.run(fig1)
         sends = engine.trace.ops("send")
         assert len(sends) == 1
@@ -61,7 +62,7 @@ class TestExample2:
         # Z's embedding through the inner pub fails [year=2002] and its
         # embedding through the outer book (line 7) fails [author]; it
         # must survive both clears and emit via the remaining embedding.
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         results = engine.run(fig2)
         assert "<name>Z</name>" in results
         cleared_values = [value for op, _, value, _ in
@@ -69,7 +70,7 @@ class TestExample2:
         assert "<name>Z</name>" not in cleared_values
 
     def test_y_cleared(self, fig2):
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         engine.run(fig2)
         cleared_values = [value for op, _, value, _ in
                           engine.trace.operations if op == "clear"]
@@ -97,13 +98,13 @@ class TestExample3:
 
     def test_task2_delete_buffered_name_at_end(self):
         xml = "<q><book><name>n</name></book></q>"
-        engine = XSQEngine("/q/book[author]/name/text()", trace=True)
+        engine = XSQEngine("/q/book[author]/name/text()", obs=Observability(spans=False, metrics=False))
         assert engine.run(xml) == []
         assert engine.trace.ops("clear")
 
     def test_task3_flush_buffered_name_when_author_arrives(self):
         xml = "<q><book><name>n</name><author/></book></q>"
-        engine = XSQEngine("/q/book[author]/name/text()", trace=True)
+        engine = XSQEngine("/q/book[author]/name/text()", obs=Observability(spans=False, metrics=False))
         assert engine.run(xml) == ["n"]
         ops = [op for op, *_ in engine.trace.operations]
         assert "flush" in ops
@@ -140,7 +141,7 @@ class TestExample5:
     def test_items_enqueued_at_all_na_position(self, fig1):
         # "it enqueues the text content 'first' into the buffer of
         # bpdt(3,4)" - the all-NA lowest-layer position.
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         engine.run(fig1)
         enqueues = engine.trace.ops("enqueue")
         assert [entry[1] for entry in enqueues][:1] == [(3, 4)]
@@ -149,7 +150,7 @@ class TestExample5:
         # first is uploaded to bpdt(2,2) (book NA), then to bpdt(1,1)
         # (pub NA) when the author arrives, then flushed when the year
         # satisfies the pub predicate.
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         engine.run(fig1)
         first_ops = [(op, bpdt_id) for op, bpdt_id, value, _
                      in engine.trace.operations if value == "First"]
@@ -171,7 +172,7 @@ class TestExample6And7:
         assert XSQEngine(self.QUERY).run(fig2) == ["X", "Z"]
 
     def test_depth_vectors_distinguish_embeddings(self, fig2):
-        engine = XSQEngine(self.QUERY, trace=True)
+        engine = XSQEngine(self.QUERY, obs=Observability(spans=False, metrics=False))
         engine.run(fig2)
         z_enqueues = [dv for op, _, value, dv in engine.trace.operations
                       if op == "enqueue" and value == "Z"]

@@ -225,7 +225,7 @@ def test_multiquery_equals_individual_runs(xml, query_list):
                            min_size=2, max_size=3))
 def test_multiquery_merge_is_ordered_union(xml, query_list):
     from repro.xsq.multiquery import MultiQueryEngine
-    merged = MultiQueryEngine(query_list).run_merged(xml)
+    merged = MultiQueryEngine(query_list)._run_merged(xml)
     union = []
     for query in query_list:
         union.extend(XSQEngine(query).run(xml))

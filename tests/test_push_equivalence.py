@@ -1,0 +1,260 @@
+"""Push mode is pull mode: feed() is byte-identical to run().
+
+The push-mode contract (ISSUE 7) is that for ANY partition of a
+document into chunks — mid-tag, mid-CDATA, mid-entity, even splitting
+a multi-byte UTF-8 character — ``feed(chunk)*; finish()`` produces
+exactly the results, in exactly the order, of a single ``run()`` over
+the whole document.  These tests sweep every byte offset, drive random
+partitions through hypothesis, and check the contract at both the
+engine layer and the ``repro.compile`` facade.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.errors import StreamError
+from repro.obs import Observability
+from repro.streaming.push import PushEventParser
+from repro.xsq import XSQEngine, XSQEngineFast, XSQEngineNC
+
+# Documents chosen so that an every-offset sweep necessarily splits
+# inside a tag name, an attribute value, a CDATA marker, a character
+# and an entity reference.
+DOC_PLAIN = ("<pub><book id=\"1\"><name>First</name><author>A</author>"
+             "<price>12.00</price></book><book id=\"2\">"
+             "<name>Second</name><price>9.00</price></book>"
+             "<year>2002</year></pub>")
+DOC_ENTITIES = ("<pub><book><name>A&amp;B &#65; &lt;tag&gt;</name>"
+                "<author>X</author></book></pub>")
+DOC_CDATA = ("<pub><book><name><![CDATA[raw <markup> & ]]></name>"
+             "<author>Y</author></book></pub>")
+DOC_MIXED = ("<?xml version=\"1.0\"?><!-- header comment -->"
+             "<pub><?pi data?><book><name>N<!-- mid -->1</name>"
+             "<author>Z</author></book></pub>")
+DOC_RECURSIVE = ("<pub><book><name>X</name><author>A</author></book>"
+                 "<book><name>Y</name><pub><book><name>Z</name>"
+                 "<author>B</author></book><year>1999</year></pub>"
+                 "</book><year>2002</year></pub>")
+DOC_UNICODE = ("<pub><book><name>café 你好</name>"
+               "<author>Å</author></book></pub>")
+
+ALL_DOCS = [DOC_PLAIN, DOC_ENTITIES, DOC_CDATA, DOC_MIXED,
+            DOC_RECURSIVE, DOC_UNICODE]
+
+
+def feed_split(query, doc, offsets):
+    """Results of feeding ``doc`` split at the given byte offsets."""
+    out = []
+    previous = 0
+    for offset in sorted(offsets):
+        out += query.feed(doc[previous:offset])
+        previous = offset
+    out += query.feed(doc[previous:])
+    return out + query.finish()
+
+
+def sweep(query_text, doc, engine="auto"):
+    """Assert feed()==run() splitting at every single byte offset."""
+    expected = repro.compile(query_text, engine=engine).run(doc)
+    query = repro.compile(query_text, engine=engine)
+    for offset in range(len(doc) + 1):
+        assert feed_split(query, doc, [offset]) == expected, (
+            "split at %d of %r diverged" % (offset, doc[:40]))
+    return expected
+
+
+class TestEveryOffsetSweep:
+    def test_child_paths_every_doc(self):
+        for doc in ALL_DOCS:
+            sweep("/pub/book/name/text()", doc)
+
+    def test_closure_with_predicates(self):
+        results = sweep("//book[author]/name/text()", DOC_RECURSIVE,
+                        engine="f")
+        assert results == ["X", "Z"]
+
+    def test_attribute_predicate_mid_attr_splits(self):
+        results = sweep("/pub/book[@id=2]/name/text()", DOC_PLAIN)
+        assert results == ["Second"]
+
+    def test_entities_survive_mid_entity_splits(self):
+        results = sweep("/pub/book/name/text()", DOC_ENTITIES)
+        assert results == ["A&B A <tag>"]
+
+    def test_cdata_survives_mid_marker_splits(self):
+        results = sweep("/pub/book/name/text()", DOC_CDATA)
+        assert results == ["raw <markup> & "]
+
+    def test_fast_engine_sweep(self):
+        results = sweep("/pub/book[price<11]/name/text()", DOC_PLAIN,
+                        engine="fast")
+        assert results == ["Second"]
+
+    def test_nc_engine_sweep(self):
+        sweep("/pub/book/author/text()", DOC_PLAIN, engine="nc")
+
+    def test_bytes_chunks_split_inside_multibyte_character(self):
+        data = DOC_UNICODE.encode("utf-8")
+        expected = repro.compile("/pub/book/name/text()").run(DOC_UNICODE)
+        query = repro.compile("/pub/book/name/text()")
+        for offset in range(len(data) + 1):
+            got = feed_split(query, data, [offset])
+            assert got == expected, "byte split at %d diverged" % offset
+
+
+class TestEngineLayerPush:
+    """push() on the engine classes themselves (no facade)."""
+
+    @pytest.mark.parametrize("engine_cls,query", [
+        (XSQEngine, "//book[author]/name/text()"),
+        (XSQEngineNC, "/pub/book/name/text()"),
+        (XSQEngineFast, "/pub/book/name/text()"),
+    ])
+    def test_feed_events_matches_run(self, engine_cls, query):
+        engine = engine_cls(query)
+        expected = engine.run(DOC_RECURSIVE
+                              if engine_cls is XSQEngine else DOC_PLAIN)
+        doc = DOC_RECURSIVE if engine_cls is XSQEngine else DOC_PLAIN
+        handle = engine.push()
+        parser = PushEventParser()
+        out = []
+        for index in range(0, len(doc), 7):
+            out += handle.feed_events(parser.feed(doc[index:index + 7]))
+        out += handle.feed_events(parser.finish())
+        out += handle.finish()
+        assert out == expected
+        # finish() also captured run statistics, like run() does.
+        assert engine.last_stats is not None
+        assert engine.last_stats.events > 0
+
+
+class TestAggregates:
+    def test_aggregate_default_emits_only_final_value(self):
+        query = repro.compile("/pub/book/count()")
+        mid = query.feed(DOC_PLAIN[:30])
+        assert mid == []
+        rest = query.feed(DOC_PLAIN[30:])
+        assert rest == []
+        assert query.finish() == repro.compile("/pub/book/count()").run(
+            DOC_PLAIN) == ["2"]
+
+    def test_streaming_agg_matches_iter_results(self):
+        expected = list(repro.compile("/pub/book/count()").iter_results(
+            DOC_PLAIN))
+        query = repro.compile("/pub/book/count()")
+        query.push(streaming_agg=True)
+        out = []
+        for index in range(0, len(DOC_PLAIN), 5):
+            out += query.feed(DOC_PLAIN[index:index + 5])
+        out += query.finish()
+        assert out == expected
+
+
+class TestQuerySetsAndUnions:
+    QUERIES = ["/pub/book/name/text()", "/pub/year/text()",
+               "//author/text()"]
+
+    def test_query_set_pairs_match_iter_results(self):
+        expected = list(repro.compile(self.QUERIES).iter_results(DOC_PLAIN))
+        qset = repro.compile(self.QUERIES)
+        out = []
+        for index in range(0, len(DOC_PLAIN), 9):
+            out += qset.feed(DOC_PLAIN[index:index + 9])
+        out += qset.finish()
+        assert out == expected
+
+    def test_union_merged_document_order(self):
+        union = "/pub/year/text() | /pub/book/name/text()"
+        expected = repro.compile(union).run(DOC_PLAIN)
+        query = repro.compile(union)
+        mid = []
+        for index in range(0, len(DOC_PLAIN), 11):
+            mid += query.feed(DOC_PLAIN[index:index + 11])
+        # Merged unions sort at finish (document order needs the full
+        # pass), so nothing leaks early.
+        assert mid == []
+        assert query.finish() == expected
+
+
+class TestSessionSemantics:
+    def test_mixing_chunks_and_events_raises(self):
+        query = repro.compile("/pub/year/text()")
+        query.feed("<pub>")
+        with pytest.raises(StreamError):
+            query.feed_events([])
+
+    def test_finish_without_feed_is_empty(self):
+        assert repro.compile("/pub/year/text()").finish() == []
+
+    def test_session_reusable_after_finish(self):
+        query = repro.compile("/pub/year/text()")
+        doc = "<pub><year>1</year></pub>"
+        assert feed_split(query, doc, [4]) == ["1"]
+        assert feed_split(query, doc, [9]) == ["1"]
+
+    def test_truncated_document_raises_at_finish(self):
+        query = repro.compile("/pub/year/text()")
+        query.feed("<pub><year>1<")
+        with pytest.raises(repro.ReproError):
+            query.finish()
+
+
+class TestEmissionDelay:
+    def test_push_emission_delay_equals_pull(self):
+        """Buffering discipline is split-invariant: the accountant's
+        emission-delay ledger (events between enqueue and emission) is
+        identical whether the document arrives whole or in 3-byte
+        chunks — results come out at the same stream positions."""
+        query_text = "//book[author]/name/text()"
+
+        def delay_of(run):
+            obs = Observability(spans=False, events=False, accounting=True)
+            query = repro.compile(query_text, engine="f", obs=obs)
+            run(query)
+            (account,) = obs.snapshot()["accounts"]
+            return account["delay"]
+
+        pull = delay_of(lambda q: q.run(DOC_RECURSIVE))
+
+        def pushed(query):
+            for index in range(0, len(DOC_RECURSIVE), 3):
+                query.feed(DOC_RECURSIVE[index:index + 3])
+            query.finish()
+
+        push = delay_of(pushed)
+        assert push == pull
+        assert push["count"] > 0
+        assert push["max"] <= pull["max"]
+
+
+documents = st.sampled_from(ALL_DOCS)
+split_queries = st.sampled_from([
+    "/pub/book/name/text()",
+    "//book[author]/name/text()",
+    "/pub/book[@id]/name/text()",
+    "//author/text()",
+])
+
+
+@settings(max_examples=120, deadline=None)
+@given(documents, split_queries, st.lists(st.integers(0, 400),
+                                          max_size=8))
+def test_random_partitions_match_run(doc, query_text, raw_offsets):
+    offsets = sorted({min(offset, len(doc)) for offset in raw_offsets})
+    expected = repro.compile(query_text, engine="f").run(doc)
+    query = repro.compile(query_text, engine="f")
+    assert feed_split(query, doc, offsets) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from([DOC_PLAIN, DOC_UNICODE]),
+       st.lists(st.integers(0, 400), max_size=8))
+def test_random_byte_partitions_match_run(doc, raw_offsets):
+    data = doc.encode("utf-8")
+    offsets = sorted({min(offset, len(data)) for offset in raw_offsets})
+    expected = repro.compile("/pub/book/name/text()").run(doc)
+    query = repro.compile("/pub/book/name/text()")
+    assert feed_split(query, data, offsets) == expected

@@ -1,0 +1,347 @@
+"""The subscription service: broker semantics and the asyncio server.
+
+Two layers, tested separately: :class:`repro.serve.SubscriptionBroker`
+(hot registry, snapshot-per-document, quotas, tenant metrics — all
+synchronous, no sockets) and :class:`repro.serve.XsqServer` (JSON-lines
+protocol, per-connection fan-out, backpressure/drop overflow).  Server
+tests run a real listener on an ephemeral port inside ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import QuotaExceededError, StreamError, XPathSyntaxError
+from repro.obs import Observability
+from repro.serve import SubscriptionBroker, XsqServer
+
+DOC = ("<pub><book><name>First</name><price>5</price></book>"
+       "<book><name>Second</name><price>15</price></book>"
+       "<year>2002</year></pub>")
+
+
+def chunked(doc, size=7):
+    return [doc[index:index + size] for index in range(0, len(doc), size)]
+
+
+class TestBroker:
+    def test_results_route_to_owning_subscription(self):
+        broker = SubscriptionBroker()
+        names = broker.subscribe("/pub/book/name/text()")
+        years = broker.subscribe("/pub/year/text()")
+        stream = broker.open_stream()
+        out = []
+        for chunk in chunked(DOC):
+            out += stream.feed(chunk)
+        out += stream.finish()
+        assert out == [(names, "First"), (names, "Second"),
+                       (years, "2002")]
+
+    def test_bad_query_rejected_at_subscribe_time(self):
+        broker = SubscriptionBroker()
+        with pytest.raises(XPathSyntaxError):
+            broker.subscribe("pub/book[")
+        assert broker.subscription_count == 0
+
+    def test_quota_enforced_per_tenant(self):
+        broker = SubscriptionBroker(max_subscriptions_per_tenant=2)
+        broker.subscribe("/a/text()", tenant="alice")
+        broker.subscribe("/b/text()", tenant="alice")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            broker.subscribe("/c/text()", tenant="alice")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.quota == 2
+        # Other tenants are unaffected, and unsubscribing frees a slot.
+        broker.subscribe("/c/text()", tenant="bob")
+        sid = broker.subscribe("/d/text()", tenant="bob")
+        broker.unsubscribe(sid)
+        broker.subscribe("/e/text()", tenant="bob")
+
+    def test_stream_binds_registry_snapshot_at_open(self):
+        broker = SubscriptionBroker()
+        first = broker.subscribe("/pub/year/text()")
+        stream = broker.open_stream()
+        # Mid-document registry changes don't affect the open stream...
+        late = broker.subscribe("/pub/book/name/text()")
+        broker.unsubscribe(first)
+        out = []
+        for chunk in chunked(DOC):
+            out += stream.feed(chunk)
+        out += stream.finish()
+        assert out == [(first, "2002")]
+        # ...but the next document sees the new registry.
+        fresh = broker.open_stream()
+        out = [pair for chunk in chunked(DOC)
+               for pair in fresh.feed(chunk)]
+        out += fresh.finish()
+        assert out == [(late, "First"), (late, "Second")]
+
+    def test_engine_rebuilt_only_when_registry_changes(self):
+        broker = SubscriptionBroker()
+        broker.subscribe("/pub/year/text()")
+        _, engine_a = broker._snapshot_engine()
+        _, engine_b = broker._snapshot_engine()
+        assert engine_a is engine_b
+        broker.subscribe("/pub/book/name/text()")
+        _, engine_c = broker._snapshot_engine()
+        assert engine_c is not engine_a
+
+    def test_empty_registry_still_checks_wellformedness(self):
+        broker = SubscriptionBroker()
+        stream = broker.open_stream()
+        assert stream.feed("<pub><unclosed>") == []
+        with pytest.raises(Exception):
+            stream.finish()
+
+    def test_feed_after_finish_raises(self):
+        broker = SubscriptionBroker()
+        stream = broker.open_stream()
+        stream.feed("<a/>")
+        stream.finish()
+        with pytest.raises(StreamError):
+            stream.feed("<b/>")
+
+    def test_per_tenant_metrics_flow_into_obs(self):
+        obs = Observability(spans=False, events=False)
+        broker = SubscriptionBroker(obs=obs)
+        broker.subscribe("/pub/book/name/text()", tenant="alice")
+        stream = broker.open_stream(tenant="alice")
+        for chunk in chunked(DOC):
+            stream.feed(chunk)
+        stream.finish()
+        text = obs.metrics_text()
+        assert 'repro_serve_subscriptions{tenant="alice"} 1' in text
+        assert 'repro_serve_results_total{tenant="alice"} 2' in text
+        assert 'repro_serve_documents_total{tenant="alice"} 1' in text
+        assert "repro_serve_bytes_total" in text
+
+    def test_subscription_counters_in_describe(self):
+        broker = SubscriptionBroker()
+        sid = broker.subscribe("/pub/book/name/text()")
+        for _ in range(3):
+            stream = broker.open_stream()
+            for chunk in chunked(DOC):
+                stream.feed(chunk)
+            stream.finish()
+        (described,) = broker.describe()
+        assert described["sub"] == sid
+        assert described["results"] == 6
+        assert described["documents"] == 3
+
+
+class _Client:
+    """Minimal JSONL test client against a running XsqServer."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, server):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        return cls(reader, writer)
+
+    async def send(self, **op):
+        self.writer.write((json.dumps(op) + "\n").encode())
+        await self.writer.drain()
+
+    async def recv(self):
+        line = await asyncio.wait_for(self.reader.readline(), timeout=10)
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def call(self, **op):
+        await self.send(**op)
+        return await self.recv()
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def run_server_test(test_coro, **server_kwargs):
+    """Start a server on an ephemeral port, run the coroutine, stop."""
+    async def main():
+        server = XsqServer("127.0.0.1", 0, **server_kwargs)
+        await server.start()
+        try:
+            await asyncio.wait_for(test_coro(server), timeout=30)
+        finally:
+            await server.stop()
+    asyncio.run(main())
+
+
+class TestServer:
+    def test_round_trip_with_fan_out(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            hello = await client.call(op="hello", tenant="alice")
+            assert hello["ok"] and hello["tenant"] == "alice"
+            sub = await client.call(op="subscribe",
+                                    query="/pub/book/name/text()")
+            sid = sub["sub"]
+            for chunk in chunked(DOC):
+                await client.send(op="chunk", data=chunk)
+            await client.send(op="close")
+            messages = []
+            while True:
+                message = await client.recv()
+                messages.append(message)
+                if message.get("op") == "close":
+                    break
+            results = [m for m in messages if m.get("event") == "result"]
+            assert [r["value"] for r in results] == ["First", "Second"]
+            assert all(r["sub"] == sid for r in results)
+            assert messages[-1]["results"] == 2
+            assert messages[-1]["events"] > 0
+            await client.close()
+        run_server_test(scenario)
+
+    def test_results_fan_out_to_owner_not_feeder(self):
+        async def scenario(server):
+            subscriber = await _Client.connect(server)
+            feeder = await _Client.connect(server)
+            # Same tenant, so the feeder's stream evaluates the
+            # subscriber's standing query.
+            await subscriber.call(op="hello", tenant="shared")
+            await feeder.call(op="hello", tenant="shared")
+            await subscriber.call(op="subscribe",
+                                  query="/pub/year/text()")
+            for chunk in chunked(DOC):
+                await feeder.send(op="chunk", data=chunk)
+            closed = await feeder.call(op="close")
+            assert closed["ok"] and closed["results"] == 1
+            event = await subscriber.recv()
+            assert event == {"event": "result", "sub": "s1",
+                             "value": "2002"}
+            await subscriber.close()
+            await feeder.close()
+        run_server_test(scenario)
+
+    def test_unknown_and_malformed_ops_keep_connection_alive(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            bad = await client.call(op="frobnicate")
+            assert not bad["ok"] and "unknown op" in bad["error"]
+            client.writer.write(b"this is not json\n")
+            await client.writer.drain()
+            reply = await client.recv()
+            assert not reply["ok"] and "bad JSON" in reply["error"]
+            assert (await client.call(op="ping"))["ok"]
+            await client.close()
+        run_server_test(scenario)
+
+    def test_syntax_error_reported_not_fatal(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            reply = await client.call(op="subscribe", query="pub[")
+            assert not reply["ok"]
+            assert "XPathSyntaxError" in reply["error"]
+            assert (await client.call(op="ping"))["ok"]
+            await client.close()
+        run_server_test(scenario)
+
+    def test_quota_error_over_the_wire(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            assert (await client.call(op="subscribe",
+                                      query="/a/text()"))["ok"]
+            reply = await client.call(op="subscribe", query="/b/text()")
+            assert not reply["ok"]
+            assert "QuotaExceededError" in reply["error"]
+        run_server_test(scenario, max_subscriptions_per_tenant=1)
+
+    def test_disconnect_drops_owned_subscriptions(self):
+        async def scenario(server):
+            transient = await _Client.connect(server)
+            await transient.call(op="subscribe", query="/a/text()")
+            assert server.broker.subscription_count == 1
+            await transient.close()
+            for _ in range(100):
+                if server.broker.subscription_count == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.broker.subscription_count == 0
+        run_server_test(scenario)
+
+    def test_tenant_cannot_unsubscribe_anothers_query(self):
+        async def scenario(server):
+            alice = await _Client.connect(server)
+            bob = await _Client.connect(server)
+            await alice.call(op="hello", tenant="alice")
+            await bob.call(op="hello", tenant="bob")
+            sub = await alice.call(op="subscribe", query="/a/text()")
+            reply = await bob.call(op="unsubscribe", sub=sub["sub"])
+            assert not reply["ok"] and "another" in reply["error"]
+            assert server.broker.subscription_count == 1
+            await alice.close()
+            await bob.close()
+        run_server_test(scenario)
+
+    def test_drop_overflow_sheds_and_reports(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            await client.call(op="subscribe",
+                              query="/pub/book/name/text()")
+            # Feed a document with many matches without reading any
+            # results: the size-1 outbox must shed, not deadlock.
+            doc = "<pub>%s</pub>" % "".join(
+                "<book><name>n%d</name></book>" % i for i in range(50))
+            await client.send(op="chunk", data=doc)
+            await client.send(op="close")
+            results, dropped = 0, 0
+            while True:
+                message = await client.recv()
+                if message.get("event") == "result":
+                    results += 1
+                elif message.get("event") == "dropped":
+                    dropped += message["n"]
+                elif message.get("op") == "close":
+                    break
+            assert dropped > 0
+            assert results + dropped == 50
+            await client.close()
+        run_server_test(scenario, queue_size=1, overflow="drop")
+
+    def test_stats_reports_registry(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            await client.call(op="hello", tenant="alice")
+            await client.call(op="subscribe", query="/a/text()")
+            stats = await client.call(op="stats")
+            assert stats["connections"] == 1
+            (sub,) = stats["subscriptions"]
+            assert sub["tenant"] == "alice"
+            await client.close()
+        run_server_test(scenario)
+
+    def test_explicit_open_binds_snapshot(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            await client.call(op="subscribe", query="/pub/year/text()")
+            opened = await client.call(op="open")
+            assert opened["subscriptions"] == 1
+            # Registered after open: not part of this document.
+            await client.call(op="subscribe",
+                              query="/pub/book/name/text()")
+            for chunk in chunked(DOC):
+                await client.send(op="chunk", data=chunk)
+            messages = []
+            await client.send(op="close")
+            while True:
+                message = await client.recv()
+                messages.append(message)
+                if message.get("op") == "close":
+                    break
+            values = [m["value"] for m in messages
+                      if m.get("event") == "result"]
+            assert values == ["2002"]
+            await client.close()
+        run_server_test(scenario)
