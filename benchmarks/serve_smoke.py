@@ -11,7 +11,10 @@ chunks, and asserts that
   ``i``),
 * the feeder's close ack counts every delivered result,
 * the ``/metrics`` endpoint scrapes cleanly and its
-  ``repro_serve_*`` series agree with what was delivered.
+  ``repro_serve_*`` series agree with what was delivered,
+* every subscription shows a non-empty per-sub
+  ``repro_serve_delivery_seconds`` histogram — the end-to-end latency
+  provenance path stamped every delivered result.
 
 Exit status 0 = pass.  Used by the ``serve-smoke`` CI job::
 
@@ -117,6 +120,31 @@ async def run_smoke(args) -> int:
         assert "repro_serve_subscriptions" in text
         print("metrics scrape ok: repro_serve_results_total == %d"
               % int(delivered))
+
+        # Per-subscription delivery-latency histograms: each delivered
+        # result was stamped feed-entry -> socket-write.  Completion
+        # happens just after the writer drains, so retry briefly.
+        expected_subs = {sid for _, _, sid, _ in subscribers}
+        seen = {}
+        for _ in range(50):
+            text = urllib.request.urlopen(
+                metrics_url + "/metrics", timeout=30).read().decode()
+            seen = {}
+            for line in text.splitlines():
+                if line.startswith("repro_serve_delivery_seconds_count{"):
+                    labels, value = line.rsplit(None, 1)
+                    sub = labels.split('sub="', 1)[1].split('"', 1)[0]
+                    seen[sub] = seen.get(sub, 0.0) + float(value)
+            if expected_subs <= set(seen) \
+                    and all(seen[sid] >= 1 for sid in expected_subs):
+                break
+            await asyncio.sleep(0.1)
+        else:
+            raise AssertionError(
+                "delivery histograms incomplete: %d of %d subscriptions "
+                "tracked" % (len(seen), len(expected_subs)))
+        print("delivery latency tracked for all %d subscriptions"
+              % len(expected_subs))
         return 0
     finally:
         proc.terminate()

@@ -2,7 +2,8 @@
 
 The bench harness commits its measurements as JSON artifacts
 (``BENCH_throughput.json``, ``BENCH_memory.json``,
-``BENCH_parallel.json``).  This module makes perf claims mechanically
+``BENCH_parallel.json``, ``BENCH_latency.json``).  This module makes
+perf claims mechanically
 checkable across PRs:
 
 * ``python -m repro.bench diff`` — compare every committed artifact
@@ -34,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 #: Artifacts ``diff`` picks up by default (repo-root relative).
 DEFAULT_ARTIFACTS = ("BENCH_throughput.json", "BENCH_memory.json",
-                     "BENCH_parallel.json")
+                     "BENCH_parallel.json", "BENCH_latency.json")
 
 #: Default regression threshold: a metric must move >20% in the bad
 #: direction to be flagged (benchmarks in shared CI runners are noisy;
@@ -106,6 +107,16 @@ def flatten(artifact: dict) -> Dict[Tuple[str, str], float]:
                 workload.get("target_bytes", "?"))
             for metric in ("peak_items", "peak_bytes", "peak_instances",
                            "delay_mean", "delay_max"):
+                if metric in workload:
+                    rows[(key, metric)] = workload[metric]
+        elif kind == "latency":
+            # Delivery-latency distributions from the serve pipeline.
+            # The metric names deliberately avoid every higher-is-better
+            # fragment: latency regresses when it *grows*.
+            key = "subs%s@%sdocs" % (workload.get("subscribers", "?"),
+                                     workload.get("documents", "?"))
+            for metric in ("delivery_p50_seconds", "delivery_p99_seconds",
+                           "delivery_max_seconds"):
                 if metric in workload:
                     rows[(key, metric)] = workload[metric]
         elif kind == "parallel":

@@ -41,6 +41,11 @@ Usage::
                                      # pushed in, results fanned out
     xsq serve --port 9090 --metrics-port 9099 --max-subs-per-tenant 100
 
+    xsq flight-dump --port 9090      # pull a running server's flight-
+                                     # recorder ring as JSON (the same
+                                     # payload the ``dump`` op returns)
+    xsq flight-dump --port 9090 --out flight.json
+
 Also available as ``python -m repro`` (so ``python -m repro trace ...``
 is the ``repro trace`` subcommand).
 """
@@ -614,6 +619,10 @@ def build_push_serve_parser() -> argparse.ArgumentParser:
                         help="slow-subscriber policy: block = end-to-end "
                              "backpressure (default), drop = shed and "
                              "count")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="write flight-recorder dumps (SIGUSR2, "
+                             "unhandled op crash) as JSON files into "
+                             "this directory")
     return parser
 
 
@@ -646,6 +655,7 @@ def push_serve_main(argv=None) -> int:
                         else DEFAULT_QUEUE_SIZE),
             overflow=args.overflow,
             max_subscriptions_per_tenant=args.max_subs_per_tenant,
+            flight_dir=args.flight_dir,
             announce=announce))
     except KeyboardInterrupt:
         print("xsq serve: interrupted; shut down cleanly",
@@ -658,6 +668,69 @@ def push_serve_main(argv=None) -> int:
     except ReproError as exc:
         return _report_error(exc)
     return 0
+
+
+def build_flight_dump_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xsq flight-dump",
+        description="Pull a running `xsq serve` instance's flight "
+                    "recorder — the bounded ring of recent structured "
+                    "events (connects, document completions, drops, "
+                    "quota rejections, errors) — as a JSON snapshot, "
+                    "via the JSONL protocol's `dump` op.")
+    parser.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True, metavar="PORT",
+                        help="server TCP port")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the snapshot to FILE instead of "
+                             "stdout")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="socket timeout (default: 5)")
+    return parser
+
+
+def flight_dump_main(argv=None) -> int:
+    """The ``xsq flight-dump`` / ``repro flight-dump`` subcommand."""
+    import json as json_mod
+    import socket
+
+    args = build_flight_dump_parser().parse_args(argv)
+    try:
+        with socket.create_connection((args.host, args.port),
+                                      timeout=args.timeout) as sock:
+            sock.sendall(json_mod.dumps({"op": "dump"}).encode() + b"\n")
+            reader = sock.makefile("r", encoding="utf-8")
+            # The server may interleave other frames (e.g. the hello
+            # banner); read until the dump reply arrives.
+            for line in reader:
+                reply = json_mod.loads(line)
+                if reply.get("op") != "dump":
+                    continue
+                if not reply.get("ok"):
+                    print("xsq: error: %s" % reply.get("error", "dump "
+                          "rejected"), file=sys.stderr)
+                    return 2
+                snapshot = reply["flight"]
+                body = json_mod.dumps(snapshot, indent=2,
+                                      sort_keys=True) + "\n"
+                if args.out:
+                    with open(args.out, "w", encoding="utf-8") as handle:
+                        handle.write(body)
+                    print("xsq flight-dump: wrote %d events to %s"
+                          % (len(snapshot.get("events", [])), args.out),
+                          file=sys.stderr)
+                else:
+                    sys.stdout.write(body)
+                return 0
+    except (OSError, ValueError) as exc:
+        print("xsq: error: flight dump from %s:%d failed: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 2
+    print("xsq: error: server closed the connection before replying",
+          file=sys.stderr)
+    return 2
 
 
 def _stdin_source():
@@ -714,6 +787,8 @@ def _dispatch(argv) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "serve":
         return push_serve_main(argv[1:])
+    if argv and argv[0] == "flight-dump":
+        return flight_dump_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.queries_file is not None:

@@ -42,11 +42,19 @@ from repro.obs.accounting import (
     DELAY_BUCKETS,
     QueryAccount,
     ResourceAccountant,
+    format_delivery,
     format_top,
 )
 from repro.obs.events import BufferOp, EventTrace
+from repro.obs.latency import (
+    DeliveryTracker,
+    LatencyRecorder,
+    ResultTiming,
+    percentile,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DELIVERY_BUCKETS,
     FANOUT_BUCKETS,
     LATENCY_BUCKETS,
     SMALL_COUNT_BUCKETS,
@@ -58,6 +66,7 @@ from repro.obs.metrics import (
     NULL_METRICS,
 )
 from repro.obs.profile import ProfileReport, Profiler, profile_query
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import NULL_TRACER, Span, Tracer
 
 #: Canonical buffer-operation names, mapped from ``RunStats`` fields.
@@ -81,6 +90,7 @@ class Observability:
         obs = Observability(accounting=True)         # + live buffer ledger
         obs = Observability(audit=True)              # + discipline auditor
         obs = Observability(profile=True)            # + phase profiler
+        obs = Observability(recorder=True)           # + flight recorder
         obs = Observability(serve=9099)              # + HTTP /metrics
 
     Engines accept ``obs=`` at construction; ``None`` (the default)
@@ -96,7 +106,8 @@ class Observability:
     def __init__(self, spans: bool = True, metrics: bool = True,
                  events: bool = True, per_event_timing: bool = False,
                  accounting: bool = False, audit: bool = False,
-                 profile=False, serve: Optional[int] = None):
+                 profile=False, recorder=False,
+                 serve: Optional[int] = None):
         self.tracer: Tracer = Tracer() if spans else NULL_TRACER
         self.metrics: MetricsRegistry = (MetricsRegistry() if metrics
                                          else NULL_METRICS)
@@ -114,6 +125,23 @@ class Observability:
             self.profiler = profile
         else:
             self.profiler = None
+        # ``recorder`` accepts True (default capacity), an int capacity,
+        # or a ready :class:`~repro.obs.recorder.FlightRecorder`;
+        # ``False`` keeps the bundle recorder-free (the default — no
+        # ring, no span hook, nothing on the hot path).
+        if recorder is True:
+            self.flight: Optional[FlightRecorder] = FlightRecorder()
+        elif isinstance(recorder, int) and recorder:
+            self.flight = FlightRecorder(capacity=recorder)
+        elif recorder:
+            self.flight = recorder
+        else:
+            self.flight = None
+        if self.flight is not None and self.tracer.enabled:
+            self.tracer.on_finish = self.flight.record_span
+        #: Lazily attached :class:`~repro.obs.latency.DeliveryTracker`
+        #: (see :meth:`enable_delivery`).
+        self.delivery: Optional[DeliveryTracker] = None
         self.server = None
         if serve is not None:
             self.serve(serve)
@@ -180,6 +208,19 @@ class Observability:
             self.server.start()
         return self.server
 
+    def enable_delivery(self) -> DeliveryTracker:
+        """Attach (or return) the end-to-end delivery latency tracker.
+
+        The tracker observes ``repro_serve_delivery_seconds`` /
+        ``repro_serve_stage_seconds`` on this bundle's registry (when
+        metrics are enabled) and keeps bounded reservoirs for exact
+        percentiles in :meth:`snapshot` and ``stats`` responses.
+        """
+        if self.delivery is None:
+            self.delivery = DeliveryTracker(
+                self.metrics if self.metrics.enabled else None)
+        return self.delivery
+
     def enable_audit(self) -> BufferAuditor:
         """Attach (or return) the buffer auditor, creating the
         accountant if accounting was off."""
@@ -205,9 +246,12 @@ class Observability:
         otherwise so callers can branch without try/except.
         """
         if self.accounting is None:
-            return {"accounting": False}
-        snap = self.accounting.snapshot()
-        snap["accounting"] = True
+            snap = {"accounting": False}
+        else:
+            snap = self.accounting.snapshot()
+            snap["accounting"] = True
+        if self.delivery is not None:
+            snap["delivery"] = self.delivery.snapshot()
         return snap
 
     def record_run(self, engine: str, stats, seconds: float = 0.0) -> None:
@@ -282,6 +326,14 @@ class Observability:
         if self.profiler is not None and self.profiler.events:
             yield json.dumps(self.profiler.report().as_dict(),
                              sort_keys=True)
+        if self.delivery is not None and self.delivery.completed:
+            yield json.dumps({"type": "delivery",
+                              "snapshot": self.delivery.snapshot()},
+                             sort_keys=True)
+        if self.flight is not None and len(self.flight):
+            yield json.dumps({"type": "flight",
+                              "snapshot": self.flight.snapshot()},
+                             sort_keys=True)
         if self.metrics.enabled:
             yield json.dumps({"type": "metrics",
                               "snapshot": self.metrics.as_dict()},
@@ -326,8 +378,14 @@ __all__ = [
     "NULL_METRICS",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",
+    "DELIVERY_BUCKETS",
     "FANOUT_BUCKETS",
     "SMALL_COUNT_BUCKETS",
+    "DeliveryTracker",
+    "LatencyRecorder",
+    "ResultTiming",
+    "percentile",
+    "FlightRecorder",
     "Profiler",
     "ProfileReport",
     "profile_query",
@@ -339,4 +397,5 @@ __all__ = [
     "AuditViolation",
     "DELAY_BUCKETS",
     "format_top",
+    "format_delivery",
 ]

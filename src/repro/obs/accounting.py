@@ -540,7 +540,46 @@ def format_top(snapshot: dict, bytes_column: bool = True) -> str:
     for row in rows:
         lines.append("  ".join(cell.ljust(width)
                                for cell, width in zip(row, widths)).rstrip())
+    delivery = snapshot.get("delivery")
+    if delivery:
+        lines.append("")
+        lines.append(format_delivery(delivery))
     return "\n".join(lines)
+
+
+def format_delivery(delivery: dict) -> str:
+    """Render a delivery-latency snapshot as the ``xsq top`` section.
+
+    ``delivery`` is :meth:`repro.obs.latency.DeliveryTracker.snapshot`:
+    per-subscription count and p50/p99/max seconds over the recent
+    reservoir window.
+    """
+    header = "delivery: results=%d  p50=%s  p99=%s  max=%s" % (
+        delivery.get("completed", 0),
+        _human_seconds(delivery.get("p50_seconds", 0.0)),
+        _human_seconds(delivery.get("p99_seconds", 0.0)),
+        _human_seconds(delivery.get("max_seconds", 0.0)))
+    rows = [["SUB", "TENANT", "COUNT", "P50", "P99", "MAX"]]
+    for sid, entry in sorted(delivery.get("subscriptions", {}).items()):
+        rows.append([sid, str(entry.get("tenant") or "-"),
+                     str(entry.get("count", 0)),
+                     _human_seconds(entry.get("p50_seconds", 0.0)),
+                     _human_seconds(entry.get("p99_seconds", 0.0)),
+                     _human_seconds(entry.get("max_seconds", 0.0))])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [header]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _human_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.1fms" % (seconds * 1e3)
+    return "%.0fus" % (seconds * 1e6)
 
 
 def _clip(text: str, limit: int) -> str:

@@ -54,6 +54,13 @@ DELAY_BUCKETS = DEFAULT_BUCKETS + (4096,)
 #: because fanout beyond a handful of queries is already the story.
 FANOUT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
 
+#: End-to-end delivery-latency bucket upper bounds (seconds): feed-call
+#: entry to socket write.  Wider than LATENCY_BUCKETS because delivery
+#: crosses the outbox queue and the event loop — microseconds at the low
+#: end (in-process), out to seconds when a slow subscriber backs up.
+DELIVERY_BUCKETS = (1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,
+                    1e-1, 5e-1, 1.0, 5.0)
+
 #: Alias for structural small counts (depth-vector lengths etc.).
 SMALL_COUNT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16)
 
@@ -293,6 +300,67 @@ class MetricsRegistry:
                 snapshot[name + labels] = value
         return snapshot
 
+    def dump_state(self) -> List[dict]:
+        """Serialize every metric to plain JSON-safe records.
+
+        The cross-process carrier for :meth:`merge_state`: ``TaskPool``
+        workers dump their registry into the ``done`` summary and the
+        parent folds the records into its own registry, so per-worker
+        engine metrics survive the process boundary.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+            help_map = dict(self._help)
+        records = []
+        for metric in metrics:
+            record = {"kind": metric.kind, "name": metric.name,
+                      "labels": [list(pair) for pair in metric.labels],
+                      "help": help_map.get(metric.name, "")}
+            if metric.kind == "counter":
+                record["value"] = metric.value
+            elif metric.kind == "gauge":
+                record["value"] = metric.value
+                record["max"] = metric._max
+            else:
+                record["buckets"] = list(metric.buckets)
+                record["counts"] = list(metric.counts)
+                record["sum"] = metric.sum
+                record["count"] = metric.count
+            records.append(record)
+        return records
+
+    def merge_state(self, records: Sequence[dict]) -> None:
+        """Fold :meth:`dump_state` records into this registry.
+
+        Counters and histograms add; gauges max-merge (a worker gauge is
+        a point-in-time reading from another process, so the high-water
+        interpretation is the only order-independent one).
+        """
+        for record in records:
+            labels = {key: value for key, value in record.get("labels", ())}
+            kind = record.get("kind")
+            help = record.get("help", "")
+            name = record["name"]
+            if kind == "counter":
+                self.counter(name, help, **labels).inc(
+                    record.get("value", 0.0))
+            elif kind == "gauge":
+                gauge = self.gauge(name, help, **labels)
+                if record.get("max") is not None:
+                    gauge.track_max()
+                gauge.set_max(record.get("value", 0.0))
+                if record.get("max") is not None:
+                    gauge.set_max(record["max"])
+            elif kind == "histogram":
+                buckets = tuple(record.get("buckets", DEFAULT_BUCKETS))
+                histogram = self.histogram(name, help, buckets=buckets,
+                                           **labels)
+                if tuple(histogram.buckets) == tuple(sorted(buckets)):
+                    for index, count in enumerate(record.get("counts", ())):
+                        histogram.counts[index] += count
+                    histogram.sum += record.get("sum", 0.0)
+                    histogram.count += record.get("count", 0)
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition format, grouped by metric family.
 
@@ -363,6 +431,7 @@ class _NullMetric:
     __slots__ = ()
     name = "null"
     labels: tuple = ()
+    buckets: tuple = ()
     value = 0.0
     sum = 0.0
     count = 0

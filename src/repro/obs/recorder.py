@@ -1,0 +1,117 @@
+"""Flight recorder: a bounded ring of recent structured events.
+
+A production incident on a long-running ``xsq serve`` should yield a
+postmortem artifact, not nothing.  The recorder keeps the last N
+structured events — finished spans, drop reports, quota rejections,
+audit violations, connection lifecycle, errors — in a fixed-size deque
+and dumps them as one JSON document on demand: unhandled exception,
+``SIGUSR2``, the ``dump`` JSONL op, or ``xsq flight-dump``.
+
+Recording is cheap (one dict build + deque append under a lock) and
+*absent* by default: nothing records unless a recorder is attached
+(``Observability(recorder=True)`` or the server's always-on ring), so
+the engine hot paths never see it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+#: Default ring capacity (events retained).
+DEFAULT_CAPACITY = 512
+
+#: Artifact format version, bumped on layout changes.
+SNAPSHOT_VERSION = 1
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of structured events.
+
+    Thread-safe: engines, asyncio callbacks and signal handlers may
+    record concurrently with a dump from the metrics HTTP thread.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, clock=time.time):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.recorded = 0
+        self._clock = clock
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dump_seq = itertools.count(1)
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; oldest events fall off past capacity."""
+        event = {"kind": kind, "ts": round(self._clock(), 6)}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            self.recorded += 1
+
+    def record_span(self, span) -> None:
+        """Hook target for :attr:`repro.obs.spans.Tracer.on_finish`."""
+        fields = {"name": span.name,
+                  "duration": round(span.duration, 9)}
+        if span.attrs:
+            fields["attrs"] = dict(span.attrs)
+        self.record("span", **fields)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(self) -> List[dict]:
+        """Copy of the retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def snapshot(self, reason: Optional[str] = None) -> dict:
+        """The postmortem artifact as a JSON-safe dict."""
+        with self._lock:
+            events = list(self._events)
+            recorded = self.recorded
+        snap = {
+            "type": "flight-recorder",
+            "version": SNAPSHOT_VERSION,
+            "captured_at": round(time.time(), 6),
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "dropped": recorded - len(events),
+            "events": events,
+        }
+        if reason is not None:
+            snap["reason"] = reason
+        return snap
+
+    def dump_json(self, reason: Optional[str] = None,
+                  indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(reason), sort_keys=True,
+                          indent=indent)
+
+    def dump(self, dir: str = ".", reason: Optional[str] = None,
+             path: Optional[str] = None) -> str:
+        """Write the artifact to disk; returns the path written.
+
+        Filenames are ``xsq-flight-<pid>-<seq>.json`` so repeated dumps
+        from one process never clobber each other.
+        """
+        if path is None:
+            path = os.path.join(
+                dir, "xsq-flight-%d-%d.json"
+                % (os.getpid(), next(self._dump_seq)))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump_json(reason, indent=2))
+            handle.write("\n")
+        return path
+
+    def __repr__(self):
+        return ("<FlightRecorder %d/%d events (%d recorded)>"
+                % (len(self), self.capacity, self.recorded))

@@ -1,12 +1,13 @@
 """Stdlib-only HTTP surface for live metrics and health.
 
-:class:`MetricsServer` mounts three read-only routes on a daemon
-thread, backed entirely by an :class:`~repro.obs.Observability` bundle:
+:class:`MetricsServer` mounts read-only routes on a daemon thread,
+backed entirely by an :class:`~repro.obs.Observability` bundle:
 
 ========== ==========================================================
 ``/metrics``  Prometheus text exposition (``text/plain; version=0.0.4``)
 ``/healthz``  liveness JSON: ``{"status": "ok", "uptime_seconds", ...}``
 ``/snapshot`` the ``xsq top`` payload (``Observability.snapshot()``)
+``/flight``   flight-recorder ring as JSON (bundles with a recorder)
 ========== ==========================================================
 
 Because :meth:`~repro.parallel.bulk.run_bulk` folds worker stats into
@@ -79,7 +80,7 @@ class MetricsServer:
 
     def _routes(self):
         obs = self.obs
-        return {
+        routes = {
             "/metrics": lambda: (PROMETHEUS_CONTENT_TYPE,
                                  obs.metrics.render_prometheus()),
             "/healthz": lambda: ("application/json",
@@ -89,6 +90,13 @@ class MetricsServer:
                                   json.dumps(obs.snapshot(),
                                              sort_keys=True) + "\n"),
         }
+        flight = getattr(obs, "flight", None)
+        if flight is not None:
+            routes["/flight"] = lambda: (
+                "application/json",
+                json.dumps(flight.snapshot(reason="http"),
+                           sort_keys=True) + "\n")
+        return routes
 
     def _make_handler(self):
         server = self

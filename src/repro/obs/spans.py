@@ -76,6 +76,22 @@ class Span:
             record["attrs"] = self.attrs
         return record
 
+    def to_payload(self) -> dict:
+        """Self-contained JSON-safe tree (no parent back-refs).
+
+        The wire format :meth:`Tracer.graft` reconstructs on the other
+        side of a process boundary: ``TaskPool`` workers ship their span
+        trees through the result queue as these payloads.
+        """
+        node: dict = {"name": self.name, "start": self.start,
+                      "end": self.end}
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_payload()
+                                for child in self.children]
+        return node
+
     def __repr__(self):
         return "<Span %s %.6fs>" % (self.name, self.duration)
 
@@ -97,6 +113,9 @@ class Tracer:
         self.roots: List[Span] = []
         #: Every finished span, in completion order.
         self.finished: List[Span] = []
+        #: Optional ``hook(span)`` called as each span finishes (the
+        #: flight recorder subscribes here).
+        self.on_finish: Optional[Callable[[Span], None]] = None
 
     def span(self, name: str, **attrs) -> Span:
         """Create a span; timing starts when the ``with`` block enters."""
@@ -121,6 +140,45 @@ class Tracer:
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         self.finished.append(span)
+        if self.on_finish is not None:
+            self.on_finish(span)
+
+    # -- cross-process stitching ----------------------------------------
+
+    def graft(self, payload: dict, offset: float = 0.0) -> Span:
+        """Attach a :meth:`Span.to_payload` tree to this timeline.
+
+        The tree nests under the currently open span (or becomes a new
+        root), with every timestamp shifted by ``offset`` — the caller's
+        clock-domain correction.  ``perf_counter`` epochs differ per
+        process, so the offset for a worker tree is computed from paired
+        (perf, wall) samples: ``(w_wall - w_perf) - (p_wall - p_perf)``
+        maps worker perf time onto the parent's perf timeline, assuming
+        the wall clocks agree.  Grafted spans land in :attr:`finished`
+        in post-order (children before parents), mirroring live
+        completion order.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = self._graft_node(payload, parent, offset)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _graft_node(self, payload: dict, parent: Optional[Span],
+                    offset: float) -> Span:
+        span = Span(self, payload.get("name", "span"),
+                    dict(payload.get("attrs") or {}), parent)
+        start = payload.get("start")
+        end = payload.get("end")
+        span.start = None if start is None else start + offset
+        span.end = None if end is None else end + offset
+        for child_payload in payload.get("children", ()):
+            span.children.append(
+                self._graft_node(child_payload, span, offset))
+        self.finished.append(span)
+        return span
 
     # -- export ----------------------------------------------------------
 

@@ -46,24 +46,31 @@ class QueryRunnerSpec:
     ``setup`` through its own process-local compile cache.
     """
 
+    #: The pool may pass a worker-local Observability bundle to
+    #: ``setup`` — engine compile spans then nest under the worker's
+    #: own ``bulk-worker`` span and ship back for cross-process
+    #: stitching.
+    accepts_obs = True
+
     def __init__(self, queries, engine: str = "auto",
                  shared_dispatch: bool = True):
         self.queries = queries
         self.engine = engine
         self.shared_dispatch = shared_dispatch
 
-    def setup(self, worker_id: int):
+    def setup(self, worker_id: int, obs=None):
         # Imports stay inside setup so a spawned worker pays them once
         # and the parent-side module import graph stays acyclic.
         from repro.xpath.ast import Query
 
         if isinstance(self.queries, (str, Query)):
             from repro.api import select_engine
-            engine = select_engine(self.queries, self.engine)
+            engine = select_engine(self.queries, self.engine, obs=obs)
         else:
             from repro.xsq.multiquery import MultiQueryEngine
             engine = MultiQueryEngine(
-                list(self.queries), shared_dispatch=self.shared_dispatch)
+                list(self.queries), shared_dispatch=self.shared_dispatch,
+                obs=obs)
 
         def run(payload):
             results = engine.run(_payload_source(payload))

@@ -47,6 +47,11 @@ DEFAULT_CHUNK_BYTES = 1 << 20
 #: Submission pauses while this many payload bytes are unfinished.
 DEFAULT_MAX_INFLIGHT_BYTES = 64 << 20
 
+#: Per-document ``bulk-doc`` spans recorded per worker before the tree
+#: stops growing — bounds the span payload shipped back through the
+#: result queue on huge corpora (the root span still counts every doc).
+WORKER_DOC_SPAN_LIMIT = 64
+
 
 class RunnerSpec:
     """Protocol for the per-worker runner (duck-typed, not enforced).
@@ -90,12 +95,33 @@ class TaskOutcome:
         return self.error is None
 
 
-def _worker_main(worker_id: int, spec, task_queue, result_queue) -> None:
+def _worker_main(worker_id: int, spec, task_queue, result_queue,
+                 observe: bool = False) -> None:
     """Worker process body: set up once, then drain chunks until the
     ``None`` sentinel.  Every exit path sends a message — the parent
-    never has to guess what a silent worker was doing."""
+    never has to guess what a silent worker was doing.
+
+    With ``observe`` the worker records its own span tree (a real
+    ``bulk-worker`` root timing the whole lifecycle, engine compile
+    spans from setup nested inside, one ``bulk-doc`` span per evaluated
+    document up to :data:`WORKER_DOC_SPAN_LIMIT`) plus a metrics delta,
+    and ships both in the ``done`` summary together with a paired
+    (perf, wall) clock sample so the parent can graft the tree onto its
+    own timeline with the clock-domain offset corrected.
+    """
+    wobs = root = None
+    if observe:
+        # Spans + metrics only: events/accounting instrumentation would
+        # change fastpath eligibility and break the serial differential.
+        from repro.obs import Observability
+        wobs = Observability(spans=True, metrics=True, events=False)
+        root = wobs.tracer.span("bulk-worker", worker=worker_id)
+        root.__enter__()
     try:
-        run = spec.setup(worker_id)
+        if wobs is not None and getattr(spec, "accepts_obs", False):
+            run = spec.setup(worker_id, obs=wobs)
+        else:
+            run = spec.setup(worker_id)
     except BaseException as exc:  # noqa: BLE001 - must cross the process
         result_queue.put(("fatal", worker_id, type(exc).__name__, str(exc),
                           traceback.format_exc()))
@@ -107,27 +133,61 @@ def _worker_main(worker_id: int, spec, task_queue, result_queue) -> None:
     while True:
         chunk = task_queue.get()
         if chunk is None:
-            result_queue.put(("done", worker_id,
-                              {"chunks": chunks, "docs": docs,
-                               "busy_seconds": busy}))
+            summary = {"chunks": chunks, "docs": docs,
+                       "busy_seconds": busy}
+            if wobs is not None:
+                attrs = root.attrs
+                attrs["docs"] = docs
+                attrs["chunks"] = chunks
+                attrs["busy_seconds"] = round(busy, 6)
+                root.__exit__(None, None, None)
+                summary["spans"] = root.to_payload()
+                summary["metrics"] = wobs.metrics.dump_state()
+                summary["clock"] = {"perf": clock(),
+                                    "wall": time.time()}
+            result_queue.put(("done", worker_id, summary))
             return
         chunk_id, items = chunk
         result_queue.put(("taken", worker_id, chunk_id))
         chunks += 1
         for seq, payload, label in items:
+            doc_span = None
+            if wobs is not None:
+                doc_span = wobs.tracer.span("bulk-doc", label=label)
+                doc_span.__enter__()
             started = clock()
             try:
                 result, stats = run(payload)
             except BaseException as exc:  # noqa: BLE001
                 busy += clock() - started
+                if doc_span is not None:
+                    doc_span.attrs["error"] = type(exc).__name__
+                    doc_span.__exit__(None, None, None)
+                    _trim_doc_spans(root, wobs.tracer)
                 result_queue.put(("doc-error", worker_id, chunk_id, seq,
                                   label, type(exc).__name__, str(exc),
                                   traceback.format_exc()))
                 continue
             busy += clock() - started
             docs += 1
+            if doc_span is not None:
+                doc_span.__exit__(None, None, None)
+                _trim_doc_spans(root, wobs.tracer)
             result_queue.put(("doc", worker_id, chunk_id, seq, label,
                               result, stats))
+
+
+def _trim_doc_spans(root, tracer) -> None:
+    """Bound the worker's span tree: every document is *timed* (the
+    enter/exit cost is what the busy clock already pays), but only the
+    first :data:`WORKER_DOC_SPAN_LIMIT` ``bulk-doc`` subtrees are kept
+    for the payload shipped back to the parent.  The ``finished`` list
+    is cleared alongside — workers never export it; the parent rebuilds
+    its own on graft."""
+    if len(root.children) > WORKER_DOC_SPAN_LIMIT:
+        root.children.pop()
+        root.attrs["doc_spans_truncated"] = True
+        del tracer.finished[:]
 
 
 class TaskPool:
@@ -170,25 +230,46 @@ class TaskPool:
     # -- serial path -------------------------------------------------------
 
     def _run_serial(self, tasks: Iterable[Task]) -> Iterator[TaskOutcome]:
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        root = None
+        if tracer is not None and tracer.enabled:
+            # Live bulk-worker span, same shape the pooled path grafts.
+            root = tracer.span("bulk-worker", worker=0)
+            root.__enter__()
         run = self.spec.setup(0)
         docs = 0
         busy = 0.0
         clock = time.perf_counter
-        for index, task in enumerate(tasks):
-            started = clock()
-            try:
-                result, stats = run(task.payload)
-            except BaseException as exc:  # noqa: BLE001
+        try:
+            for index, task in enumerate(tasks):
+                started = clock()
+                try:
+                    result, stats = run(task.payload)
+                except BaseException as exc:  # noqa: BLE001
+                    busy += clock() - started
+                    yield TaskOutcome(
+                        index, task.label, error=TaskFailedError(
+                            task.label, index, type(exc).__name__, str(exc),
+                            traceback.format_exc()))
+                    continue
                 busy += clock() - started
-                yield TaskOutcome(index, task.label, error=TaskFailedError(
-                    task.label, index, type(exc).__name__, str(exc),
-                    traceback.format_exc()))
-                continue
-            busy += clock() - started
-            docs += 1
-            yield TaskOutcome(index, task.label, result, stats)
-        self.worker_summaries = {0: {"chunks": docs, "docs": docs,
-                                     "busy_seconds": busy}}
+                docs += 1
+                yield TaskOutcome(index, task.label, result, stats)
+        except GeneratorExit:
+            # Abandoned mid-run: close the span so the tracer stack
+            # stays balanced for the enclosing bulk-run exit.
+            if root is not None:
+                root.attrs["aborted"] = True
+                root.__exit__(None, None, None)
+            raise
+        summary = {"chunks": docs, "docs": docs, "busy_seconds": busy}
+        if root is not None:
+            root.attrs.update(docs=docs, chunks=docs,
+                              busy_seconds=round(busy, 6))
+            root.__exit__(None, None, None)
+            summary["live_span"] = True
+        self.worker_summaries = {0: summary}
         self._record_summary(mode="serial")
 
     # -- pooled path -------------------------------------------------------
@@ -214,9 +295,11 @@ class TaskPool:
         result_queue = context.SimpleQueue()
         task_iter = iter(enumerate(tasks))
         self.worker_summaries = {}
+        observe = self.obs is not None
         self._processes = [
             context.Process(target=_worker_main,
-                            args=(wid, self.spec, task_queue, result_queue),
+                            args=(wid, self.spec, task_queue, result_queue,
+                                  observe),
                             daemon=True)
             for wid in range(self.workers)]
         for process in self._processes:
@@ -398,14 +481,35 @@ class TaskPool:
                 "seconds spent evaluating documents, per worker, most "
                 "recent bulk run",
                 worker=str(worker_id)).set(summary.get("busy_seconds", 0.0))
-            # Shard-lifecycle span: the worker's own measured numbers,
-            # attached under the surrounding bulk-run span.
-            with obs.span("bulk-worker", worker=worker_id,
-                          docs=summary.get("docs", 0),
-                          chunks=summary.get("chunks", 0),
-                          busy_seconds=round(
-                              summary.get("busy_seconds", 0.0), 6)):
+            payload = summary.get("spans")
+            if summary.get("live_span"):
+                # Serial path: the bulk-worker span was recorded live,
+                # already nested under bulk-run.
                 pass
+            elif payload is not None and obs.tracer.enabled:
+                # Pooled path: graft the worker's real span tree under
+                # the open bulk-run span, mapping its perf_counter
+                # timeline onto ours through the paired (perf, wall)
+                # sample it shipped at shutdown.
+                sample = summary.get("clock") or {}
+                offset = 0.0
+                if "perf" in sample and "wall" in sample:
+                    offset = ((sample["wall"] - sample["perf"])
+                              - (time.time() - time.perf_counter()))
+                obs.tracer.graft(payload, offset=offset)
+            else:
+                # No tree shipped (older worker, or spans disabled in
+                # the worker): synthesize the zero-duration summary span
+                # so the trace shape stays stable.
+                with obs.span("bulk-worker", worker=worker_id,
+                              docs=summary.get("docs", 0),
+                              chunks=summary.get("chunks", 0),
+                              busy_seconds=round(
+                                  summary.get("busy_seconds", 0.0), 6)):
+                    pass
+            state = summary.get("metrics")
+            if state and obs.metrics.enabled:
+                obs.metrics.merge_state(state)
 
     def _shutdown(self) -> None:
         """Stop every worker, escalating politely: they are daemons, so

@@ -78,6 +78,11 @@ class SubscriptionBroker:
                  max_subscriptions_per_tenant: Optional[int] = None,
                  cache=None):
         self.obs = obs
+        #: End-to-end delivery latency tracker; streams opened from this
+        #: broker stamp per-result provenance records against it.  Off
+        #: (``None``) when no bundle is attached — the handles then keep
+        #: ``latency = None`` and the stamp sites cost one None test.
+        self.delivery = obs.enable_delivery() if obs is not None else None
         self.max_subscriptions_per_tenant = max_subscriptions_per_tenant
         self._cache = cache
         self._lock = threading.Lock()
@@ -204,6 +209,12 @@ class BrokerStream:
         from repro.streaming.push import PushEventParser
         self._parser = PushEventParser()
         self._handle = engine.push() if engine is not None else None
+        delivery = broker.delivery
+        self._latency = (delivery.recorder()
+                         if delivery is not None and self._handle is not None
+                         else None)
+        if self._latency is not None:
+            self._handle.latency = self._latency
 
     @property
     def subscription_ids(self) -> List[str]:
@@ -231,27 +242,60 @@ class BrokerStream:
                 tenant, n)
         return out
 
+    def _label_timings(self, routed: List[Tuple[str, str]]) -> None:
+        """Stamp subscription/tenant onto the timings this feed emitted.
+
+        The push handle appended exactly ``len(routed)`` provenance
+        records to the recorder, in the same order ``_route`` mapped
+        them — so a positional zip over the pending tail labels 1:1.
+        """
+        timings = self._latency.pending[-len(routed):]
+        subs = self._broker._subs
+        for (sid, _value), timing in zip(routed, timings):
+            timing.sub = sid
+            sub = subs.get(sid)
+            timing.tenant = sub.tenant if sub is not None else self._tenant
+
+    def take_timings(self):
+        """Claim the provenance records emitted since the last take."""
+        return self._latency.take() if self._latency is not None else []
+
     def feed(self, chunk) -> List[Tuple[str, str]]:
         """Parse one raw chunk; return newly determined results."""
         if self.closed:
             raise StreamError("stream already finished")
         self._chunks += 1
         self._bytes += len(chunk)
+        recorder = self._latency
+        if recorder is not None:
+            recorder.start_feed()
         events = self._parser.feed(chunk)
+        if recorder is not None:
+            recorder.mark_batch()
         if self._handle is None:
             return []
-        return self._route(self._handle.feed_events(events))
+        out = self._route(self._handle.feed_events(events))
+        if recorder is not None and out:
+            self._label_timings(out)
+        return out
 
     def finish(self) -> List[Tuple[str, str]]:
         """End the document; return tail results and record accounting."""
         if self.closed:
             return []
         self.closed = True
+        recorder = self._latency
+        if recorder is not None:
+            recorder.start_feed()
         events = self._parser.finish()
+        if recorder is not None:
+            recorder.mark_batch()
         out: List[Tuple[str, str]] = []
         if self._handle is not None:
             out = self._route(self._handle.feed_events(events)
                               + self._handle.finish())
+            if recorder is not None and out:
+                self._label_timings(out)
         broker = self._broker
         for sid in self._sids:
             sub = broker._subs.get(sid)

@@ -19,6 +19,8 @@ Client → server ops (one JSON object per line)::
                                             are the acknowledgement)
     {"op": "close"}                         end the document, flush tails
     {"op": "stats"}                         registry + connection counters
+                                            (+ delivery-latency summary)
+    {"op": "dump"}                          flight-recorder snapshot
     {"op": "ping"}
 
 Server → client lines: op acknowledgements ``{"ok": true, "op": ...}``
@@ -36,6 +38,17 @@ throttles the producer end to end, classic flow control.  With
 lost.  Ops' acknowledgements share the same queue, so a client always
 observes its acks ordered against its results.
 
+**Observability.**  When the broker carries an
+:class:`~repro.obs.Observability` bundle, every result's journey is
+timed end to end (feed-call entry → parse → emit → dispatch → outbox
+enqueue → socket write) into per-subscription delivery-latency
+histograms (``repro_serve_delivery_seconds``) and the ``stats`` op's
+``delivery`` section.  A :class:`~repro.obs.recorder.FlightRecorder`
+(always attached, even without a bundle) keeps the last N structured
+events — drops, quota rejections, errors, connection lifecycle — and
+dumps a postmortem JSON artifact on unhandled exception, ``SIGUSR2``
+(see :func:`serve`), the ``dump`` op, or ``xsq flight-dump``.
+
 The server is transport only: all query semantics live in the broker
 and the engines' push handles, so everything here is testable without
 sockets too (see ``tests/test_serve_push.py``).
@@ -45,9 +58,12 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional
+import sys
+import traceback
+from typing import Dict, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import QuotaExceededError, ReproError
+from repro.obs.recorder import FlightRecorder
 from repro.serve.broker import DEFAULT_TENANT, SubscriptionBroker
 
 #: Outbound results/acks buffered per connection before backpressure.
@@ -55,6 +71,9 @@ DEFAULT_QUEUE_SIZE = 256
 
 #: Refuse protocol lines beyond this size (one op; chunk data included).
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Seconds between periodic drop-report flushes under overflow="drop".
+DEFAULT_DROP_FLUSH_INTERVAL = 0.25
 
 
 class _Connection:
@@ -82,33 +101,88 @@ class _Connection:
 
     async def _drain_outbox(self) -> None:
         writer = self.writer
+        delivery = self.server.delivery
         try:
             while True:
-                payload = await self.outbox.get()
-                if payload is None:
+                item = await self.outbox.get()
+                if item is None:
                     break
+                payload, timing = item
                 writer.write(payload)
                 await writer.drain()
+                if timing is not None:
+                    timing.write = delivery.clock()
+                    delivery.complete(timing)
         except (ConnectionError, asyncio.CancelledError):
             pass
 
-    async def send(self, message: dict) -> None:
-        """Queue one line; blocks (backpressures) when the queue is full."""
+    async def send(self, message: dict, timing=None) -> None:
+        """Queue one line; blocks (backpressures) when the queue is full.
+
+        ``timing`` is the result's provenance record (when delivery
+        latency is being tracked): the outbox-enqueue timestamp lands
+        here, the socket-write timestamp in the drain task.  Dropped
+        results discard their timing — they never complete delivery.
+        """
         payload = (json.dumps(message, separators=(",", ":")) + "\n").encode()
         if self.server.overflow == "drop" and message.get("event") == "result":
             try:
-                self.outbox.put_nowait(payload)
+                self.outbox.put_nowait((payload, timing))
             except asyncio.QueueFull:
                 self.dropped += 1
                 self.server._count_dropped(self.tenant)
+                return
+            if timing is not None:
+                timing.enqueue = self.server.delivery.clock()
             return
-        await self.outbox.put(payload)
+        await self.outbox.put((payload, timing))
+        if timing is not None:
+            timing.enqueue = self.server.delivery.clock()
+
+    def take_dropped(self) -> int:
+        """Atomically claim the pending drop count.
+
+        Single-statement swap with no await point between read and
+        reset, so a ``send`` racing on the same loop iteration can only
+        land increments *after* the claim (they stay pending for the
+        next flush) — none are lost and none double-report.
+        """
+        n, self.dropped = self.dropped, 0
+        return n
+
+    @staticmethod
+    def _drop_notice(n: int) -> bytes:
+        return (json.dumps({"event": "dropped", "n": n},
+                           separators=(",", ":")) + "\n").encode()
 
     async def flush_drops(self) -> None:
-        """Tell the client how many results overflow dropped, then reset."""
-        if self.dropped:
-            n, self.dropped = self.dropped, 0
-            await self.send({"event": "dropped", "n": n})
+        """Tell the client how many results overflow dropped, then reset.
+
+        Blocking variant (awaits queue space): used at document close so
+        the loss report is ordered before the close acknowledgement.
+        """
+        n = self.take_dropped()
+        if n:
+            await self.outbox.put((self._drop_notice(n), None))
+            self.server._record_drop_report(self, n)
+
+    def flush_drops_nowait(self) -> bool:
+        """Best-effort drop report: never blocks the feeding coroutine.
+
+        If the outbox is still full the claimed count is restored for a
+        later flush (the periodic flusher retries), so reports are
+        prompt when possible and conserved when not.
+        """
+        n = self.take_dropped()
+        if not n:
+            return False
+        try:
+            self.outbox.put_nowait((self._drop_notice(n), None))
+        except asyncio.QueueFull:
+            self.dropped += n
+            return False
+        self.server._record_drop_report(self, n)
+        return True
 
     async def close(self) -> None:
         if self._closed:
@@ -131,13 +205,21 @@ class XsqServer:
     ``"block"`` (end-to-end backpressure) or ``"drop"`` (shed + count).
     Pass an existing ``broker`` to share a registry, or let the server
     build one with ``max_subscriptions_per_tenant``/``obs`` applied.
+
+    ``flight`` is the flight recorder (``None`` builds a default one,
+    an int sets its capacity, an instance is shared); ``flight_dir``
+    enables crash artifacts — an unhandled op exception dumps the ring
+    there.  ``drop_flush_interval`` paces the periodic drop-report
+    flusher under ``overflow="drop"``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  broker: Optional[SubscriptionBroker] = None, obs=None,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  overflow: str = "block",
-                 max_subscriptions_per_tenant: Optional[int] = None):
+                 max_subscriptions_per_tenant: Optional[int] = None,
+                 flight=None, flight_dir: Optional[str] = None,
+                 drop_flush_interval: float = DEFAULT_DROP_FLUSH_INTERVAL):
         if overflow not in ("block", "drop"):
             raise ValueError("overflow must be 'block' or 'drop', not %r"
                              % (overflow,))
@@ -148,12 +230,24 @@ class XsqServer:
         self.broker = broker if broker is not None else SubscriptionBroker(
             obs=self.obs,
             max_subscriptions_per_tenant=max_subscriptions_per_tenant)
+        #: Per-result delivery-latency tracker (None without a bundle).
+        self.delivery = self.broker.delivery
+        if flight is None and self.obs is not None:
+            flight = getattr(self.obs, "flight", None)
+        if flight is None:
+            flight = FlightRecorder()
+        elif isinstance(flight, int):
+            flight = FlightRecorder(capacity=flight)
+        self.flight: FlightRecorder = flight
+        self.flight_dir = flight_dir
         self.queue_size = queue_size
         self.overflow = overflow
+        self.drop_flush_interval = drop_flush_interval
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Dict[str, _Connection] = {}
         self._owners: Dict[str, _Connection] = {}
         self._handlers: set = set()
+        self._flusher: Optional[asyncio.Task] = None
         self._conn_seq = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -163,7 +257,32 @@ class XsqServer:
             self._handle_connection, self.host, self.port,
             limit=MAX_LINE_BYTES)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.overflow == "drop" and self.drop_flush_interval > 0:
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._drop_flusher())
         return self
+
+    async def _drop_flusher(self) -> None:
+        """Periodically report accumulated drops to their victims.
+
+        Safety net behind the per-feed flush: a subscriber whose queue
+        stayed full at feed time (nowait flush deferred) still learns
+        about its losses within ``drop_flush_interval`` seconds.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.drop_flush_interval)
+                self.flush_drops_all()
+        except asyncio.CancelledError:
+            pass
+
+    def flush_drops_all(self) -> int:
+        """Nowait drop-report flush across every connection."""
+        flushed = 0
+        for conn in list(self._connections.values()):
+            if conn.dropped and conn.flush_drops_nowait():
+                flushed += 1
+        return flushed
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -171,6 +290,13 @@ class XsqServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -196,6 +322,7 @@ class XsqServer:
         conn = _Connection(self, writer, "c%d" % self._conn_seq)
         conn.tenant = "tenant-%s" % conn.name
         self._connections[conn.name] = conn
+        self.flight.record("connect", conn=conn.name)
         conn.start_writer()
         task = asyncio.current_task()
         if task is not None:
@@ -227,6 +354,10 @@ class XsqServer:
 
     def _disconnect(self, conn: _Connection) -> None:
         self._connections.pop(conn.name, None)
+        self.flight.record("disconnect", conn=conn.name,
+                           tenant=conn.tenant,
+                           results_sent=conn.results_sent,
+                           dropped=conn.dropped)
         # A connection's standing queries die with it.
         for sid in list(conn.owned):
             self._owners.pop(sid, None)
@@ -252,8 +383,36 @@ class XsqServer:
         try:
             await handler(conn, message)
         except ReproError as exc:
+            if isinstance(exc, QuotaExceededError):
+                self.flight.record("quota", conn=conn.name, op=op,
+                                   tenant=exc.tenant, quota=exc.quota)
+            else:
+                self.flight.record("error", conn=conn.name, op=op,
+                                   error="%s: %s"
+                                   % (type(exc).__name__, exc))
             await conn.send({"ok": False, "op": op,
                              "error": "%s: %s"
+                             % (type(exc).__name__, exc)})
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            # An unexpected bug must yield a postmortem artifact, not a
+            # silently killed connection: record it, dump the ring when
+            # a flight_dir is configured, and keep serving.
+            self.flight.record("crash", conn=conn.name, op=op,
+                               error="%s: %s" % (type(exc).__name__, exc),
+                               traceback=traceback.format_exc())
+            if self.flight_dir is not None:
+                try:
+                    path = self.flight.dump(dir=self.flight_dir,
+                                            reason="crash")
+                    print("xsq serve: unhandled error in op %r; flight "
+                          "recorder dumped to %s" % (op, path),
+                          file=sys.stderr)
+                except OSError:
+                    pass
+            await conn.send({"ok": False, "op": op,
+                             "error": "internal error: %s: %s"
                              % (type(exc).__name__, exc)})
 
     async def _op_hello(self, conn: _Connection, message: dict) -> None:
@@ -315,7 +474,15 @@ class XsqServer:
             # First chunk auto-opens against the current registry.
             conn.stream = self.broker.open_stream(tenant=conn.tenant)
             conn.doc_results = 0
-        conn.doc_results += await self._deliver(conn.stream.feed(data))
+        results = conn.stream.feed(data)
+        conn.doc_results += await self._deliver(
+            results, conn.stream.take_timings())
+        # Prompt loss reporting: tell every victim about accumulated
+        # drops at each feed boundary (nowait — a still-full queue
+        # defers to the periodic flusher rather than stalling the
+        # feeder).
+        if self.overflow == "drop":
+            self.flush_drops_all()
 
     async def _op_close(self, conn: _Connection, message: dict) -> None:
         if conn.stream is None or conn.stream.closed:
@@ -326,36 +493,64 @@ class XsqServer:
         # A truncated/malformed tail raises ReproError out of finish();
         # _dispatch turns it into an error reply and the connection
         # (with its subscriptions) stays alive.
-        conn.doc_results += await self._deliver(stream.finish())
+        results = stream.finish()
+        conn.doc_results += await self._deliver(
+            results, stream.take_timings())
+        if self.overflow == "drop":
+            # Blocking flush at document end: every loss report is
+            # ordered ahead of whatever the victims see next.
+            for other in list(self._connections.values()):
+                if other.dropped:
+                    await other.flush_drops()
+        self.flight.record("document", conn=conn.name, tenant=conn.tenant,
+                           events=stream.events_fed,
+                           results=conn.doc_results)
         await conn.send({"ok": True, "op": "close",
                          "events": stream.events_fed,
                          "results": conn.doc_results})
 
     async def _op_stats(self, conn: _Connection, message: dict) -> None:
-        await conn.send({
+        payload = {
             "ok": True, "op": "stats",
             "tenant": conn.tenant,
             "connections": self.connection_count,
             "subscriptions": self.broker.describe(),
-        })
+            "flight": {"recorded": self.flight.recorded,
+                       "capacity": self.flight.capacity},
+        }
+        if self.delivery is not None:
+            payload["delivery"] = self.delivery.snapshot()
+        await conn.send(payload)
+
+    async def _op_dump(self, conn: _Connection, message: dict) -> None:
+        """The flight recorder's ring, as one JSON reply."""
+        await conn.send({"ok": True, "op": "dump",
+                         "flight": self.flight.snapshot(reason="dump-op")})
 
     # -- fan-out -------------------------------------------------------------
 
-    async def _deliver(self, results) -> int:
-        """Route ``(sid, value)`` pairs to their owning connections."""
+    async def _deliver(self, results, timings=None) -> int:
+        """Route ``(sid, value)`` pairs to their owning connections.
+
+        ``timings`` (when delivery latency is tracked) aligns 1:1 with
+        ``results``: each record gets its dispatch stamp here and rides
+        the outbox to collect enqueue/write stamps.
+        """
         delivered = 0
-        for sid, value in results:
+        delivery = self.delivery
+        if timings is not None and len(timings) != len(results):
+            timings = None
+        for index, (sid, value) in enumerate(results):
             owner = self._owners.get(sid)
             if owner is None:
                 continue
+            timing = timings[index] if timings is not None else None
+            if timing is not None:
+                timing.dispatch = delivery.clock()
             await owner.send({"event": "result", "sub": sid,
-                              "value": value})
+                              "value": value}, timing)
             owner.results_sent += 1
             delivered += 1
-        for sid, _ in results:
-            owner = self._owners.get(sid)
-            if owner is not None and owner.dropped:
-                await owner.flush_drops()
         return delivered
 
     def _count_dropped(self, tenant: str) -> None:
@@ -366,28 +561,38 @@ class XsqServer:
             "results shed to slow subscribers under overflow='drop'",
             tenant=tenant).inc()
 
+    def _record_drop_report(self, conn: _Connection, n: int) -> None:
+        self.flight.record("drop", conn=conn.name, tenant=conn.tenant,
+                           n=n)
+
 
 async def serve(host: str = "127.0.0.1", port: int = 0, *,
                 obs=None, metrics_port: Optional[int] = None,
                 queue_size: int = DEFAULT_QUEUE_SIZE,
                 overflow: str = "block",
                 max_subscriptions_per_tenant: Optional[int] = None,
+                flight_dir: Optional[str] = None,
                 announce=None) -> None:
     """Run the subscription server until cancelled (the CLI entry).
 
     ``metrics_port`` mounts the bundle's
     :class:`~repro.obs.serve.MetricsServer` (``/metrics``, ``/healthz``,
-    ``/snapshot``) next to the subscription listener.  ``announce`` is
-    called once with the started :class:`XsqServer` — the CLI prints
-    the bound ports from it so scripts can discover an ephemeral port.
+    ``/snapshot``, ``/flight``) next to the subscription listener.
+    ``flight_dir`` is where flight-recorder artifacts land (crash dumps
+    and ``SIGUSR2`` dumps — the signal handler is installed on loops
+    that support it).  ``announce`` is called once with the started
+    :class:`XsqServer` — the CLI prints the bound ports from it so
+    scripts can discover an ephemeral port.
     """
     if obs is None and metrics_port is not None:
         from repro.obs import Observability
-        obs = Observability(spans=False, events=False)
+        obs = Observability(spans=False, events=False, recorder=True)
     server = XsqServer(
         host, port, obs=obs, queue_size=queue_size, overflow=overflow,
-        max_subscriptions_per_tenant=max_subscriptions_per_tenant)
+        max_subscriptions_per_tenant=max_subscriptions_per_tenant,
+        flight_dir=flight_dir)
     await server.start()
+    _install_sigusr2_dump(server)
     metrics_server = None
     if metrics_port is not None:
         metrics_server = obs.serve(port=metrics_port, host=host)
@@ -399,3 +604,26 @@ async def serve(host: str = "127.0.0.1", port: int = 0, *,
         pass
     finally:
         await server.stop()
+
+
+def _install_sigusr2_dump(server: XsqServer) -> None:
+    """``kill -USR2 <pid>`` dumps the flight recorder to disk."""
+    import signal
+
+    if not hasattr(signal, "SIGUSR2"):
+        return
+
+    def dump():
+        try:
+            path = server.flight.dump(dir=server.flight_dir or ".",
+                                      reason="sigusr2")
+            print("xsq serve: flight recorder dumped to %s" % path,
+                  file=sys.stderr)
+        except OSError as exc:
+            print("xsq serve: flight dump failed: %s" % exc,
+                  file=sys.stderr)
+
+    try:
+        asyncio.get_running_loop().add_signal_handler(signal.SIGUSR2, dump)
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass

@@ -23,6 +23,13 @@ differential suite proves it byte-for-byte):
 ``RunStats`` onto the owning engine (so ``engine.stats`` /
 ``CompiledQuery.stats`` work identically to pull mode) and closes the
 handle.  Handles are single-document: create a new one per document.
+
+Every handle carries a ``latency`` slot (default ``None``) for an
+optional :class:`repro.obs.latency.LatencyRecorder`: when attached (the
+serve pipeline does this per stream), each feed call stamps entry and
+emission timestamps onto per-result provenance records.  Detached, the
+cost is one attribute load and a ``None`` test per feed call — the same
+discipline as ``obs is None``.
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ class EventPushHandle:
         self._streaming_agg = streaming_agg
         self._on_event = on_event
         self._count = 0
+        self.latency = None
         self.closed = False
 
     @property
@@ -70,6 +78,9 @@ class EventPushHandle:
         """Feed a batch of events; return the results they determined."""
         if self.closed:
             raise StreamError("push handle already finished")
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         count = self._count
         feed = self._runtime.feed
         on_event = self._on_event
@@ -83,7 +94,10 @@ class EventPushHandle:
                 on_event(event)
                 feed(event)
         self._count = count
-        return self._drain()
+        out = self._drain()
+        if latency is not None:
+            latency.emitted(len(out))
+        return out
 
     def _drain(self) -> list:
         if self._stat is not None:
@@ -102,6 +116,9 @@ class EventPushHandle:
         if self.closed:
             return []
         self.closed = True
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         self._runtime.finish()
         out = self._drain()
         if self._stat is not None:
@@ -110,6 +127,8 @@ class EventPushHandle:
         obs = self._engine.obs
         if obs is not None:
             obs.record_run(self._engine.name, self._engine.last_stats)
+        if latency is not None:
+            latency.emitted(len(out))
         return out
 
 
@@ -134,6 +153,7 @@ class FastPushHandle:
         self._streaming_agg = streaming_agg
         self.tags = engine.plan.tags
         self._count = 0
+        self.latency = None
         self.closed = False
 
     @property
@@ -144,9 +164,15 @@ class FastPushHandle:
         """Feed one chunk of batched tuples; return determined results."""
         if self.closed:
             raise StreamError("push handle already finished")
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         self._count += len(batch)
         self._runtime.run_batch(batch)
-        return self._drain()
+        out = self._drain()
+        if latency is not None:
+            latency.emitted(len(out))
+        return out
 
     def feed_events(self, events) -> list:
         intern = self.tags.intern
@@ -168,6 +194,9 @@ class FastPushHandle:
         if self.closed:
             return []
         self.closed = True
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         self._runtime.finish()
         out = self._drain()
         if self._stat is not None:
@@ -176,6 +205,8 @@ class FastPushHandle:
         obs = self._engine.obs
         if obs is not None:
             obs.record_run(self._engine.name, self._engine.last_stats)
+        if latency is not None:
+            latency.emitted(len(out))
         return out
 
 
@@ -215,6 +246,7 @@ class MultiPushHandle:
         else:
             self._routes_get = None
         self._count = 0
+        self.latency = None
         self.closed = False
 
     @property
@@ -226,6 +258,9 @@ class MultiPushHandle:
         interleaved in stream order (empty under ``merged=True``)."""
         if self.closed:
             raise StreamError("push handle already finished")
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         out: list = []
         runtimes = self._runtimes
         sinks = self._sinks
@@ -271,6 +306,8 @@ class MultiPushHandle:
                                 out.extend((i, value) for value in sink)
                                 del sink[:]
         self._count = count
+        if latency is not None:
+            latency.emitted(len(out))
         return out
 
     def finish(self) -> list:
@@ -279,6 +316,9 @@ class MultiPushHandle:
         if self.closed:
             return []
         self.closed = True
+        latency = self.latency
+        if latency is not None:
+            latency.handle_entry()
         count = self._count
         out: list = []
         for i, runtime in enumerate(self._runtimes):
@@ -313,6 +353,8 @@ class MultiPushHandle:
                 tagged.extend(zip(queue.emitted_seqs, member_sink))
             tagged.sort(key=lambda pair: pair[0])
             out = [value for _, value in tagged]
+        if latency is not None:
+            latency.emitted(len(out))
         return out
 
 
@@ -324,6 +366,7 @@ class NullPushHandle:
     def __init__(self):
         self.closed = False
         self._count = 0
+        self.latency = None
 
     @property
     def events_fed(self) -> int:

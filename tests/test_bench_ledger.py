@@ -54,6 +54,22 @@ def memory_artifact():
     }
 
 
+def latency_artifact():
+    return {
+        "bench": "latency", "schema_version": 1,
+        "workloads": [
+            {"subscribers": 1, "documents": 20, "results": 20,
+             "delivery_p50_seconds": 0.0004,
+             "delivery_p99_seconds": 0.0011,
+             "delivery_max_seconds": 0.0030},
+            {"subscribers": 10, "documents": 20, "results": 200,
+             "delivery_p50_seconds": 0.0009,
+             "delivery_p99_seconds": 0.0042,
+             "delivery_max_seconds": 0.0088},
+        ],
+    }
+
+
 class TestDirectionAndFlatten:
     def test_metric_direction(self):
         assert metric_direction("mb_per_s")
@@ -62,6 +78,20 @@ class TestDirectionAndFlatten:
         assert not metric_direction("seconds")
         assert not metric_direction("peak_bytes")
         assert not metric_direction("delay_max")
+
+    def test_latency_metrics_are_lower_is_better(self):
+        # Delivery latency regresses when it grows; the metric names
+        # must not contain any higher-is-better fragment.
+        for metric in ("delivery_p50_seconds", "delivery_p99_seconds",
+                       "delivery_max_seconds"):
+            assert not metric_direction(metric)
+
+    def test_flatten_latency_keys(self):
+        rows = flatten(latency_artifact())
+        assert rows[("subs1@20docs", "delivery_p50_seconds")] == 0.0004
+        assert rows[("subs10@20docs", "delivery_p99_seconds")] == 0.0042
+        # Counts are identity, not perf metrics.
+        assert ("subs1@20docs", "results") not in rows
 
     def test_flatten_throughput_keys(self):
         rows = flatten(throughput_artifact())
@@ -164,6 +194,22 @@ class TestDiff:
         delta = Delta("w", "seconds", 0.0, 0.5, 0.2)
         assert delta.ratio == float("inf")
         assert delta.regressed
+
+    def test_latency_growth_is_a_regression(self):
+        new = copy.deepcopy(latency_artifact())
+        new["workloads"][1]["delivery_p99_seconds"] = 0.02  # ~5x worse
+        result = diff_artifacts(latency_artifact(), new)
+        assert not result.ok
+        flagged = {(d.workload, d.metric) for d in result.regressions}
+        assert ("subs10@20docs", "delivery_p99_seconds") in flagged
+
+    def test_latency_drop_is_an_improvement(self):
+        new = copy.deepcopy(latency_artifact())
+        new["workloads"][0]["delivery_p50_seconds"] = 0.0001
+        result = diff_artifacts(latency_artifact(), new)
+        assert result.ok
+        improved = {(d.workload, d.metric) for d in result.improvements}
+        assert ("subs1@20docs", "delivery_p50_seconds") in improved
 
     def test_render_mentions_regressions(self):
         new = throughput_artifact()

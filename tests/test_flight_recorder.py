@@ -1,0 +1,180 @@
+"""Flight recorder: bounded ring, dump artifact, and obs wiring.
+
+Covers the standalone :class:`repro.obs.recorder.FlightRecorder`
+(capacity enforcement, drop accounting, snapshot/dump layout), the
+``Observability(recorder=...)`` attachment (span hook, snapshot/jsonl
+sections, the ``/flight`` HTTP route), and the span-to-ring path.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    SNAPSHOT_VERSION,
+    FlightRecorder,
+)
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=-4)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_events_oldest_first(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(3):
+            recorder.record("tick", index=index)
+        assert [e["index"] for e in recorder.events()] == [0, 1, 2]
+        assert all(e["kind"] == "tick" for e in recorder.events())
+        assert all("ts" in e for e in recorder.events())
+
+    def test_ring_drops_oldest_past_capacity(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        assert len(recorder) == 4
+        assert [e["index"] for e in recorder.events()] == [6, 7, 8, 9]
+        assert recorder.recorded == 10
+
+    def test_snapshot_shape(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(6):
+            recorder.record("tick", index=index)
+        snap = recorder.snapshot(reason="unit-test")
+        assert snap["type"] == "flight-recorder"
+        assert snap["version"] == SNAPSHOT_VERSION
+        assert snap["capacity"] == 4
+        assert snap["recorded"] == 6
+        assert snap["dropped"] == 2
+        assert snap["reason"] == "unit-test"
+        assert len(snap["events"]) == 4
+        assert isinstance(snap["pid"], int)
+
+    def test_snapshot_without_reason(self):
+        assert "reason" not in FlightRecorder().snapshot()
+
+    def test_dump_json_is_valid(self):
+        recorder = FlightRecorder()
+        recorder.record("error", error="ValueError")
+        parsed = json.loads(recorder.dump_json(reason="x"))
+        assert parsed["events"][0]["error"] == "ValueError"
+
+    def test_dump_writes_unique_files(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("tick")
+        first = recorder.dump(dir=str(tmp_path), reason="one")
+        second = recorder.dump(dir=str(tmp_path), reason="two")
+        assert first != second
+        with open(second, encoding="utf-8") as handle:
+            snap = json.load(handle)
+        assert snap["reason"] == "two"
+        assert "xsq-flight-" in first
+
+    def test_dump_explicit_path(self, tmp_path):
+        recorder = FlightRecorder()
+        target = str(tmp_path / "crash.json")
+        assert recorder.dump(path=target) == target
+        with open(target, encoding="utf-8") as handle:
+            assert json.load(handle)["type"] == "flight-recorder"
+
+    def test_record_span_hook(self):
+        recorder = FlightRecorder()
+
+        class Stub:
+            name = "run"
+            duration = 0.125
+            attrs = {"engine": "fastpath"}
+
+        recorder.record_span(Stub())
+        (event,) = recorder.events()
+        assert event["kind"] == "span"
+        assert event["name"] == "run"
+        assert event["duration"] == 0.125
+        assert event["attrs"] == {"engine": "fastpath"}
+
+
+class TestObservabilityWiring:
+    def test_recorder_true_attaches_default_ring(self):
+        obs = Observability(spans=True, events=False, recorder=True)
+        assert isinstance(obs.flight, FlightRecorder)
+        assert obs.flight.capacity == DEFAULT_CAPACITY
+        assert obs.tracer.on_finish == obs.flight.record_span
+
+    def test_recorder_int_sets_capacity(self):
+        obs = Observability(spans=False, events=False, recorder=32)
+        assert obs.flight.capacity == 32
+
+    def test_default_bundle_has_no_recorder(self):
+        assert Observability().flight is None
+        assert Observability(spans=True).tracer.on_finish is None
+
+    def test_finished_spans_land_in_ring(self):
+        obs = Observability(spans=True, events=False, recorder=True)
+        with obs.span("outer"):
+            with obs.span("inner", detail=1):
+                pass
+        kinds = [(e["kind"], e["name"]) for e in obs.flight.events()]
+        assert ("span", "inner") in kinds
+        assert ("span", "outer") in kinds
+        # children finish first: ring order is completion order
+        assert kinds.index(("span", "inner")) < \
+            kinds.index(("span", "outer"))
+
+    def test_jsonl_export_includes_flight_snapshot(self, tmp_path):
+        obs = Observability(spans=True, events=False, recorder=True)
+        with obs.span("traced"):
+            pass
+        obs.flight.record("drop", sub="s1", n=3)
+        path = tmp_path / "export.jsonl"
+        obs.write_jsonl(str(path))
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        (flight,) = [r for r in records if r["type"] == "flight"]
+        kinds = {e["kind"] for e in flight["snapshot"]["events"]}
+        assert kinds == {"span", "drop"}
+
+    def test_jsonl_export_omits_empty_ring(self, tmp_path):
+        obs = Observability(spans=False, events=False, recorder=True)
+        path = tmp_path / "export.jsonl"
+        obs.write_jsonl(str(path))
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert not [r for r in records if r["type"] == "flight"]
+
+
+class TestFlightRoute:
+    def test_flight_route_serves_snapshot(self):
+        obs = Observability(spans=False, events=False, recorder=True)
+        obs.flight.record("boot", detail="test")
+        server = obs.serve(port=0)
+        try:
+            body = urllib.request.urlopen(
+                server.url + "/flight", timeout=10).read().decode()
+            snap = json.loads(body)
+            assert snap["type"] == "flight-recorder"
+            assert snap["reason"] == "http"
+            assert snap["events"][0]["kind"] == "boot"
+        finally:
+            server.close()
+
+    def test_flight_route_absent_without_recorder(self):
+        obs = Observability(spans=False, events=False)
+        server = obs.serve(port=0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/flight", timeout=10)
+            assert excinfo.value.code == 404
+            routes = json.loads(excinfo.value.read().decode())["routes"]
+            assert "/flight" not in routes
+            assert "/metrics" in routes
+        finally:
+            server.close()

@@ -131,3 +131,85 @@ class TestMetricAggregation:
         assert "# TYPE repro_parallel_worker_docs_total counter" in text
         assert 'repro_parallel_worker_docs_total{worker="0"}' in text
         assert 'repro_parallel_worker_docs_total{worker="1"}' in text
+
+
+class TestCrossProcessStitching:
+    """Worker span trees and metric deltas stitch into the parent bundle."""
+
+    def run(self, workers=2):
+        obs = Observability()
+        result = run_bulk(QUERY, corpus(), workers=workers, obs=obs)
+        results = result.results()
+        return obs, results
+
+    def bulk_span(self, obs):
+        return [span for span in obs.tracer.roots
+                if span.name == "bulk-run"][0]
+
+    def test_grafted_worker_spans_have_real_durations(self):
+        # The pooled trace carries the workers' *measured* lifecycles,
+        # not the old zero-duration synthetic summaries.
+        obs, _ = self.run(workers=2)
+        workers = [child for child in self.bulk_span(obs).children
+                   if child.name == "bulk-worker"]
+        assert len(workers) == 2
+        for span in workers:
+            assert span.duration > 0.0
+            assert span.attrs["docs"] + span.attrs["chunks"] >= 0
+
+    def test_grafted_spans_land_inside_parent_timeline(self):
+        # Clock-offset correction maps worker perf_counter timestamps
+        # onto the parent's timeline: every worker span must fall inside
+        # the bulk-run span that contains it (small slack for the
+        # wall-clock pairing error).
+        obs, _ = self.run(workers=2)
+        bulk = self.bulk_span(obs)
+        slack = 0.010
+        for span in bulk.children:
+            if span.name != "bulk-worker":
+                continue
+            assert span.start >= bulk.start - slack
+            assert span.end <= bulk.end + slack
+
+    def test_bulk_doc_spans_nest_under_workers(self):
+        obs, _ = self.run(workers=2)
+        workers = [child for child in self.bulk_span(obs).children
+                   if child.name == "bulk-worker"]
+        doc_spans = [grandchild for worker in workers
+                     for grandchild in worker.children
+                     if grandchild.name == "bulk-doc"]
+        assert len(doc_spans) == len(corpus())
+        for span in doc_spans:
+            assert span.duration > 0.0
+            assert "label" in span.attrs
+
+    def test_worker_engine_metrics_merge_into_parent(self):
+        # Workers fold their own run stats into their local registry;
+        # the pool merges those deltas, so the parent registry counts
+        # every per-document engine run.
+        obs, _ = self.run(workers=2)
+        runs = metric_values(obs, "repro_runs_total")
+        # The parent itself records one "parallel-bulk" aggregate run;
+        # the per-document engine runs can only come from the merge.
+        worker_runs = sum(value for key, value in runs.items()
+                          if dict(key).get("engine") != "parallel-bulk")
+        assert worker_runs == len(corpus())
+        events = metric_values(obs, "repro_run_events_total")
+        assert sum(events.values()) > 0
+
+    def test_serial_worker_span_is_live_too(self):
+        obs, _ = self.run(workers=1)
+        workers = [child for child in self.bulk_span(obs).children
+                   if child.name == "bulk-worker"]
+        assert len(workers) == 1
+        assert workers[0].duration > 0.0
+
+    def test_grafted_spans_reach_jsonl_export(self):
+        obs, _ = self.run(workers=2)
+        records = [json.loads(line) for line in obs.tracer.jsonl_lines()]
+        doc_records = [record for record in records
+                       if record["name"] == "bulk-doc"]
+        assert len(doc_records) == len(corpus())
+        for record in doc_records:
+            assert record["parent"] == "bulk-worker"
+            assert record["duration"] > 0.0

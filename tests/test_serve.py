@@ -120,3 +120,67 @@ class TestLifecycle:
         server.close()
         with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
             fetch(url + "/healthz")
+
+
+class TestConcurrentScrape:
+    """/metrics under load: scrapes race a live feed without tearing."""
+
+    def test_scrape_races_active_feed_cleanly(self):
+        import re
+        import threading
+
+        from repro.serve import SubscriptionBroker
+        from test_metrics_format import parse_families
+
+        obs = Observability(spans=False, events=False)
+        broker = SubscriptionBroker(obs=obs)
+        broker.subscribe(QUERY, tenant="load")
+        server = obs.serve(port=0)
+        stop = threading.Event()
+        feed_errors = []
+
+        def feed_forever():
+            try:
+                while not stop.is_set():
+                    stream = broker.open_stream()
+                    for offset in range(0, len(DOC), 9):
+                        stream.feed(DOC[offset:offset + 9])
+                    stream.finish()
+                    for timing in stream.take_timings():
+                        timing.write = obs.delivery.clock()
+                        obs.delivery.complete(timing)
+            except Exception as exc:  # surfaced after join
+                feed_errors.append(exc)
+
+        feeder = threading.Thread(target=feed_forever, daemon=True)
+        feeder.start()
+        try:
+            for _ in range(25):
+                _, ctype, body = fetch(server.url + "/metrics")
+                assert ctype == PROMETHEUS_CONTENT_TYPE
+                # parse_families asserts the structural invariants: a
+                # torn exposition (family split, sample outside its
+                # block, duplicate HELP) fails here.
+                families = parse_families(body)
+                for name, family in families.items():
+                    if family["type"] != "histogram":
+                        continue
+                    series = {}
+                    for _, line in family["samples"]:
+                        if "_bucket" not in line:
+                            continue
+                        labels = line.split("{", 1)[1].rsplit("}", 1)[0]
+                        key = re.sub(r'le="[^"]*",?', "", labels)
+                        series.setdefault(key, []).append(
+                            float(line.rsplit(" ", 1)[1]))
+                    for key, counts in series.items():
+                        assert counts == sorted(counts), (
+                            "%s{%s} buckets not cumulative: %s"
+                            % (name, key, counts))
+        finally:
+            stop.set()
+            feeder.join(timeout=10)
+            server.close()
+        assert not feed_errors, feed_errors
+        assert "repro_serve_delivery_seconds" in families
+        assert obs.delivery.completed > 0

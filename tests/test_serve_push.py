@@ -345,3 +345,171 @@ class TestServer:
             assert values == ["2002"]
             await client.close()
         run_server_test(scenario)
+
+
+class TestStatsAndDump:
+    def test_stats_includes_flight_and_delivery(self):
+        obs = Observability(spans=False, events=False, recorder=True)
+
+        async def scenario(server):
+            client = await _Client.connect(server)
+            await client.call(op="subscribe",
+                              query="/pub/book/name/text()")
+            for chunk in chunked(DOC):
+                await client.send(op="chunk", data=chunk)
+            await client.send(op="close")
+            results = 0
+            while True:
+                message = await client.recv()
+                if message.get("event") == "result":
+                    results += 1
+                elif message.get("op") == "close":
+                    break
+            assert results == 2
+            # Delivery completion races the socket read; poll stats.
+            for _ in range(100):
+                stats = await client.call(op="stats")
+                if stats["delivery"]["completed"] == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert stats["ok"] and stats["op"] == "stats"
+            assert stats["flight"]["capacity"] > 0
+            assert stats["flight"]["recorded"] > 0
+            assert stats["delivery"]["completed"] == 2
+            assert stats["delivery"]["p50_seconds"] > 0.0
+            assert len(stats["delivery"]["subscriptions"]) == 1
+            await client.close()
+        run_server_test(scenario, obs=obs)
+
+    def test_dump_op_returns_flight_snapshot(self):
+        async def scenario(server):
+            client = await _Client.connect(server)
+            await client.call(op="ping")
+            reply = await client.call(op="dump")
+            assert reply["ok"] and reply["op"] == "dump"
+            snap = reply["flight"]
+            assert snap["type"] == "flight-recorder"
+            assert snap["reason"] == "dump-op"
+            kinds = {event["kind"] for event in snap["events"]}
+            assert "connect" in kinds
+            await client.close()
+        run_server_test(scenario)
+
+
+class TestDropReporting:
+    """Prompt loss reporting under ``overflow="drop"``."""
+
+    MANY = "<pub>%s</pub>" % "".join(
+        "<book><name>n%d</name></book>" % i for i in range(50))
+
+    def test_drops_reported_without_close(self):
+        # The victim must learn about its losses from the per-feed and
+        # periodic flushes alone -- the feeder never sends close.
+        async def scenario(server):
+            victim = await _Client.connect(server)
+            await victim.call(op="subscribe",
+                              query="/pub/book/name/text()")
+            feeder = await _Client.connect(server)
+            await feeder.send(op="chunk", data=self.MANY)
+            results, dropped = 0, 0
+            while results + dropped < 50:
+                message = await victim.recv()
+                if message.get("event") == "result":
+                    results += 1
+                elif message.get("event") == "dropped":
+                    dropped += message["n"]
+            assert dropped > 0
+            assert results + dropped == 50
+            await victim.close()
+            await feeder.close()
+        run_server_test(scenario, queue_size=1, overflow="drop",
+                        drop_flush_interval=0.05)
+
+    def test_drop_conservation_across_flushes(self):
+        # Every shed result is reported exactly once: reported + still
+        # pending == counted, no loss or double report while periodic,
+        # per-feed and close-time flushes interleave.
+        async def scenario(server):
+            victim = await _Client.connect(server)
+            await victim.call(op="subscribe",
+                              query="/pub/book/name/text()")
+            feeder = await _Client.connect(server)
+            victim_conn = next(
+                conn for conn in server._connections.values()
+                if conn.owned)
+
+            async def feed():
+                for _ in range(3):
+                    await feeder.send(op="chunk", data=self.MANY)
+                    closed = await feeder.call(op="close")
+                    assert closed["ok"], closed
+
+            feed_task = asyncio.create_task(feed())
+            results, reported = 0, 0
+            while True:
+                pending = victim_conn.dropped
+                if results + reported + pending == 150:
+                    break
+                message = await victim.recv()
+                if message.get("event") == "result":
+                    results += 1
+                elif message.get("event") == "dropped":
+                    reported += message["n"]
+            await feed_task
+            assert reported > 0
+            assert results + reported + victim_conn.dropped == 150
+            await victim.close()
+            await feeder.close()
+        run_server_test(scenario, queue_size=1, overflow="drop")
+
+    def test_take_dropped_atomic_reset(self):
+        from repro.serve.server import _Connection
+        conn = _Connection.__new__(_Connection)
+        conn.dropped = 5
+        assert conn.take_dropped() == 5
+        assert conn.dropped == 0
+        assert conn.take_dropped() == 0
+
+    def test_flush_nowait_restores_count_when_queue_full(self):
+        from repro.serve.server import _Connection
+        conn = _Connection.__new__(_Connection)
+        conn.dropped = 7
+
+        async def scenario():
+            conn.outbox = asyncio.Queue(maxsize=1)
+            conn.outbox.put_nowait((b"occupied\n", None))
+            assert conn.flush_drops_nowait() is False
+            assert conn.dropped == 7  # restored, not lost
+        asyncio.run(scenario())
+
+
+class TestCrashPostmortem:
+    def test_internal_error_keeps_connection_and_dumps(self, tmp_path):
+        async def scenario(server):
+            async def boom(conn, message):
+                raise RuntimeError("injected failure")
+            server._op_boom = boom
+
+            client = await _Client.connect(server)
+            reply = await client.call(op="boom")
+            assert reply["ok"] is False
+            assert "internal error" in reply["error"]
+            assert "RuntimeError" in reply["error"]
+            # The connection survives the crash...
+            pong = await client.call(op="ping")
+            assert pong["ok"]
+            # ...the ring recorded a postmortem event...
+            crashes = [event for event in server.flight.events()
+                       if event["kind"] == "crash"]
+            assert crashes and crashes[0]["op"] == "boom"
+            assert "injected failure" in crashes[0]["error"]
+            assert "RuntimeError" in crashes[0]["traceback"]
+            # ...and the artifact landed in flight_dir.
+            dumps = list(tmp_path.glob("xsq-flight-*.json"))
+            assert len(dumps) == 1
+            snap = json.loads(dumps[0].read_text())
+            assert snap["reason"] == "crash"
+            assert any(event["kind"] == "crash"
+                       for event in snap["events"])
+            await client.close()
+        run_server_test(scenario, flight_dir=str(tmp_path))
