@@ -2,11 +2,20 @@
 """Engine throughput on the paper's evaluation corpora (Figures 15/17).
 
 Measures MB/s over the four Figure 15 datasets (SHAKE, NASA, DBLP, PSD)
-with each dataset's Figure 16/17-style query, for the three single-query
-runtimes — the compiled fast path, XSQ-NC and XSQ-F — plus the
-PureParser parse-only ceiling the paper normalizes against.  All
-engines run over the same in-memory document; each cell takes the best
-of ``--repeats`` runs to damp scheduler noise.
+with each dataset's Figure 16/17-style query — plus two element-output
+workloads now that default output runs on the fast tier (PR 9) — for
+the four single-query runtimes: the generated codegen kernel, the
+fast-path slot interpreter it lowers from (``codegen=False``), XSQ-NC
+and XSQ-F, plus the PureParser parse-only ceiling the paper normalizes
+against.  All engines run over the same in-memory document; each cell
+takes the best of ``--repeats`` runs to damp scheduler noise.
+
+Each workload also records ``selection``: the tier ``engine="auto"``
+actually picks (codegen/fast/nc/f), the fallback slug when the fast
+path is rejected, and the kernel note — so the artifact shows *which*
+engine users get, not just how fast each one could be.
+``python -m repro.bench diff`` surfaces a workload dropping off the
+fast tier as a regression.
 
 Writes a schema-versioned ``BENCH_throughput.json`` at the repo root so
 the throughput trajectory accumulates run over run, and with ``--check``
@@ -55,6 +64,10 @@ WORKLOADS = [
     ("dblp", "/dblp/inproceedings[author]/title/text()"),
     ("psd",
      "/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author/text()"),
+    # Element output (serialize the matched subtree): on the fast tier
+    # since PR 9; previously these fell back to the interpreted NC loop.
+    ("shake-speech", "/PLAY/ACT/SCENE/SPEECH"),
+    ("dblp-title", "/dblp/inproceedings[author]/title"),
 ]
 
 GENERATORS = {
@@ -63,12 +76,37 @@ GENERATORS = {
     "dblp": lambda size: generate_dblp(target_bytes=size, seed=11),
     "psd": lambda size: generate_psd(target_bytes=size, seed=17),
 }
+GENERATORS["shake-speech"] = GENERATORS["shake"]
+GENERATORS["dblp-title"] = GENERATORS["dblp"]
 
 ENGINES = {
-    "fast": XSQEngineFast,
-    "nc": XSQEngineNC,
-    "f": XSQEngine,
+    "codegen": lambda query: XSQEngineFast(query, cache=False),
+    "fast": lambda query: XSQEngineFast(query, cache=False,
+                                        codegen=False),
+    "nc": lambda query: XSQEngineNC(query, cache=False),
+    "f": lambda query: XSQEngine(query, cache=False),
 }
+
+
+def auto_selection(query: str) -> Dict[str, object]:
+    """What ``engine="auto"`` picks for ``query``, with the why.
+
+    ``tier`` is codegen/fast/nc/f; ``fallback`` is the
+    :class:`~repro.errors.FastPathUnsupportedError` slug when the fast
+    path is rejected (else None); ``kernel`` is the codegen note.
+    """
+    from repro.api import select_engine
+    engine = select_engine(query, "auto", cache=False)
+    if isinstance(engine, XSQEngineFast):
+        tier = "codegen" if engine.kernel is not None else "fast"
+        return {"tier": tier, "fallback": None,
+                "kernel": engine.kernel_note}
+    from repro.xpath.parser import parse_query
+    from repro.xsq.fastpath import unsupported_reason
+    blocked = unsupported_reason(parse_query(query))
+    return {"tier": "nc" if isinstance(engine, XSQEngineNC) else "f",
+            "fallback": blocked[0] if blocked else None,
+            "kernel": None}
 
 
 def best_of(repeats, fn):
@@ -94,8 +132,8 @@ def run_workload(dataset: str, query: str, xml: str, size: int,
         "engines": {},
     }
     result_counts = {}
-    for key, cls in ENGINES.items():
-        engine = cls(query, cache=False)
+    for key, make in ENGINES.items():
+        engine = make(query)
         elapsed, results = best_of(repeats, lambda: engine.run(xml))
         entry["engines"][key] = {
             "engine": engine.name,
@@ -112,13 +150,18 @@ def run_workload(dataset: str, query: str, xml: str, size: int,
         "mb_per_s": round(mbytes / elapsed, 3),
         "events": events,
     }
+    codegen = entry["engines"]["codegen"]["mb_per_s"]
     fast = entry["engines"]["fast"]["mb_per_s"]
     interpreted = max(entry["engines"]["nc"]["mb_per_s"],
                       entry["engines"]["f"]["mb_per_s"])
     entry["fast_speedup_vs_interpreted"] = round(fast / interpreted, 3)
+    entry["codegen_speedup_vs_interpreted"] = round(
+        codegen / interpreted, 3)
+    entry["codegen_speedup_vs_fast"] = round(codegen / fast, 3)
     entry["fast_fraction_of_ceiling"] = round(
-        fast / entry["engines"]["pureparser"]["mb_per_s"], 3)
+        codegen / entry["engines"]["pureparser"]["mb_per_s"], 3)
     entry["results_agree"] = len(set(result_counts.values())) == 1
+    entry["selection"] = auto_selection(query)
     return entry
 
 
@@ -160,7 +203,11 @@ def main(argv=None) -> int:
                         help="allowed fractional drop in fast-path MB/s "
                              "vs baseline (default 0.20 = 20%%)")
     parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="required fast-vs-interpreted speedup "
+                        help="required fast-tier-vs-interpreted speedup "
+                             "(default %(default)s)")
+    parser.add_argument("--min-fast-fraction", type=float, default=0.75,
+                        help="required fraction of workloads whose "
+                             "auto selection lands on the fast tier "
                              "(default %(default)s)")
     args = parser.parse_args(argv)
 
@@ -184,44 +231,63 @@ def main(argv=None) -> int:
             entry = run_workload(dataset, query, xml, size, repeats)
             entries.append(entry)
             engines = entry["engines"]
-            print("%-6s %8d bytes  fast=%-7.2f nc=%-7.2f f=%-7.2f "
-                  "pure=%-7.2f MB/s  speedup=%.2fx  agree=%s"
+            selection = entry["selection"]
+            print("%-12s %8d bytes  codegen=%-7.2f fast=%-7.2f "
+                  "nc=%-7.2f f=%-7.2f pure=%-7.2f MB/s  "
+                  "speedup=%.2fx  tier=%s  agree=%s"
                   % (dataset, size,
+                     engines["codegen"]["mb_per_s"],
                      engines["fast"]["mb_per_s"],
                      engines["nc"]["mb_per_s"],
                      engines["f"]["mb_per_s"],
                      engines["pureparser"]["mb_per_s"],
-                     entry["fast_speedup_vs_interpreted"],
+                     entry["codegen_speedup_vs_interpreted"],
+                     selection["tier"],
                      entry["results_agree"]))
             if not entry["results_agree"]:
                 failures.append("%s: engines disagree on result count"
                                 % workload_key(entry))
-            if entry["fast_speedup_vs_interpreted"] < args.min_speedup:
+            best_speedup = max(entry["fast_speedup_vs_interpreted"],
+                               entry["codegen_speedup_vs_interpreted"])
+            if best_speedup < args.min_speedup:
                 failures.append(
-                    "%s: fast path speedup %.2fx below the %.1fx floor"
-                    % (workload_key(entry),
-                       entry["fast_speedup_vs_interpreted"],
+                    "%s: fast tier speedup %.2fx below the %.1fx floor"
+                    % (workload_key(entry), best_speedup,
                        args.min_speedup))
             if baseline is not None:
                 committed = baseline.get(workload_key(entry))
                 if committed is None:
                     continue
-                floor = (committed["engines"]["fast"]["mb_per_s"]
-                         * (1.0 - args.regress_floor))
-                if engines["fast"]["mb_per_s"] < floor:
-                    failures.append(
-                        "%s: fast path %.2f MB/s regressed more than "
-                        "%.0f%% from committed %.2f MB/s"
-                        % (workload_key(entry),
-                           engines["fast"]["mb_per_s"],
-                           args.regress_floor * 100,
-                           committed["engines"]["fast"]["mb_per_s"]))
+                for tier in ("fast", "codegen"):
+                    cell = committed["engines"].get(tier)
+                    if cell is None:
+                        continue  # pre-codegen baseline: no codegen row
+                    floor = cell["mb_per_s"] * (1.0 - args.regress_floor)
+                    if engines[tier]["mb_per_s"] < floor:
+                        failures.append(
+                            "%s: %s tier %.2f MB/s regressed more than "
+                            "%.0f%% from committed %.2f MB/s"
+                            % (workload_key(entry), tier,
+                               engines[tier]["mb_per_s"],
+                               args.regress_floor * 100,
+                               cell["mb_per_s"]))
+
+    on_fast_tier = sum(1 for entry in entries
+                       if entry["selection"]["tier"] in ("codegen",
+                                                         "fast"))
+    fast_tier_fraction = round(on_fast_tier / len(entries), 3)
+    if fast_tier_fraction < args.min_fast_fraction:
+        failures.append(
+            "only %.0f%% of workloads land on the fast tier "
+            "(floor %.0f%%)" % (fast_tier_fraction * 100,
+                                args.min_fast_fraction * 100))
 
     artifact = {
         "bench": "throughput",
         "schema_version": SCHEMA_VERSION,
         "sizes": sizes,
         "repeats": repeats,
+        "fast_tier_fraction": fast_tier_fraction,
         "workloads": entries,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -234,9 +300,11 @@ def main(argv=None) -> int:
             for failure in failures:
                 print("CHECK FAILED: %s" % failure, file=sys.stderr)
             return 1
-        print("checks passed: results agree, speedup >= %.1fx, "
-              "throughput within %.0f%% of baseline"
-              % (args.min_speedup, args.regress_floor * 100))
+        print("checks passed: results agree, fast-tier speedup >= "
+              "%.1fx, %.0f%% of workloads on the fast tier, throughput "
+              "within %.0f%% of baseline"
+              % (args.min_speedup, fast_tier_fraction * 100,
+                 args.regress_floor * 100))
     return 0
 
 

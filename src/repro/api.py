@@ -71,9 +71,11 @@ class UnionEngine:
 
     name = "xsq-union"
 
-    def __init__(self, branches: Sequence[QueryLike], obs=None, cache=None):
+    def __init__(self, branches: Sequence[QueryLike], obs=None, cache=None,
+                 codegen: bool = True):
         self.obs = obs
-        self._engine = MultiQueryEngine(branches, obs=obs, cache=cache)
+        self._engine = MultiQueryEngine(branches, obs=obs, cache=cache,
+                                        codegen=codegen)
 
     def run(self, source, sink=None):
         return self._engine._run_merged(source, sink=sink)
@@ -106,6 +108,7 @@ class UnionEngine:
                 "%d greedy, max fanout %d"
                 % (shape["queries"], shape["buckets"], shape["greedy"],
                    shape["max_bucket"]))
+        parts.append("\n".join(self._engine.member_selection_notes()))
         return "\n\n".join(parts)
 
 
@@ -133,24 +136,47 @@ def _record_selection(obs, engine_name: str, mode: str,
             reason=reason).inc()
 
 
+def _record_codegen(obs, engine) -> None:
+    """Count the codegen tier decision for a selected fast engine."""
+    if obs is None:
+        return
+    if engine.kernel is not None:
+        result = "generated"
+    elif not engine.codegen_enabled:
+        result = "disabled"
+    else:
+        result = "rejected"
+    obs.metrics.counter(
+        "repro_codegen_kernels_total",
+        "codegen tier decision for fast-path compilations",
+        result=result).inc()
+
+
 def select_engine(query: QueryLike, choice: str = "auto", obs=None,
-                  cache=None):
+                  cache=None, codegen: bool = True):
     """The raw engine :func:`compile` would wrap for ``query``.
 
     Applies the reverse-axis rewrite, detects top-level unions, and —
     with ``choice="auto"`` — prefers the compiled fast path
     (:class:`~repro.xsq.fastpath.XSQEngineFast`), falling back to
     XSQ-NC and then XSQ-F when the query needs features the faster
-    engines lack.  A fallback is never silent: the chosen engine's
-    ``explain()`` carries a ``fast path not selected: <reason>`` line
-    and the decision is counted in ``repro_engine_selection_total`` /
-    ``repro_fastpath_fallback_total``.  Returns an
+    engines lack.  Within the fast path, ``codegen=True`` (default)
+    lowers the plan further to a generated kernel
+    (:mod:`repro.xsq.codegen`) when possible, so the effective tier
+    order is codegen → fast → nc → f; ``codegen=False`` is the escape
+    hatch pinning the slot interpreter.  ``choice="codegen"`` *forces*
+    the kernel tier and raises when the plan cannot be generated.  A
+    fallback is never silent: the chosen engine's ``explain()`` carries
+    a ``fast path not selected: <reason>`` line and the decision is
+    counted in ``repro_engine_selection_total`` /
+    ``repro_fastpath_fallback_total`` (kernel decisions in
+    ``repro_codegen_kernels_total``).  Returns an
     :class:`~repro.xsq.fastpath.XSQEngineFast`, :class:`XSQEngine`,
     :class:`XSQEngineNC`, :class:`UnionEngine` or :class:`EmptyEngine`.
     """
-    if choice not in ("auto", "f", "nc", "fast"):
-        raise ValueError("engine must be 'auto', 'f', 'nc' or 'fast', "
-                         "not %r" % (choice,))
+    if choice not in ("auto", "f", "nc", "fast", "codegen"):
+        raise ValueError("engine must be 'auto', 'f', 'nc', 'fast' or "
+                         "'codegen', not %r" % (choice,))
     if isinstance(query, str) and supports_reverse_axes(query):
         rewritten = rewrite_reverse_axes(query)
         if rewritten is None:
@@ -160,12 +186,13 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
         from repro.xpath.parser import parse_query_set
         branches = parse_query_set(query)
         if len(branches) > 1:
-            if choice == "fast":
+            if choice in ("fast", "codegen"):
                 raise FastPathUnsupportedError(
                     "the fast path runs single queries; a top-level "
-                    "union compiles to grouped interpreted runtimes",
+                    "union compiles to grouped runtimes",
                     reason="union")
-            return UnionEngine(branches, obs=obs, cache=cache)
+            return UnionEngine(branches, obs=obs, cache=cache,
+                               codegen=codegen)
     if choice == "f":
         engine = XSQEngine(query, obs=obs, cache=cache)
         _record_selection(obs, engine.name, "forced")
@@ -175,14 +202,27 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
         _record_selection(obs, engine.name, "forced")
         return engine
     if choice == "fast":
-        engine = XSQEngineFast(query, obs=obs, cache=cache)
+        engine = XSQEngineFast(query, obs=obs, cache=cache,
+                               codegen=codegen)
         _record_selection(obs, engine.name, "forced")
+        _record_codegen(obs, engine)
         return engine
-    # auto: compiled fast path when supported, else the deterministic
-    # interpreted runtime, else full XSQ-F.
+    if choice == "codegen":
+        engine = XSQEngineFast(query, obs=obs, cache=cache, codegen=True)
+        if engine.kernel is None:
+            raise FastPathUnsupportedError(
+                engine.kernel_note, reason="codegen-rejected")
+        _record_selection(obs, engine.name, "forced")
+        _record_codegen(obs, engine)
+        return engine
+    # auto: compiled fast path when supported (generated kernel when
+    # codegen allows), else the deterministic interpreted runtime, else
+    # full XSQ-F.
     try:
-        engine = XSQEngineFast(query, obs=obs, cache=cache)
+        engine = XSQEngineFast(query, obs=obs, cache=cache,
+                               codegen=codegen)
         _record_selection(obs, engine.name, "selected")
+        _record_codegen(obs, engine)
         return engine
     except FastPathUnsupportedError as exc:
         reason = exc.reason
@@ -294,7 +334,7 @@ class CompiledQuery:
     """
 
     def __init__(self, query: QueryLike, engine: str = "auto", obs=None,
-                 cache=None):
+                 cache=None, codegen: bool = True):
         self.text = query if isinstance(query, str) else (query.text or "")
         self.obs = obs
         # Kept for run_bulk: workers re-run the same selection on the
@@ -302,7 +342,8 @@ class CompiledQuery:
         self.engine_choice = engine
         self._bulk_spec = query
         self._push_session: Optional[PushSession] = None
-        self.engine = select_engine(query, engine, obs=obs, cache=cache)
+        self.engine = select_engine(query, engine, obs=obs, cache=cache,
+                                    codegen=codegen)
 
     @property
     def engine_name(self) -> str:
@@ -420,13 +461,14 @@ class CompiledQuerySet:
     """
 
     def __init__(self, queries: Sequence[QueryLike], obs=None, cache=None,
-                 shared_dispatch: bool = True):
+                 shared_dispatch: bool = True, codegen: bool = True):
         self.obs = obs
         self._bulk_spec = list(queries)
         self.shared_dispatch = shared_dispatch
         self._push_session: Optional[PushSession] = None
         self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
-                                       shared_dispatch=shared_dispatch)
+                                       shared_dispatch=shared_dispatch,
+                                       codegen=codegen)
 
     @property
     def engine_name(self) -> str:
@@ -513,15 +555,18 @@ class CompiledQuerySet:
         return self.obs.audit_violations if self.obs is not None else []
 
     def explain(self) -> str:
-        return self.engine.index.describe() if self.engine.index is not None \
+        head = self.engine.index.describe() \
+            if self.engine.index is not None \
             else "<no dispatch index: shared_dispatch=False>"
+        return "\n".join([head, ""]
+                         + self.engine.member_selection_notes())
 
     def __repr__(self):
         return "<CompiledQuerySet %d queries>" % len(self)
 
 
 def compile(query, *, engine: str = "auto", obs=None, cache=None,
-            audit: bool = False):
+            audit: bool = False, codegen: bool = True):
     """Compile ``query`` into a ready-to-run object.
 
     ``query`` may be a query string, a parsed
@@ -530,9 +575,11 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None,
     member in one pass over the stream (shared tokenization *and*
     shared event dispatch).
 
-    ``engine`` selects the single-query engine: ``"auto"`` (default,
-    XSQ-NC when the query allows), ``"f"`` or ``"nc"``.  Grouped sets
-    always run the XSQ-F runtime per member.  ``obs`` attaches an
+    ``engine`` selects the single-query engine: ``"auto"`` (default:
+    codegen → fast → nc → f), ``"codegen"``, ``"fast"``, ``"nc"`` or
+    ``"f"``.  ``codegen=False`` is the escape hatch that keeps the fast
+    path on the slot interpreter (no generated kernels) — interpreted
+    engines are unaffected by it.  ``obs`` attaches an
     :class:`~repro.obs.Observability` bundle; ``cache`` scopes or
     disables the HPDT compile cache.
 
@@ -557,9 +604,10 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None,
         else:
             obs.enable_audit()
     if isinstance(query, (str, Query)):
-        return CompiledQuery(query, engine=engine, obs=obs, cache=cache)
+        return CompiledQuery(query, engine=engine, obs=obs, cache=cache,
+                             codegen=codegen)
     if engine != "auto":
         raise ValueError(
             "engine=%r cannot apply to a query set: grouped execution "
             "always uses the XSQ-F runtime per member" % (engine,))
-    return CompiledQuerySet(query, obs=obs, cache=cache)
+    return CompiledQuerySet(query, obs=obs, cache=cache, codegen=codegen)

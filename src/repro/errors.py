@@ -52,11 +52,13 @@ class FastPathUnsupportedError(UnsupportedFeatureError):
 
     Raised by :class:`repro.xsq.fastpath.XSQEngineFast` at construction.
     ``reason`` is a short stable slug (``closure-axis``,
-    ``element-output``, ``not-predicate``, ``or-predicate``,
-    ``path-predicate``, ``observability``, ``union``) naming the *first*
-    unsupported feature; ``engine="auto"`` catches this error, falls
-    back to an interpreted runtime, and surfaces the slug in
+    ``not-predicate``, ``or-predicate``, ``path-predicate``,
+    ``observability``, ``union``, ``codegen-rejected``) naming the
+    *first* unsupported feature; ``engine="auto"`` catches this error,
+    falls back to an interpreted runtime, and surfaces the slug in
     ``.explain()`` and the ``repro_fastpath_fallback_total`` metric.
+    (``element-output`` was a slug through PR 8; element results now
+    run on the fast path, so it can no longer be raised.)
     """
 
     def __init__(self, message, reason="unsupported"):

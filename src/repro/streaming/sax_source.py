@@ -59,13 +59,16 @@ class _CollectingHandler(xml.sax.ContentHandler):
         self._text_parts = []
 
     def _emit_text(self):
-        if not self._text_parts:
+        parts = self._text_parts
+        if not parts:
             return
-        text = "".join(self._text_parts)
+        # Single-part runs (the common case with buffer_text) pass the
+        # parser's str through unjoined -- zero-copy into the event.
+        text = parts[0] if len(parts) == 1 else "".join(parts)
         self._text_parts = []
         if not self._tag_stack:
             return
-        if not text.strip():
+        if text.isspace():
             return
         self._out.append(TextEvent(self._tag_stack[-1], text, self._depth))
 
@@ -146,31 +149,47 @@ class SaxEventSource:
         from xml.parsers import expat
 
         intern_tag = tags.intern
+        tag_ids = tags.ids
         out: list = []
         tid_stack: list = []
         text_parts: list = []
+        clear_parts = text_parts.clear
+        pop_tid = tid_stack.pop
         depth = 0
+        # Per-callback costs matter here: the id dict is probed inline
+        # (the intern method call is only the miss path), whitespace
+        # runs are tested with the allocation-free ``isspace``, and the
+        # event-kind constants are closure cells, not globals.  Closure
+        # cells beat default-argument locals for these handlers: expat
+        # calls them millions of times, and argument processing copies
+        # every default into the frame per call.
+        _B, _T, _E = BEGIN, TEXT, END
 
         def start(name, attrs):
             nonlocal depth
             if text_parts:
-                text = "".join(text_parts)
-                del text_parts[:]
-                if tid_stack and text.strip():
-                    out.append((TEXT, tid_stack[-1], text, depth))
+                text = (text_parts[0] if len(text_parts) == 1
+                        else "".join(text_parts))
+                clear_parts()
+                if tid_stack and not text.isspace():
+                    out.append((_T, tid_stack[-1], text, depth))
             depth += 1
-            tid = intern_tag(name)
+            tid = tag_ids.get(name)
+            if tid is None:
+                tid = intern_tag(name)
             tid_stack.append(tid)
-            out.append((BEGIN, tid, attrs, depth))
+            out.append((_B, tid, attrs, depth))
 
         def end(name):
             nonlocal depth
+            tid = pop_tid()
             if text_parts:
-                text = "".join(text_parts)
-                del text_parts[:]
-                if text.strip():
-                    out.append((TEXT, tid_stack[-1], text, depth))
-            out.append((END, tid_stack.pop(), None, depth))
+                text = (text_parts[0] if len(text_parts) == 1
+                        else "".join(text_parts))
+                clear_parts()
+                if not text.isspace():
+                    out.append((_T, tid, text, depth))
+            out.append((_E, tid, None, depth))
             depth -= 1
 
         parser = expat.ParserCreate()

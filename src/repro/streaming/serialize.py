@@ -16,7 +16,14 @@ from repro.streaming.events import BeginEvent, Event
 
 
 def escape_text(text: str) -> str:
-    """Escape character data for element content."""
+    """Escape character data for element content.
+
+    Clean text (the overwhelmingly common case) is returned as the
+    *same* ``str`` object — no allocation — so the fast path's element
+    capture stays zero-copy for ordinary character data.
+    """
+    if "&" not in text and "<" not in text and ">" not in text:
+        return text
     return (text.replace("&", "&amp;")
                 .replace("<", "&lt;")
                 .replace(">", "&gt;"))
@@ -27,15 +34,25 @@ def escape_attr(value: str) -> str:
     return (escape_text(value).replace('"', "&quot;"))
 
 
-def begin_tag_text(event: BeginEvent) -> str:
-    """Render a begin event as its opening-tag text."""
-    if not event.attrs:
-        return "<%s>" % event.tag
-    parts = ["<", event.tag]
-    for name, value in event.attrs.items():
-        parts.append(' %s="%s"' % (name, escape_attr(value)))
+def begin_tag(name: str, attrs: dict) -> str:
+    """Render an opening tag from a ``(name, attrs)`` pair.
+
+    The tuple-event twin of :func:`begin_tag_text`, used by the fast
+    path's element capture (batched tuples carry the attrs dict, not an
+    Event object).  Byte-identical to the Event form.
+    """
+    if not attrs:
+        return "<%s>" % name
+    parts = ["<", name]
+    for key, value in attrs.items():
+        parts.append(' %s="%s"' % (key, escape_attr(value)))
     parts.append(">")
     return "".join(parts)
+
+
+def begin_tag_text(event: BeginEvent) -> str:
+    """Render a begin event as its opening-tag text."""
+    return begin_tag(event.tag, event.attrs)
 
 
 class EventSerializer:

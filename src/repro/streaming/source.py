@@ -13,6 +13,8 @@ Accepted source kinds:
 path (``str``)            a file on disk (``.gz`` decompresses)
 markup (``str``)          XML text itself (starts with ``<``)
 ``bytes``                 XML bytes
+``bytearray``             XML bytes in a mutable buffer
+``memoryview``            XML bytes viewed without copying
 file-like                 anything with ``.read`` (binary or text)
 iterable of chunks        str/bytes pieces of one document, any split
 iterable of events        pre-built :class:`~repro.streaming.events.Event`
@@ -40,15 +42,48 @@ CHUNKS = "chunks"    # iterable of str/bytes pieces
 EVENTS = "events"    # iterable of Event objects
 
 
-def open_xml_input(source: Union[str, bytes, IO]) -> IO:
+class BufferReader:
+    """Chunked binary reads over a bytes-like buffer, no up-front copy.
+
+    ``io.BytesIO(buf)`` copies the whole buffer at construction; for a
+    large ``bytearray`` or ``memoryview`` that doubles peak memory
+    before parsing even starts.  This reader slices the underlying
+    buffer lazily, so only one parser chunk is materialized at a time.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, buffer):
+        self._view = memoryview(buffer)
+        self._pos = 0
+
+    def read(self, size: int = -1) -> bytes:
+        view = self._view
+        if size is None or size < 0:
+            chunk = view[self._pos:]
+            self._pos = len(view)
+        else:
+            chunk = view[self._pos:self._pos + size]
+            self._pos += len(chunk)
+        return bytes(chunk)
+
+    def close(self):
+        self._view.release()
+
+
+def open_xml_input(source: Union[str, bytes, bytearray, memoryview,
+                                 IO]) -> IO:
     """Normalize a ``STREAM``-kind source to a readable binary stream.
 
     A ``str`` is a file path if such a file exists, otherwise it is
     taken to be XML text itself (the common case in tests and examples,
-    where documents are inline literals).
+    where documents are inline literals).  Bytes-like buffers
+    (``bytes``/``bytearray``/``memoryview``) are wrapped in a
+    :class:`BufferReader` rather than ``io.BytesIO`` so no full-buffer
+    copy is made.
     """
-    if isinstance(source, bytes):
-        return io.BytesIO(source)
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return BufferReader(source)
     if isinstance(source, str):
         looks_like_markup = source.lstrip()[:1] == "<"
         if not looks_like_markup and os.path.exists(source):
@@ -146,7 +181,8 @@ def coerce_source(source) -> CoercedSource:
     peeked element is chained back, so generators work.  An empty
     iterable is an empty event stream.
     """
-    if isinstance(source, (str, bytes)) or hasattr(source, "read"):
+    if (isinstance(source, (str, bytes, bytearray, memoryview))
+            or hasattr(source, "read")):
         return CoercedSource(STREAM, source)
     try:
         iterator = iter(source)

@@ -97,9 +97,10 @@ class TextEventSource:
     tags).
     """
 
-    def __init__(self, source: Union[str, bytes, IO], chunk_size: int = 64 * 1024):
-        if isinstance(source, bytes):
-            self._stream: IO = io.StringIO(source.decode("utf-8"))
+    def __init__(self, source: Union[str, bytes, bytearray, memoryview, IO],
+                 chunk_size: int = 64 * 1024):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._stream: IO = io.StringIO(bytes(source).decode("utf-8"))
         elif isinstance(source, str):
             import os
             if source.lstrip()[:1] != "<" and os.path.exists(source):

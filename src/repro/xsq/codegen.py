@@ -1,0 +1,502 @@
+"""Generated per-plan kernels: the fast path's codegen tier.
+
+The slot interpreter (:meth:`repro.xsq.fastpath.FastRuntime.run_batch`)
+is already closure-lowered, but it still pays per-event costs that are
+a function of the *plan*, not the data: dict lookups into the
+transition rows, tuple unpacking of ``(watches, match)`` entries, loops
+over watch/test tuples, and bound-method dispatch for every result.
+This module freezes those too, the way "Scalable XSLT Evaluation"
+compiles its plan to code: each :class:`~repro.xsq.fastpath.FastPlan`
+is lowered to one *generated, closure-free dispatch function* — states
+and tag ids baked in as ``int`` constants, predicate tests inlined as
+direct calls, result buffering unrolled — compiled once with
+``compile()``/``exec`` and memoized on the plan (``plan.kernel``), so
+it rides the process-wide HPDT compile cache exactly like the tables.
+
+Three specializations are selected automatically:
+
+* **linear chains** (no predicates, no wildcard steps): the whole
+  per-state dispatch collapses to one comparison against an expected-tag
+  tuple — ``event[3] == matched + 1 and _EXPECT[matched] == event[1]``
+  — because a predicate-free path query has exactly one way forward
+  from every state.
+* **begin-resolved plans** (every predicate is category 1, or there are
+  none): no :class:`~repro.xsq.matcher.PredicateInstance` is ever
+  allocated — ``matched`` alone carries the automaton state, and
+  results are marked for output unconditionally.  ``peak_instances``
+  stays identical to the interpreted engines because live instances
+  always equal ``matched`` there.
+* **general plans**: the instance stack, witness tests and chain
+  wiring are kept, but unrolled per state with the pending-predicate
+  index sets written out as literals, states emitted deepest-first
+  (that is where documents spend their events), and predicate-free
+  states sharing one pre-resolved instance instead of allocating.
+
+The kernel is bound as the *runtime instance's* ``run_batch`` (see
+:class:`~repro.xsq.fastpath.FastRuntime`), so the pull loop, push
+handles (``xsq serve``), ``iter_results`` and the sampling profiler all
+execute it; automaton state (``matched``, capture buffers, peaks) is
+loaded at entry and stored at exit of every call, which keeps
+single-tuple profiler sampling and arbitrary push-mode batch splits
+semantically identical to one big batch.
+
+Kernels are rejected — ``compile_kernel`` returns ``(None, reason)``
+and the engine falls back to the slot interpreter, never to an
+interpreted engine — only for degenerate plan shapes (very deep paths
+or very wide transition rows) where the unrolled source would be large
+for no benefit.  The generated source is kept on the function
+(``fn.__xsq_source__``) for inspection and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.streaming.serialize import begin_tag, escape_text
+from repro.xsq.matcher import Chain, PredicateInstance
+
+#: Rejection thresholds: beyond these the unrolled dispatch chains stop
+#: resembling straight-line code and the slot interpreter is the better
+#: tier.  Far above anything the paper's workloads (or datagen) produce.
+MAX_STATES = 24
+MAX_ROW_ENTRIES = 256
+
+
+def compile_kernel(plan) -> Tuple[Optional[Callable], str]:
+    """Lower ``plan`` to a generated kernel; memoized on the plan.
+
+    Returns ``(fn, note)``: ``fn`` is the kernel (an unbound function
+    taking ``(self, batch)``, to be bound to a
+    :class:`~repro.xsq.fastpath.FastRuntime`) or ``None`` when codegen
+    rejected the plan, and ``note`` says which — surfaced by
+    ``.explain()``.
+    """
+    cached = plan.kernel
+    if cached is not None:
+        return cached
+    reason = _reject_reason(plan)
+    if reason is not None:
+        plan.kernel = (None, reason)
+        return plan.kernel
+    source, namespace, flavor = _generate(plan)
+    code = compile(source, "<xsq-kernel %s>" % plan.query.text, "exec")
+    exec(code, namespace)
+    fn = namespace["__xsq_kernel__"]
+    fn.__xsq_source__ = source
+    note = ("generated kernel: %d states, %d lines, %s"
+            % (plan.n + 1, source.count("\n"), flavor))
+    plan.kernel = (fn, note)
+    return plan.kernel
+
+
+def kernel_source(plan) -> Optional[str]:
+    """The generated source for ``plan``'s kernel, if one exists."""
+    fn, _note = compile_kernel(plan)
+    return None if fn is None else fn.__xsq_source__
+
+
+def _reject_reason(plan) -> Optional[str]:
+    if plan.n + 1 > MAX_STATES:
+        return ("codegen rejected: %d states exceeds the unroll limit "
+                "(%d)" % (plan.n + 1, MAX_STATES))
+    entries = sum(len(row) for row in plan.begin_named) \
+        + sum(len(row) for row in plan.child_text_named)
+    if entries > MAX_ROW_ENTRIES:
+        return ("codegen rejected: %d transition-row entries exceeds "
+                "the unroll limit (%d)" % (entries, MAX_ROW_ENTRIES))
+    return None
+
+
+class _Emitter:
+    """Indented line buffer plus a registry of inlined closures."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self.namespace = {
+            "PredicateInstance": PredicateInstance,
+            "Chain": Chain,
+            "_BTAG": begin_tag,
+            "_ESC": escape_text,
+        }
+        self._counter = 0
+
+    def w(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def reg(self, obj, hint: str) -> str:
+        """Expose ``obj`` to the kernel under a fresh global name."""
+        name = "_%s_%d" % (hint, self._counter)
+        self._counter += 1
+        self.namespace[name] = obj
+        return name
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _generate(plan):
+    query = plan.query
+    n = plan.n
+    out_kind = plan.out_kind
+    element = out_kind == "element"
+    # Begin-resolved plans never allocate instances: every predicate's
+    # verdict is known at the match's own begin event.
+    simple = all(predicate.resolves_at_begin
+                 for step in query.steps for predicate in step.predicates)
+    e = _Emitter()
+    # States whose instance can actually be NA at result time (a match
+    # entry with begin-undecided predicates); every other stack slot
+    # holds a pre-resolved singleton.  With exactly one such state the
+    # chain wiring at result sites specializes to a two-way branch.
+    pending_states = set()
+    for m in range(n):
+        entries = list(plan.begin_named[m].values())
+        if plan.begin_default[m] is not None:
+            entries.append(plan.begin_default[m])
+        for _watches, match in entries:
+            if match is not None and match[1] is not True:
+                pending_states.add(m)
+    e.pending_states = sorted(pending_states)
+    w = e.w
+
+    w(0, "def __xsq_kernel__(self, batch):")
+    w(1, "matched = self.matched")
+    w(1, "peak = self.peak_instances")
+    w(1, "queue = self.queue")
+    w(1, "new_item = queue.new_item")
+    w(1, "mark_output = queue.mark_output")
+    if not simple:
+        w(1, "inst_stack = self.inst_stack")
+    if element:
+        w(1, "cap = self._cap_parts")
+        w(1, "names = self.plan.tags.names")
+    expect = _linear_expect(plan) if simple else None
+    if expect is not None:
+        w(1, "_EXPECT = %r" % (expect,))
+    w(1, "for event in batch:")
+    w(2, "kind = event[0]")
+
+    # -- BEGIN -------------------------------------------------------------
+    w(2, "if kind == 0:")
+    if element:
+        w(3, "if cap is not None:")
+        w(4, "attrs = event[2]")
+        w(4, "if attrs:")
+        w(5, "cap.append(_BTAG(names[event[1]], attrs))")
+        w(4, "else:")
+        w(5, 'cap.append("<" + names[event[1]] + ">")')
+    if expect is not None:
+        # Linear chain: one comparison replaces the whole state
+        # dispatch.  _EXPECT[n] is a -1 sentinel so a begin just below
+        # a full match (depth n+1, matched == n) can never advance.
+        w(3, "if event[3] == matched + 1 and _EXPECT[matched] "
+             "== event[1]:")
+        w(4, "matched += 1")
+        w(4, "if peak < matched:")
+        w(5, "peak = matched")
+        if plan.out_kind in ("attr", "count", "element"):
+            w(4, "if matched == %d:" % n)
+            _emit_begin_output(e, plan, 5, simple)
+    else:
+        w(3, "if event[3] != matched + 1:")
+        w(4, "continue")
+        # Deepest states first: most documents produce most of their
+        # begin events far from the root, so the hot state should win
+        # the dispatch chain in one comparison.
+        begin_states = [m for m in range(n + 1)
+                        if plan.begin_named[m] or plan.begin_default[m]]
+        lead = "if"
+        for m in reversed(begin_states):
+            w(3, "%s matched == %d:" % (lead, m))
+            lead = "elif"
+            _emit_begin_state(e, plan, m, simple, element)
+
+    # -- END ---------------------------------------------------------------
+    w(2, "elif kind == 2:")
+    if element:
+        w(3, "if cap is not None:")
+        w(4, 'cap.append("</" + names[event[1]] + ">")')
+        w(4, "if event[3] == matched:")
+        w(5, "item = self._cap_item")
+        w(5, 'item.value = "".join(cap)')
+        w(5, "queue.value_finalized(item)")
+        w(5, "cap = None")
+        w(5, "self._cap_item = None")
+    w(3, "if event[3] == matched and matched:")
+    w(4, "matched -= 1")
+    if not simple:
+        w(4, "instance = inst_stack[matched]")
+        w(4, "if instance.status is None:")
+        w(5, "instance.resolve_at_end(self)")
+
+    # -- TEXT --------------------------------------------------------------
+    text_states = []
+    for m in range(1, n + 1):
+        own = bool(plan.text_tests[m]) or (
+            m == n and out_kind in ("text", "agg"))
+        child = bool(plan.child_text_named[m]) \
+            or bool(plan.child_text_default[m])
+        if own or child:
+            text_states.append((m, own, child))
+    if text_states or element:
+        w(2, "else:")
+        if element:
+            w(3, "if cap is not None:")
+            w(4, "cap.append(_ESC(event[2]))")
+        if text_states:
+            w(3, "depth = event[3]")
+            lead = "if"
+            for m, own, child in reversed(text_states):
+                w(3, "%s matched == %d:" % (lead, m))
+                lead = "elif"
+                if own:
+                    w(4, "if depth == %d:" % m)
+                    _emit_text_own(e, plan, m, 5, simple)
+                    if child:
+                        w(4, "elif depth == %d:" % (m + 1))
+                        _emit_text_child(e, plan, m, 5)
+                else:
+                    w(4, "if depth == %d:" % (m + 1))
+                    _emit_text_child(e, plan, m, 5)
+        elif not element:  # pragma: no cover - guarded by the outer if
+            w(3, "pass")
+
+    # -- epilogue ----------------------------------------------------------
+    w(1, "self.matched = matched")
+    w(1, "self._live = matched")
+    w(1, "self.peak_instances = peak")
+    if element:
+        w(1, "self._cap_parts = cap")
+
+    if expect is not None:
+        flavor = "linear chain (collapsed dispatch)"
+    elif simple:
+        flavor = "begin-resolved (no instance allocation)"
+    else:
+        flavor = "general (instances + chains)"
+    if element:
+        flavor += ", element capture"
+    return e.source(), e.namespace, flavor
+
+
+def _linear_expect(plan) -> Optional[tuple]:
+    """Expected-tag tuple for a pure linear chain, or None.
+
+    A plan qualifies when every state advances on exactly one named
+    tag with no watches, no begin-time predicate program and no
+    wildcard default — i.e. a predicate-free path query.  The returned
+    tuple has length ``n + 1``: index ``m`` is the tag id state ``m``
+    advances on, and index ``n`` is a ``-1`` sentinel (tag ids are
+    non-negative) so the collapsed dispatch can index it while a full
+    match is on the stack without ever advancing.
+    """
+    expect = []
+    for m in range(plan.n):
+        if plan.begin_default[m] is not None:
+            return None
+        row = plan.begin_named[m]
+        if len(row) != 1:
+            return None
+        (tid, (watches, match)), = row.items()
+        if watches or match is None:
+            return None
+        prog, _const, _undecided = match
+        if prog is not None:
+            return None
+        expect.append(tid)
+    if plan.begin_named[plan.n] or plan.begin_default[plan.n] is not None:
+        return None
+    return tuple(expect) + (-1,)
+
+
+def _emit_begin_state(e, plan, m, simple, element):
+    """One ``matched == m`` begin branch: tid dispatch, watches, match."""
+    w = e.w
+    row = plan.begin_named[m]
+    default = plan.begin_default[m]
+    if row:
+        w(4, "tid = event[1]")
+        lead = "if"
+        for tid, (watches, match) in sorted(row.items()):
+            w(4, "%s tid == %d:" % (lead, tid))
+            lead = "elif"
+            _emit_begin_entry(e, plan, m, watches, match, 5, simple, element)
+        if default is not None:
+            w(4, "else:")
+            _emit_begin_entry(e, plan, m, default[0], default[1], 5,
+                              simple, element)
+    else:
+        _emit_begin_entry(e, plan, m, default[0], default[1], 4,
+                          simple, element)
+
+
+def _emit_begin_entry(e, plan, m, watches, match, ind, simple, element):
+    w = e.w
+    emitted = False
+    if watches:
+        # Witness tests for the parent step (m-1) on this child tag.
+        w(ind, "instance = inst_stack[%d]" % (m - 1))
+        w(ind, "if instance.status is None:")
+        w(ind + 1, "pending = instance.pending")
+        for pred_index, test in watches:
+            if test is None:
+                w(ind + 1, "if %d in pending:" % pred_index)
+            else:
+                name = e.reg(test, "W%d" % m)
+                w(ind + 1, "if %d in pending and %s(event[2]):"
+                  % (pred_index, name))
+            w(ind + 2, "instance.witness(%d, self)" % pred_index)
+        emitted = True
+    if match is not None:
+        prog, const, undecided = match
+        if prog is not None:
+            name = e.reg(prog, "M%d" % m)
+            w(ind, "if %s(event[2]) is not False:" % name)
+            ind += 1
+        if not simple:
+            if const is True:
+                # Predicate-free state: its instance resolves TRUE at
+                # construction and is never mutated afterwards (no
+                # watchers attach to resolved instances, end events
+                # skip them), so all elements share one.
+                name = e.reg(PredicateInstance(m + 1, None), "IN%d" % m)
+                w(ind, "inst_stack[%d] = %s" % (m, name))
+            else:
+                w(ind, "inst_stack[%d] = PredicateInstance(%d, {%s})"
+                  % (m, m + 1,
+                     ", ".join(str(index) for index in undecided)))
+        w(ind, "matched = %d" % (m + 1))
+        w(ind, "if peak < %d:" % (m + 1))
+        w(ind + 1, "peak = %d" % (m + 1))
+        if m + 1 == plan.n:
+            _emit_begin_output(e, plan, ind, simple)
+        emitted = True
+    if not emitted:  # pragma: no cover - rows never hold empty entries
+        w(ind, "pass")
+
+
+def _emit_begin_output(e, plan, ind, simple):
+    """Result production at the final match's begin event, inlined."""
+    w = e.w
+    out_kind = plan.out_kind
+    if out_kind == "attr":
+        w(ind, "value = event[2].get(%r)" % plan.out_attr)
+        w(ind, "if value is not None:")
+        _emit_make_item(e, plan, ind + 1, "value", simple)
+    elif out_kind == "count":
+        _emit_make_item(e, plan, ind, '"1"', simple,
+                        on_emit="self._agg_emitter(1.0)")
+    elif out_kind == "element":
+        _emit_make_item(e, plan, ind, "None", simple, value_ready=False)
+        w(ind, "self._cap_item = item")
+        w(ind, "attrs = event[2]")
+        w(ind, "if attrs:")
+        w(ind + 1, "cap = [_BTAG(names[event[1]], attrs)]")
+        w(ind, "else:")
+        w(ind + 1, 'cap = ["<" + names[event[1]] + ">"]')
+
+
+def _emit_text_own(e, plan, m, ind, simple):
+    """Text event at depth m, state m: category-2 tests + text output."""
+    w = e.w
+    tests = plan.text_tests[m]
+    if tests:
+        w(ind, "instance = inst_stack[%d]" % (m - 1))
+        w(ind, "if instance.status is None:")
+        w(ind + 1, "pending = instance.pending")
+        for pred_index, test in tests:
+            name = e.reg(test, "T%d" % m)
+            w(ind + 1, "if %d in pending and %s(event[2]):"
+              % (pred_index, name))
+            w(ind + 2, "instance.witness(%d, self)" % pred_index)
+    if m == plan.n:
+        out_kind = plan.out_kind
+        if out_kind == "text":
+            _emit_make_item(e, plan, ind, "event[2]", simple)
+        elif out_kind == "agg":
+            w(ind, "try:")
+            w(ind + 1, "fval = float(event[2].strip())")
+            w(ind, "except ValueError:")
+            w(ind + 1, "pass")
+            w(ind, "else:")
+            _emit_make_item(e, plan, ind + 1, "event[2]", simple,
+                            on_emit="self._agg_emitter(fval)")
+
+
+def _emit_text_child(e, plan, m, ind):
+    """Text event at depth m+1, state m: category-5 tests by child tag."""
+    w = e.w
+    named = plan.child_text_named[m]
+    default = plan.child_text_default[m]
+
+    def entries_block(entries, ind):
+        w(ind, "instance = inst_stack[%d]" % (m - 1))
+        w(ind, "if instance.status is None:")
+        w(ind + 1, "pending = instance.pending")
+        for pred_index, test in entries:
+            name = e.reg(test, "C%d" % m)
+            w(ind + 1, "if %d in pending and %s(event[2]):"
+              % (pred_index, name))
+            w(ind + 2, "instance.witness(%d, self)" % pred_index)
+
+    if named:
+        w(ind, "tid = event[1]")
+        lead = "if"
+        for tid, entries in sorted(named.items()):
+            w(ind, "%s tid == %d:" % (lead, tid))
+            lead = "elif"
+            entries_block(entries, ind + 1)
+        if default:
+            w(ind, "else:")
+            entries_block(default, ind + 1)
+    elif default:
+        entries_block(default, ind)
+
+
+def _emit_make_item(e, plan, ind, value_expr, simple,
+                    on_emit=None, value_ready=True):
+    """Inline ``FastRuntime._make_item`` at a result site."""
+    w = e.w
+    n = plan.n
+    keywords = ""
+    if not value_ready:
+        keywords += ", value_ready=False"
+    if on_emit is not None:
+        keywords += ", on_emit=" + on_emit
+    if simple:
+        # No instance is ever pending: output immediately, zero chains
+        # to wire (matches the interpreter's empty-pending branch).
+        w(ind, "item = new_item(%s, (%d, 0)%s, governed=0)"
+          % (value_expr, n, keywords))
+        w(ind, "item.live_chains = 1")
+        w(ind, "mark_output(item)")
+        return
+    if len(e.pending_states) == 1:
+        # Only one stack slot can be NA: branch on its status directly,
+        # skipping the tuple build and pending scan when it has already
+        # resolved (the common case once the witness arrived).
+        slot = e.pending_states[0]
+        w(ind, "i_p = inst_stack[%d]" % slot)
+        w(ind, "if i_p.status is None:")
+        w(ind + 1, "item = new_item(%s, (%d, 0)%s, governed=1)"
+          % (value_expr, n, keywords))
+        w(ind + 1, "item.live_chains = 1")
+        w(ind + 1, "chain = Chain(item, 1, tuple(inst_stack), ())")
+        w(ind + 1, "i_p.chain_watchers.append(chain)")
+        w(ind, "else:")
+        w(ind + 1, "item = new_item(%s, (%d, 0)%s, governed=0)"
+          % (value_expr, n, keywords))
+        w(ind + 1, "item.live_chains = 1")
+        w(ind + 1, "mark_output(item)")
+        return
+    w(ind, "instances = tuple(inst_stack)")
+    w(ind, "pending_i = [i_ for i_ in instances if i_.status is None]")
+    w(ind, "item = new_item(%s, (%d, 0)%s, governed=len(pending_i))"
+      % (value_expr, n, keywords))
+    w(ind, "item.live_chains = 1")
+    w(ind, "if not pending_i:")
+    w(ind + 1, "mark_output(item)")
+    w(ind, "else:")
+    w(ind + 1, "chain = Chain(item, len(pending_i), instances, ())")
+    w(ind + 1, "for i_ in pending_i:")
+    w(ind + 2, "i_.chain_watchers.append(chain)")

@@ -26,9 +26,11 @@ contents must stay process-private.
 The fast path's lowered transition tables ride along: the first
 :func:`repro.xsq.fastpath.compile_fastplan` call memoizes its
 :class:`~repro.xsq.fastpath.FastPlan` on the HPDT (``hpdt._fastplan``),
-so a cache hit skips both the HPDT build *and* the lowering.  The memo
-is derived purely from the query, which is what keeps it safe on shared
-instances.
+so a cache hit skips both the HPDT build *and* the lowering, and
+:func:`repro.xsq.codegen.compile_kernel` memoizes its generated kernel
+on the plan (``plan.kernel``), so it also skips source generation and
+``exec``.  Each memo is derived purely from the query, which is what
+keeps them safe on shared instances.
 
     >>> from repro.xsq.compile_cache import DEFAULT_CACHE, compile_hpdt
     >>> first = compile_hpdt("/pub/book/name/text()")

@@ -27,6 +27,20 @@ Koch et al. freeze their stream schedule:
   :meth:`~repro.streaming.sax_source.SaxEventSource.batches`), no Event
   objects, no per-event attribute dispatch.
 
+* **Element (catchall) output** runs on the fast path too: when the
+  query has no output expression the runtime captures the matched
+  subtree straight from the batched tuples — opening tags rendered from
+  the interned name + attrs dict, text through the zero-allocation
+  :func:`~repro.streaming.serialize.escape_text` fast path — producing
+  the same canonical serialization as the interpreted engines'
+  :class:`~repro.streaming.serialize.EventSerializer` (comments/PIs
+  dropped, CDATA and entities normalized at the parser boundary).
+* **Generated kernels** (:mod:`repro.xsq.codegen`): each plan can be
+  lowered further to a single closure-free dispatch function with the
+  states and tag ids baked in as constants, memoized on the plan
+  (``plan.kernel``) so it rides the HPDT compile cache exactly like the
+  tables themselves.
+
 Semantics are *identical* to the interpreted engines — the fast path
 reuses :class:`~repro.xsq.matcher.PredicateInstance`,
 :class:`~repro.xsq.matcher.Chain` and
@@ -34,7 +48,7 @@ reuses :class:`~repro.xsq.matcher.PredicateInstance`,
 order and the buffer-operation counters (RunStats) are byte-for-byte
 the same, which ``tests/test_fastpath_equivalence.py`` proves
 differentially.  Queries outside the supported class (closure axis,
-``not()``/``or()``, nested-path predicates, element output) raise
+``not()``/``or()``, nested-path predicates) raise
 :class:`~repro.errors.FastPathUnsupportedError` naming the first
 unsupported feature; ``engine="auto"`` catches it and falls back to an
 interpreted runtime with the reason surfaced in ``.explain()``.
@@ -63,6 +77,7 @@ from repro.xpath.ast import (
     compare,
 )
 from repro.xpath.parser import parse_query
+from repro.streaming.serialize import begin_tag, escape_text
 from repro.xsq.aggregates import StatBuffer
 from repro.xsq.buffers import BufferItem, OutputQueue
 from repro.xsq.compile_cache import compile_hpdt
@@ -129,9 +144,6 @@ def unsupported_reason(query: Query) -> Optional[Tuple[str, str]]:
             if isinstance(predicate, PathPredicate):
                 return ("path-predicate",
                         "nested path predicate at %s" % where)
-    if isinstance(query.output, ElementOutput):
-        return ("element-output",
-                "element (catchall) output needs subtree serialization")
     return None
 
 
@@ -255,11 +267,16 @@ class FastPlan:
 
     __slots__ = ("query", "tags", "n", "begin_named", "begin_default",
                  "text_tests", "child_text_named", "child_text_default",
-                 "out_attr", "out_kind")
+                 "out_attr", "out_kind", "kernel")
 
     def __init__(self, query: Query, tags: TagTable):
         self.query = query
         self.tags = tags
+        #: ``(fn, note)`` once :func:`repro.xsq.codegen.compile_kernel`
+        #: has run (``fn`` is None when codegen rejected the plan);
+        #: None until then.  Memoized here so the kernel rides the
+        #: HPDT compile cache exactly like the tables.
+        self.kernel: Optional[tuple] = None
         steps = query.steps
         n = self.n = len(steps)
         intern = tags.intern
@@ -345,10 +362,9 @@ class FastPlan:
             self.out_attr = output.attr
         elif isinstance(output, AggregateOutput):
             self.out_kind = "count" if output.name == "count" else "agg"
-        else:  # pragma: no cover - compile_fastplan rejects ElementOutput
-            raise FastPathUnsupportedError(
-                "element output is not fast-path compilable",
-                reason="element-output")
+        else:
+            assert isinstance(output, ElementOutput)
+            self.out_kind = "element"
 
     def describe(self) -> str:
         """Table-shape summary for ``.explain()``."""
@@ -402,7 +418,8 @@ class FastRuntime:
 
     def __init__(self, plan: FastPlan, hpdt: Hpdt, sink: list,
                  stat: Optional[StatBuffer] = None,
-                 queue: Optional[OutputQueue] = None):
+                 queue: Optional[OutputQueue] = None,
+                 kernel: Optional[Callable] = None):
         self.plan = plan
         self.hpdt = hpdt
         self.sink = sink
@@ -420,13 +437,26 @@ class FastRuntime:
         self.inst_stack: List[Optional[PredicateInstance]] = [None] * plan.n
         self._live = 0
         self.peak_instances = 0
+        #: Open element capture: the serialized parts of the matched
+        #: subtree (None outside a match) and its buffered item.  Kept
+        #: on the runtime, not the loop, so captures survive arbitrary
+        #: batch splits (push mode feeds whatever chunks arrive).
+        self._cap_parts: Optional[List[str]] = None
+        self._cap_item: Optional[BufferItem] = None
         out_kind = plan.out_kind
         self._out_begin = (self._out_begin_attr if out_kind == "attr"
                            else self._out_begin_count if out_kind == "count"
-                           else None)
+                           else self._out_begin_element
+                           if out_kind == "element" else None)
         self._out_text = (self._out_text_value if out_kind == "text"
                           else self._out_text_agg if out_kind == "agg"
                           else None)
+        if kernel is not None:
+            # Bind the generated kernel as the *instance's* run_batch so
+            # every driver — pull loop, push handle, profiler sampling —
+            # goes through it; mixing kernel and interpreter steps on
+            # one runtime is never possible.
+            self.run_batch = kernel.__get__(self, FastRuntime)
 
     # -- driving -----------------------------------------------------------
 
@@ -445,10 +475,18 @@ class FastRuntime:
         out_text = self._out_text
         live = self._live
         peak = self.peak_instances
+        cap = self._cap_parts
+        names = plan.tags.names
 
         for event in batch:
             kind = event[0]
             if kind == BEGIN:
+                if cap is not None:
+                    attrs = event[2]
+                    if attrs:
+                        cap.append(begin_tag(names[event[1]], attrs))
+                    else:
+                        cap.append("<%s>" % names[event[1]])
                 if event[3] != matched + 1:
                     continue
                 entry = begin_named[matched].get(event[1],
@@ -484,7 +522,18 @@ class FastRuntime:
                 if matched == n and out_begin is not None:
                     self.matched = matched
                     out_begin(event)
+                    cap = self._cap_parts
             elif kind == END:
+                if cap is not None:
+                    cap.append("</%s>" % names[event[1]])
+                    if event[3] == matched:
+                        # The captured element itself closed: finalize
+                        # its buffered value *before* the frame pops —
+                        # the NC runtime's queue-operation order.
+                        item = self._cap_item
+                        item.value = "".join(cap)
+                        self.queue.value_finalized(item)
+                        cap = self._cap_parts = self._cap_item = None
                 if event[3] == matched and matched:
                     matched -= 1
                     live -= 1
@@ -492,6 +541,8 @@ class FastRuntime:
                     if instance.status is None:
                         instance.resolve_at_end(self)
             else:  # TEXT
+                if cap is not None:
+                    cap.append(escape_text(event[2]))
                 depth = event[3]
                 if depth == matched and matched:
                     tests = text_tests[matched]
@@ -539,6 +590,22 @@ class FastRuntime:
     def _out_begin_count(self, event) -> None:
         self._make_item("1", on_emit=self._agg_emitter(1.0))
 
+    def _out_begin_element(self, event) -> None:
+        """Open a subtree capture at the matched element's begin event.
+
+        Mirrors ``_NCRuntime._on_result_begin``: the item is buffered
+        (not value-ready) first, then the serializer sees the opening
+        tag; ``run_batch`` appends every descendant event and the END
+        at the match depth finalizes the value.
+        """
+        self._cap_item = self._make_item(None, value_ready=False)
+        names = self.plan.tags.names
+        attrs = event[2]
+        if attrs:
+            self._cap_parts = [begin_tag(names[event[1]], attrs)]
+        else:
+            self._cap_parts = ["<%s>" % names[event[1]]]
+
     def _out_text_value(self, event) -> None:
         self._make_item(event[2])
 
@@ -558,7 +625,8 @@ class FastRuntime:
         return emit
 
     def _make_item(self, value: Optional[str],
-                   on_emit: Optional[Callable] = None) -> BufferItem:
+                   on_emit: Optional[Callable] = None,
+                   value_ready: bool = True) -> BufferItem:
         """Buffer one output unit against the single current embedding.
 
         Matches ``_NCRuntime._make_item`` exactly for untracked queues
@@ -568,6 +636,7 @@ class FastRuntime:
         instances = tuple(self.inst_stack)
         pending = [inst for inst in instances if inst.status is None]
         item = self.queue.new_item(value, (self.n, 0),
+                                   value_ready=value_ready,
                                    on_emit=on_emit,
                                    governed=len(pending))
         item.live_chains = 1
@@ -600,7 +669,8 @@ class XSQEngineFast:
     supports_aggregates = True
     streaming = True
 
-    def __init__(self, query: Union[str, Query], obs=None, *, cache=None):
+    def __init__(self, query: Union[str, Query], obs=None, *, cache=None,
+                 codegen: bool = True):
         if obs is not None and (obs.events is not None
                                 or obs.accounting is not None
                                 or obs.per_event_timing):
@@ -622,6 +692,13 @@ class XSQEngineFast:
             self.hpdt = compile_hpdt(query, cache=cache)
             self.plan = compile_fastplan(self.hpdt)
         self.query = self.hpdt.query
+        self.codegen_enabled = codegen
+        if codegen:
+            from repro.xsq.codegen import compile_kernel
+            self.kernel, self.kernel_note = compile_kernel(self.plan)
+        else:
+            self.kernel = None
+            self.kernel_note = "codegen disabled (codegen=False)"
         self.trace = None
         self.last_stats: Optional[RunStats] = None
         self.last_stat_buffer: Optional[StatBuffer] = None
@@ -652,7 +729,8 @@ class XSQEngineFast:
 
     def _drive(self, source, sink):
         stat = self._new_stat(False)
-        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat,
+                              kernel=self.kernel)
         count = 0
         run_batch = runtime.run_batch
         for batch in self._as_batches(source):
@@ -676,7 +754,8 @@ class XSQEngineFast:
         keeps profiled fast runs within the 2x-throughput floor.
         """
         stat = self._new_stat(False)
-        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat,
+                              kernel=self.kernel)
         prof.note_engine(self.name)
         clock = prof.clock
         interval = prof.sample_interval
@@ -715,7 +794,8 @@ class XSQEngineFast:
         """
         sink: list = []
         stat = self._new_stat(True)
-        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat,
+                              kernel=self.kernel)
         count = 0
         for batch in self._as_batches(source):
             count += len(batch)
@@ -750,7 +830,8 @@ class XSQEngineFast:
         from repro.xsq.push import FastPushHandle
         sink: list = []
         stat = self._new_stat(streaming_agg)
-        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat)
+        runtime = FastRuntime(self.plan, self.hpdt, sink, stat=stat,
+                              kernel=self.kernel)
         return FastPushHandle(self, runtime, sink, stat=stat,
                               streaming_agg=streaming_agg)
 
@@ -784,6 +865,10 @@ class XSQEngineFast:
     def explain(self) -> str:
         lines = [self.hpdt.describe(), "",
                  "runtime: xsq-fast (%s)" % self.plan.describe()]
+        if self.kernel is not None:
+            lines.append("kernel: %s" % self.kernel_note)
+        else:
+            lines.append("kernel: interpreted slots (%s)" % self.kernel_note)
         if self.selection_note:
             lines.append(self.selection_note)
         return "\n".join(lines)

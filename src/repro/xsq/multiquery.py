@@ -71,10 +71,12 @@ class MultiQueryEngine:
     name = "multiquery"
 
     def __init__(self, queries: Sequence[Union[str, Query]], obs=None, *,
-                 shared_dispatch: bool = True, cache=None):
+                 shared_dispatch: bool = True, cache=None,
+                 codegen: bool = True):
         if not queries:
             raise ValueError("MultiQueryEngine needs at least one query")
         self.obs = obs
+        self.codegen_enabled = codegen
         if obs is not None:
             with obs.span("compile", engine=self.name, queries=len(queries)):
                 with obs.span("hpdt-compile"):
@@ -146,22 +148,74 @@ class MultiQueryEngine:
         All members must share one :class:`TagTable` so the dispatch
         index's id routes agree with every plan's transition-row keys;
         a single unsupported member (closure, not()/or(), path
-        predicate, element output) keeps the whole group interpreted —
-        mixing runtimes would reorder nothing but complicate the
-        invariants for no measured win on real workloads, where grouped
-        queries are structurally alike.
+        predicate) keeps the whole group interpreted — mixing runtimes
+        would reorder nothing but complicate the invariants for no
+        measured win on real workloads, where grouped queries are
+        structurally alike.  Per-member outcomes (fallback slugs,
+        kernel notes) are recorded on :attr:`member_fallbacks` /
+        :attr:`member_kernel_notes` either way, so ``explain()`` can
+        show *which* member kept the group interpreted.
         """
-        if self.obs is not None or self.index is None:
+        self.member_fallbacks: List[Optional[str]] = \
+            [None] * len(self.hpdts)
+        self.member_kernel_notes: List[Optional[str]] = \
+            [None] * len(self.hpdts)
+        self.fast_group_note: Optional[str] = None
+        if self.obs is not None:
+            self.fast_group_note = ("per-event observability needs the "
+                                    "interpreted runtimes")
+            return None
+        if self.index is None:
+            self.fast_group_note = ("shared_dispatch=False pins the "
+                                    "interpreted dense loop")
             return None
         tags = TagTable()
         plans = []
-        try:
-            for hpdt in self.hpdts:
+        supported = True
+        for i, hpdt in enumerate(self.hpdts):
+            try:
                 plans.append(compile_fastplan(hpdt, tags))
-        except FastPathUnsupportedError:
+            except FastPathUnsupportedError as exc:
+                self.member_fallbacks[i] = exc.reason
+                supported = False
+        if not supported:
+            bad = sum(1 for slug in self.member_fallbacks
+                      if slug is not None)
+            self.fast_group_note = (
+                "%d member(s) outside the fast-path class keep the "
+                "group interpreted" % bad)
             return None
+        if self.codegen_enabled:
+            from repro.xsq.codegen import compile_kernel
+            kernels = []
+            for i, plan in enumerate(plans):
+                kernel, note = compile_kernel(plan)
+                kernels.append(kernel)
+                self.member_kernel_notes[i] = note
+        else:
+            kernels = [None] * len(plans)
+            self.member_kernel_notes = \
+                ["codegen disabled (codegen=False)"] * len(plans)
         routes, default = self.index.id_routes(tags)
-        return tags, plans, routes, default
+        return tags, plans, kernels, routes, default
+
+    def member_selection_notes(self) -> List[str]:
+        """One engine-selection line per member query, for explain()."""
+        notes = []
+        for i, query in enumerate(self.queries):
+            if self._fast is not None:
+                kernel_note = self.member_kernel_notes[i]
+                notes.append("member %d: %s — grouped fast pump (%s)"
+                             % (i, query.text, kernel_note))
+            elif self.member_fallbacks[i] is not None:
+                notes.append(
+                    "member %d: %s — fast path not selected: %s"
+                    % (i, query.text, self.member_fallbacks[i]))
+            else:
+                notes.append(
+                    "member %d: %s — fast-capable; interpreted because "
+                    "%s" % (i, query.text, self.fast_group_note))
+        return notes
 
     def _run_fast(self, source, sinks):
         """run() on compiled runtimes: batch, partition by tag id, drive.
@@ -172,7 +226,7 @@ class MultiQueryEngine:
         ``_pump_dispatch`` collapses into ``len(batch)`` appends plus a
         handful of ``run_batch`` calls per chunk.
         """
-        tags, plans, routes, default = self._fast
+        tags, plans, kernels, routes, default = self._fast
         if sinks is None:
             sinks = [[] for _ in self.queries]
         elif len(sinks) != len(self.queries):
@@ -180,11 +234,13 @@ class MultiQueryEngine:
                              % (len(self.queries), len(sinks)))
         runtimes: List[FastRuntime] = []
         stats: List[Optional[StatBuffer]] = []
-        for plan, hpdt, query, sink in zip(plans, self.hpdts,
-                                           self.queries, sinks):
+        for plan, hpdt, query, sink, kernel in zip(plans, self.hpdts,
+                                                   self.queries, sinks,
+                                                   kernels):
             stat = (StatBuffer(query.output.name)
                     if isinstance(query.output, AggregateOutput) else None)
-            runtimes.append(FastRuntime(plan, hpdt, sink, stat=stat))
+            runtimes.append(FastRuntime(plan, hpdt, sink, stat=stat,
+                                        kernel=kernel))
             stats.append(stat)
         routes_get = routes.get
         subs: List[list] = [[] for _ in runtimes]

@@ -24,6 +24,11 @@ differential suite proves it byte-for-byte):
 ``CompiledQuery.stats`` work identically to pull mode) and closes the
 handle.  Handles are single-document: create a new one per document.
 
+The fast-path handle drives whatever ``run_batch`` its runtime was
+constructed with, so a generated codegen kernel
+(:mod:`repro.xsq.codegen`) accelerates push feeds exactly as it does
+pull loops -- the chunk-split suite covers both.
+
 Every handle carries a ``latency`` slot (default ``None``) for an
 optional :class:`repro.obs.latency.LatencyRecorder`: when attached (the
 serve pipeline does this per stream), each feed call stamps entry and

@@ -24,10 +24,24 @@ class TestCompileFacade:
         assert q.engine_name == "xsq-fast"
         assert q.run(XML) == ["N"]
 
-    def test_auto_falls_back_to_nc_on_element_output(self):
+    def test_auto_keeps_element_output_on_fast_path(self):
         q = repro.compile("/pub/book/name")
-        assert isinstance(q.engine, XSQEngineNC)
-        assert "fast path not selected: element-output" in q.explain()
+        assert isinstance(q.engine, XSQEngineFast)
+        assert q.run(XML) == ["<name>N</name>"]
+        assert "fast path not selected" not in q.explain()
+
+    def test_codegen_escape_hatch_pins_slot_interpreter(self):
+        q = repro.compile("/pub/book/name/text()", codegen=False)
+        assert isinstance(q.engine, XSQEngineFast)
+        assert q.engine.kernel is None
+        assert "codegen disabled" in q.explain()
+        assert q.run(XML) == ["N"]
+
+    def test_forced_codegen_engine(self):
+        q = repro.compile("/pub/book/name/text()", engine="codegen")
+        assert q.engine.kernel is not None
+        assert "generated kernel" in q.explain()
+        assert q.run(XML) == ["N"]
 
     def test_auto_falls_back_to_f_on_closure(self):
         q = repro.compile("//name/text()")

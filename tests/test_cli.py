@@ -18,8 +18,13 @@ def doc(tmp_path):
 
 
 class TestEngineSelection:
-    def test_auto_prefers_nc(self):
-        assert isinstance(pick_engine("/a/b", "auto"), XSQEngineNC)
+    def test_auto_prefers_fast_for_element_output(self):
+        from repro.xsq.fastpath import XSQEngineFast
+        assert isinstance(pick_engine("/a/b", "auto"), XSQEngineFast)
+
+    def test_auto_prefers_nc_outside_fast_class(self):
+        assert isinstance(pick_engine("/a[not(b)]/text()", "auto"),
+                          XSQEngineNC)
 
     def test_auto_falls_back_to_f_for_closures(self):
         assert isinstance(pick_engine("//a", "auto"), XSQEngine)

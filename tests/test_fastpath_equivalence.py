@@ -43,13 +43,17 @@ from repro.xsq.nc import XSQEngineNC
 
 
 def assert_equivalent(query, xml, check_f=True):
-    """Fast, NC (and optionally F) agree on results, order and stats."""
-    fast = XSQEngineFast(query)
+    """Codegen, interpreted fast, NC (and optionally F) agree on
+    results, order and stats."""
+    fast = XSQEngineFast(query)  # codegen tier (generated kernel)
+    interp = XSQEngineFast(query, codegen=False)  # slot interpreter
     nc = XSQEngineNC(query)
     fast_results = fast.run(xml)
+    interp_results = interp.run(xml)
     nc_results = nc.run(xml)
-    assert fast_results == nc_results, query
-    assert fast.stats.as_dict() == nc.stats.as_dict(), query
+    assert fast_results == interp_results == nc_results, query
+    assert (fast.stats.as_dict() == interp.stats.as_dict()
+            == nc.stats.as_dict()), query
     if check_f:
         f = XSQEngine(query)
         assert fast_results == f.run(xml), query
@@ -101,6 +105,13 @@ MATRIX_QUERIES = [
     "/pub/book/price/avg()",
     "/pub/book/price/min()",
     "/pub/book/price/max()",
+    # element (catchall) output: plain, predicated, buffered, wildcard
+    "/pub/book/name",
+    "/pub/book[@id]/name",
+    "/pub/book[author]/name",
+    "/pub/book[year>2000]/author",
+    "/pub/*/name",
+    "/pub/book",
 ]
 
 
@@ -190,8 +201,9 @@ def fast_queries(draw):
             else:
                 predicates.append("[%s<%d]" % (child, value))
         steps.append(tag + "".join(predicates))
-    output = draw(st.sampled_from(("text()", "@id", "count()")))
-    return "/" + "/".join(steps) + "/" + output
+    output = draw(st.sampled_from(("text()", "@id", "count()", "")))
+    path = "/" + "/".join(steps)
+    return path + "/" + output if output else path
 
 
 @settings(max_examples=120, deadline=None)
@@ -312,7 +324,6 @@ UNSUPPORTED = [
     ("/a[not(b)]/text()", "not-predicate"),
     ("/a[b or c]/text()", "or-predicate"),
     ("/a[b/c]/text()", "path-predicate"),
-    ("/a/b", "element-output"),
 ]
 
 
@@ -379,6 +390,9 @@ def test_fastplan_memo_rides_compile_cache():
     second = XSQEngineFast("/m/n/text()", cache=cache)
     assert first.hpdt is second.hpdt
     assert first.plan is second.plan
+    # the generated kernel memoizes on the plan, so it rides along
+    assert first.kernel is not None
+    assert first.kernel is second.kernel
     # explicit shared tags (the multiquery path) must bypass the memo
     shared = TagTable()
     plan = compile_fastplan(compile_hpdt("/m/n/text()", cache=cache),

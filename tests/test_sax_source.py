@@ -85,6 +85,31 @@ class TestInputKinds:
         for chunk_size in (1, 2, 3, 7, 16):
             assert list(parse_events(xml, chunk_size=chunk_size)) == expected
 
+    def test_bytearray_input(self):
+        assert kinds(bytearray(b"<a><b/></a>")) == [
+            "begin", "begin", "end", "end"]
+
+    def test_memoryview_input(self):
+        assert kinds(memoryview(b"<a>t</a>")) == ["begin", "text", "end"]
+
+    def test_memoryview_chunked_reads_avoid_full_copy(self):
+        # The buffer reader slices lazily: the same events come out
+        # regardless of chunk size, without an up-front BytesIO copy.
+        raw = b'<a x="12"><b>some &amp; text</b><c/></a>'
+        expected = list(parse_events(raw))
+        for chunk_size in (1, 3, 16):
+            got = list(parse_events(memoryview(raw),
+                                    chunk_size=chunk_size))
+            assert got == expected
+
+    def test_coerce_source_classifies_bytes_like(self):
+        from repro.streaming.source import STREAM, coerce_source
+        for source in (b"<a/>", bytearray(b"<a/>"),
+                       memoryview(b"<a/>")):
+            coerced = coerce_source(source)
+            assert coerced.kind == STREAM
+            assert coerced.read_bytes() == b"<a/>"
+
 
 class TestErrors:
     def test_mismatched_tags_raise(self):
