@@ -35,7 +35,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (ClosureNotSupportedError, FastPathUnsupportedError,
                           StreamError)
-from repro.xpath.ast import Query
+from repro.xpath.ast import AggregateOutput, Query
 from repro.xpath.rewrite import rewrite_reverse_axes, supports_reverse_axes
 from repro.xsq.engine import RunStats, XSQEngine
 from repro.xsq.fastpath import XSQEngineFast
@@ -52,6 +52,9 @@ class EmptyEngine:
     last_stats = None
     stats = None
 
+    def __init__(self, note: Optional[str] = None):
+        self.note = note
+
     def run(self, _source, sink=None):
         return sink if sink is not None else []
 
@@ -63,6 +66,8 @@ class EmptyEngine:
         return NullPushHandle()
 
     def explain(self) -> str:
+        if self.note:
+            return "(empty query: %s)" % self.note
         return "(empty query: the reverse-axis rewrite proved no matches)"
 
 
@@ -153,7 +158,7 @@ def _record_codegen(obs, engine) -> None:
 
 
 def select_engine(query: QueryLike, choice: str = "auto", obs=None,
-                  cache=None, codegen: bool = True):
+                  cache=None, codegen: bool = True, schema=None):
     """The raw engine :func:`compile` would wrap for ``query``.
 
     Applies the reverse-axis rewrite, detects top-level unions, and —
@@ -173,10 +178,24 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
     ``repro_codegen_kernels_total``).  Returns an
     :class:`~repro.xsq.fastpath.XSQEngineFast`, :class:`XSQEngine`,
     :class:`XSQEngineNC`, :class:`UnionEngine` or :class:`EmptyEngine`.
+
+    ``schema`` attaches a DTD (a parsed
+    :class:`~repro.streaming.dtd.Dtd`, DTD text, a path, or a
+    :class:`~repro.xsq.schema_compile.CompiledSchema`): the AST-level
+    rewrites (:mod:`repro.xsq.schema_opt` — emptiness, guaranteed
+    predicates, closure expansion) run first, then the selected engine
+    compiles schema-aware (transition pruning, eager resolution, static
+    no-buffer allocation).  Selection itself considers the *optimized*
+    plan — a closure query whose schema expansion is a single child
+    path goes to the fast tiers instead of XSQ-F.  ``schema=None``
+    (the default) never imports the schema compiler.
     """
     if choice not in ("auto", "f", "nc", "fast", "codegen"):
         raise ValueError("engine must be 'auto', 'f', 'nc', 'fast' or "
                          "'codegen', not %r" % (choice,))
+    if schema is not None:
+        from repro.xsq.schema_compile import coerce_schema
+        schema = coerce_schema(schema)
     if isinstance(query, str) and supports_reverse_axes(query):
         rewritten = rewrite_reverse_axes(query)
         if rewritten is None:
@@ -191,24 +210,63 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
                     "the fast path runs single queries; a top-level "
                     "union compiles to grouped runtimes",
                     reason="union")
+            if schema is not None:
+                from repro.xsq import schema_opt
+                kept = []
+                for branch in branches:
+                    plan = schema_opt.optimize(schema.dtd, branch)
+                    if plan.empty:
+                        continue
+                    kept.append(plan.queries[0]
+                                if len(plan.queries) == 1 else branch)
+                if not kept:
+                    return EmptyEngine(
+                        "every union branch is statically empty under "
+                        "the attached DTD")
+                branches = kept
             return UnionEngine(branches, obs=obs, cache=cache,
                                codegen=codegen)
+    schema_plan = None
+    if schema is not None:
+        from repro.xsq import schema_opt
+        schema_plan = schema_opt.optimize(schema.dtd, query)
+        if schema_plan.empty:
+            engine = EmptyEngine(
+                "statically empty under the attached DTD"
+                + ("".join("; " + note for note in schema_plan.notes)))
+            engine.schema_plan = schema_plan
+            return engine
+        if schema_plan.is_union and choice == "auto" \
+                and not isinstance(schema_plan.original.output,
+                                   AggregateOutput):
+            # Closure expansion produced several child-axis paths:
+            # grouped one-pass execution with document-order merge.
+            engine = UnionEngine(schema_plan.queries, obs=obs,
+                                 cache=cache, codegen=codegen)
+            engine.schema_plan = schema_plan
+            return engine
+        if not schema_plan.is_union:
+            query = schema_plan.queries[0]
+        # Union plans under a forced choice (or aggregate output, whose
+        # union cannot be order-merged) run the original query with the
+        # schema-aware runtime only.
     if choice == "f":
-        engine = XSQEngine(query, obs=obs, cache=cache)
+        engine = XSQEngine(query, obs=obs, cache=cache, schema=schema)
         _record_selection(obs, engine.name, "forced")
         return engine
     if choice == "nc":
-        engine = XSQEngineNC(query, obs=obs, cache=cache)
+        engine = XSQEngineNC(query, obs=obs, cache=cache, schema=schema)
         _record_selection(obs, engine.name, "forced")
         return engine
     if choice == "fast":
         engine = XSQEngineFast(query, obs=obs, cache=cache,
-                               codegen=codegen)
+                               codegen=codegen, schema=schema)
         _record_selection(obs, engine.name, "forced")
         _record_codegen(obs, engine)
         return engine
     if choice == "codegen":
-        engine = XSQEngineFast(query, obs=obs, cache=cache, codegen=True)
+        engine = XSQEngineFast(query, obs=obs, cache=cache, codegen=True,
+                               schema=schema)
         if engine.kernel is None:
             raise FastPathUnsupportedError(
                 engine.kernel_note, reason="codegen-rejected")
@@ -220,7 +278,7 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
     # full XSQ-F.
     try:
         engine = XSQEngineFast(query, obs=obs, cache=cache,
-                               codegen=codegen)
+                               codegen=codegen, schema=schema)
         _record_selection(obs, engine.name, "selected")
         _record_codegen(obs, engine)
         return engine
@@ -228,9 +286,9 @@ def select_engine(query: QueryLike, choice: str = "auto", obs=None,
         reason = exc.reason
         note = "fast path not selected: %s (%s)" % (exc.reason, exc)
     try:
-        engine = XSQEngineNC(query, obs=obs, cache=cache)
+        engine = XSQEngineNC(query, obs=obs, cache=cache, schema=schema)
     except ClosureNotSupportedError:
-        engine = XSQEngine(query, obs=obs, cache=cache)
+        engine = XSQEngine(query, obs=obs, cache=cache, schema=schema)
     engine.selection_note = note
     _record_selection(obs, engine.name, "fallback", reason=reason)
     return engine
@@ -334,16 +392,20 @@ class CompiledQuery:
     """
 
     def __init__(self, query: QueryLike, engine: str = "auto", obs=None,
-                 cache=None, codegen: bool = True):
+                 cache=None, codegen: bool = True, schema=None):
         self.text = query if isinstance(query, str) else (query.text or "")
         self.obs = obs
         # Kept for run_bulk: workers re-run the same selection on the
         # *original* spec, so per-worker engines match this one.
+        # run_bulk itself re-selects without the schema — the schema
+        # only changes how results are computed, never what they are,
+        # so sharded corpora total identically.
         self.engine_choice = engine
         self._bulk_spec = query
+        self.schema = schema
         self._push_session: Optional[PushSession] = None
         self.engine = select_engine(query, engine, obs=obs, cache=cache,
-                                    codegen=codegen)
+                                    codegen=codegen, schema=schema)
 
     @property
     def engine_name(self) -> str:
@@ -461,11 +523,33 @@ class CompiledQuerySet:
     """
 
     def __init__(self, queries: Sequence[QueryLike], obs=None, cache=None,
-                 shared_dispatch: bool = True, codegen: bool = True):
+                 shared_dispatch: bool = True, codegen: bool = True,
+                 schema=None):
         self.obs = obs
         self._bulk_spec = list(queries)
         self.shared_dispatch = shared_dispatch
         self._push_session: Optional[PushSession] = None
+        self.schema = None
+        self.schema_notes: Optional[List[str]] = None
+        if schema is not None:
+            # AST-level schema rewrites per member: a member whose plan
+            # simplifies to one query runs the simplified form; empty
+            # or union plans keep the original (sound, index-stable —
+            # every member keeps its result slot).
+            from repro.xsq import schema_opt
+            from repro.xsq.schema_compile import coerce_schema
+            self.schema = coerce_schema(schema)
+            notes: List[str] = []
+            simplified = []
+            for member in queries:
+                plan = schema_opt.optimize(self.schema.dtd, member)
+                if not plan.empty and len(plan.queries) == 1:
+                    simplified.append(plan.queries[0])
+                else:
+                    simplified.append(plan.original)
+                notes.extend(plan.notes)
+            queries = simplified
+            self.schema_notes = notes
         self.engine = MultiQueryEngine(queries, obs=obs, cache=cache,
                                        shared_dispatch=shared_dispatch,
                                        codegen=codegen)
@@ -566,7 +650,7 @@ class CompiledQuerySet:
 
 
 def compile(query, *, engine: str = "auto", obs=None, cache=None,
-            audit: bool = False, codegen: bool = True):
+            audit: bool = False, codegen: bool = True, schema=None):
     """Compile ``query`` into a ready-to-run object.
 
     ``query`` may be a query string, a parsed
@@ -582,6 +666,17 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None,
     engines are unaffected by it.  ``obs`` attaches an
     :class:`~repro.obs.Observability` bundle; ``cache`` scopes or
     disables the HPDT compile cache.
+
+    ``schema`` attaches a DTD (parsed
+    :class:`~repro.streaming.dtd.Dtd`, DTD text, or a path to a
+    ``.dtd`` file) as an *optimizer input*: schema-impossible queries
+    compile to an empty engine, schema-guaranteed predicates are
+    dropped, closures expand on non-recursive DTDs, and the selected
+    engine compiles with transition pruning, eager predicate
+    resolution, and static buffer elimination (see
+    ``docs/PERFORMANCE.md``).  Results on schema-valid documents are
+    identical with and without it; on invalid documents behaviour is
+    undefined (validate with ``xsq run --dtd`` when in doubt).
 
     ``audit=True`` turns on the buffer auditor
     (:class:`~repro.obs.accounting.BufferAuditor`): every run checks
@@ -605,9 +700,10 @@ def compile(query, *, engine: str = "auto", obs=None, cache=None,
             obs.enable_audit()
     if isinstance(query, (str, Query)):
         return CompiledQuery(query, engine=engine, obs=obs, cache=cache,
-                             codegen=codegen)
+                             codegen=codegen, schema=schema)
     if engine != "auto":
         raise ValueError(
             "engine=%r cannot apply to a query set: grouped execution "
             "always uses the XSQ-F runtime per member" % (engine,))
-    return CompiledQuerySet(query, obs=obs, cache=cache, codegen=codegen)
+    return CompiledQuerySet(query, obs=obs, cache=cache, codegen=codegen,
+                            schema=schema)

@@ -92,23 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result envelope (default: plain lines)")
     parser.add_argument("--dtd", default=None, metavar="DTD_FILE",
                         help="validate the stream against this DTD while "
-                             "querying (same single pass)")
+                             "querying (same single pass) AND use it as "
+                             "an optimizer input: schema-aware "
+                             "compilation prunes transitions, resolves "
+                             "predicates eagerly, and skips buffering "
+                             "where the schema proves it unnecessary")
     parser.add_argument("--check", action="store_true",
                         help="run the well-formedness PDA alongside the "
                              "query (Section 3.1)")
     return parser
 
 
-def pick_engine(query: str, choice: str):
+def pick_engine(query: str, choice: str, schema=None):
     """Engine selection: NC when the query allows it and NC is eligible.
 
     Reverse-axis syntax (``parent::``, ``..``, ``self::``) is rewritten
     into forward-only form first (Section 5's cited technique); a
     rewrite that proves the query empty short-circuits entirely.
-    Delegates to :func:`repro.api.select_engine`, the facade's rules.
+    ``schema`` (a parsed DTD, from ``--dtd``) makes the selection and
+    the compiled runtime schema-aware.  Delegates to
+    :func:`repro.api.select_engine`, the facade's rules.
     """
     from repro.api import select_engine
-    return select_engine(query, choice)
+    return select_engine(query, choice, schema=schema)
 
 
 def _run_queries_file(args) -> int:
@@ -156,13 +162,18 @@ def build_trace_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="print a Prometheus-style metrics snapshot")
     parser.add_argument("--explain", action="store_true",
-                        help="also print the compiled HPDT")
+                        help="also print the compiled HPDT (with --dtd: "
+                             "plus the applied schema transformations)")
+    parser.add_argument("--dtd", default=None, metavar="DTD_FILE",
+                        help="use this DTD as an optimizer input: the "
+                             "traced engine compiles schema-aware, and "
+                             "--explain prints the schema plan")
     parser.add_argument("--flame", action="store_true",
                         help="print the span tree (phase timings)")
     return parser
 
 
-def _pick_traced_engine(query: str, choice: str, obs):
+def _pick_traced_engine(query: str, choice: str, obs, schema=None):
     """Engine selection for ``xsq trace``: same rules, obs attached.
 
     Union queries trace through the grouped engine (one pass, shared
@@ -170,7 +181,7 @@ def _pick_traced_engine(query: str, choice: str, obs):
     shape alongside each member HPDT.
     """
     from repro.api import select_engine
-    return select_engine(query, choice, obs=obs)
+    return select_engine(query, choice, obs=obs, schema=schema)
 
 
 def build_top_parser() -> argparse.ArgumentParser:
@@ -392,7 +403,13 @@ def trace_main(argv=None) -> int:
     args = build_trace_parser().parse_args(argv)
     try:
         obs = Observability()
-        engine = _pick_traced_engine(args.query, args.engine, obs)
+        dtd = None
+        if args.dtd:
+            from repro.streaming.dtd import parse_dtd
+            with open(args.dtd, "r", encoding="utf-8") as dtd_file:
+                dtd = parse_dtd(dtd_file.read())
+        engine = _pick_traced_engine(args.query, args.engine, obs,
+                                     schema=dtd)
         source = args.file if args.file is not None else _stdin_source()
         results = engine.run(source)
         print("# results (%d)" % len(results))
@@ -402,6 +419,17 @@ def trace_main(argv=None) -> int:
             print()
             print("# compiled HPDT")
             print(engine.explain())
+            if dtd is not None:
+                from repro.xsq import schema_opt
+                try:
+                    plan = schema_opt.optimize(dtd, args.query)
+                except ReproError:
+                    plan = None  # e.g. a union string; members were
+                    # planned individually by select_engine
+                if plan is not None:
+                    print()
+                    print("# schema plan")
+                    print(plan.describe())
         print()
         print("# buffer journeys")
         if obs.events is not None and getattr(engine, "obs", None) is obs:
@@ -795,13 +823,24 @@ def _dispatch(argv) -> int:
             return _run_queries_file(args)
         if args.query is None:
             build_parser().error("a query (or --queries-file) is required")
+        # The DTD parses before engine selection: it is both a stream
+        # validator and an optimizer input (schema-aware compilation).
+        dtd = None
+        if args.dtd:
+            from repro.streaming.dtd import parse_dtd
+            with open(args.dtd, "r", encoding="utf-8") as dtd_file:
+                dtd = parse_dtd(dtd_file.read())
         if args.explain or args.dot:
+            if dtd is not None and not args.dot:
+                engine = pick_engine(args.query, args.engine, schema=dtd)
+                print(engine.explain())
+                return 0
             hpdt = Hpdt(args.query)
             print(hpdt.to_dot() if args.dot else hpdt.describe())
             return 0
-        engine = pick_engine(args.query, args.engine)
+        engine = pick_engine(args.query, args.engine, schema=dtd)
         source = args.file if args.file is not None else _stdin_source()
-        if args.dtd or args.check:
+        if dtd is not None or args.check:
             # Compose validators into the same single pass the engine
             # reads: events flow parser -> PDA -> DTD validator -> HPDT.
             from repro.streaming.sax_source import parse_events
@@ -809,10 +848,8 @@ def _dispatch(argv) -> int:
             if args.check:
                 from repro.streaming.wellformed import WellFormednessPDA
                 events = WellFormednessPDA().checked(events)
-            if args.dtd:
-                from repro.streaming.dtd import StreamingValidator, parse_dtd
-                with open(args.dtd, "r", encoding="utf-8") as dtd_file:
-                    dtd = parse_dtd(dtd_file.read())
+            if dtd is not None:
+                from repro.streaming.dtd import StreamingValidator
                 events = StreamingValidator(dtd).checked(events)
             source = events
         values = (engine.iter_results(source) if args.streaming

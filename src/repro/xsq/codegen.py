@@ -348,6 +348,17 @@ def _emit_begin_entry(e, plan, m, watches, match, ind, simple, element):
             w(ind + 2, "instance.witness(%d, self)" % pred_index)
         emitted = True
     if match is not None:
+        gates = plan.eager_gate
+        if gates is not None and m and gates[m]:
+            # Eager resolution (schema): a parent still pending on a
+            # gated predicate can never resolve it True anymore — skip
+            # the descent outright instead of chaining buffered items
+            # under it.
+            w(ind, "instance = inst_stack[%d]" % (m - 1))
+            w(ind, "if instance.status is None and not "
+                   "instance.pending.isdisjoint({%s}):"
+              % ", ".join(str(index) for index in sorted(gates[m])))
+            w(ind + 1, "continue")
         prog, const, undecided = match
         if prog is not None:
             name = e.reg(prog, "M%d" % m)
@@ -458,6 +469,12 @@ def _emit_make_item(e, plan, ind, value_expr, simple,
     """Inline ``FastRuntime._make_item`` at a result site."""
     w = e.w
     n = plan.n
+    if plan.schema_no_buffer:
+        # Static no-buffer (schema): every non-begin predicate is
+        # eagerly gated upstream, so a result site can only execute
+        # once all governing instances have resolved True — the item
+        # uploads immediately, exactly like the begin-resolved shape.
+        simple = True
     keywords = ""
     if not value_ready:
         keywords += ", value_ready=False"

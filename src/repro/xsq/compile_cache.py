@@ -106,20 +106,33 @@ class HpdtCache:
         _register(self)
 
     @staticmethod
-    def _key(query: Union[str, Query]) -> Optional[str]:
+    def _key(query: Union[str, Query],
+             schema_key: Optional[str] = None) -> Optional[str]:
         """Cache key for a query; None means "not cacheable".
 
         String queries key on their stripped text; parsed queries key on
         the text the parser recorded.  Hand-built :class:`Query` objects
-        with no source text bypass the cache.
+        with no source text bypass the cache.  ``schema_key`` (a
+        :class:`~repro.xsq.schema_compile.CompiledSchema` fingerprint)
+        is appended behind a NUL separator so the same query text
+        compiled with no schema, with a schema, or with two different
+        schemas can never collide — schema-derived memos (pruned plans,
+        eager gates) ride the cached HPDT, so aliasing entries across
+        schemas would leak one schema's optimizations into another's
+        runs.
         """
         if isinstance(query, str):
             text = query.strip()
         else:
             text = (query.text or "").strip()
-        return text or None
+        if not text:
+            return None
+        if schema_key:
+            return "%s\x00dtd=%s" % (text, schema_key)
+        return text
 
-    def get(self, query: Union[str, Query]) -> Optional[Hpdt]:
+    def get(self, query: Union[str, Query],
+            schema_key: Optional[str] = None) -> Optional[Hpdt]:
         """The cached HPDT for ``query``, refreshing LRU order.
 
         A ``str`` query is looked up by text alone (parsing is
@@ -129,7 +142,7 @@ class HpdtCache:
         optimizer's closure expansions) may carry the same ``text``
         with different steps, and must not alias each other.
         """
-        key = self._key(query)
+        key = self._key(query, schema_key)
         if key is None:
             return None
         check = query if isinstance(query, Query) else None
@@ -145,8 +158,9 @@ class HpdtCache:
             self.misses += 1
             return None
 
-    def put(self, query: Union[str, Query], hpdt: Hpdt) -> None:
-        key = self._key(query)
+    def put(self, query: Union[str, Query], hpdt: Hpdt,
+            schema_key: Optional[str] = None) -> None:
+        key = self._key(query, schema_key)
         if key is None:
             return
         with self._lock:
@@ -216,13 +230,17 @@ class HpdtCache:
 DEFAULT_CACHE = HpdtCache(maxsize=256)
 
 
-def compile_hpdt(query: Union[str, Query], cache=None, obs=None) -> Hpdt:
+def compile_hpdt(query: Union[str, Query], cache=None, obs=None,
+                 schema_key: Optional[str] = None) -> Hpdt:
     """Compile (or fetch) the HPDT for ``query``.
 
     ``cache`` may be an :class:`HpdtCache`, ``None`` (use
     :data:`DEFAULT_CACHE`), or ``False`` (always compile fresh).  With
     an :class:`~repro.obs.Observability` bundle attached, each call
     increments ``repro_compile_cache_total{result=hit|miss|bypass}``.
+    ``schema_key`` (the attached schema's fingerprint, if any) becomes
+    part of the cache key: schema-compiled HPDTs carry schema-derived
+    plan memos and must never alias the schema-less entry.
     """
     if cache is None or cache is True:
         cache = DEFAULT_CACHE
@@ -230,12 +248,12 @@ def compile_hpdt(query: Union[str, Query], cache=None, obs=None) -> Hpdt:
         hpdt = Hpdt(parse_query(query) if isinstance(query, str) else query)
         _record(obs, "bypass")
         return hpdt
-    hpdt = cache.get(query)
+    hpdt = cache.get(query, schema_key)
     if hpdt is not None:
         _record(obs, "hit")
         return hpdt
     hpdt = Hpdt(parse_query(query) if isinstance(query, str) else query)
-    cache.put(query, hpdt)
+    cache.put(query, hpdt, schema_key)
     _record(obs, "miss")
     return hpdt
 

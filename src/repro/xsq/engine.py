@@ -113,6 +113,22 @@ class RunStats:
             "%s=%d" % (k, v) for k, v in self.as_dict().items())
 
 
+def _schema_note(schema, schema_dead) -> str:
+    """Explain line for an interpreted engine's schema plan.
+
+    The interpreted runtimes get *eager falsification* (a dead tag
+    settles a pending predicate FALSE on arrival) rather than the fast
+    path's static gating, so the note counts the registered dead-tag
+    watch hooks.
+    """
+    hooks = sum(len(entries) for entries in (schema_dead or {}).values())
+    if hooks:
+        return ("schema: fingerprint %s, eager falsification hooks on "
+                "%d (step, tag) pair(s)" % (schema.fingerprint, hooks))
+    return ("schema: fingerprint %s (no eager falsification rules apply)"
+            % schema.fingerprint)
+
+
 class XSQEngine:
     """The XSQ-F engine: one compiled query, many documents.
 
@@ -131,13 +147,25 @@ class XSQEngine:
     streaming = True
 
     def __init__(self, query: Union[str, Query], obs=None, *,
-                 cache=None, trace=None):
+                 cache=None, trace=None, schema=None):
         if trace is not None:
             raise DeprecationWarning(
                 "trace= was removed; attach an Observability bundle "
                 "(obs=Observability(events=EventTrace())) for "
                 "buffer-event tracing")
         self.obs = obs
+        self.schema = None
+        self._schema_dead = None
+        schema_key = None
+        analyze = None
+        if schema is not None:
+            # Imported lazily: the schema-less path must not pay for
+            # (or even import) the schema compiler.
+            from repro.xsq.schema_compile import (analyze_runtime,
+                                                  coerce_schema)
+            self.schema = coerce_schema(schema)
+            schema_key = self.schema.fingerprint
+            analyze = analyze_runtime
         if obs is not None:
             with obs.span("compile", engine=self.name):
                 if isinstance(query, str):
@@ -147,10 +175,14 @@ class XSQEngine:
                     with obs.span("parse"):
                         query = parse_query(query)
                 with obs.span("hpdt-compile"):
-                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs,
+                                             schema_key=schema_key)
         else:
-            self.hpdt = compile_hpdt(query, cache=cache)
+            self.hpdt = compile_hpdt(query, cache=cache,
+                                     schema_key=schema_key)
         self.query = self.hpdt.query
+        if analyze is not None:
+            self._schema_dead = analyze(self.schema, self.query)
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
@@ -319,7 +351,8 @@ class XSQEngine:
             account = self.obs.accounting.account(self.query.text,
                                                   engine=self.name)
         runtime = MatcherRuntime(self.hpdt, sink, trace=self.trace,
-                                 stat=stat, account=account)
+                                 stat=stat, account=account,
+                                 schema_dead=self._schema_dead)
         return runtime, stat
 
     def _capture_stats(self, runtime: MatcherRuntime, events: int,
@@ -341,6 +374,8 @@ class XSQEngine:
         """Describe the compiled HPDT (the CLI's --explain output)."""
         lines = [self.hpdt.describe(), "",
                  "runtime: xsq-f (nondeterministic interpreted runtime)"]
+        if self.schema is not None:
+            lines.append(_schema_note(self.schema, self._schema_dead))
         if self.selection_note:
             lines.append(self.selection_note)
         return "\n".join(lines)

@@ -267,9 +267,10 @@ class FastPlan:
 
     __slots__ = ("query", "tags", "n", "begin_named", "begin_default",
                  "text_tests", "child_text_named", "child_text_default",
-                 "out_attr", "out_kind", "kernel")
+                 "out_attr", "out_kind", "kernel", "eager_gate",
+                 "schema_no_buffer", "schema_note")
 
-    def __init__(self, query: Query, tags: TagTable):
+    def __init__(self, query: Query, tags: TagTable, schema_info=None):
         self.query = query
         self.tags = tags
         #: ``(fn, note)`` once :func:`repro.xsq.codegen.compile_kernel`
@@ -277,9 +278,18 @@ class FastPlan:
         #: None until then.  Memoized here so the kernel rides the
         #: HPDT compile cache exactly like the tables.
         self.kernel: Optional[tuple] = None
+        #: Schema-derived state (None/False without a schema): per-state
+        #: eagerly-resolved predicate-index sets, the static no-buffer
+        #: proof, and the ``explain()`` note.  See
+        #: :class:`repro.xsq.schema_compile.FastSchemaInfo`.
+        self.eager_gate: Optional[tuple] = None
+        self.schema_no_buffer = False
+        self.schema_note: Optional[str] = None
         steps = query.steps
         n = self.n = len(steps)
         intern = tags.intern
+        pruned_watches = 0
+        narrowed_states = 0
 
         matches = [_compile_match(step) for step in steps]
         self.begin_named: List[Dict[int, tuple]] = []
@@ -298,6 +308,11 @@ class FastPlan:
             ct_wild: list = []
             if m >= 1:
                 step = steps[m - 1]
+                # Transition pruning: a witness tag the schema forbids
+                # as a child of every possible parent can never fire
+                # its watch — the entry is dropped from the row.
+                pool = (schema_info.child_pool[m]
+                        if schema_info is not None else None)
                 for pred_index, predicate in enumerate(step.predicates):
                     if predicate.resolves_at_begin:
                         continue
@@ -306,6 +321,10 @@ class FastPlan:
                         text_tests.append((pred_index,
                                            _text_test(predicate)))
                     elif category in (3, 4):
+                        if pool is not None and predicate.child != "*" \
+                                and predicate.child not in pool:
+                            pruned_watches += 1
+                            continue
                         entry = (pred_index, _child_attr_test(predicate))
                         if predicate.child == "*":
                             wild_watches.append(entry)
@@ -313,6 +332,10 @@ class FastPlan:
                             named_watches.setdefault(
                                 intern(predicate.child), []).append(entry)
                     else:  # category 5
+                        if pool is not None and predicate.child != "*" \
+                                and predicate.child not in pool:
+                            pruned_watches += 1
+                            continue
                         entry = (pred_index, _child_text_test(predicate))
                         if predicate.child == "*":
                             ct_wild.append(entry)
@@ -336,22 +359,55 @@ class FastPlan:
                 else:
                     match_tid = intern(steps[m].node_test)
 
+            # Transition pruning: a wildcard step whose schema-allowed
+            # tag set is finite (and small) is enumerated into named
+            # entries, dropping the catch-all default — on schema-valid
+            # documents no other tag can begin at this position.
+            enum_tids = None
+            if wildcard_step and schema_info is not None:
+                from repro.xsq.schema_compile import MAX_WILDCARD_TAGS
+                allowed_m = schema_info.allowed[m]
+                if 0 < len(allowed_m) <= MAX_WILDCARD_TAGS:
+                    enum_tids = frozenset(intern(tag)
+                                          for tag in sorted(allowed_m))
+                    narrowed_states += 1
+
             keys = set(named_watches)
             if match_tid is not None:
                 keys.add(match_tid)
+            if enum_tids is not None:
+                keys |= enum_tids
             row: Dict[int, tuple] = {}
             for tid in keys:
                 watches = tuple(named_watches.get(tid, ())) \
                     + tuple(wild_watches)
-                row_match = match if (wildcard_step or tid == match_tid) \
-                    else None
+                if enum_tids is not None:
+                    row_match = match if tid in enum_tids else None
+                else:
+                    row_match = match \
+                        if (wildcard_step or tid == match_tid) else None
                 row[tid] = (watches, row_match)
             default = None
-            if wild_watches or wildcard_step:
+            wild_match = wildcard_step and enum_tids is None
+            if wild_watches or wild_match:
                 default = (tuple(wild_watches),
-                           match if wildcard_step else None)
+                           match if wild_match else None)
             self.begin_named.append(row)
             self.begin_default.append(default)
+
+        if schema_info is not None:
+            if any(schema_info.eager_gate):
+                self.eager_gate = tuple(schema_info.eager_gate)
+            self.schema_no_buffer = schema_info.no_buffer
+            gated = sum(len(gate) for gate in schema_info.eager_gate)
+            bits = ["fingerprint %s" % schema_info.fingerprint]
+            if pruned_watches:
+                bits.append("pruned %d watch hook(s)" % pruned_watches)
+            if narrowed_states:
+                bits.append("narrowed %d wildcard state(s)" % narrowed_states)
+            if gated:
+                bits.append("eager resolution on %d predicate(s)" % gated)
+            self.schema_note = "schema: " + ", ".join(bits)
 
         output = query.output
         self.out_attr: Optional[str] = None
@@ -378,7 +434,8 @@ class FastPlan:
                    self.out_kind))
 
 
-def compile_fastplan(hpdt: Hpdt, tags: Optional[TagTable] = None) -> FastPlan:
+def compile_fastplan(hpdt: Hpdt, tags: Optional[TagTable] = None,
+                     schema_info=None) -> FastPlan:
     """Lower ``hpdt`` to a :class:`FastPlan`, or raise
     :class:`FastPathUnsupportedError` naming the first blocker.
 
@@ -388,18 +445,34 @@ def compile_fastplan(hpdt: Hpdt, tags: Optional[TagTable] = None) -> FastPlan:
     process too.  Passing an explicit shared ``tags`` table (the
     multi-query path, where every member must agree on tag ids)
     bypasses the memo.
+
+    Schema-aware lowerings (``schema_info`` from
+    :func:`repro.xsq.schema_compile.analyze_fastpath`) are memoized
+    separately, keyed by schema fingerprint (``hpdt._schema_plans``) —
+    never on the shared schema-less ``_fastplan`` slot, so a schema'd
+    compile can never leak pruned rows into a plain run of the same
+    HPDT object.
     """
     reason = unsupported_reason(hpdt.query)
     if reason is not None:
         slug, message = reason
         raise FastPathUnsupportedError(message, reason=slug)
     if tags is None:
+        if schema_info is not None:
+            plans = getattr(hpdt, "_schema_plans", None)
+            if plans is None:
+                plans = hpdt._schema_plans = {}
+            plan = plans.get(schema_info.fingerprint)
+            if plan is None:
+                plan = FastPlan(hpdt.query, TagTable(), schema_info)
+                plans[schema_info.fingerprint] = plan
+            return plan
         plan = hpdt._fastplan
         if plan is None:
             plan = FastPlan(hpdt.query, TagTable())
             hpdt._fastplan = plan
         return plan
-    return FastPlan(hpdt.query, tags)
+    return FastPlan(hpdt.query, tags, schema_info)
 
 
 class FastRuntime:
@@ -451,6 +524,12 @@ class FastRuntime:
         self._out_text = (self._out_text_value if out_kind == "text"
                           else self._out_text_agg if out_kind == "agg"
                           else None)
+        if plan.schema_no_buffer:
+            # Static no-buffer allocation: the schema proves every
+            # instance on the stack is resolved by the time a result
+            # exists, so items skip the pending scan and chain wiring
+            # entirely and are marked for output at birth.
+            self._make_item = self._make_item_resolved
         if kernel is not None:
             # Bind the generated kernel as the *instance's* run_batch so
             # every driver — pull loop, push handle, profiler sampling —
@@ -473,6 +552,7 @@ class FastRuntime:
         ct_default = plan.child_text_default
         out_begin = self._out_begin
         out_text = self._out_text
+        gates = plan.eager_gate
         live = self._live
         peak = self.peak_instances
         cap = self._cap_parts
@@ -505,6 +585,18 @@ class FastRuntime:
                                 instance.witness(pred_index, self)
                 if match is None:
                     continue
+                if gates is not None and matched:
+                    gate = gates[matched]
+                    if gate:
+                        # Eager resolution (schema): the parent's gated
+                        # predicates are provably decided by now, so a
+                        # still-pending one can never become true —
+                        # skip the descent instead of buffering under
+                        # a doomed chain.
+                        instance = inst_stack[matched - 1]
+                        if instance.status is None \
+                                and not instance.pending.isdisjoint(gate):
+                            continue
                 prog, const, undecided = match
                 verdict = prog(event[2]) if prog is not None else const
                 if verdict is False:
@@ -648,6 +740,23 @@ class FastRuntime:
                 instance.chain_watchers.append(chain)
         return item
 
+    def _make_item_resolved(self, value: Optional[str],
+                            on_emit: Optional[Callable] = None,
+                            value_ready: bool = True) -> BufferItem:
+        """:meth:`_make_item` under the schema's no-buffer proof.
+
+        Every instance on the stack is resolved whenever a result site
+        is reached (the eager gates skip descents under pending
+        predicates), so the pending scan and chain wiring are statically
+        eliminated: items are born output-marked.
+        """
+        item = self.queue.new_item(value, (self.n, 0),
+                                   value_ready=value_ready,
+                                   on_emit=on_emit, governed=0)
+        item.live_chains = 1
+        self.queue.mark_output(item)
+        return item
+
 
 class XSQEngineFast:
     """The compiled fast path behind ``repro.compile(..., engine="auto")``.
@@ -670,7 +779,7 @@ class XSQEngineFast:
     streaming = True
 
     def __init__(self, query: Union[str, Query], obs=None, *, cache=None,
-                 codegen: bool = True):
+                 codegen: bool = True, schema=None):
         if obs is not None and (obs.events is not None
                                 or obs.accounting is not None
                                 or obs.per_event_timing):
@@ -679,18 +788,38 @@ class XSQEngineFast:
                 "per-event timing) needs an interpreted runtime",
                 reason="observability")
         self.obs = obs
+        self.schema = None
+        schema_info = None
+        analyze = None
+        if schema is not None:
+            # Imported lazily: the schema-off path never loads the
+            # schema-compilation module at all.
+            from repro.xsq.schema_compile import (analyze_fastpath,
+                                                  coerce_schema)
+            self.schema = coerce_schema(schema)
+            analyze = analyze_fastpath
+        schema_key = (self.schema.fingerprint
+                      if self.schema is not None else None)
         if obs is not None:
             with obs.span("compile", engine=self.name):
                 if isinstance(query, str):
                     with obs.span("parse"):
                         query = parse_query(query)
                 with obs.span("hpdt-compile"):
-                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs,
+                                             schema_key=schema_key)
                 with obs.span("fastplan-lower"):
-                    self.plan = compile_fastplan(self.hpdt)
+                    if analyze is not None:
+                        schema_info = analyze(self.schema, self.hpdt.query)
+                    self.plan = compile_fastplan(self.hpdt,
+                                                 schema_info=schema_info)
         else:
-            self.hpdt = compile_hpdt(query, cache=cache)
-            self.plan = compile_fastplan(self.hpdt)
+            self.hpdt = compile_hpdt(query, cache=cache,
+                                     schema_key=schema_key)
+            if analyze is not None:
+                schema_info = analyze(self.schema, self.hpdt.query)
+            self.plan = compile_fastplan(self.hpdt,
+                                         schema_info=schema_info)
         self.query = self.hpdt.query
         self.codegen_enabled = codegen
         if codegen:
@@ -869,6 +998,10 @@ class XSQEngineFast:
             lines.append("kernel: %s" % self.kernel_note)
         else:
             lines.append("kernel: interpreted slots (%s)" % self.kernel_note)
+        if self.plan.schema_note:
+            lines.append(self.plan.schema_note)
+        if self.plan.schema_no_buffer:
+            lines.append("buffering: none (schema)")
         if self.selection_note:
             lines.append(self.selection_note)
         return "\n".join(lines)

@@ -314,7 +314,8 @@ class Frame:
 
     __slots__ = ("tag", "depth", "contexts", "instances", "text_watch",
                  "child_begin_watch", "child_text_watch", "result_matches",
-                 "element_item", "serializer", "trackers", "closure_down")
+                 "element_item", "serializer", "trackers", "closure_down",
+                 "dead_watch")
 
     def __init__(self, tag: str, depth: int):
         self.tag = tag
@@ -330,6 +331,13 @@ class Frame:
         self.text_watch: List[tuple] = []
         self.child_begin_watch: List[tuple] = []
         self.child_text_watch: List[tuple] = []
+        # Schema dead-tag watches: (instance, pred_index, dead_tags)
+        # triples — a child whose tag is in ``dead_tags`` proves the
+        # predicate's witness can no longer arrive (content-model
+        # ordering), so the instance falsifies early.  None (not an
+        # empty list) when no schema is attached: the per-begin check
+        # is one attribute load.
+        self.dead_watch: Optional[List[tuple]] = None
         self.result_matches: List[StepMatch] = []
         self.element_item: Optional[BufferItem] = None
         self.serializer: Optional[EventSerializer] = None
@@ -347,8 +355,11 @@ class MatcherRuntime:
                  trace: Optional[BufferTrace] = None,
                  stat: Optional[StatBuffer] = None,
                  queue: Optional[OutputQueue] = None,
-                 account=None):
+                 account=None, schema_dead=None):
         self.hpdt = hpdt
+        # (step_index, tag) -> ((pred_index, dead_tags), ...) from
+        # repro.xsq.schema_compile.analyze_runtime; None without schema.
+        self._schema_dead = schema_dead
         self.query: Query = hpdt.query
         self.steps = hpdt.query.steps
         self.last_step = len(self.steps) - 1
@@ -455,6 +466,17 @@ class MatcherRuntime:
             if prof is not None:
                 prof.add_phase("predicate", prof.clock() - t0,
                                len(parent.child_begin_watch))
+        # (a') Schema eager falsification: a child tag after which the
+        # content model can never produce the witness again settles the
+        # predicate FALSE now — buffered items under this activation
+        # die here instead of at the parent's end event.  Runs after
+        # the witness scan above so a tag that is both witness and
+        # dead-marker (category 3/4) resolves TRUE first.
+        if adjacent and parent.dead_watch is not None:
+            for instance, pred_index, dead in parent.dead_watch:
+                if instance.status is None and tag in dead \
+                        and pred_index in instance.pending:
+                    instance.resolve_false(self)
         if self._trackers:
             for tracker in self._trackers:
                 tracker.on_begin(tag, attrs, event.depth, self)
@@ -644,6 +666,16 @@ class MatcherRuntime:
             for pred_index, predicate in undecided:
                 self._register_watcher(frame, instance, pred_index,
                                        predicate)
+            if self._schema_dead is not None:
+                hooks = self._schema_dead.get((step_index, frame.tag))
+                if hooks:
+                    pending = instance.pending
+                    for pred_index, dead in hooks:
+                        if pred_index in pending:
+                            if frame.dead_watch is None:
+                                frame.dead_watch = []
+                            frame.dead_watch.append(
+                                (instance, pred_index, dead))
         frame.instances[step_index] = instance
         self._live_instances += 1
         if self._live_instances > self.peak_instances:

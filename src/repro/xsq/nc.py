@@ -42,7 +42,7 @@ from repro.xsq.aggregates import StatBuffer
 from repro.xsq.bpdt import Bpdt
 from repro.xsq.buffers import BufferItem, BufferTrace, OutputQueue
 from repro.xsq.compile_cache import compile_hpdt
-from repro.xsq.engine import RunStats, XSQEngine
+from repro.xsq.engine import RunStats, XSQEngine, _schema_note
 from repro.xpath.ast import NotPredicate, OrPredicate, PathPredicate
 from repro.xsq.matcher import Chain, PathTracker, PredicateInstance
 
@@ -52,7 +52,7 @@ class _NCFrame:
 
     __slots__ = ("instance", "text_watch", "child_begin_watch",
                  "child_text_watch", "element_item", "serializer",
-                 "trackers")
+                 "trackers", "dead_watch")
 
     def __init__(self, instance: PredicateInstance):
         self.instance = instance
@@ -62,6 +62,8 @@ class _NCFrame:
         self.element_item: Optional[BufferItem] = None
         self.serializer: Optional[EventSerializer] = None
         self.trackers: List[PathTracker] = []
+        # Schema dead-tag watches (see matcher.Frame.dead_watch).
+        self.dead_watch: Optional[List[tuple]] = None
 
 
 class _NCRuntime:
@@ -81,6 +83,7 @@ class _NCRuntime:
         self.queue = OutputQueue(sink, trace=trace, account=account)
         self.account = account
         self.frames: List[_NCFrame] = []
+        self._schema_dead = engine._schema_dead
         self._trackers: List[PathTracker] = []
         self._live_instances = 0
         self.peak_instances = 0
@@ -133,6 +136,15 @@ class _NCRuntime:
             if prof is not None:
                 prof.add_phase("predicate", prof.clock() - t0,
                                len(frames[-1].child_begin_watch))
+        # Schema eager falsification: after the witness scan, a child
+        # tag past which the content model can never produce the
+        # witness settles the pending predicate FALSE immediately (see
+        # matcher.MatcherRuntime._on_begin).
+        if matched and frames[-1].dead_watch is not None:
+            for instance, pred_index, dead in frames[-1].dead_watch:
+                if instance.status is None and event.tag in dead \
+                        and pred_index in instance.pending:
+                    instance.resolve_false(self)
         if depth > self.n:
             return
         step = self.steps[depth - 1]
@@ -153,6 +165,16 @@ class _NCRuntime:
             for pred_index, predicate in undecided:
                 self._register_watcher(frame, instance, pred_index,
                                        predicate, depth)
+            if self._schema_dead is not None:
+                hooks = self._schema_dead.get((depth - 1, event.tag))
+                if hooks:
+                    pending = instance.pending
+                    for pred_index, dead in hooks:
+                        if pred_index in pending:
+                            if frame.dead_watch is None:
+                                frame.dead_watch = []
+                            frame.dead_watch.append(
+                                (instance, pred_index, dead))
         frames.append(frame)
         self._live_instances += 1
         if self._live_instances > self.peak_instances:
@@ -338,13 +360,25 @@ class XSQEngineNC:
     streaming = True
 
     def __init__(self, query: Union[str, Query], obs=None, *,
-                 cache=None, trace=None):
+                 cache=None, trace=None, schema=None):
         if trace is not None:
             raise DeprecationWarning(
                 "trace= was removed; attach an Observability bundle "
                 "(obs=Observability(events=EventTrace())) for "
                 "buffer-event tracing")
         self.obs = obs
+        self.schema = None
+        self._schema_dead = None
+        schema_key = None
+        analyze = None
+        if schema is not None:
+            # Lazy: the schema-less path never imports the schema
+            # compiler.
+            from repro.xsq.schema_compile import (analyze_runtime,
+                                                  coerce_schema)
+            self.schema = coerce_schema(schema)
+            schema_key = self.schema.fingerprint
+            analyze = analyze_runtime
         if obs is not None:
             with obs.span("compile", engine=self.name):
                 if isinstance(query, str):
@@ -355,13 +389,17 @@ class XSQEngineNC:
                         query = parse_query(query)
                 self._reject_closure(query)
                 with obs.span("hpdt-compile"):
-                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs)
+                    self.hpdt = compile_hpdt(query, cache=cache, obs=obs,
+                                             schema_key=schema_key)
         else:
             if isinstance(query, str):
                 query = parse_query(query)
             self._reject_closure(query)
-            self.hpdt = compile_hpdt(query, cache=cache)
+            self.hpdt = compile_hpdt(query, cache=cache,
+                                     schema_key=schema_key)
         self.query = self.hpdt.query
+        if analyze is not None:
+            self._schema_dead = analyze(self.schema, self.query)
         if obs is not None and obs.events is not None:
             self.trace: Optional[BufferTrace] = obs.events
         else:
@@ -505,6 +543,8 @@ class XSQEngineNC:
     def explain(self) -> str:
         lines = [self.hpdt.describe(), "",
                  "runtime: xsq-nc (deterministic interpreted runtime)"]
+        if self.schema is not None:
+            lines.append(_schema_note(self.schema, self._schema_dead))
         if self.selection_note:
             lines.append(self.selection_note)
         return "\n".join(lines)

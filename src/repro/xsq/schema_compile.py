@@ -1,0 +1,451 @@
+"""Schema-aware HPDT compilation: the paper's Section 5 future work,
+taken past the AST rewrites of :mod:`repro.xsq.schema_opt` and into the
+compiled runtimes.
+
+Where ``schema_opt`` rewrites the *query* (emptiness, guaranteed
+predicates, closure expansion), this module analyzes the query *against
+the DTD's content models* and hands the results to the HPDT lowering
+layers:
+
+* **Transition pruning** — tags the content model forbids at a step's
+  position are dropped from the fast path's transition rows, and
+  wildcard steps with a finite schema-allowed tag set are enumerated
+  into named entries (:func:`analyze_fastpath` → ``allowed`` /
+  ``child_pool``).
+* **Eager resolution** — when the DTD proves that a predicate's witness
+  child always precedes every element the query could descend into
+  (required-and-ordered in the content model, Koch et al.'s
+  schema-based scheduling), the state is marked resolve-on-arrival: by
+  the time a match advances past it, the predicate *must* already be
+  decided, so matches upload immediately instead of parking in a BPDT
+  buffer (``eager_gate``).  The interpreted engines get the runtime
+  dual (:func:`analyze_runtime`): a dead-tag watch that falsifies a
+  still-pending predicate the moment a sibling proves the witness can
+  no longer arrive.
+* **Static no-buffer allocation** — a plan whose every non-begin
+  predicate is eagerly resolved never creates a chained buffer item at
+  all (``no_buffer``), which ``explain()`` surfaces as
+  ``buffering: none (schema)``.
+
+Everything here is *advisory*: analyses return ``None`` whenever the
+schema cannot prove anything, and every consumer must behave
+identically with no schema attached.  Soundness is always stated
+relative to schema-valid documents — a stream that violates the
+declared DTD may see pruned transitions or early falsifications the
+schema said were impossible (the same caveat every schema-based
+optimizer carries; validate with ``--check``/``--dtd`` when in doubt).
+
+This module is imported lazily by the engines (only when a ``schema``
+is actually passed), so the schema-off path never pays for it — not
+even the import.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.streaming.dtd import ContentModel, Dtd, Nothing, parse_dtd
+from repro.xpath.ast import (
+    ChildAttrCompare,
+    ChildAttrExists,
+    ChildExists,
+    ChildTextCompare,
+    Predicate,
+    Query,
+)
+from repro.xsq import schema_opt
+
+#: Abort content-model state exploration past this many derivative
+#: states (conservative: the analysis then proves nothing).
+STATE_LIMIT = 200
+
+#: Cap on enumerating a wildcard step's schema-allowed tags into named
+#: transition-row entries; wider sets keep the wildcard default.
+MAX_WILDCARD_TAGS = 32
+
+
+# ---------------------------------------------------------------------------
+# Schema identity
+# ---------------------------------------------------------------------------
+
+def _fingerprint(dtd: Dtd) -> str:
+    """Stable identity of a DTD's *content*, for compile-cache keys.
+
+    Two textually different DTDs that declare the same elements,
+    content models and attributes fingerprint identically; any
+    difference that could change an optimization decision changes it.
+    """
+    parts: List[str] = ["root=%s" % (dtd.root,)]
+    for name in sorted(dtd.elements):
+        decl = dtd.elements[name]
+        parts.append("%s=%r|mixed=%s" % (name, decl.content.expr,
+                                         decl.content.mixed))
+        for att_name in sorted(decl.attributes):
+            att = decl.attributes[att_name]
+            parts.append("%s@%s:%s:%s:%s:%s"
+                         % (name, att.name, att.att_type, att.mode,
+                            att.default, att.enum_values))
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+class CompiledSchema:
+    """A DTD prepared for compile-time use.
+
+    Wraps the parsed :class:`~repro.streaming.dtd.Dtd` with a stable
+    :attr:`fingerprint` (the compile-cache key token) and memoized
+    structural queries, so one schema analyzed against many queries
+    pays each content-model exploration once.
+    """
+
+    __slots__ = ("dtd", "fingerprint", "_dead", "_children")
+
+    def __init__(self, dtd: Dtd):
+        self.dtd = dtd
+        self.fingerprint = _fingerprint(dtd)
+        self._dead: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self._children: Dict[str, FrozenSet[str]] = {}
+
+    def allowed_children(self, tag: str) -> FrozenSet[str]:
+        got = self._children.get(tag)
+        if got is None:
+            got = schema_opt._allowed_children(self.dtd, tag)
+            self._children[tag] = got
+        return got
+
+    def dead_tags(self, parent_tag: str, witness: str) -> FrozenSet[str]:
+        """Child tags whose begin proves ``witness`` can no longer
+        arrive inside ``parent_tag`` (see :func:`dead_witness_tags`)."""
+        key = (parent_tag, witness)
+        got = self._dead.get(key)
+        if got is None:
+            decl = self.dtd.elements.get(parent_tag)
+            got = (dead_witness_tags(decl.content, witness)
+                   if decl is not None else frozenset())
+            self._dead[key] = got
+        return got
+
+    def __repr__(self):
+        return "<CompiledSchema %s %d elements>" % (self.fingerprint,
+                                                    len(self.dtd.elements))
+
+
+def coerce_schema(schema: Union[None, str, os.PathLike, Dtd,
+                                CompiledSchema]) -> Optional[CompiledSchema]:
+    """Accept the ``schema=`` argument in every shape the API allows.
+
+    ``None`` passes through; a :class:`CompiledSchema` is returned
+    as-is; a :class:`~repro.streaming.dtd.Dtd` is wrapped; a string is
+    DTD text when it contains a declaration (``<!``), otherwise a file
+    path to read.
+    """
+    if schema is None:
+        return None
+    if isinstance(schema, CompiledSchema):
+        return schema
+    if isinstance(schema, Dtd):
+        return CompiledSchema(schema)
+    if isinstance(schema, os.PathLike):
+        schema = os.fspath(schema)
+    if isinstance(schema, str):
+        if "<!" in schema:
+            return CompiledSchema(parse_dtd(schema))
+        if os.path.exists(schema):
+            with open(schema, "r", encoding="utf-8") as handle:
+                return CompiledSchema(parse_dtd(handle.read()))
+        raise ReproError(
+            "schema %r is neither DTD text (no '<!' declaration) nor an "
+            "existing file path" % (schema[:80],))
+    raise ReproError("unsupported schema object: %r" % (type(schema),))
+
+
+# ---------------------------------------------------------------------------
+# Content-model reasoning
+# ---------------------------------------------------------------------------
+
+def dead_witness_tags(model: ContentModel, witness: str,
+                      state_limit: int = STATE_LIMIT) -> FrozenSet[str]:
+    """Child tags after which ``witness`` can never follow.
+
+    A tag ``t`` is *dead* for ``witness`` when every reachable
+    content-model state that consumes ``t`` lands in a state from which
+    no continuation contains ``witness`` — e.g. in ``(year?, publisher,
+    book*)`` the tags ``year``, ``publisher`` and ``book`` are all dead
+    for ``year``: once any of them has been read, ``year`` is over.
+
+    Conservative everywhere: ANY content, a witness outside the
+    alphabet, or exceeding ``state_limit`` reachable derivative states
+    all answer the empty set (prove nothing).  Mixed content like
+    ``(#PCDATA | a | b)*`` naturally yields the empty set too, since
+    every tag can always recur.
+    """
+    alphabet = model.expr.all_tags()
+    if "*" in alphabet or witness not in alphabet:
+        return frozenset()
+    init = model.initial_state()
+    states: Dict[str, object] = {repr(init): init}
+    edges: Dict[str, List[Tuple[str, str]]] = {}
+    frontier = [init]
+    while frontier:
+        state = frontier.pop()
+        key = repr(state)
+        out: List[Tuple[str, str]] = []
+        for tag in alphabet:
+            nxt = model.advance(state, tag)
+            if isinstance(nxt, Nothing):
+                continue
+            nkey = repr(nxt)
+            out.append((tag, nkey))
+            if nkey not in states:
+                states[nkey] = nxt
+                if len(states) > state_limit:
+                    return frozenset()
+                frontier.append(nxt)
+        edges[key] = out
+    # canreach(S): the witness can still be consumed from S (now, or
+    # after any sequence of other children).  Fixpoint over the state
+    # graph.
+    canreach = {
+        key: not isinstance(model.advance(state, witness), Nothing)
+        for key, state in states.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, out in edges.items():
+            if not canreach[key] \
+                    and any(canreach[nkey] for _tag, nkey in out):
+                canreach[key] = True
+                changed = True
+    dead = set()
+    for tag in alphabet:
+        if all(not canreach[nkey]
+               for out in edges.values()
+               for t, nkey in out if t == tag):
+            dead.add(tag)
+    return frozenset(dead)
+
+
+def _named_witness(predicate: Predicate) -> Optional[str]:
+    """The witness child tag of a plain category-3/4/5 predicate.
+
+    ``None`` for anything else: wildcard children prove nothing, and
+    ``not()``/``or()``/path predicates invert or compound the witness
+    semantics (a dead witness makes ``not(F)`` *true*), so the
+    dead-tag machinery conservatively skips them.
+    """
+    if type(predicate) in (ChildExists, ChildAttrExists,
+                           ChildAttrCompare, ChildTextCompare) \
+            and predicate.child != "*":
+        return predicate.child
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Interpreted-runtime analysis: dead-tag watches
+# ---------------------------------------------------------------------------
+
+def analyze_runtime(schema: CompiledSchema, query: Query
+                    ) -> Optional[Dict[Tuple[int, str], tuple]]:
+    """Dead-tag watch map for the interpreted runtimes.
+
+    ``{(step_index, element_tag): ((pred_index, dead_tags), ...)}`` —
+    when an element bound to ``step_index`` with tag ``element_tag``
+    sees a direct child whose tag is in ``dead_tags`` while predicate
+    ``pred_index`` is still undecided, the predicate's witness can no
+    longer arrive and the instance resolves False on the spot (instead
+    of at the element's end), releasing every buffered item it governs.
+
+    Category-5 predicates exclude the witness tag itself from the dead
+    set: their deciding text events arrive *after* the witness child's
+    begin.  Categories 3/4 keep it — the begin-watch runs first, so a
+    still-pending predicate at that point means the witness test failed
+    and, the tag being dead, no later witness exists.
+    """
+    dtd = schema.dtd
+    out: Dict[Tuple[int, str], tuple] = {}
+    for index, step in enumerate(query.steps):
+        watched = [
+            (pred_index, predicate, _named_witness(predicate))
+            for pred_index, predicate in enumerate(step.predicates)
+            if _named_witness(predicate) is not None]
+        if not watched:
+            continue
+        for tag in dtd.elements:
+            if not step.matches_tag(tag):
+                continue
+            entries = []
+            for pred_index, predicate, witness in watched:
+                dead = schema.dead_tags(tag, witness)
+                if predicate.category == 5:
+                    dead = dead - {witness}
+                if dead:
+                    entries.append((pred_index, dead))
+            if entries:
+                out[(index, tag)] = tuple(entries)
+    return out or None
+
+
+# ---------------------------------------------------------------------------
+# Fast-path analysis: pruning sets, eager gates, no-buffer proof
+# ---------------------------------------------------------------------------
+
+class FastSchemaInfo:
+    """What the schema proves about a child-axis query, for lowering.
+
+    ``allowed[m]``
+        tags the schema permits step ``m`` to bind (the pruning set for
+        that state's match entries; a finite set narrows a wildcard
+        step into named transitions).
+    ``child_pool[m]``
+        every tag the schema allows as a direct child of step ``m-1``'s
+        bindings — watch entries for witnesses outside it can never
+        fire and are pruned (``child_pool[0]`` is None: no parent).
+    ``eager_gate[m]``
+        predicate indices of step ``m-1`` that are *resolved on
+        arrival*: whenever a step-``m`` child begins, the schema proves
+        the predicate has already been decided, so a still-pending
+        instance can only mean False and the descent is skipped.
+    ``no_buffer``
+        True when every non-begin predicate of every step is eagerly
+        resolved — output items are always born fully resolved and the
+        plan allocates no predicate buffering at all.
+    """
+
+    __slots__ = ("fingerprint", "allowed", "child_pool", "eager_gate",
+                 "no_buffer")
+
+    def __init__(self, fingerprint: str,
+                 allowed: Tuple[FrozenSet[str], ...],
+                 child_pool: Tuple[Optional[FrozenSet[str]], ...],
+                 eager_gate: Tuple[FrozenSet[int], ...],
+                 no_buffer: bool):
+        self.fingerprint = fingerprint
+        self.allowed = allowed
+        self.child_pool = child_pool
+        self.eager_gate = eager_gate
+        self.no_buffer = no_buffer
+
+    def __repr__(self):
+        gated = sum(len(g) for g in self.eager_gate)
+        return ("<FastSchemaInfo %s gates=%d no_buffer=%s>"
+                % (self.fingerprint, gated, self.no_buffer))
+
+
+def analyze_fastpath(schema: CompiledSchema,
+                     query: Query) -> Optional[FastSchemaInfo]:
+    """Analyze a fast-path-eligible (child-axis) query against ``schema``.
+
+    Returns None when the schema proves nothing usable — including the
+    statically-empty case, which the AST layer (``schema_opt``) already
+    handles before lowering.
+    """
+    dtd = schema.dtd
+    steps = query.steps
+    bindings = schema_opt._step_bindings(dtd, steps)
+    if bindings is None:
+        return None
+    n = len(steps)
+    allowed = tuple(matchable for _bound, matchable in bindings)
+    child_pool: List[Optional[FrozenSet[str]]] = [None]
+    for m in range(1, n + 1):
+        parents = bindings[m - 1][1]
+        pool: FrozenSet[str] = frozenset()
+        for parent in parents:
+            pool |= schema.allowed_children(parent)
+        child_pool.append(pool)
+    gates: List[FrozenSet[int]] = [frozenset()]
+    for m in range(1, n):
+        gates.append(_gate_for_state(schema, steps, bindings, m))
+    no_buffer = _no_buffer(steps, gates)
+    if not no_buffer and not any(gates) \
+            and not _prunes_anything(schema, steps, allowed, child_pool):
+        return None
+    return FastSchemaInfo(schema.fingerprint, allowed,
+                          tuple(child_pool), tuple(gates), no_buffer)
+
+
+def _prunes_anything(schema: CompiledSchema, steps, allowed,
+                     child_pool) -> bool:
+    """Would the pruning sets change any transition row?"""
+    for m, step in enumerate(steps):
+        if step.node_test == "*" \
+                and len(allowed[m]) <= MAX_WILDCARD_TAGS:
+            return True
+    for m in range(1, len(steps) + 1):
+        if child_pool[m] is None:
+            continue
+        for predicate in steps[m - 1].predicates:
+            witness = _named_witness(predicate)
+            if witness is not None and witness not in child_pool[m]:
+                return True
+    return False
+
+
+def _gate_for_state(schema: CompiledSchema, steps, bindings,
+                    m: int) -> FrozenSet[int]:
+    """Eagerly-resolved predicate indices of step ``m-1`` at state ``m``.
+
+    A predicate qualifies when, for every schema-possible parent tag
+    and every allowed child tag the step-``m`` advance could fire on,
+    the trigger either *is* the category-3 witness (the begin-watch has
+    already resolved it True) or is dead for the witness (no later
+    witness can exist, so still-pending means False).  Category-5
+    predicates never accept their own witness tag as a trigger — the
+    deciding text hasn't arrived at the witness's begin.
+    """
+    parent_step = steps[m - 1]
+    parents = bindings[m - 1][1]
+    step = steps[m]
+    gate = set()
+    for pred_index, predicate in enumerate(parent_step.predicates):
+        if predicate.resolves_at_begin:
+            continue
+        witness = _named_witness(predicate)
+        if witness is None:
+            continue
+        cat3 = type(predicate) is ChildExists
+        cat5 = predicate.category == 5
+        safe = True
+        for parent in parents:
+            children = schema.allowed_children(parent)
+            if "*" in schema.dtd.child_graph().get(parent, frozenset()):
+                safe = False
+                break
+            dead = schema.dead_tags(parent, witness)
+            for trigger in children:
+                if not step.matches_tag(trigger):
+                    continue
+                if cat3 and trigger == witness:
+                    continue
+                if trigger in dead and not (cat5 and trigger == witness):
+                    continue
+                safe = False
+                break
+            if not safe:
+                break
+        if safe:
+            gate.add(pred_index)
+    return frozenset(gate)
+
+
+def _no_buffer(steps, gates: List[FrozenSet[int]]) -> bool:
+    """Every non-begin predicate eagerly resolved before any descent?
+
+    False when the query has no non-begin predicates at all: such plans
+    already run begin-resolved without any schema, and claiming a
+    schema win there would be noise.
+    """
+    if any(not p.resolves_at_begin for p in steps[-1].predicates):
+        return False
+    gated_any = False
+    for k in range(len(steps) - 1):
+        undecided = {index for index, p in enumerate(steps[k].predicates)
+                     if not p.resolves_at_begin}
+        if not undecided <= gates[k + 1]:
+            return False
+        if undecided:
+            gated_any = True
+    return gated_any

@@ -14,10 +14,13 @@ transformations before the HPDT is built:
 
 2. **Guaranteed-predicate elimination.**  A ``[child]`` predicate is
    dropped when the content model *requires* that child (every
-   accepted child sequence contains it), and ``[text()]`` when the
-   element has mixed content with mandatory... (conservatively: never).
-   Fewer predicates mean fewer NA states, smaller HPDTs, and less
-   buffering.
+   accepted child sequence contains it), and ``[@attr]`` when the DTD
+   declares the attribute ``#REQUIRED`` (a valid element cannot omit
+   it).  ``[text()]`` is never dropped: a DTD only says whether
+   character data is *allowed* — mixed content ``(#PCDATA | a | b)*``
+   also accepts the empty sequence, so no DTD can guarantee an element
+   carries non-empty text.  Fewer predicates mean fewer NA states,
+   smaller HPDTs, and less buffering.
 
 3. **Closure elimination.**  On a non-recursive DTD, ``//`` steps are
    expanded into the finitely many child-axis paths the schema allows.
@@ -41,6 +44,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set, Tuple, \
 from repro.streaming.dtd import ContentModel, Dtd, Expr, Nothing
 from repro.xpath.ast import (
     AggregateOutput,
+    AttrExists,
     Axis,
     ChildAttrCompare,
     ChildAttrExists,
@@ -181,6 +185,12 @@ def _predicate_guaranteed(dtd: Dtd, tag: str, predicate: Predicate) -> bool:
     if isinstance(predicate, OrPredicate):
         return any(_predicate_guaranteed(dtd, tag, branch)
                    for branch in predicate.branches)
+    if isinstance(predicate, AttrExists):
+        decl = dtd.elements.get(tag)
+        if decl is None:
+            return False
+        att = decl.attributes.get(predicate.attr)
+        return att is not None and att.required
     if not isinstance(predicate, ChildExists) or predicate.child == "*":
         return False
     decl = dtd.elements.get(tag)

@@ -100,6 +100,58 @@ class TestPredicateElimination:
         assert SchemaAwareEngine(query, dtd).run(xml) == []
 
 
+class TestRequiredAttributeElimination:
+    """``[@attr]`` is guaranteed exactly when the DTD declares the
+    attribute ``#REQUIRED`` — a valid element cannot omit it."""
+
+    def test_required_attr_predicate_dropped(self):
+        plan = optimize(BOOK_DTD, "/pub/book[@id]/title/text()")
+        assert not plan.queries[0].steps[1].predicates
+        assert any("guaranteed" in note for note in plan.notes), plan.notes
+
+    def test_implied_attr_predicate_kept(self):
+        dtd = parse_dtd("""
+            <!ELEMENT pub (book+)>
+            <!ELEMENT book (title)>
+            <!ELEMENT title (#PCDATA)>
+            <!ATTLIST book id CDATA #IMPLIED>
+        """, root="pub")
+        plan = optimize(dtd, "/pub/book[@id]/title/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_defaulted_attr_predicate_kept(self):
+        # A defaulted attribute may be absent from the *stream* (the
+        # engines do not inject DTD defaults), so [@kind] still filters.
+        dtd = parse_dtd("""
+            <!ELEMENT pub (book+)>
+            <!ELEMENT book (title)>
+            <!ELEMENT title (#PCDATA)>
+            <!ATTLIST book kind (a|b) "a">
+        """, root="pub")
+        plan = optimize(dtd, "/pub/book[@kind]/title/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_undeclared_attr_predicate_kept(self):
+        plan = optimize(BOOK_DTD, "/pub/book[@isbn]/title/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_attr_value_predicate_never_dropped(self):
+        # #REQUIRED guarantees presence, not any particular value.
+        plan = optimize(BOOK_DTD, "/pub/book[@id='1']/title/text()")
+        assert plan.queries[0].steps[1].predicates
+
+    def test_text_predicate_never_dropped(self):
+        # A DTD can only say text is *allowed*, never that it is
+        # non-empty — [text()] always does real filtering.
+        plan = optimize(BOOK_DTD, "/pub/book/title[text()]")
+        assert plan.queries[0].steps[2].predicates
+
+    def test_elimination_preserves_results(self):
+        query = "/pub/book[@id]/title/text()"
+        engine = SchemaAwareEngine(query, BOOK_DTD)
+        assert engine.run(DOC) == oracle(query, DOC) == ["T1", "T2"]
+
+
 class TestClosureElimination:
     def test_single_path_runs_deterministic(self):
         engine = SchemaAwareEngine("//author/text()", BOOK_DTD)
